@@ -1,0 +1,62 @@
+//! Configuration of the adaptive-consistency controller.
+
+use harmony_model::staleness::PropagationModel;
+use harmony_monitor::collector::MonitorConfig;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of an [`crate::controller::AdaptiveController`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ControllerConfig {
+    /// Monitoring module configuration (sweep period, estimator, aggregation).
+    pub monitor: MonitorConfig,
+    /// How the network latency and write size are converted into the update
+    /// propagation time `Tp`.
+    pub propagation: PropagationModel,
+    /// Average write payload size in bytes, fed to the propagation model
+    /// (the paper's `avg_w`).
+    pub avg_write_size_bytes: f64,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            monitor: MonitorConfig::default(),
+            propagation: PropagationModel::default(),
+            avg_write_size_bytes: 1024.0,
+        }
+    }
+}
+
+impl ControllerConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.monitor.interval_secs <= 0.0 {
+            return Err("monitor interval must be positive".into());
+        }
+        if self.avg_write_size_bytes < 0.0 {
+            return Err("average write size must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(ControllerConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut c = ControllerConfig::default();
+        c.monitor.interval_secs = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = ControllerConfig::default();
+        c.avg_write_size_bytes = -1.0;
+        assert!(c.validate().is_err());
+    }
+}

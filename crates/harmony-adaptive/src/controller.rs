@@ -1,0 +1,244 @@
+//! The adaptive-consistency control loop.
+//!
+//! On every monitoring tick the controller (a) runs a monitoring sweep,
+//! (b) converts the aggregated latency and average write size into the
+//! propagation time `Tp`, (c) asks its policy for the consistency level the
+//! next batch of reads should use, and (d) records the decision so the
+//! estimate timeline of Figure 4 can be reconstructed.
+
+use crate::config::ControllerConfig;
+use crate::policy::{ConsistencyPolicy, PolicyContext};
+use harmony_monitor::collector::Monitor;
+use harmony_monitor::probe::ClusterProbe;
+use harmony_sim::clock::SimTime;
+use harmony_store::consistency::ConsistencyLevel;
+use serde::{Deserialize, Serialize};
+
+/// One control decision, recorded per monitoring tick.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecisionRecord {
+    /// When the decision was taken.
+    pub at: SimTime,
+    /// Monitored read rate (ops/s).
+    pub read_rate: f64,
+    /// Monitored write rate (ops/s).
+    pub write_rate: f64,
+    /// Aggregated network latency (ms).
+    pub latency_ms: f64,
+    /// Propagation time fed to the model (seconds).
+    pub tp_secs: f64,
+    /// The policy's stale-read estimate, if it computes one.
+    pub estimate: Option<f64>,
+    /// Number of replicas the chosen level will involve in reads.
+    pub replicas_in_read: usize,
+}
+
+/// The periodic controller binding monitor, model and policy together.
+pub struct AdaptiveController {
+    config: ControllerConfig,
+    monitor: Monitor,
+    policy: Box<dyn ConsistencyPolicy>,
+    replication_factor: usize,
+    current_read_level: ConsistencyLevel,
+    current_write_level: ConsistencyLevel,
+    decisions: Vec<DecisionRecord>,
+}
+
+impl AdaptiveController {
+    /// Creates a controller for a store with the given replication factor.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid.
+    pub fn new(
+        config: ControllerConfig,
+        replication_factor: usize,
+        policy: Box<dyn ConsistencyPolicy>,
+    ) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid controller configuration: {e}"));
+        AdaptiveController {
+            monitor: Monitor::new(config.monitor),
+            config,
+            policy,
+            replication_factor: replication_factor.max(1),
+            current_read_level: ConsistencyLevel::One,
+            current_write_level: ConsistencyLevel::One,
+            decisions: Vec::new(),
+        }
+    }
+
+    /// The monitoring interval (how often [`AdaptiveController::tick`] should
+    /// be called).
+    pub fn interval(&self) -> SimTime {
+        self.monitor.interval()
+    }
+
+    /// The policy's report name (e.g. `"harmony-20"`, `"eventual"`).
+    pub fn policy_name(&self) -> String {
+        self.policy.name()
+    }
+
+    /// The consistency level reads should currently use.
+    pub fn current_read_level(&self) -> ConsistencyLevel {
+        self.current_read_level
+    }
+
+    /// The consistency level writes should currently use.
+    pub fn current_write_level(&self) -> ConsistencyLevel {
+        self.current_write_level
+    }
+
+    /// All decisions taken so far (one per tick).
+    pub fn decisions(&self) -> &[DecisionRecord] {
+        &self.decisions
+    }
+
+    /// Read-only access to the embedded monitor.
+    pub fn monitor(&self) -> &Monitor {
+        &self.monitor
+    }
+
+    /// Runs one control iteration at virtual time `now` against the given
+    /// cluster probe and returns the (possibly unchanged) read level.
+    pub fn tick<P: ClusterProbe + ?Sized>(&mut self, now: SimTime, probe: &P) -> ConsistencyLevel {
+        let sample = self.monitor.sweep(now, probe);
+        let tp_secs = self
+            .config
+            .propagation
+            .propagation_time_secs(sample.latency_ms, self.config.avg_write_size_bytes);
+        let ctx = PolicyContext {
+            read_rate: sample.read_rate,
+            write_rate: sample.write_rate,
+            tp_secs,
+            replication_factor: self.replication_factor,
+        };
+        self.current_read_level = self.policy.read_level(&ctx);
+        self.current_write_level = self.policy.write_level(&ctx);
+        self.decisions.push(DecisionRecord {
+            at: now,
+            read_rate: sample.read_rate,
+            write_rate: sample.write_rate,
+            latency_ms: sample.latency_ms,
+            tp_secs,
+            estimate: self.policy.last_estimate(),
+            replicas_in_read: self.current_read_level.required_acks(self.replication_factor),
+        });
+        self.current_read_level
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{HarmonyPolicy, StaticPolicy};
+    use harmony_monitor::probe::MockProbe;
+
+    fn controller(policy: Box<dyn ConsistencyPolicy>) -> AdaptiveController {
+        AdaptiveController::new(ControllerConfig::default(), 5, policy)
+    }
+
+    #[test]
+    fn static_policies_never_change_level() {
+        let mut c = controller(Box::new(StaticPolicy::Strong));
+        let mut probe = MockProbe {
+            nodes: 10,
+            latency_ms: 1.0,
+            ..MockProbe::default()
+        };
+        for i in 1..=10u64 {
+            probe.reads += 5_000;
+            probe.writes += 5_000;
+            let level = c.tick(SimTime::from_secs(i), &probe);
+            assert_eq!(level, ConsistencyLevel::All);
+        }
+        assert_eq!(c.policy_name(), "strong");
+        assert_eq!(c.decisions().len(), 10);
+    }
+
+    #[test]
+    fn harmony_raises_level_when_update_load_appears() {
+        let mut c = controller(Box::new(HarmonyPolicy::new(5, 0.2)));
+        let mut probe = MockProbe {
+            nodes: 10,
+            latency_ms: 1.0,
+            ..MockProbe::default()
+        };
+        // Idle system: level ONE.
+        let level = c.tick(SimTime::from_secs(1), &probe);
+        assert_eq!(level, ConsistencyLevel::One);
+        // Sudden heavy read-update load.
+        probe.reads += 5_000;
+        probe.writes += 4_000;
+        let level = c.tick(SimTime::from_secs(2), &probe);
+        assert!(level.required_acks(5) > 1, "level={level}");
+        let last = c.decisions().last().unwrap();
+        assert!(last.estimate.unwrap() > 0.2);
+        assert!(last.tp_secs > 0.0);
+        assert_eq!(last.replicas_in_read, level.required_acks(5));
+    }
+
+    #[test]
+    fn harmony_relaxes_back_when_load_subsides() {
+        let mut c = AdaptiveController::new(
+            ControllerConfig {
+                monitor: harmony_monitor::collector::MonitorConfig {
+                    estimator: harmony_monitor::collector::EstimatorKind::Ewma(1.0),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            5,
+            Box::new(HarmonyPolicy::new(5, 0.4)),
+        );
+        let mut probe = MockProbe {
+            nodes: 10,
+            latency_ms: 1.0,
+            ..MockProbe::default()
+        };
+        probe.reads = 5_000;
+        probe.writes = 4_000;
+        let busy = c.tick(SimTime::from_secs(1), &probe);
+        assert!(busy.required_acks(5) > 1);
+        // Load disappears; with an alpha-1 EWMA the very next tick sees it.
+        let calm = c.tick(SimTime::from_secs(10), &probe);
+        assert_eq!(calm, ConsistencyLevel::One);
+    }
+
+    #[test]
+    fn decision_history_is_chronological_and_complete() {
+        let mut c = controller(Box::new(HarmonyPolicy::new(5, 0.4)));
+        let probe = MockProbe {
+            nodes: 3,
+            latency_ms: 0.5,
+            ..MockProbe::default()
+        };
+        for i in 1..=20u64 {
+            c.tick(SimTime::from_secs(i), &probe);
+        }
+        let d = c.decisions();
+        assert_eq!(d.len(), 20);
+        assert!(d.windows(2).all(|w| w[0].at < w[1].at));
+        assert!(d.iter().all(|r| r.estimate.is_some()));
+    }
+
+    #[test]
+    fn write_level_defaults_to_one() {
+        let mut c = controller(Box::new(HarmonyPolicy::new(5, 0.2)));
+        let probe = MockProbe {
+            nodes: 3,
+            latency_ms: 0.5,
+            ..MockProbe::default()
+        };
+        c.tick(SimTime::from_secs(1), &probe);
+        assert_eq!(c.current_write_level(), ConsistencyLevel::One);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid controller configuration")]
+    fn invalid_config_panics() {
+        let mut cfg = ControllerConfig::default();
+        cfg.avg_write_size_bytes = -1.0;
+        AdaptiveController::new(cfg, 5, Box::new(StaticPolicy::Eventual));
+    }
+}

@@ -1,0 +1,242 @@
+//! Consistency policies: the Harmony adaptive policy and the static baselines
+//! the paper compares against.
+
+use harmony_model::decision::{decide, ConsistencyDecision};
+use harmony_model::staleness::StaleReadModel;
+use harmony_store::consistency::ConsistencyLevel;
+use serde::{Deserialize, Serialize};
+
+/// The run-time information a policy may consult when picking a read level.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PolicyContext {
+    /// Monitored read rate (operations/second).
+    pub read_rate: f64,
+    /// Monitored write/update rate (operations/second).
+    pub write_rate: f64,
+    /// Estimated update propagation time `Tp` in seconds.
+    pub tp_secs: f64,
+    /// Replication factor of the store.
+    pub replication_factor: usize,
+}
+
+impl PolicyContext {
+    /// A context describing an idle system.
+    pub fn idle(replication_factor: usize) -> Self {
+        PolicyContext {
+            read_rate: 0.0,
+            write_rate: 0.0,
+            tp_secs: 0.0,
+            replication_factor,
+        }
+    }
+}
+
+/// A strategy that picks the consistency level for upcoming read operations.
+pub trait ConsistencyPolicy: Send {
+    /// A short, stable name used in experiment reports (e.g. `"harmony-20"`).
+    fn name(&self) -> String;
+
+    /// The consistency level reads should use given the current context.
+    fn read_level(&mut self, ctx: &PolicyContext) -> ConsistencyLevel;
+
+    /// The consistency level writes should use. The paper leaves writes at
+    /// level `ONE` and adapts only reads; policies may override this.
+    fn write_level(&mut self, _ctx: &PolicyContext) -> ConsistencyLevel {
+        ConsistencyLevel::One
+    }
+
+    /// The estimated stale-read probability the policy last computed, if it
+    /// computes one (used to reproduce Figure 4).
+    fn last_estimate(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// The paper's adaptive policy: estimate the stale-read rate, compare with the
+/// application-tolerated rate, and pick `ONE` or the computed `Xn`.
+#[derive(Debug, Clone)]
+pub struct HarmonyPolicy {
+    app_stale_rate: f64,
+    model: StaleReadModel,
+    last_estimate: f64,
+    last_decision: ConsistencyDecision,
+}
+
+impl HarmonyPolicy {
+    /// Creates a Harmony policy for a store with the given replication factor
+    /// and an application-tolerated stale-read rate (`app_stale_rate`,
+    /// a fraction in `[0, 1]`; e.g. 0.2 for the paper's "Harmony-20%").
+    pub fn new(replication_factor: usize, app_stale_rate: f64) -> Self {
+        HarmonyPolicy {
+            app_stale_rate: app_stale_rate.clamp(0.0, 1.0),
+            model: StaleReadModel::new(replication_factor),
+            last_estimate: 0.0,
+            last_decision: ConsistencyDecision::Eventual,
+        }
+    }
+
+    /// The tolerated stale-read rate.
+    pub fn app_stale_rate(&self) -> f64 {
+        self.app_stale_rate
+    }
+
+    /// The most recent decision taken.
+    pub fn last_decision(&self) -> ConsistencyDecision {
+        self.last_decision
+    }
+}
+
+impl ConsistencyPolicy for HarmonyPolicy {
+    fn name(&self) -> String {
+        format!("harmony-{:.0}", self.app_stale_rate * 100.0)
+    }
+
+    fn read_level(&mut self, ctx: &PolicyContext) -> ConsistencyLevel {
+        self.last_estimate =
+            self.model
+                .stale_probability(ctx.read_rate, ctx.write_rate, ctx.tp_secs);
+        let decision = decide(
+            &self.model,
+            self.app_stale_rate,
+            ctx.read_rate,
+            ctx.write_rate,
+            ctx.tp_secs,
+        );
+        self.last_decision = decision;
+        match decision {
+            ConsistencyDecision::Eventual => ConsistencyLevel::One,
+            ConsistencyDecision::Replicas(x) => {
+                ConsistencyLevel::from_replica_count(x, ctx.replication_factor)
+            }
+        }
+    }
+
+    fn last_estimate(&self) -> Option<f64> {
+        Some(self.last_estimate)
+    }
+}
+
+/// The static baselines of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StaticPolicy {
+    /// Always read at `ONE` (Cassandra's static eventual consistency).
+    Eventual,
+    /// Always read at `ALL` (strong consistency).
+    Strong,
+    /// Always read at `QUORUM`.
+    Quorum,
+    /// Always read at an explicit replica count.
+    Fixed(usize),
+}
+
+impl ConsistencyPolicy for StaticPolicy {
+    fn name(&self) -> String {
+        match self {
+            StaticPolicy::Eventual => "eventual".to_string(),
+            StaticPolicy::Strong => "strong".to_string(),
+            StaticPolicy::Quorum => "quorum".to_string(),
+            StaticPolicy::Fixed(x) => format!("fixed-{x}"),
+        }
+    }
+
+    fn read_level(&mut self, ctx: &PolicyContext) -> ConsistencyLevel {
+        match self {
+            StaticPolicy::Eventual => ConsistencyLevel::One,
+            StaticPolicy::Strong => ConsistencyLevel::All,
+            StaticPolicy::Quorum => ConsistencyLevel::Quorum,
+            StaticPolicy::Fixed(x) => {
+                ConsistencyLevel::from_replica_count(*x, ctx.replication_factor)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(read_rate: f64, write_rate: f64, tp_secs: f64) -> PolicyContext {
+        PolicyContext {
+            read_rate,
+            write_rate,
+            tp_secs,
+            replication_factor: 5,
+        }
+    }
+
+    #[test]
+    fn harmony_names_follow_paper_convention() {
+        assert_eq!(HarmonyPolicy::new(5, 0.2).name(), "harmony-20");
+        assert_eq!(HarmonyPolicy::new(5, 0.4).name(), "harmony-40");
+        assert_eq!(HarmonyPolicy::new(5, 0.6).name(), "harmony-60");
+    }
+
+    #[test]
+    fn harmony_idle_system_reads_at_one() {
+        let mut p = HarmonyPolicy::new(5, 0.2);
+        assert_eq!(p.read_level(&PolicyContext::idle(5)), ConsistencyLevel::One);
+        assert_eq!(p.last_estimate(), Some(0.0));
+    }
+
+    #[test]
+    fn harmony_under_heavy_updates_raises_the_level() {
+        let mut p = HarmonyPolicy::new(5, 0.2);
+        let level = p.read_level(&ctx(3000.0, 2500.0, 0.002));
+        assert_ne!(level, ConsistencyLevel::One);
+        assert!(p.last_estimate().unwrap() > 0.2);
+        assert!(level.required_acks(5) > 1);
+    }
+
+    #[test]
+    fn harmony_zero_tolerance_reads_all_under_load() {
+        let mut p = HarmonyPolicy::new(5, 0.0);
+        let level = p.read_level(&ctx(3000.0, 2500.0, 0.002));
+        assert_eq!(level.required_acks(5), 5);
+    }
+
+    #[test]
+    fn higher_tolerance_never_needs_more_replicas() {
+        let context = ctx(2000.0, 1600.0, 0.0015);
+        let mut prev = usize::MAX;
+        for asr in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
+            let mut p = HarmonyPolicy::new(5, asr);
+            let acks = p.read_level(&context).required_acks(5);
+            assert!(acks <= prev, "asr={asr}");
+            prev = acks;
+        }
+    }
+
+    #[test]
+    fn harmony_writes_default_to_one() {
+        let mut p = HarmonyPolicy::new(5, 0.2);
+        assert_eq!(p.write_level(&ctx(1.0, 1.0, 0.001)), ConsistencyLevel::One);
+    }
+
+    #[test]
+    fn tolerance_is_clamped() {
+        assert_eq!(HarmonyPolicy::new(5, 7.0).app_stale_rate(), 1.0);
+        assert_eq!(HarmonyPolicy::new(5, -0.3).app_stale_rate(), 0.0);
+    }
+
+    #[test]
+    fn static_policies_ignore_context() {
+        let busy = ctx(10_000.0, 10_000.0, 0.05);
+        assert_eq!(StaticPolicy::Eventual.read_level(&busy), ConsistencyLevel::One);
+        assert_eq!(StaticPolicy::Strong.read_level(&busy), ConsistencyLevel::All);
+        assert_eq!(StaticPolicy::Quorum.read_level(&busy), ConsistencyLevel::Quorum);
+        assert_eq!(
+            StaticPolicy::Fixed(4).read_level(&busy),
+            ConsistencyLevel::Replicas(4)
+        );
+        assert_eq!(StaticPolicy::Fixed(1).read_level(&busy), ConsistencyLevel::One);
+    }
+
+    #[test]
+    fn static_policy_names() {
+        assert_eq!(StaticPolicy::Eventual.name(), "eventual");
+        assert_eq!(StaticPolicy::Strong.name(), "strong");
+        assert_eq!(StaticPolicy::Quorum.name(), "quorum");
+        assert_eq!(StaticPolicy::Fixed(2).name(), "fixed-2");
+        assert_eq!(StaticPolicy::Eventual.last_estimate(), None);
+    }
+}

@@ -1,0 +1,104 @@
+//! Criterion end-to-end benchmarks: a small workload-A run through the full
+//! stack (cluster + monitor + controller + clients) for each consistency
+//! policy, plus the discrete-event store's raw operation rate.
+//!
+//! These are deliberately small runs (a few thousand operations) so the
+//! benchmark suite completes quickly; the per-figure binaries are the place
+//! for paper-scale sweeps.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use harmony_adaptive::config::ControllerConfig;
+use harmony_bench::experiments::{grid5000_experiment_config, PolicySpec};
+use harmony_sim::profiles;
+use harmony_sim::rng::RngFactory;
+use harmony_sim::Simulation;
+use harmony_store::cluster::Cluster;
+use harmony_store::config::StoreConfig;
+use harmony_store::consistency::ConsistencyLevel;
+use harmony_store::messages::StoreEvent;
+use harmony_store::types::{Mutation, Timestamp};
+use harmony_ycsb::runner::{run_experiment, ExperimentSpec, Phase};
+
+fn bench_raw_store_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_ops");
+    group.sample_size(20);
+    group.bench_function("1000_mixed_ops_quorum", |b| {
+        b.iter(|| {
+            let profile = profiles::grid5000_with_nodes(10);
+            let mut cluster = Cluster::new(
+                StoreConfig::default(),
+                profile.topology.clone(),
+                profile.network.clone(),
+                RngFactory::new(1),
+            );
+            let mut sim: Simulation<StoreEvent> = Simulation::new(1);
+            for i in 0..100u64 {
+                cluster.load_direct(
+                    &format!("user{i}"),
+                    &Mutation::ycsb_row(4, 64),
+                    Timestamp(i + 1),
+                );
+            }
+            for i in 0..500u64 {
+                cluster.submit_write(
+                    &format!("user{}", i % 100),
+                    Mutation::single("field0", vec![b'x'; 64]),
+                    ConsistencyLevel::One,
+                    &mut sim,
+                );
+                cluster.submit_read(
+                    &format!("user{}", (i * 7) % 100),
+                    ConsistencyLevel::Quorum,
+                    &mut sim,
+                );
+            }
+            let mut completions = 0u64;
+            while let Some((_, ev)) = sim.next() {
+                if cluster.handle(ev, &mut sim).is_some() {
+                    completions += 1;
+                }
+            }
+            black_box(completions)
+        })
+    });
+    group.finish();
+}
+
+fn bench_full_experiment_per_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    let mut config = grid5000_experiment_config();
+    config.records = 1_000;
+    config.min_operations = 3_000;
+    config.operations_per_thread = 150;
+
+    for policy in [
+        PolicySpec::Eventual,
+        PolicySpec::Harmony(0.2),
+        PolicySpec::Strong,
+    ] {
+        group.bench_function(format!("workload_a_20_threads/{}", policy.label()), |b| {
+            b.iter(|| {
+                let spec = ExperimentSpec {
+                    workload: harmony_bench::experiments::scaled_workload_a(config.records),
+                    phases: vec![Phase::new(20, config.operations_for(20))],
+                    seed: 7,
+                    dual_read_measurement: false,
+                    max_virtual_secs: 600.0,
+                };
+                let result = run_experiment(
+                    &config.profile,
+                    config.store.clone(),
+                    ControllerConfig::default(),
+                    policy.build(config.store.replication_factor),
+                    spec,
+                );
+                black_box(result.stats.operations)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_raw_store_ops, bench_full_experiment_per_policy);
+criterion_main!(benches);

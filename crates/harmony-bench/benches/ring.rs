@@ -1,0 +1,76 @@
+//! Criterion microbenchmarks for the token ring and replica placement:
+//! key hashing, primary lookup, and replica-set computation under both
+//! placement strategies.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use harmony_sim::topology::Topology;
+use harmony_store::hashring::{key_token, HashRing};
+use harmony_store::placement::ReplicationStrategy;
+
+fn bench_key_token(c: &mut Criterion) {
+    c.bench_function("ring/key_token", |b| {
+        b.iter(|| key_token(black_box("user1234567")))
+    });
+}
+
+fn bench_primary_lookup(c: &mut Criterion) {
+    let ring = HashRing::new(20, 32);
+    c.bench_function("ring/primary_for_key", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            ring.primary_for_key(black_box(&format!("user{i}")))
+        })
+    });
+}
+
+fn bench_preference_list(c: &mut Criterion) {
+    let ring = HashRing::new(20, 32);
+    c.bench_function("ring/preference_list_rf5", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            ring.preference_list(black_box(&format!("user{i}")), 5)
+        })
+    });
+}
+
+fn bench_placement_strategies(c: &mut Criterion) {
+    let ring = HashRing::new(20, 32);
+    let topology = Topology::single_dc(2, 10);
+    let mut group = c.benchmark_group("placement");
+    group.bench_function("simple_rf5", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            ReplicationStrategy::Simple.replicas_for(
+                &ring,
+                &topology,
+                black_box(&format!("user{i}")),
+                5,
+            )
+        })
+    });
+    group.bench_function("network_topology_rf5", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            ReplicationStrategy::NetworkTopology.replicas_for(
+                &ring,
+                &topology,
+                black_box(&format!("user{i}")),
+                5,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_key_token,
+    bench_primary_lookup,
+    bench_preference_list,
+    bench_placement_strategies
+);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Criterion microbenchmarks for the per-node storage engine: mutation
+//! apply, point reads across memtable + SSTables, flush and compaction.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use harmony_store::engine::{EngineConfig, StorageEngine};
+use harmony_store::types::{Mutation, Timestamp};
+
+fn loaded_engine(keys: u64, flushed: bool) -> StorageEngine {
+    let mut engine = StorageEngine::new(EngineConfig {
+        memtable_flush_rows: usize::MAX,
+        compaction_threshold: usize::MAX,
+    });
+    for i in 0..keys {
+        engine.apply(
+            &format!("user{i}"),
+            &Mutation::ycsb_row(10, 100),
+            Timestamp(i + 1),
+        );
+    }
+    if flushed {
+        engine.flush();
+    }
+    engine
+}
+
+fn bench_apply(c: &mut Criterion) {
+    c.bench_function("engine/apply_single_column", |b| {
+        let mut engine = StorageEngine::with_defaults();
+        let mutation = Mutation::single("field0", vec![b'x'; 100]);
+        let mut ts = 0u64;
+        b.iter(|| {
+            ts += 1;
+            engine.apply(black_box("user42"), &mutation, Timestamp(ts));
+        })
+    });
+}
+
+fn bench_get_memtable(c: &mut Criterion) {
+    let mut engine = loaded_engine(10_000, false);
+    c.bench_function("engine/get_from_memtable_10k_keys", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7) % 10_000;
+            black_box(engine.get(&format!("user{i}")))
+        })
+    });
+}
+
+fn bench_get_sstable(c: &mut Criterion) {
+    let mut engine = loaded_engine(10_000, true);
+    c.bench_function("engine/get_from_sstable_10k_keys", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7) % 10_000;
+            black_box(engine.get(&format!("user{i}")))
+        })
+    });
+}
+
+fn bench_flush(c: &mut Criterion) {
+    c.bench_function("engine/flush_5k_rows", |b| {
+        b.iter_batched(
+            || loaded_engine(5_000, false),
+            |mut engine| engine.flush(),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_compaction(c: &mut Criterion) {
+    c.bench_function("engine/compact_4_sstables", |b| {
+        b.iter_batched(
+            || {
+                let mut engine = StorageEngine::new(EngineConfig {
+                    memtable_flush_rows: usize::MAX,
+                    compaction_threshold: usize::MAX,
+                });
+                for round in 0..4u64 {
+                    for i in 0..1_000u64 {
+                        engine.apply(
+                            &format!("user{i}"),
+                            &Mutation::single("field0", vec![b'x'; 100]),
+                            Timestamp(round * 10_000 + i),
+                        );
+                    }
+                    engine.flush();
+                }
+                engine
+            },
+            |mut engine| engine.compact(),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_apply,
+    bench_get_memtable,
+    bench_get_sstable,
+    bench_flush,
+    bench_compaction
+);
+criterion_main!(benches);

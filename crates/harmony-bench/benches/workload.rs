@@ -1,0 +1,48 @@
+//! Criterion microbenchmarks for the workload generator: key-popularity
+//! distributions and operation-mix sampling.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use harmony_ycsb::distributions::KeyChooser;
+use harmony_ycsb::workloads::WorkloadSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_key_choosers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distributions");
+    let n = 1_000_000;
+    for (name, chooser) in [
+        ("uniform", KeyChooser::uniform(n)),
+        ("zipfian", KeyChooser::zipfian(n)),
+        ("scrambled_zipfian", KeyChooser::scrambled_zipfian(n)),
+        ("latest", KeyChooser::latest(n)),
+        ("hotspot", KeyChooser::hotspot(n, 0.2, 0.8)),
+    ] {
+        group.bench_function(name, |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(chooser.next_index(&mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_operation_mix(c: &mut Criterion) {
+    let workload = WorkloadSpec::workload_a(1_000_000);
+    c.bench_function("workload/next_operation", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| black_box(workload.next_operation(&mut rng)))
+    });
+}
+
+fn bench_zipfian_construction(c: &mut Criterion) {
+    c.bench_function("distributions/zipfian_construction_100k_items", |b| {
+        b.iter(|| black_box(KeyChooser::zipfian(100_000)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_key_choosers,
+    bench_operation_mix,
+    bench_zipfian_construction
+);
+criterion_main!(benches);

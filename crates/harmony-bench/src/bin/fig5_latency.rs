@@ -1,0 +1,72 @@
+//! Figures 5(a) and 5(b): 99th-percentile read latency vs client threads.
+//!
+//! The paper compares Harmony at two tolerated-stale-read settings against
+//! static eventual consistency and static strong consistency, on Grid'5000
+//! (Harmony-20%/40%) and on EC2 (Harmony-40%/60%), as the number of client
+//! threads grows from 1 to ~130. Strong consistency has the highest latency,
+//! eventual the lowest, and Harmony sits close to eventual — rising slightly
+//! as the tolerance becomes stricter.
+//!
+//! Usage:
+//!   cargo run --release -p harmony-bench --bin fig5_latency -- --profile grid5000   # Figure 5(a)
+//!   cargo run --release -p harmony-bench --bin fig5_latency -- --profile ec2        # Figure 5(b)
+//! Flags: `--quick` (smaller runs), `--json <path>`.
+
+use harmony_bench::experiments::{config_by_name, fig5_thread_counts, run_policy_sweep, PolicySpec};
+use harmony_bench::report::{has_flag, json_arg, profile_arg, Table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let profile_name = profile_arg(&args, "grid5000");
+    let quick = has_flag(&args, "--quick");
+    let mut config = config_by_name(&profile_name)
+        .unwrap_or_else(|| panic!("unknown profile {profile_name} (use grid5000 or ec2)"));
+    if quick {
+        config.records = 4_000;
+        config.operations_per_thread = 250;
+        config.min_operations = 8_000;
+    }
+    let figure = if profile_name == "ec2" { "5(b)" } else { "5(a)" };
+    let thread_counts = if quick {
+        vec![1, 15, 40, 90]
+    } else {
+        fig5_thread_counts()
+    };
+    let policies = PolicySpec::paper_set(&config.profile);
+
+    println!(
+        "Figure {figure} — 99th-percentile read latency vs client threads ({} profile, RF = {})",
+        config.profile.name, config.store.replication_factor
+    );
+    let rows = run_policy_sweep(&config, &policies, &thread_counts, false);
+
+    let mut table = Table::new(
+        std::iter::once("threads".to_string())
+            .chain(policies.iter().map(|p| format!("{} p99 (ms)", p.label())))
+            .collect::<Vec<_>>(),
+    );
+    for &threads in &thread_counts {
+        let mut cells = vec![threads.to_string()];
+        for policy in &policies {
+            let row = rows
+                .iter()
+                .find(|r| r.threads == threads && r.policy == policy.label())
+                .expect("row present");
+            cells.push(format!("{:.3}", row.read_p99_ms));
+        }
+        table.add_row(cells);
+    }
+    println!("{table}");
+    println!(
+        "Paper shape check: strong consistency has the highest p99 at every thread count and grows\n\
+         fastest with load; eventual consistency is the floor; Harmony tracks the eventual curve,\n\
+         with the stricter tolerance ({}) slightly above the looser one ({}).",
+        policies[1].label(),
+        policies[0].label()
+    );
+
+    if let Some(path) = json_arg(&args) {
+        harmony_bench::report::write_json(&path, &rows).expect("write json");
+        println!("JSON written to {}", path.display());
+    }
+}

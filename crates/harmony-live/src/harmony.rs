@@ -1,0 +1,179 @@
+//! Harmony running against the live, real-threaded cluster.
+//!
+//! [`LiveHarmony`] wraps a [`LiveCluster`] together with an
+//! [`AdaptiveController`]: callers read and write through it, a monitoring
+//! probe reports the live counters and propagation delay, and `adapt()` runs
+//! one control iteration (the caller decides the cadence — a background
+//! thread, a timer, or explicit calls as in the tests).
+
+use crate::cluster::LiveCluster;
+use harmony_adaptive::config::ControllerConfig;
+use harmony_adaptive::controller::AdaptiveController;
+use harmony_adaptive::policy::ConsistencyPolicy;
+use harmony_monitor::probe::ClusterProbe;
+use harmony_sim::clock::SimTime;
+use harmony_store::consistency::ConsistencyLevel;
+use parking_lot::Mutex;
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+struct LiveProbe<'a> {
+    cluster: &'a LiveCluster,
+}
+
+impl ClusterProbe for LiveProbe<'_> {
+    fn total_reads(&self) -> u64 {
+        self.cluster.counters().reads.load(Ordering::Relaxed)
+    }
+    fn total_writes(&self) -> u64 {
+        self.cluster.counters().writes.load(Ordering::Relaxed)
+    }
+    fn probe_latency_ms(&self) -> f64 {
+        self.cluster.config().propagation_delay.as_secs_f64() * 1e3
+    }
+    fn node_count(&self) -> usize {
+        self.cluster.config().nodes
+    }
+}
+
+/// A live cluster with the Harmony control loop attached.
+pub struct LiveHarmony {
+    cluster: LiveCluster,
+    controller: Mutex<AdaptiveController>,
+    started: Instant,
+}
+
+impl LiveHarmony {
+    /// Wraps a running cluster with an adaptive controller using `policy`.
+    pub fn new(
+        cluster: LiveCluster,
+        controller_config: ControllerConfig,
+        policy: Box<dyn ConsistencyPolicy>,
+    ) -> Self {
+        let rf = cluster.config().replication_factor;
+        LiveHarmony {
+            cluster,
+            controller: Mutex::new(AdaptiveController::new(controller_config, rf, policy)),
+            started: Instant::now(),
+        }
+    }
+
+    /// The wrapped cluster.
+    pub fn cluster(&self) -> &LiveCluster {
+        &self.cluster
+    }
+
+    /// Runs one monitoring + adaptation iteration and returns the read level
+    /// subsequent reads will use.
+    pub fn adapt(&self) -> ConsistencyLevel {
+        let now = SimTime::from_duration(self.started.elapsed());
+        let probe = LiveProbe {
+            cluster: &self.cluster,
+        };
+        self.controller.lock().tick(now, &probe)
+    }
+
+    /// The consistency level the controller currently prescribes for reads.
+    pub fn current_read_level(&self) -> ConsistencyLevel {
+        self.controller.lock().current_read_level()
+    }
+
+    /// The stale-read estimate from the most recent adaptation, if the policy
+    /// computes one.
+    pub fn last_estimate(&self) -> Option<f64> {
+        self.controller
+            .lock()
+            .decisions()
+            .last()
+            .and_then(|d| d.estimate)
+    }
+
+    /// Reads through the adaptive level.
+    pub fn read(&self, key: &str) -> Option<(Vec<u8>, u64)> {
+        let level = self.current_read_level();
+        self.cluster.read(key, level)
+    }
+
+    /// Writes at the controller's write level (level ONE, as in the paper).
+    pub fn write(&self, key: &str, value: Vec<u8>) -> u64 {
+        let level = self.controller.lock().current_write_level();
+        self.cluster.write(key, value, level)
+    }
+
+    /// Shuts the cluster down.
+    pub fn shutdown(self) {
+        self.cluster.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::LiveConfig;
+    use harmony_adaptive::policy::{HarmonyPolicy, StaticPolicy};
+    use std::time::Duration;
+
+    fn live_cluster() -> LiveCluster {
+        LiveCluster::start(LiveConfig {
+            nodes: 4,
+            replication_factor: 3,
+            propagation_delay: Duration::from_micros(100),
+            jitter: 0.1,
+            seed: 3,
+        })
+    }
+
+    #[test]
+    fn starts_at_consistency_one() {
+        let h = LiveHarmony::new(
+            live_cluster(),
+            ControllerConfig::default(),
+            Box::new(HarmonyPolicy::new(3, 0.4)),
+        );
+        assert_eq!(h.current_read_level(), ConsistencyLevel::One);
+        h.shutdown();
+    }
+
+    #[test]
+    fn read_your_own_writes_through_the_wrapper() {
+        let h = LiveHarmony::new(
+            live_cluster(),
+            ControllerConfig::default(),
+            Box::new(StaticPolicy::Strong),
+        );
+        h.adapt();
+        let v = h.write("k", b"value".to_vec(), );
+        // Static strong policy reads at ALL, which always sees the newest
+        // acknowledged version.
+        let (value, version) = h.read("k").unwrap();
+        assert_eq!(value, b"value");
+        assert!(version >= v);
+        h.shutdown();
+    }
+
+    #[test]
+    fn adaptation_raises_level_under_write_pressure() {
+        let h = LiveHarmony::new(
+            live_cluster(),
+            ControllerConfig::default(),
+            Box::new(HarmonyPolicy::new(3, 0.05)),
+        );
+        h.adapt();
+        // Hammer the cluster with writes and reads, then adapt.
+        for i in 0..400u64 {
+            h.write(&format!("k{}", i % 10), vec![1, 2, 3]);
+            let _ = h.read(&format!("k{}", i % 10));
+        }
+        std::thread::sleep(Duration::from_millis(5));
+        let level = h.adapt();
+        // With a 5% tolerance and real measured rates the estimate exceeds the
+        // tolerance and the level rises above ONE.
+        assert!(
+            level.required_acks(3) > 1,
+            "expected elevated level, got {level} (estimate {:?})",
+            h.last_estimate()
+        );
+        assert!(h.last_estimate().unwrap_or(0.0) > 0.05);
+        h.shutdown();
+    }
+}

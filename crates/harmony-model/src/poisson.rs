@@ -1,0 +1,241 @@
+//! Small probability-theory helpers used by the derivation of the stale-read
+//! model (paper §IV.1): exponential and Gamma (Erlang) distributions arising
+//! from Poisson arrival processes.
+//!
+//! The paper models read and write arrivals as Poisson processes; the waiting
+//! time between arrivals is then exponential, and the arrival time of the
+//! i-th write is Gamma(i, λ)-distributed. These helpers are used by the
+//! numerical cross-check of the closed-form probability (Eq. 6) and by tests.
+
+/// The exponential probability density `λ e^{-λ x}` for `x ≥ 0`.
+pub fn exponential_pdf(rate: f64, x: f64) -> f64 {
+    if x < 0.0 || rate <= 0.0 {
+        0.0
+    } else {
+        rate * (-rate * x).exp()
+    }
+}
+
+/// The exponential cumulative distribution `1 - e^{-λ x}` for `x ≥ 0`.
+pub fn exponential_cdf(rate: f64, x: f64) -> f64 {
+    if x <= 0.0 || rate <= 0.0 {
+        0.0
+    } else {
+        1.0 - (-rate * x).exp()
+    }
+}
+
+/// Natural logarithm of the Gamma function, Lanczos approximation
+/// (g = 7, n = 9 coefficients). Accurate to ~15 significant digits for
+/// positive arguments, which is ample for Erlang shape parameters.
+pub fn ln_gamma(x: f64) -> f64 {
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.99999999999980993,
+        676.5203681218851,
+        -1259.1392167224028,
+        771.32342877765313,
+        -176.61502916214059,
+        12.507343278686905,
+        -0.13857109526572012,
+        9.9843695780195716e-6,
+        1.5056327351493116e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x)
+    } else {
+        let x = x - 1.0;
+        let mut a = COEF[0];
+        let t = x + G + 0.5;
+        for (i, &c) in COEF.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+    }
+}
+
+/// The Gamma (Erlang when `shape` is integral) probability density with shape
+/// `k` and rate `λ`: `λ^k x^{k-1} e^{-λx} / Γ(k)`.
+pub fn gamma_pdf(shape: f64, rate: f64, x: f64) -> f64 {
+    if x < 0.0 || shape <= 0.0 || rate <= 0.0 {
+        return 0.0;
+    }
+    if x == 0.0 {
+        return if shape < 1.0 {
+            f64::INFINITY
+        } else if shape == 1.0 {
+            rate
+        } else {
+            0.0
+        };
+    }
+    let log_pdf = shape * rate.ln() + (shape - 1.0) * x.ln() - rate * x - ln_gamma(shape);
+    log_pdf.exp()
+}
+
+/// The regularised lower incomplete Gamma function `P(shape, rate·x)`, i.e.
+/// the Gamma CDF. Uses the series expansion for small arguments and the
+/// continued fraction for large ones (Numerical-Recipes-style split).
+pub fn gamma_cdf(shape: f64, rate: f64, x: f64) -> f64 {
+    if x <= 0.0 || shape <= 0.0 || rate <= 0.0 {
+        return 0.0;
+    }
+    let a = shape;
+    let z = rate * x;
+    if z < a + 1.0 {
+        // Series representation.
+        let mut sum = 1.0 / a;
+        let mut term = sum;
+        let mut n = a;
+        for _ in 0..500 {
+            n += 1.0;
+            term *= z / n;
+            sum += term;
+            if term.abs() < sum.abs() * 1e-15 {
+                break;
+            }
+        }
+        (sum * (-z + a * z.ln() - ln_gamma(a)).exp()).clamp(0.0, 1.0)
+    } else {
+        // Continued fraction for the upper incomplete gamma, then complement.
+        let mut b = z + 1.0 - a;
+        let mut c = 1e308;
+        let mut d = 1.0 / b;
+        let mut h = d;
+        for i in 1..500 {
+            let an = -(i as f64) * (i as f64 - a);
+            b += 2.0;
+            d = an * d + b;
+            if d.abs() < 1e-300 {
+                d = 1e-300;
+            }
+            c = b + an / c;
+            if c.abs() < 1e-300 {
+                c = 1e-300;
+            }
+            d = 1.0 / d;
+            let delta = d * c;
+            h *= delta;
+            if (delta - 1.0).abs() < 1e-15 {
+                break;
+            }
+        }
+        let q = (-z + a * z.ln() - ln_gamma(a)).exp() * h;
+        (1.0 - q).clamp(0.0, 1.0)
+    }
+}
+
+/// The probability mass function of a Poisson distribution with mean `mu`.
+pub fn poisson_pmf(mu: f64, k: u64) -> f64 {
+    if mu <= 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    let kf = k as f64;
+    (kf * mu.ln() - mu - ln_gamma(kf + 1.0)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + b.abs())
+    }
+
+    #[test]
+    fn exponential_basics() {
+        assert_eq!(exponential_pdf(2.0, -1.0), 0.0);
+        assert!(close(exponential_pdf(2.0, 0.0), 2.0, 1e-12));
+        assert!(close(exponential_cdf(1.0, 1.0), 1.0 - (-1.0f64).exp(), 1e-12));
+        assert_eq!(exponential_cdf(1.0, 0.0), 0.0);
+        assert_eq!(exponential_cdf(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n-1)!
+        for (n, fact) in [(1u32, 1.0f64), (2, 1.0), (3, 2.0), (4, 6.0), (5, 24.0), (6, 120.0)] {
+            assert!(
+                close(ln_gamma(n as f64), fact.ln(), 1e-12),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half_integer() {
+        // Γ(1/2) = sqrt(pi)
+        assert!(close(
+            ln_gamma(0.5),
+            std::f64::consts::PI.sqrt().ln(),
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn gamma_pdf_shape_one_is_exponential() {
+        for x in [0.1, 0.5, 1.0, 3.0] {
+            assert!(close(gamma_pdf(1.0, 2.0, x), exponential_pdf(2.0, x), 1e-12));
+        }
+        assert_eq!(gamma_pdf(1.0, 2.0, 0.0), 2.0);
+        assert_eq!(gamma_pdf(3.0, 2.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn gamma_cdf_shape_one_is_exponential() {
+        for x in [0.1, 0.5, 1.0, 3.0, 10.0] {
+            assert!(close(gamma_cdf(1.0, 2.0, x), exponential_cdf(2.0, x), 1e-10));
+        }
+    }
+
+    #[test]
+    fn gamma_cdf_is_monotone_and_bounded() {
+        let mut prev = 0.0;
+        for i in 0..200 {
+            let x = i as f64 * 0.1;
+            let v = gamma_cdf(3.0, 1.5, x);
+            assert!((0.0..=1.0).contains(&v));
+            assert!(v + 1e-12 >= prev);
+            prev = v;
+        }
+        assert!(gamma_cdf(3.0, 1.5, 100.0) > 0.999999);
+    }
+
+    #[test]
+    fn erlang_cdf_matches_poisson_tail() {
+        // For integer shape k: GammaCDF(k, λ, x) = P(Poisson(λx) >= k).
+        let k = 4u64;
+        let lambda = 2.0;
+        let x = 1.7;
+        let mu = lambda * x;
+        let poisson_tail: f64 = 1.0 - (0..k).map(|i| poisson_pmf(mu, i)).sum::<f64>();
+        assert!(close(gamma_cdf(k as f64, lambda, x), poisson_tail, 1e-10));
+    }
+
+    #[test]
+    fn poisson_pmf_sums_to_one() {
+        let mu = 3.5;
+        let total: f64 = (0..200).map(|k| poisson_pmf(mu, k)).sum();
+        assert!(close(total, 1.0, 1e-12));
+        assert_eq!(poisson_pmf(0.0, 0), 1.0);
+        assert_eq!(poisson_pmf(0.0, 3), 0.0);
+    }
+
+    #[test]
+    fn gamma_pdf_integrates_to_cdf() {
+        // Trapezoidal integration of the pdf should match the cdf.
+        let (shape, rate) = (2.5, 1.3);
+        let upper = 4.0;
+        let steps = 40_000;
+        let h = upper / steps as f64;
+        let mut integral = 0.0;
+        for i in 0..steps {
+            let x0 = i as f64 * h;
+            let x1 = x0 + h;
+            integral += 0.5 * h * (gamma_pdf(shape, rate, x0) + gamma_pdf(shape, rate, x1));
+        }
+        assert!(close(integral, gamma_cdf(shape, rate, upper), 1e-4));
+    }
+}

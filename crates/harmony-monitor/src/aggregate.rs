@@ -1,0 +1,115 @@
+//! Aggregation of per-probe latency observations into the single `Ln` figure
+//! the estimation model consumes.
+//!
+//! The paper aggregates ping results across all node pairs; how conservative
+//! that aggregation is (mean vs. a high percentile) changes how pessimistic
+//! the propagation-time estimate — and therefore Harmony's chosen consistency
+//! level — becomes. The ablation benchmark `ablation_monitor_period` sweeps
+//! these options.
+
+use serde::{Deserialize, Serialize};
+
+/// How to fold a set of latency observations into one value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LatencyAggregation {
+    /// Arithmetic mean of the observations.
+    Mean,
+    /// Maximum observation (most conservative).
+    Max,
+    /// 95th percentile (robust to a single outlier, still conservative).
+    P95,
+}
+
+impl LatencyAggregation {
+    /// Applies the aggregation. Returns 0.0 for an empty slice.
+    pub fn apply(&self, observations_ms: &[f64]) -> f64 {
+        if observations_ms.is_empty() {
+            return 0.0;
+        }
+        match self {
+            LatencyAggregation::Mean => {
+                observations_ms.iter().sum::<f64>() / observations_ms.len() as f64
+            }
+            LatencyAggregation::Max => observations_ms
+                .iter()
+                .cloned()
+                .fold(f64::NEG_INFINITY, f64::max),
+            LatencyAggregation::P95 => percentile(observations_ms, 0.95),
+        }
+    }
+}
+
+/// Nearest-rank percentile (q in `[0, 1]`) of a slice; the slice does not need
+/// to be sorted.
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let q = q.clamp(0.0, 1.0);
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_max_p95() {
+        let obs = vec![1.0, 2.0, 3.0, 4.0, 100.0];
+        assert!((LatencyAggregation::Mean.apply(&obs) - 22.0).abs() < 1e-9);
+        assert_eq!(LatencyAggregation::Max.apply(&obs), 100.0);
+        assert_eq!(LatencyAggregation::P95.apply(&obs), 100.0);
+    }
+
+    #[test]
+    fn p95_ignores_the_tail_with_enough_samples() {
+        let mut obs = vec![1.0; 99];
+        obs.push(1000.0);
+        assert_eq!(LatencyAggregation::P95.apply(&obs), 1.0);
+    }
+
+    #[test]
+    fn empty_observations_give_zero() {
+        for agg in [
+            LatencyAggregation::Mean,
+            LatencyAggregation::Max,
+            LatencyAggregation::P95,
+        ] {
+            assert_eq!(agg.apply(&[]), 0.0);
+        }
+    }
+
+    #[test]
+    fn single_observation_is_its_own_aggregate() {
+        for agg in [
+            LatencyAggregation::Mean,
+            LatencyAggregation::Max,
+            LatencyAggregation::P95,
+        ] {
+            assert_eq!(agg.apply(&[3.5]), 3.5);
+        }
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = vec![10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&v, 0.0), 10.0);
+        assert_eq!(percentile(&v, 0.25), 10.0);
+        assert_eq!(percentile(&v, 0.5), 20.0);
+        assert_eq!(percentile(&v, 0.75), 30.0);
+        assert_eq!(percentile(&v, 1.0), 40.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        // Unsorted input works too.
+        assert_eq!(percentile(&[30.0, 10.0, 20.0], 0.5), 20.0);
+    }
+
+    #[test]
+    fn percentile_clamps_q() {
+        let v = vec![1.0, 2.0];
+        assert_eq!(percentile(&v, -1.0), 1.0);
+        assert_eq!(percentile(&v, 2.0), 2.0);
+    }
+}

@@ -1,0 +1,345 @@
+//! The periodic collector: turns raw counters and latency probes into the
+//! rate and latency estimates the adaptive-consistency module consumes.
+//!
+//! Like the paper's implementation, the collector (a) works from *deltas* of
+//! cumulative counters between consecutive sweeps, (b) measures the duration
+//! of the sweep itself and includes it in the elapsed time used to compute
+//! rates, and (c) aggregates per-pair latency probes into one figure.
+
+use crate::aggregate::LatencyAggregation;
+use crate::probe::ClusterProbe;
+use harmony_model::rates::{EwmaRate, RateEstimate, RateEstimator, SlidingWindowRate};
+use harmony_sim::clock::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Which rate estimator the monitor feeds its counter deltas into.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EstimatorKind {
+    /// Rates over a sliding window of the given length in seconds.
+    SlidingWindow(f64),
+    /// Exponentially weighted moving average with the given smoothing factor.
+    Ewma(f64),
+}
+
+/// Monitor configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonitorConfig {
+    /// Time between sweeps, in seconds (the paper's monitoring period).
+    pub interval_secs: f64,
+    /// Rate estimator fed by the counter deltas.
+    pub estimator: EstimatorKind,
+    /// How per-pair latency probes are folded into one `Ln` value.
+    pub latency_aggregation: LatencyAggregation,
+    /// Modelled cost of probing one node, in milliseconds. The paper's
+    /// monitor is multithreaded to keep this overhead low; the overhead is
+    /// still accounted for in the rate computation.
+    pub probe_cost_per_node_ms: f64,
+    /// How many monitoring threads the sweep is spread over (the paper's
+    /// monitor collects from sets of nodes in parallel).
+    pub probe_threads: usize,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            interval_secs: 1.0,
+            estimator: EstimatorKind::SlidingWindow(5.0),
+            latency_aggregation: LatencyAggregation::Mean,
+            probe_cost_per_node_ms: 0.5,
+            probe_threads: 8,
+        }
+    }
+}
+
+/// One monitoring sweep's results.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonitorSample {
+    /// When the sweep completed.
+    pub at: SimTime,
+    /// Seconds elapsed since the previous sweep (including sweep duration).
+    pub elapsed_secs: f64,
+    /// Read operations completed since the previous sweep.
+    pub reads_delta: u64,
+    /// Write operations completed since the previous sweep.
+    pub writes_delta: u64,
+    /// Smoothed read rate (operations/second).
+    pub read_rate: f64,
+    /// Smoothed write rate (operations/second).
+    pub write_rate: f64,
+    /// Aggregated network latency (milliseconds).
+    pub latency_ms: f64,
+    /// How long the sweep itself took (milliseconds).
+    pub sweep_duration_ms: f64,
+}
+
+enum Estimator {
+    Window(SlidingWindowRate),
+    Ewma(EwmaRate),
+}
+
+impl Estimator {
+    fn observe(&mut self, elapsed: f64, reads: u64, writes: u64) {
+        match self {
+            Estimator::Window(w) => w.observe(elapsed, reads, writes),
+            Estimator::Ewma(e) => e.observe(elapsed, reads, writes),
+        }
+    }
+    fn estimate(&self) -> RateEstimate {
+        match self {
+            Estimator::Window(w) => w.estimate(),
+            Estimator::Ewma(e) => e.estimate(),
+        }
+    }
+}
+
+/// The periodic monitoring module.
+pub struct Monitor {
+    config: MonitorConfig,
+    estimator: Estimator,
+    last_sweep_at: Option<SimTime>,
+    last_reads: u64,
+    last_writes: u64,
+    last_latency_ms: f64,
+    history: Vec<MonitorSample>,
+}
+
+impl Monitor {
+    /// Creates a monitor.
+    ///
+    /// # Panics
+    /// Panics if the interval is not strictly positive or the estimator
+    /// parameters are invalid.
+    pub fn new(config: MonitorConfig) -> Self {
+        assert!(config.interval_secs > 0.0, "monitoring interval must be positive");
+        let estimator = match config.estimator {
+            EstimatorKind::SlidingWindow(secs) => Estimator::Window(SlidingWindowRate::new(secs)),
+            EstimatorKind::Ewma(alpha) => Estimator::Ewma(EwmaRate::new(alpha)),
+        };
+        Monitor {
+            config,
+            estimator,
+            last_sweep_at: None,
+            last_reads: 0,
+            last_writes: 0,
+            last_latency_ms: 0.0,
+            history: Vec::new(),
+        }
+    }
+
+    /// The monitor configuration.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.config
+    }
+
+    /// The monitoring interval as a [`SimTime`].
+    pub fn interval(&self) -> SimTime {
+        SimTime::from_secs_f64(self.config.interval_secs)
+    }
+
+    /// The modelled duration of one sweep over `nodes` nodes, given the
+    /// configured per-node probe cost and probing parallelism.
+    pub fn sweep_duration(&self, nodes: usize) -> SimTime {
+        let threads = self.config.probe_threads.max(1);
+        let per_thread = nodes.div_ceil(threads);
+        SimTime::from_millis_f64(self.config.probe_cost_per_node_ms.max(0.0) * per_thread as f64)
+    }
+
+    /// Performs one monitoring sweep against the probe at virtual time `now`.
+    pub fn sweep<P: ClusterProbe + ?Sized>(&mut self, now: SimTime, probe: &P) -> MonitorSample {
+        let reads = probe.total_reads();
+        let writes = probe.total_writes();
+        let sweep_duration = self.sweep_duration(probe.node_count());
+
+        // Latency probe: aggregate whatever single figure the probe reports.
+        // (Richer probes may fold several pairwise measurements themselves.)
+        let latency_ms = self
+            .config
+            .latency_aggregation
+            .apply(&[probe.probe_latency_ms()]);
+
+        let elapsed_secs = match self.last_sweep_at {
+            Some(prev) => now.saturating_sub(prev).as_secs_f64(),
+            None => self.config.interval_secs,
+        } + sweep_duration.as_secs_f64();
+
+        let reads_delta = reads.saturating_sub(self.last_reads);
+        let writes_delta = writes.saturating_sub(self.last_writes);
+        if elapsed_secs > 0.0 {
+            self.estimator.observe(elapsed_secs, reads_delta, writes_delta);
+        }
+        self.last_sweep_at = Some(now);
+        self.last_reads = reads;
+        self.last_writes = writes;
+        self.last_latency_ms = latency_ms;
+
+        let est = self.estimator.estimate();
+        let sample = MonitorSample {
+            at: now,
+            elapsed_secs,
+            reads_delta,
+            writes_delta,
+            read_rate: est.reads_per_sec,
+            write_rate: est.writes_per_sec,
+            latency_ms,
+            sweep_duration_ms: sweep_duration.as_millis_f64(),
+        };
+        self.history.push(sample);
+        sample
+    }
+
+    /// The latest smoothed access rates.
+    pub fn current_rates(&self) -> RateEstimate {
+        self.estimator.estimate()
+    }
+
+    /// The latest aggregated latency (milliseconds).
+    pub fn current_latency_ms(&self) -> f64 {
+        self.last_latency_ms
+    }
+
+    /// All sweeps performed so far.
+    pub fn history(&self) -> &[MonitorSample] {
+        &self.history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::MockProbe;
+
+    fn monitor() -> Monitor {
+        Monitor::new(MonitorConfig::default())
+    }
+
+    #[test]
+    #[should_panic(expected = "interval")]
+    fn zero_interval_panics() {
+        Monitor::new(MonitorConfig {
+            interval_secs: 0.0,
+            ..MonitorConfig::default()
+        });
+    }
+
+    #[test]
+    fn rates_from_counter_deltas() {
+        let mut m = monitor();
+        let mut probe = MockProbe {
+            reads: 0,
+            writes: 0,
+            latency_ms: 0.4,
+            nodes: 8,
+        };
+        m.sweep(SimTime::from_secs(1), &probe);
+        probe.reads = 1000;
+        probe.writes = 500;
+        let s = m.sweep(SimTime::from_secs(2), &probe);
+        assert_eq!(s.reads_delta, 1000);
+        assert_eq!(s.writes_delta, 500);
+        // The sliding window spans both sweeps (the first one had zero
+        // deltas), so the smoothed rate is ~1000 ops over ~2 seconds.
+        assert!(s.read_rate > 450.0 && s.read_rate <= 500.0, "rate={}", s.read_rate);
+        assert!(s.write_rate > 225.0 && s.write_rate <= 250.0, "rate={}", s.write_rate);
+        assert!((m.current_latency_ms() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counter_reset_does_not_underflow() {
+        let mut m = monitor();
+        let mut probe = MockProbe {
+            reads: 1000,
+            writes: 1000,
+            latency_ms: 1.0,
+            nodes: 4,
+        };
+        m.sweep(SimTime::from_secs(1), &probe);
+        // A node restart could reset the counters; delta saturates at zero.
+        probe.reads = 10;
+        probe.writes = 5;
+        let s = m.sweep(SimTime::from_secs(2), &probe);
+        assert_eq!(s.reads_delta, 0);
+        assert_eq!(s.writes_delta, 0);
+    }
+
+    #[test]
+    fn sweep_duration_accounts_for_parallel_probing() {
+        let m = Monitor::new(MonitorConfig {
+            probe_cost_per_node_ms: 1.0,
+            probe_threads: 4,
+            ..MonitorConfig::default()
+        });
+        // 20 nodes over 4 threads = 5 sequential probes of 1 ms each.
+        assert_eq!(m.sweep_duration(20), SimTime::from_millis(5));
+        // More threads than nodes: a single probe's cost.
+        assert_eq!(m.sweep_duration(2), SimTime::from_millis(1));
+        assert_eq!(m.sweep_duration(0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn sweep_duration_is_added_to_elapsed_time() {
+        let mut m = Monitor::new(MonitorConfig {
+            probe_cost_per_node_ms: 100.0, // deliberately huge: 1 node => 0.1 s
+            probe_threads: 1,
+            estimator: EstimatorKind::Ewma(1.0),
+            ..MonitorConfig::default()
+        });
+        let mut probe = MockProbe {
+            reads: 0,
+            writes: 0,
+            latency_ms: 1.0,
+            nodes: 1,
+        };
+        m.sweep(SimTime::from_secs(1), &probe);
+        probe.reads = 1100;
+        let s = m.sweep(SimTime::from_secs(2), &probe);
+        // Elapsed is 1.0 s between sweeps + 0.1 s sweep cost = 1.1 s,
+        // so the rate is 1100 / 1.1 = 1000, not 1100.
+        assert!((s.read_rate - 1000.0).abs() < 1.0, "rate={}", s.read_rate);
+    }
+
+    #[test]
+    fn ewma_estimator_can_be_selected() {
+        let mut m = Monitor::new(MonitorConfig {
+            estimator: EstimatorKind::Ewma(0.5),
+            probe_cost_per_node_ms: 0.0,
+            ..MonitorConfig::default()
+        });
+        let mut probe = MockProbe {
+            nodes: 1,
+            latency_ms: 1.0,
+            ..MockProbe::default()
+        };
+        m.sweep(SimTime::from_secs(1), &probe);
+        probe.reads = 100;
+        m.sweep(SimTime::from_secs(2), &probe);
+        probe.reads = 300;
+        m.sweep(SimTime::from_secs(3), &probe);
+        // Samples are 0/s (first sweep), 100/s, 200/s; with alpha 0.5 the
+        // EWMA is 0.5*200 + 0.25*100 + 0.25*0 = 125/s.
+        assert!((m.current_rates().reads_per_sec - 125.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn history_accumulates() {
+        let mut m = monitor();
+        let probe = MockProbe {
+            nodes: 2,
+            latency_ms: 0.2,
+            ..MockProbe::default()
+        };
+        for i in 1..=5 {
+            m.sweep(SimTime::from_secs(i), &probe);
+        }
+        assert_eq!(m.history().len(), 5);
+        assert!(m.history().windows(2).all(|w| w[0].at < w[1].at));
+    }
+
+    #[test]
+    fn interval_conversion() {
+        let m = Monitor::new(MonitorConfig {
+            interval_secs: 0.5,
+            ..MonitorConfig::default()
+        });
+        assert_eq!(m.interval(), SimTime::from_millis(500));
+    }
+}

@@ -1,0 +1,24 @@
+//! # harmony-monitor
+//!
+//! The monitoring module of Harmony (paper §V.A): it periodically collects
+//! the information the estimation model needs —
+//!
+//! * cumulative read/write counters from every storage node (the paper uses
+//!   Cassandra's `nodetool`),
+//! * inter-node network latency (the paper uses `ping`),
+//!
+//! converts counter deltas into access rates while accounting for the time
+//! the monitoring sweep itself takes, and aggregates per-node latency probes
+//! into the single `Ln` figure fed to the propagation-time model.
+//!
+//! The monitor is deliberately decoupled from the store through the
+//! [`probe::ClusterProbe`] trait so the same code can drive the discrete-event
+//! cluster, the real-threaded live cluster, or a mock in tests.
+
+pub mod aggregate;
+pub mod collector;
+pub mod probe;
+
+pub use aggregate::LatencyAggregation;
+pub use collector::{Monitor, MonitorConfig, MonitorSample};
+pub use probe::ClusterProbe;

@@ -1,0 +1,166 @@
+//! Time-ordered event queue.
+//!
+//! The queue is a binary heap keyed by `(time, sequence)`. The sequence number
+//! is assigned at insertion, so events scheduled for the same instant are
+//! delivered in the order they were scheduled (FIFO). This tie-break rule is
+//! what makes the whole simulation deterministic: without it, equal-time
+//! events would pop in arbitrary heap order.
+
+use crate::clock::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event with its scheduled delivery time and insertion sequence number.
+#[derive(Debug, Clone)]
+pub struct Scheduled<E> {
+    /// Virtual time at which the event fires.
+    pub time: SimTime,
+    /// Monotonic insertion counter used to break ties deterministically.
+    pub seq: u64,
+    /// The payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: the BinaryHeap is a max-heap, we want the earliest
+        // (time, seq) pair on top.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic, time-ordered event queue.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    scheduled_total: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at absolute time `time`.
+    pub fn schedule_at(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Pops the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// The delivery time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled on this queue.
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(5), "b");
+        q.schedule_at(SimTime::from_millis(1), "a");
+        q.schedule_at(SimTime::from_millis(9), "c");
+        assert_eq!(q.pop(), Some((SimTime::from_millis(1), "a")));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(5), "b")));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(9), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(3);
+        for i in 0..100 {
+            q.schedule_at(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule_at(SimTime::from_secs(2), 1);
+        q.schedule_at(SimTime::from_secs(1), 2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+        assert_eq!(q.scheduled_total(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.scheduled_total(), 2);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(10), 10);
+        q.schedule_at(SimTime::from_millis(2), 2);
+        assert_eq!(q.pop(), Some((SimTime::from_millis(2), 2)));
+        q.schedule_at(SimTime::from_millis(4), 4);
+        q.schedule_at(SimTime::from_millis(3), 3);
+        assert_eq!(q.pop(), Some((SimTime::from_millis(3), 3)));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(4), 4)));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(10), 10)));
+    }
+}

@@ -1,0 +1,128 @@
+//! Cluster-level configuration of the replicated store.
+
+use crate::engine::EngineConfig;
+use crate::placement::ReplicationStrategy;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a [`crate::cluster::Cluster`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StoreConfig {
+    /// Replication factor `N` (the paper uses 5 on both testbeds).
+    pub replication_factor: usize,
+    /// Replica placement strategy (the paper uses the rack/DC-aware one).
+    pub strategy: ReplicationStrategy,
+    /// Virtual nodes per physical node on the token ring.
+    pub vnodes_per_node: usize,
+    /// Probability that a read additionally triggers background read repair
+    /// towards the replicas that were *not* contacted (Cassandra's
+    /// `read_repair_chance`).
+    pub background_read_repair_chance: f64,
+    /// Per-node storage engine configuration.
+    pub engine: EngineConfig,
+    /// Maximum concurrent replica operations per node (worker threads).
+    pub node_concurrency: usize,
+    /// Mean replica service time for a read, in milliseconds.
+    pub read_service_ms: f64,
+    /// Mean replica service time for a write, in milliseconds.
+    pub write_service_ms: f64,
+    /// Extra one-way latency between the client and the coordinator, in
+    /// milliseconds (clients run on separate machines/VMs in both testbeds).
+    pub client_latency_ms: f64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            replication_factor: 5,
+            strategy: ReplicationStrategy::NetworkTopology,
+            vnodes_per_node: 16,
+            background_read_repair_chance: 0.1,
+            engine: EngineConfig::default(),
+            node_concurrency: 4,
+            read_service_ms: 0.35,
+            write_service_ms: 0.25,
+            client_latency_ms: 0.25,
+        }
+    }
+}
+
+impl StoreConfig {
+    /// The quorum size for this configuration: `(RF / 2) + 1`.
+    pub fn quorum(&self) -> usize {
+        self.replication_factor / 2 + 1
+    }
+
+    /// Validates the configuration, returning a human-readable error for the
+    /// first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.replication_factor == 0 {
+            return Err("replication_factor must be at least 1".into());
+        }
+        if self.vnodes_per_node == 0 {
+            return Err("vnodes_per_node must be at least 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.background_read_repair_chance) {
+            return Err("background_read_repair_chance must be within [0, 1]".into());
+        }
+        if self.node_concurrency == 0 {
+            return Err("node_concurrency must be at least 1".into());
+        }
+        if self.read_service_ms < 0.0 || self.write_service_ms < 0.0 {
+            return Err("service times must be non-negative".into());
+        }
+        if self.client_latency_ms < 0.0 {
+            return Err("client_latency_ms must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_matches_paper_settings() {
+        let c = StoreConfig::default();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.replication_factor, 5);
+        assert_eq!(c.quorum(), 3);
+        assert_eq!(c.strategy, ReplicationStrategy::NetworkTopology);
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut c = StoreConfig::default();
+        c.replication_factor = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = StoreConfig::default();
+        c.vnodes_per_node = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = StoreConfig::default();
+        c.background_read_repair_chance = 1.5;
+        assert!(c.validate().is_err());
+
+        let mut c = StoreConfig::default();
+        c.node_concurrency = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = StoreConfig::default();
+        c.read_service_ms = -1.0;
+        assert!(c.validate().is_err());
+
+        let mut c = StoreConfig::default();
+        c.client_latency_ms = -0.1;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn quorum_for_various_rf() {
+        let mut c = StoreConfig::default();
+        for (rf, q) in [(1, 1), (2, 2), (3, 2), (4, 3), (5, 3), (7, 4)] {
+            c.replication_factor = rf;
+            assert_eq!(c.quorum(), q);
+        }
+    }
+}

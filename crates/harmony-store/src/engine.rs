@@ -1,0 +1,493 @@
+//! Per-node storage engine: commit log, memtable, SSTables and compaction.
+//!
+//! This mirrors the write path the paper describes for Cassandra (§II.B): a
+//! write is appended to the commit log and applied to the in-memory memtable
+//! before it is acknowledged; memtables are periodically flushed to immutable
+//! sorted tables (SSTables); reads merge the memtable and all SSTables using
+//! per-column last-write-wins reconciliation.
+
+use crate::types::{Cell, Key, Mutation, Row, Timestamp};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One durable commit-log record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommitLogEntry {
+    /// The row key written.
+    pub key: Key,
+    /// The columns written.
+    pub columns: Vec<String>,
+    /// The timestamp of the mutation.
+    pub timestamp: Timestamp,
+    /// Payload size in bytes.
+    pub size_bytes: usize,
+}
+
+/// An append-only commit log (sizes and counts only; payloads live in the
+/// memtable/SSTables, as replaying the log is not needed inside the simulator).
+#[derive(Debug, Clone, Default)]
+pub struct CommitLog {
+    entries: Vec<CommitLogEntry>,
+    bytes: usize,
+}
+
+impl CommitLog {
+    /// An empty commit log.
+    pub fn new() -> Self {
+        CommitLog::default()
+    }
+
+    /// Appends a record.
+    pub fn append(&mut self, entry: CommitLogEntry) {
+        self.bytes += entry.size_bytes;
+        self.entries.push(entry);
+    }
+
+    /// Number of records since the last truncation.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total logged bytes since the last truncation.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Discards all records (called after a successful memtable flush).
+    pub fn truncate(&mut self) {
+        self.entries.clear();
+        self.bytes = 0;
+    }
+}
+
+/// An immutable, sorted on-"disk" table produced by flushing a memtable.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SsTable {
+    rows: Vec<(Key, Row)>,
+    bytes: usize,
+}
+
+impl SsTable {
+    /// Builds an SSTable from already-sorted `(key, row)` pairs.
+    fn from_sorted(rows: Vec<(Key, Row)>) -> Self {
+        let bytes = rows.iter().map(|(k, r)| k.len() + r.size_bytes()).sum();
+        SsTable { rows, bytes }
+    }
+
+    /// Point lookup by key.
+    pub fn get(&self, key: &str) -> Option<&Row> {
+        self.rows
+            .binary_search_by(|(k, _)| k.as_str().cmp(key))
+            .ok()
+            .map(|i| &self.rows[i].1)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Approximate size in bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+/// Configuration of a node's storage engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Flush the memtable once it holds at least this many rows.
+    pub memtable_flush_rows: usize,
+    /// Trigger a compaction once this many SSTables exist.
+    pub compaction_threshold: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            memtable_flush_rows: 10_000,
+            compaction_threshold: 4,
+        }
+    }
+}
+
+/// Counters describing the work an engine has performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Mutations applied.
+    pub writes: u64,
+    /// Point reads served.
+    pub reads: u64,
+    /// Memtable flushes performed.
+    pub flushes: u64,
+    /// Compactions performed.
+    pub compactions: u64,
+}
+
+/// A single node's local storage engine.
+#[derive(Debug, Clone)]
+pub struct StorageEngine {
+    config: EngineConfig,
+    commit_log: CommitLog,
+    memtable: BTreeMap<Key, Row>,
+    sstables: Vec<SsTable>,
+    stats: EngineStats,
+}
+
+impl StorageEngine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        StorageEngine {
+            config,
+            commit_log: CommitLog::new(),
+            memtable: BTreeMap::new(),
+            sstables: Vec::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Creates an engine with default configuration.
+    pub fn with_defaults() -> Self {
+        StorageEngine::new(EngineConfig::default())
+    }
+
+    /// Applies a mutation at `timestamp`: commit-log append plus memtable
+    /// upsert with per-column last-write-wins.
+    pub fn apply(&mut self, key: &str, mutation: &Mutation, timestamp: Timestamp) {
+        self.stats.writes += 1;
+        self.commit_log.append(CommitLogEntry {
+            key: key.to_string(),
+            columns: mutation.columns.keys().cloned().collect(),
+            timestamp,
+            size_bytes: mutation.size_bytes(),
+        });
+        let entry = self.memtable.entry(key.to_string()).or_default();
+        for (name, value) in &mutation.columns {
+            match entry.columns.get(name) {
+                Some(existing) if existing.timestamp >= timestamp => {}
+                _ => {
+                    entry
+                        .columns
+                        .insert(name.clone(), Cell::new(value.clone(), timestamp));
+                }
+            }
+        }
+        if self.memtable.len() >= self.config.memtable_flush_rows {
+            self.flush();
+        }
+    }
+
+    /// Applies an already-reconciled row (used by read repair and replica
+    /// synchronisation): every column merges by timestamp.
+    pub fn apply_row(&mut self, key: &str, row: &Row) {
+        if row.is_empty() {
+            return;
+        }
+        self.stats.writes += 1;
+        self.commit_log.append(CommitLogEntry {
+            key: key.to_string(),
+            columns: row.columns.keys().cloned().collect(),
+            timestamp: row.latest_timestamp(),
+            size_bytes: row.size_bytes(),
+        });
+        let entry = self.memtable.entry(key.to_string()).or_default();
+        entry.merge_from(row);
+        if self.memtable.len() >= self.config.memtable_flush_rows {
+            self.flush();
+        }
+    }
+
+    /// Reads a row, merging the memtable and every SSTable (newest data wins
+    /// per column). Returns `None` if the key has never been written on this
+    /// replica.
+    pub fn get(&mut self, key: &str) -> Option<Row> {
+        self.stats.reads += 1;
+        let mut result: Option<Row> = None;
+        for table in &self.sstables {
+            if let Some(row) = table.get(key) {
+                match &mut result {
+                    None => result = Some(row.clone()),
+                    Some(acc) => acc.merge_from(row),
+                }
+            }
+        }
+        if let Some(row) = self.memtable.get(key) {
+            match &mut result {
+                None => result = Some(row.clone()),
+                Some(acc) => acc.merge_from(row),
+            }
+        }
+        result
+    }
+
+    /// The newest timestamp stored for a key, without counting as a data read
+    /// (digest reads).
+    pub fn digest(&self, key: &str) -> Option<Timestamp> {
+        let mut latest: Option<Timestamp> = None;
+        for table in &self.sstables {
+            if let Some(row) = table.get(key) {
+                latest = latest.max(Some(row.latest_timestamp()));
+            }
+        }
+        if let Some(row) = self.memtable.get(key) {
+            latest = latest.max(Some(row.latest_timestamp()));
+        }
+        latest
+    }
+
+    /// Flushes the memtable into a new SSTable and truncates the commit log.
+    pub fn flush(&mut self) {
+        if self.memtable.is_empty() {
+            return;
+        }
+        let rows: Vec<(Key, Row)> = std::mem::take(&mut self.memtable).into_iter().collect();
+        self.sstables.push(SsTable::from_sorted(rows));
+        self.commit_log.truncate();
+        self.stats.flushes += 1;
+        if self.sstables.len() >= self.config.compaction_threshold {
+            self.compact();
+        }
+    }
+
+    /// Merges all SSTables into one, reconciling duplicate keys by timestamp.
+    pub fn compact(&mut self) {
+        if self.sstables.len() <= 1 {
+            return;
+        }
+        let mut merged: BTreeMap<Key, Row> = BTreeMap::new();
+        for table in self.sstables.drain(..) {
+            for (key, row) in table.rows {
+                merged.entry(key).or_default().merge_from(&row);
+            }
+        }
+        self.sstables
+            .push(SsTable::from_sorted(merged.into_iter().collect()));
+        self.stats.compactions += 1;
+    }
+
+    /// Number of rows currently in the memtable.
+    pub fn memtable_rows(&self) -> usize {
+        self.memtable.len()
+    }
+
+    /// Number of SSTables on "disk".
+    pub fn sstable_count(&self) -> usize {
+        self.sstables.len()
+    }
+
+    /// The commit log (for inspection in tests and tools).
+    pub fn commit_log(&self) -> &CommitLog {
+        &self.commit_log
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Total number of distinct keys visible on this replica.
+    pub fn approximate_keys(&self) -> usize {
+        // Upper bound: memtable keys plus SSTable rows (duplicates across
+        // tables are counted once per table; exact counting would require a
+        // full merge).
+        self.memtable.len() + self.sstables.iter().map(|t| t.len()).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mutation(col: &str, val: &str) -> Mutation {
+        Mutation::single(col, val.as_bytes().to_vec())
+    }
+
+    fn value_of(row: &Row, col: &str) -> String {
+        String::from_utf8(row.columns[col].value.clone()).unwrap()
+    }
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let mut e = StorageEngine::with_defaults();
+        e.apply("user1", &mutation("field0", "hello"), Timestamp(1));
+        let row = e.get("user1").unwrap();
+        assert_eq!(value_of(&row, "field0"), "hello");
+        assert_eq!(row.latest_timestamp(), Timestamp(1));
+        assert!(e.get("user2").is_none());
+    }
+
+    #[test]
+    fn newer_timestamp_wins_regardless_of_apply_order() {
+        let mut e = StorageEngine::with_defaults();
+        e.apply("k", &mutation("f", "new"), Timestamp(10));
+        e.apply("k", &mutation("f", "old"), Timestamp(5));
+        assert_eq!(value_of(&e.get("k").unwrap(), "f"), "new");
+
+        let mut e2 = StorageEngine::with_defaults();
+        e2.apply("k", &mutation("f", "old"), Timestamp(5));
+        e2.apply("k", &mutation("f", "new"), Timestamp(10));
+        assert_eq!(value_of(&e2.get("k").unwrap(), "f"), "new");
+    }
+
+    #[test]
+    fn equal_timestamps_keep_first_applied() {
+        let mut e = StorageEngine::with_defaults();
+        e.apply("k", &mutation("f", "first"), Timestamp(5));
+        e.apply("k", &mutation("f", "second"), Timestamp(5));
+        assert_eq!(value_of(&e.get("k").unwrap(), "f"), "first");
+    }
+
+    #[test]
+    fn columns_merge_independently() {
+        let mut e = StorageEngine::with_defaults();
+        e.apply("k", &mutation("a", "a1"), Timestamp(1));
+        e.apply("k", &mutation("b", "b2"), Timestamp(2));
+        e.apply("k", &mutation("a", "a3"), Timestamp(3));
+        let row = e.get("k").unwrap();
+        assert_eq!(value_of(&row, "a"), "a3");
+        assert_eq!(value_of(&row, "b"), "b2");
+        assert_eq!(row.latest_timestamp(), Timestamp(3));
+    }
+
+    #[test]
+    fn commit_log_grows_and_truncates_on_flush() {
+        let mut e = StorageEngine::new(EngineConfig {
+            memtable_flush_rows: 100,
+            compaction_threshold: 100,
+        });
+        for i in 0..10 {
+            e.apply(&format!("k{i}"), &mutation("f", "v"), Timestamp(i));
+        }
+        assert_eq!(e.commit_log().len(), 10);
+        assert!(e.commit_log().bytes() > 0);
+        e.flush();
+        assert!(e.commit_log().is_empty());
+        assert_eq!(e.sstable_count(), 1);
+        assert_eq!(e.memtable_rows(), 0);
+    }
+
+    #[test]
+    fn reads_merge_memtable_and_sstables() {
+        let mut e = StorageEngine::with_defaults();
+        e.apply("k", &mutation("a", "flushed"), Timestamp(1));
+        e.flush();
+        e.apply("k", &mutation("b", "fresh"), Timestamp(2));
+        let row = e.get("k").unwrap();
+        assert_eq!(value_of(&row, "a"), "flushed");
+        assert_eq!(value_of(&row, "b"), "fresh");
+    }
+
+    #[test]
+    fn newer_sstable_data_beats_older_memtable_data() {
+        let mut e = StorageEngine::with_defaults();
+        e.apply("k", &mutation("f", "newer"), Timestamp(10));
+        e.flush();
+        // A late-arriving replica write with an older timestamp lands in the memtable.
+        e.apply("k", &mutation("f", "older"), Timestamp(3));
+        assert_eq!(value_of(&e.get("k").unwrap(), "f"), "newer");
+    }
+
+    #[test]
+    fn automatic_flush_when_memtable_full() {
+        let mut e = StorageEngine::new(EngineConfig {
+            memtable_flush_rows: 5,
+            compaction_threshold: 100,
+        });
+        for i in 0..12 {
+            e.apply(&format!("k{i}"), &mutation("f", "v"), Timestamp(i));
+        }
+        assert!(e.sstable_count() >= 2);
+        assert!(e.memtable_rows() < 5);
+        assert!(e.stats().flushes >= 2);
+        // All keys still readable.
+        for i in 0..12 {
+            assert!(e.get(&format!("k{i}")).is_some(), "k{i} missing");
+        }
+    }
+
+    #[test]
+    fn compaction_preserves_latest_data() {
+        let mut e = StorageEngine::new(EngineConfig {
+            memtable_flush_rows: 2,
+            compaction_threshold: 3,
+        });
+        for round in 0..6u64 {
+            for k in 0..2 {
+                e.apply(
+                    &format!("k{k}"),
+                    &mutation("f", &format!("v{round}")),
+                    Timestamp(round * 10 + k),
+                );
+            }
+        }
+        assert!(e.stats().compactions >= 1);
+        for k in 0..2 {
+            assert_eq!(value_of(&e.get(&format!("k{k}")).unwrap(), "f"), "v5");
+        }
+    }
+
+    #[test]
+    fn digest_returns_latest_timestamp_without_counting_a_read() {
+        let mut e = StorageEngine::with_defaults();
+        e.apply("k", &mutation("a", "x"), Timestamp(3));
+        e.flush();
+        e.apply("k", &mutation("b", "y"), Timestamp(7));
+        let reads_before = e.stats().reads;
+        assert_eq!(e.digest("k"), Some(Timestamp(7)));
+        assert_eq!(e.digest("missing"), None);
+        assert_eq!(e.stats().reads, reads_before);
+    }
+
+    #[test]
+    fn apply_row_merges_for_read_repair() {
+        let mut e = StorageEngine::with_defaults();
+        e.apply("k", &mutation("f", "local"), Timestamp(1));
+        let mut repair = Row::new();
+        repair
+            .columns
+            .insert("f".into(), Cell::new(b"repaired".to_vec(), Timestamp(9)));
+        e.apply_row("k", &repair);
+        assert_eq!(value_of(&e.get("k").unwrap(), "f"), "repaired");
+        // Empty repair rows are ignored entirely.
+        let writes = e.stats().writes;
+        e.apply_row("k", &Row::new());
+        assert_eq!(e.stats().writes, writes);
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let mut e = StorageEngine::with_defaults();
+        e.apply("a", &mutation("f", "1"), Timestamp(1));
+        e.apply("b", &mutation("f", "2"), Timestamp(2));
+        e.get("a");
+        e.get("missing");
+        let s = e.stats();
+        assert_eq!(s.writes, 2);
+        assert_eq!(s.reads, 2);
+    }
+
+    #[test]
+    fn sstable_lookup_is_exact() {
+        let rows = vec![
+            ("a".to_string(), Mutation::single("f", vec![1]).into_row(Timestamp(1))),
+            ("c".to_string(), Mutation::single("f", vec![2]).into_row(Timestamp(2))),
+        ];
+        let t = SsTable::from_sorted(rows);
+        assert!(t.get("a").is_some());
+        assert!(t.get("b").is_none());
+        assert!(t.get("c").is_some());
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert!(t.bytes() > 0);
+    }
+}

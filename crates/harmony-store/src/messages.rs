@@ -1,0 +1,196 @@
+//! Messages exchanged between clients, coordinators and replicas, and the
+//! simulation event type of the store.
+//!
+//! The message set mirrors Figure 1 of the paper: a client request reaches a
+//! coordinator node, the coordinator fans out read/write requests to the
+//! replica set, waits for the number of replies the consistency level
+//! requires, reconciles by timestamp, answers the client, and issues
+//! asynchronous repair writes to out-of-date replicas.
+
+use crate::consistency::ConsistencyLevel;
+use crate::types::{Key, Mutation, Row, Timestamp};
+use harmony_sim::topology::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Unique identifier of a client operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct OpId(pub u64);
+
+/// The kind of a client operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// A row read.
+    Read,
+    /// A row write/update.
+    Write,
+}
+
+/// A message addressed to a node (coordinator or replica) of the cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Message {
+    /// A client read arriving at its coordinator.
+    ClientRead {
+        /// Operation id.
+        op: OpId,
+        /// Row key.
+        key: Key,
+        /// Consistency level requested for this read.
+        consistency: ConsistencyLevel,
+    },
+    /// A client write arriving at its coordinator.
+    ClientWrite {
+        /// Operation id.
+        op: OpId,
+        /// Row key.
+        key: Key,
+        /// Columns to write.
+        mutation: Mutation,
+        /// Consistency level requested for this write.
+        consistency: ConsistencyLevel,
+    },
+    /// Coordinator asking a replica for its copy of a row.
+    ReplicaRead {
+        /// Operation id.
+        op: OpId,
+        /// Row key.
+        key: Key,
+        /// The coordinator to answer to.
+        coordinator: NodeId,
+    },
+    /// Replica answering a [`Message::ReplicaRead`].
+    ReplicaReadResponse {
+        /// Operation id.
+        op: OpId,
+        /// The replica that answered.
+        from: NodeId,
+        /// Its local copy of the row (None if it has never seen the key).
+        row: Option<Row>,
+    },
+    /// Coordinator asking a replica to apply a mutation.
+    ReplicaWrite {
+        /// Operation id.
+        op: OpId,
+        /// Row key.
+        key: Key,
+        /// Columns to write.
+        mutation: Mutation,
+        /// Timestamp assigned by the coordinator.
+        timestamp: Timestamp,
+        /// The coordinator to acknowledge to.
+        coordinator: NodeId,
+    },
+    /// Replica acknowledging a [`Message::ReplicaWrite`].
+    ReplicaWriteAck {
+        /// Operation id.
+        op: OpId,
+        /// The replica that applied the write.
+        from: NodeId,
+    },
+    /// Asynchronous repair: the coordinator pushes the reconciled freshest row
+    /// to a replica that answered with stale (or missing) data, or — for
+    /// background read repair — to replicas that were not contacted at all.
+    RepairWrite {
+        /// Row key.
+        key: Key,
+        /// The reconciled row to merge into the replica.
+        row: Row,
+    },
+}
+
+impl Message {
+    /// True if processing this message costs replica service time (it touches
+    /// the storage engine), as opposed to pure coordination bookkeeping.
+    pub fn is_replica_work(&self) -> bool {
+        matches!(
+            self,
+            Message::ReplicaRead { .. } | Message::ReplicaWrite { .. } | Message::RepairWrite { .. }
+        )
+    }
+
+    /// The operation this message belongs to, if any (repair traffic is
+    /// detached from its originating operation).
+    pub fn op_id(&self) -> Option<OpId> {
+        match self {
+            Message::ClientRead { op, .. }
+            | Message::ClientWrite { op, .. }
+            | Message::ReplicaRead { op, .. }
+            | Message::ReplicaReadResponse { op, .. }
+            | Message::ReplicaWrite { op, .. }
+            | Message::ReplicaWriteAck { op, .. } => Some(*op),
+            Message::RepairWrite { .. } => None,
+        }
+    }
+}
+
+/// The store's simulation event type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StoreEvent {
+    /// A message arrives at `dest` after its network latency.
+    Deliver {
+        /// Receiving node.
+        dest: NodeId,
+        /// The message.
+        message: Message,
+    },
+    /// A replica starts processing a queued message after waiting for a free
+    /// service slot; the work itself takes the node's service time.
+    Process {
+        /// The node doing the work.
+        node: NodeId,
+        /// The message being processed.
+        message: Message,
+    },
+    /// The coordinator's answer travels back to the client; when this event
+    /// fires the operation is complete from the client's point of view.
+    ClientReply {
+        /// The completed operation.
+        op: OpId,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replica_work_classification() {
+        let read = Message::ReplicaRead {
+            op: OpId(1),
+            key: "k".into(),
+            coordinator: NodeId(0),
+        };
+        let resp = Message::ReplicaReadResponse {
+            op: OpId(1),
+            from: NodeId(2),
+            row: None,
+        };
+        let repair = Message::RepairWrite {
+            key: "k".into(),
+            row: Row::new(),
+        };
+        assert!(read.is_replica_work());
+        assert!(!resp.is_replica_work());
+        assert!(repair.is_replica_work());
+    }
+
+    #[test]
+    fn op_id_extraction() {
+        let w = Message::ClientWrite {
+            op: OpId(7),
+            key: "k".into(),
+            mutation: Mutation::single("f", vec![1]),
+            consistency: ConsistencyLevel::One,
+        };
+        assert_eq!(w.op_id(), Some(OpId(7)));
+        let repair = Message::RepairWrite {
+            key: "k".into(),
+            row: Row::new(),
+        };
+        assert_eq!(repair.op_id(), None);
+    }
+
+    #[test]
+    fn op_ids_order() {
+        assert!(OpId(2) > OpId(1));
+    }
+}

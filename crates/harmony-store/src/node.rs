@@ -1,0 +1,318 @@
+//! A single replica node: its storage engine, a bounded service capacity with
+//! a FIFO queue, and the access counters the monitoring module reads.
+//!
+//! The bounded service capacity is what makes the cluster saturate when the
+//! number of client threads exceeds what the hosts can serve concurrently —
+//! the effect behind the throughput roll-off beyond 90 threads in Figure 5(c)
+//! and 5(d) of the paper.
+
+use crate::engine::{EngineConfig, StorageEngine};
+use crate::messages::Message;
+use crate::types::{Mutation, Row, Timestamp};
+use harmony_sim::topology::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Cumulative per-node operation counters — the analogue of the counters the
+/// paper's monitoring module collects with Cassandra's `nodetool`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeCounters {
+    /// Replica read operations served.
+    pub reads: u64,
+    /// Replica write operations applied (client writes, not repair traffic).
+    pub writes: u64,
+    /// Repair writes applied (read repair and async propagation).
+    pub repairs: u64,
+    /// Messages that had to wait in the service queue.
+    pub queued: u64,
+}
+
+/// The two replica-side service stages, mirroring Cassandra's separate read
+/// and mutation thread pools. Keeping them separate matters for fidelity:
+/// a read is *not* serialised behind a mutation that reached the replica
+/// earlier, so a replica can legitimately serve a stale value while the
+/// mutation is still queued — the raw material of the paper's Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// The read stage.
+    Read,
+    /// The mutation stage (client writes, async propagation, read repair).
+    Write,
+}
+
+impl Stage {
+    /// The stage that processes a given message, or `None` for coordination
+    /// messages that cost no replica service time.
+    pub fn of(message: &Message) -> Option<Stage> {
+        match message {
+            Message::ReplicaRead { .. } => Some(Stage::Read),
+            Message::ReplicaWrite { .. } | Message::RepairWrite { .. } => Some(Stage::Write),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct StageQueue {
+    queue: VecDeque<Message>,
+    busy: usize,
+}
+
+/// A storage node.
+#[derive(Debug)]
+pub struct StorageNode {
+    /// This node's identifier.
+    pub id: NodeId,
+    engine: StorageEngine,
+    counters: NodeCounters,
+    read_stage: StageQueue,
+    write_stage: StageQueue,
+    /// Maximum concurrent operations per stage (worker threads / cores).
+    concurrency: usize,
+}
+
+impl StorageNode {
+    /// Creates a node with the given engine configuration and per-stage
+    /// service concurrency (clamped to at least 1).
+    pub fn new(id: NodeId, engine_config: EngineConfig, concurrency: usize) -> Self {
+        StorageNode {
+            id,
+            engine: StorageEngine::new(engine_config),
+            counters: NodeCounters::default(),
+            read_stage: StageQueue::default(),
+            write_stage: StageQueue::default(),
+            concurrency: concurrency.max(1),
+        }
+    }
+
+    /// The node's cumulative counters.
+    pub fn counters(&self) -> NodeCounters {
+        self.counters
+    }
+
+    /// Read-only access to the storage engine (tests, tools).
+    pub fn engine(&self) -> &StorageEngine {
+        &self.engine
+    }
+
+    /// Mutable access to the storage engine (bulk loading).
+    pub fn engine_mut(&mut self) -> &mut StorageEngine {
+        &mut self.engine
+    }
+
+    fn stage_mut(&mut self, stage: Stage) -> &mut StageQueue {
+        match stage {
+            Stage::Read => &mut self.read_stage,
+            Stage::Write => &mut self.write_stage,
+        }
+    }
+
+    /// Number of messages waiting for a service slot in the given stage.
+    pub fn queue_len(&self, stage: Stage) -> usize {
+        match stage {
+            Stage::Read => self.read_stage.queue.len(),
+            Stage::Write => self.write_stage.queue.len(),
+        }
+    }
+
+    /// Number of busy service slots in the given stage.
+    pub fn busy_slots(&self, stage: Stage) -> usize {
+        match stage {
+            Stage::Read => self.read_stage.busy,
+            Stage::Write => self.write_stage.busy,
+        }
+    }
+
+    /// The configured per-stage service concurrency.
+    pub fn concurrency(&self) -> usize {
+        self.concurrency
+    }
+
+    /// Called when replica work arrives. Returns the message if it can start
+    /// service immediately (a slot in its stage was free and is now taken);
+    /// `None` if it was queued behind other work of the same stage.
+    pub fn try_start_work(&mut self, message: Message) -> Option<Message> {
+        let stage = Stage::of(&message).expect("replica work message");
+        let concurrency = self.concurrency;
+        let sq = self.stage_mut(stage);
+        if sq.busy < concurrency {
+            sq.busy += 1;
+            Some(message)
+        } else {
+            self.counters.queued += 1;
+            self.stage_mut(stage).queue.push_back(message);
+            None
+        }
+    }
+
+    /// Called when a unit of replica work of `stage` finishes service.
+    /// Returns the next queued message of that stage to start (the freed slot
+    /// is immediately reused), if any.
+    pub fn finish_work(&mut self, stage: Stage) -> Option<Message> {
+        let sq = self.stage_mut(stage);
+        match sq.queue.pop_front() {
+            Some(next) => Some(next),
+            None => {
+                sq.busy = sq.busy.saturating_sub(1);
+                None
+            }
+        }
+    }
+
+    /// Serves a replica read: returns this node's local copy of the row.
+    pub fn serve_read(&mut self, key: &str) -> Option<Row> {
+        self.counters.reads += 1;
+        self.engine.get(key)
+    }
+
+    /// Applies a replica write.
+    pub fn apply_write(&mut self, key: &str, mutation: &Mutation, timestamp: Timestamp) {
+        self.counters.writes += 1;
+        self.engine.apply(key, mutation, timestamp);
+    }
+
+    /// Applies a repair row (read repair / async propagation).
+    pub fn apply_repair(&mut self, key: &str, row: &Row) {
+        self.counters.repairs += 1;
+        self.engine.apply_row(key, row);
+    }
+
+    /// The newest timestamp this node stores for a key (digest read).
+    pub fn digest(&self, key: &str) -> Option<Timestamp> {
+        self.engine.digest(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::OpId;
+
+    fn dummy_read(op: u64) -> Message {
+        Message::ReplicaRead {
+            op: OpId(op),
+            key: "k".into(),
+            coordinator: NodeId(0),
+        }
+    }
+
+    fn dummy_write(op: u64) -> Message {
+        Message::ReplicaWrite {
+            op: OpId(op),
+            key: "k".into(),
+            mutation: Mutation::single("f", b"v".to_vec()),
+            timestamp: Timestamp(op),
+            coordinator: NodeId(0),
+        }
+    }
+
+    #[test]
+    fn read_write_and_counters() {
+        let mut n = StorageNode::new(NodeId(3), EngineConfig::default(), 2);
+        assert!(n.serve_read("k").is_none());
+        n.apply_write("k", &Mutation::single("f", b"v".to_vec()), Timestamp(1));
+        let row = n.serve_read("k").unwrap();
+        assert_eq!(row.latest_timestamp(), Timestamp(1));
+        let c = n.counters();
+        assert_eq!(c.reads, 2);
+        assert_eq!(c.writes, 1);
+        assert_eq!(c.repairs, 0);
+    }
+
+    #[test]
+    fn repair_merges_and_counts_separately() {
+        let mut n = StorageNode::new(NodeId(0), EngineConfig::default(), 1);
+        n.apply_write("k", &Mutation::single("f", b"old".to_vec()), Timestamp(1));
+        let repair = Mutation::single("f", b"new".to_vec()).into_row(Timestamp(5));
+        n.apply_repair("k", &repair);
+        assert_eq!(n.serve_read("k").unwrap().latest_timestamp(), Timestamp(5));
+        assert_eq!(n.counters().repairs, 1);
+        assert_eq!(n.counters().writes, 1);
+    }
+
+    #[test]
+    fn service_slots_limit_concurrency_per_stage() {
+        let mut n = StorageNode::new(NodeId(0), EngineConfig::default(), 2);
+        assert!(n.try_start_work(dummy_read(1)).is_some());
+        assert!(n.try_start_work(dummy_read(2)).is_some());
+        assert_eq!(n.busy_slots(Stage::Read), 2);
+        // Third read queues.
+        assert!(n.try_start_work(dummy_read(3)).is_none());
+        assert_eq!(n.queue_len(Stage::Read), 1);
+        assert_eq!(n.counters().queued, 1);
+        // Finishing one unit of work hands the slot to the queued message.
+        let next = n.finish_work(Stage::Read);
+        assert_eq!(next, Some(dummy_read(3)));
+        assert_eq!(n.busy_slots(Stage::Read), 2);
+        assert_eq!(n.queue_len(Stage::Read), 0);
+        // Finishing with an empty queue frees the slot.
+        assert!(n.finish_work(Stage::Read).is_none());
+        assert_eq!(n.busy_slots(Stage::Read), 1);
+        assert!(n.finish_work(Stage::Read).is_none());
+        assert_eq!(n.busy_slots(Stage::Read), 0);
+    }
+
+    #[test]
+    fn read_and_write_stages_are_independent() {
+        // A saturated mutation stage must not block reads — the property that
+        // lets a replica serve stale data while a mutation is still queued.
+        let mut n = StorageNode::new(NodeId(0), EngineConfig::default(), 1);
+        assert!(n.try_start_work(dummy_write(1)).is_some());
+        assert!(n.try_start_work(dummy_write(2)).is_none()); // queued behind write 1
+        assert_eq!(n.busy_slots(Stage::Write), 1);
+        assert_eq!(n.queue_len(Stage::Write), 1);
+        // Reads still start immediately.
+        assert!(n.try_start_work(dummy_read(3)).is_some());
+        assert_eq!(n.busy_slots(Stage::Read), 1);
+        assert_eq!(n.queue_len(Stage::Read), 0);
+        // Finishing the read does not touch the write stage.
+        assert!(n.finish_work(Stage::Read).is_none());
+        assert_eq!(n.busy_slots(Stage::Write), 1);
+        assert_eq!(n.finish_work(Stage::Write), Some(dummy_write(2)));
+    }
+
+    #[test]
+    fn stage_classification() {
+        assert_eq!(Stage::of(&dummy_read(1)), Some(Stage::Read));
+        assert_eq!(Stage::of(&dummy_write(1)), Some(Stage::Write));
+        assert_eq!(
+            Stage::of(&Message::RepairWrite {
+                key: "k".into(),
+                row: Row::new()
+            }),
+            Some(Stage::Write)
+        );
+        assert_eq!(
+            Stage::of(&Message::ReplicaWriteAck {
+                op: OpId(1),
+                from: NodeId(0)
+            }),
+            None
+        );
+    }
+
+    #[test]
+    fn concurrency_clamped_to_one() {
+        let n = StorageNode::new(NodeId(0), EngineConfig::default(), 0);
+        assert_eq!(n.concurrency(), 1);
+    }
+
+    #[test]
+    fn fifo_queue_order() {
+        let mut n = StorageNode::new(NodeId(0), EngineConfig::default(), 1);
+        assert!(n.try_start_work(dummy_read(1)).is_some());
+        assert!(n.try_start_work(dummy_read(2)).is_none());
+        assert!(n.try_start_work(dummy_read(3)).is_none());
+        assert_eq!(n.finish_work(Stage::Read), Some(dummy_read(2)));
+        assert_eq!(n.finish_work(Stage::Read), Some(dummy_read(3)));
+        assert_eq!(n.finish_work(Stage::Read), None);
+    }
+
+    #[test]
+    fn digest_reflects_latest_write() {
+        let mut n = StorageNode::new(NodeId(0), EngineConfig::default(), 1);
+        assert_eq!(n.digest("k"), None);
+        n.apply_write("k", &Mutation::single("f", b"v".to_vec()), Timestamp(9));
+        assert_eq!(n.digest("k"), Some(Timestamp(9)));
+    }
+}

@@ -1,0 +1,190 @@
+//! Replica placement strategies.
+//!
+//! The paper configures Cassandra with `OldNetworkTopologyStrategy`, which
+//! "ensures that data is replicated over all the clusters and racks" (§V.C).
+//! We provide the two classic strategies:
+//!
+//! * [`ReplicationStrategy::Simple`] — the first `RF` distinct nodes walking
+//!   the ring clockwise, ignoring topology;
+//! * [`ReplicationStrategy::NetworkTopology`] — walk the ring but prefer
+//!   nodes on racks (and datacenters) not yet holding a replica, falling back
+//!   to already-used racks only when every rack is covered. This reproduces
+//!   the rack/DC spreading of the paper's configuration.
+
+use crate::hashring::HashRing;
+use harmony_sim::topology::{NodeId, Topology};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// How the store maps a key to its `RF` replica nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplicationStrategy {
+    /// Ring order, topology-oblivious.
+    Simple,
+    /// Ring order but spreading replicas across racks and datacenters first
+    /// (the paper's `OldNetworkTopologyStrategy` behaviour).
+    NetworkTopology,
+}
+
+impl ReplicationStrategy {
+    /// Computes the replica set (in preference order, primary first) for a key.
+    ///
+    /// The returned list has `min(rf, cluster size)` distinct nodes.
+    pub fn replicas_for(
+        &self,
+        ring: &HashRing,
+        topology: &Topology,
+        key: &str,
+        rf: usize,
+    ) -> Vec<NodeId> {
+        let rf = rf.min(topology.len()).max(1);
+        match self {
+            ReplicationStrategy::Simple => ring.preference_list(key, rf),
+            ReplicationStrategy::NetworkTopology => {
+                let mut chosen: Vec<NodeId> = Vec::with_capacity(rf);
+                let mut used_racks: HashSet<(u16, u16)> = HashSet::new();
+                let mut used_dcs: HashSet<u16> = HashSet::new();
+                let candidates = ring.preference_list(key, topology.len());
+
+                // Pass 1: nodes in datacenters not yet covered.
+                for &node in &candidates {
+                    if chosen.len() == rf {
+                        break;
+                    }
+                    let loc = topology.location(node);
+                    if !used_dcs.contains(&loc.dc) && !chosen.contains(&node) {
+                        used_dcs.insert(loc.dc);
+                        used_racks.insert((loc.dc, loc.rack));
+                        chosen.push(node);
+                    }
+                }
+                // Pass 2: nodes on racks not yet covered.
+                for &node in &candidates {
+                    if chosen.len() == rf {
+                        break;
+                    }
+                    let loc = topology.location(node);
+                    if !used_racks.contains(&(loc.dc, loc.rack)) && !chosen.contains(&node) {
+                        used_racks.insert((loc.dc, loc.rack));
+                        chosen.push(node);
+                    }
+                }
+                // Pass 3: anything left in ring order.
+                for &node in &candidates {
+                    if chosen.len() == rf {
+                        break;
+                    }
+                    if !chosen.contains(&node) {
+                        chosen.push(node);
+                    }
+                }
+                chosen
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn simple_matches_ring_preference_list() {
+        let ring = HashRing::new(6, 16);
+        let topo = Topology::single_dc(1, 6);
+        for k in 0..50 {
+            let key = format!("user{k}");
+            assert_eq!(
+                ReplicationStrategy::Simple.replicas_for(&ring, &topo, &key, 3),
+                ring.preference_list(&key, 3)
+            );
+        }
+    }
+
+    #[test]
+    fn replica_sets_have_requested_size_and_are_distinct() {
+        let ring = HashRing::new(10, 16);
+        let topo = Topology::single_dc(2, 5);
+        for strategy in [ReplicationStrategy::Simple, ReplicationStrategy::NetworkTopology] {
+            for k in 0..100 {
+                let reps = strategy.replicas_for(&ring, &topo, &format!("u{k}"), 5);
+                assert_eq!(reps.len(), 5);
+                let set: HashSet<_> = reps.iter().collect();
+                assert_eq!(set.len(), 5);
+            }
+        }
+    }
+
+    #[test]
+    fn rf_larger_than_cluster_is_clamped() {
+        let ring = HashRing::new(3, 8);
+        let topo = Topology::single_dc(1, 3);
+        let reps = ReplicationStrategy::NetworkTopology.replicas_for(&ring, &topo, "k", 5);
+        assert_eq!(reps.len(), 3);
+    }
+
+    #[test]
+    fn network_topology_spreads_over_racks() {
+        // 4 racks of 5 nodes; RF=4 must touch all 4 racks.
+        let ring = HashRing::new(20, 16);
+        let topo = Topology::single_dc(4, 5);
+        for k in 0..100 {
+            let reps =
+                ReplicationStrategy::NetworkTopology.replicas_for(&ring, &topo, &format!("u{k}"), 4);
+            let racks: HashSet<_> = reps.iter().map(|n| topo.location(*n).rack).collect();
+            assert_eq!(racks.len(), 4, "key u{k} replicas {reps:?}");
+        }
+    }
+
+    #[test]
+    fn network_topology_spreads_over_datacenters() {
+        // 2 DCs x 2 racks x 5 nodes; RF=2 must use both DCs.
+        let ring = HashRing::new(20, 16);
+        let topo = Topology::multi_dc(2, 2, 5);
+        for k in 0..100 {
+            let reps =
+                ReplicationStrategy::NetworkTopology.replicas_for(&ring, &topo, &format!("u{k}"), 2);
+            let dcs: HashSet<_> = reps.iter().map(|n| topo.location(*n).dc).collect();
+            assert_eq!(dcs.len(), 2);
+        }
+    }
+
+    #[test]
+    fn network_topology_falls_back_when_fewer_racks_than_rf() {
+        // 2 racks of 10, RF=5: both racks covered, remaining replicas reuse racks.
+        let ring = HashRing::new(20, 16);
+        let topo = Topology::single_dc(2, 10);
+        for k in 0..50 {
+            let reps =
+                ReplicationStrategy::NetworkTopology.replicas_for(&ring, &topo, &format!("u{k}"), 5);
+            assert_eq!(reps.len(), 5);
+            let racks: HashSet<_> = reps.iter().map(|n| topo.location(*n).rack).collect();
+            assert_eq!(racks.len(), 2);
+        }
+    }
+
+    #[test]
+    fn primary_is_first_in_both_strategies() {
+        let ring = HashRing::new(12, 16);
+        let topo = Topology::single_dc(3, 4);
+        for k in 0..50 {
+            let key = format!("user{k}");
+            let simple = ReplicationStrategy::Simple.replicas_for(&ring, &topo, &key, 3);
+            assert_eq!(simple[0], ring.primary_for_key(&key));
+            // NetworkTopology keeps the ring's primary as well (it is the
+            // first candidate and no rack/DC is used yet).
+            let nts = ReplicationStrategy::NetworkTopology.replicas_for(&ring, &topo, &key, 3);
+            assert_eq!(nts[0], ring.primary_for_key(&key));
+        }
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let ring = HashRing::new(10, 16);
+        let topo = Topology::single_dc(2, 5);
+        let a = ReplicationStrategy::NetworkTopology.replicas_for(&ring, &topo, "user42", 5);
+        let b = ReplicationStrategy::NetworkTopology.replicas_for(&ring, &topo, "user42", 5);
+        assert_eq!(a, b);
+    }
+}

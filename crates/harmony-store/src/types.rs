@@ -1,0 +1,238 @@
+//! Core data types of the replicated store: keys, cells, rows and mutations.
+//!
+//! The data model follows Cassandra's (the paper's substrate): a row is
+//! identified by a key and holds named columns; every column value carries a
+//! client-side timestamp used for last-write-wins reconciliation between
+//! replicas. Staleness — the phenomenon Harmony controls — is precisely a
+//! read returning a cell whose timestamp is older than the latest acknowledged
+//! write for that key.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A row key. YCSB-style workloads use keys like `"user4382"`.
+pub type Key = String;
+
+/// A logical timestamp attached to every written cell (nanosecond-scale,
+/// coordinator-assigned, strictly monotonic per cluster).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The zero timestamp, older than every real write.
+    pub const ZERO: Timestamp = Timestamp(0);
+}
+
+/// A single column value plus its write timestamp.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cell {
+    /// The column payload.
+    pub value: Vec<u8>,
+    /// The timestamp assigned by the coordinating node at write time.
+    pub timestamp: Timestamp,
+}
+
+impl Cell {
+    /// Creates a cell.
+    pub fn new(value: Vec<u8>, timestamp: Timestamp) -> Self {
+        Cell { value, timestamp }
+    }
+
+    /// The approximate in-memory size of this cell in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.value.len() + std::mem::size_of::<Timestamp>()
+    }
+}
+
+/// A row: a set of named columns, each carrying its own timestamp.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Row {
+    /// Column name to cell.
+    pub columns: BTreeMap<String, Cell>,
+}
+
+impl Row {
+    /// An empty row.
+    pub fn new() -> Self {
+        Row::default()
+    }
+
+    /// Merges `other` into `self`, keeping for every column the cell with the
+    /// newest timestamp (Cassandra's last-write-wins reconciliation).
+    pub fn merge_from(&mut self, other: &Row) {
+        for (name, cell) in &other.columns {
+            match self.columns.get(name) {
+                Some(existing) if existing.timestamp >= cell.timestamp => {}
+                _ => {
+                    self.columns.insert(name.clone(), cell.clone());
+                }
+            }
+        }
+    }
+
+    /// The newest timestamp among all columns, or [`Timestamp::ZERO`] for an
+    /// empty row. This is the value the paper's dual-read staleness check
+    /// compares between a weak and a strong read.
+    pub fn latest_timestamp(&self) -> Timestamp {
+        self.columns
+            .values()
+            .map(|c| c.timestamp)
+            .max()
+            .unwrap_or(Timestamp::ZERO)
+    }
+
+    /// Total payload size of the row in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.columns
+            .iter()
+            .map(|(k, v)| k.len() + v.size_bytes())
+            .sum()
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True if the row holds no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+}
+
+/// A write: the set of columns to upsert on a key. The coordinator stamps the
+/// mutation with a single timestamp when it accepts the operation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mutation {
+    /// Column name to new value.
+    pub columns: BTreeMap<String, Vec<u8>>,
+}
+
+impl Mutation {
+    /// A mutation setting a single column.
+    pub fn single(column: impl Into<String>, value: Vec<u8>) -> Self {
+        let mut columns = BTreeMap::new();
+        columns.insert(column.into(), value);
+        Mutation { columns }
+    }
+
+    /// A mutation setting several columns at once.
+    pub fn multi(columns: BTreeMap<String, Vec<u8>>) -> Self {
+        Mutation { columns }
+    }
+
+    /// Generates a YCSB-style mutation with `fields` columns named
+    /// `field0..fieldN`, each `field_size` bytes of filler.
+    pub fn ycsb_row(fields: usize, field_size: usize) -> Self {
+        let mut columns = BTreeMap::new();
+        for i in 0..fields {
+            columns.insert(format!("field{i}"), vec![b'x'; field_size]);
+        }
+        Mutation { columns }
+    }
+
+    /// Applies this mutation at `timestamp`, producing the cells to store.
+    pub fn into_row(self, timestamp: Timestamp) -> Row {
+        let mut row = Row::new();
+        for (name, value) in self.columns {
+            row.columns.insert(name, Cell::new(value, timestamp));
+        }
+        row
+    }
+
+    /// Total payload size of the mutation in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.columns.iter().map(|(k, v)| k.len() + v.len()).sum()
+    }
+
+    /// Number of columns touched.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True if the mutation touches no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(v: &str, ts: u64) -> Cell {
+        Cell::new(v.as_bytes().to_vec(), Timestamp(ts))
+    }
+
+    #[test]
+    fn merge_keeps_newest_cells() {
+        let mut a = Row::new();
+        a.columns.insert("f0".into(), cell("old", 1));
+        a.columns.insert("f1".into(), cell("keep", 9));
+        let mut b = Row::new();
+        b.columns.insert("f0".into(), cell("new", 5));
+        b.columns.insert("f1".into(), cell("stale", 2));
+        b.columns.insert("f2".into(), cell("added", 3));
+        a.merge_from(&b);
+        assert_eq!(a.columns["f0"], cell("new", 5));
+        assert_eq!(a.columns["f1"], cell("keep", 9));
+        assert_eq!(a.columns["f2"], cell("added", 3));
+        assert_eq!(a.latest_timestamp(), Timestamp(9));
+    }
+
+    #[test]
+    fn merge_with_equal_timestamp_keeps_existing() {
+        let mut a = Row::new();
+        a.columns.insert("f0".into(), cell("mine", 5));
+        let mut b = Row::new();
+        b.columns.insert("f0".into(), cell("theirs", 5));
+        a.merge_from(&b);
+        assert_eq!(a.columns["f0"], cell("mine", 5));
+    }
+
+    #[test]
+    fn empty_row_has_zero_timestamp() {
+        assert_eq!(Row::new().latest_timestamp(), Timestamp::ZERO);
+        assert!(Row::new().is_empty());
+        assert_eq!(Row::new().len(), 0);
+    }
+
+    #[test]
+    fn mutation_into_row_stamps_all_columns() {
+        let m = Mutation::ycsb_row(3, 10);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.size_bytes(), 3 * (6 + 10));
+        let row = m.into_row(Timestamp(42));
+        assert_eq!(row.len(), 3);
+        for c in row.columns.values() {
+            assert_eq!(c.timestamp, Timestamp(42));
+            assert_eq!(c.value.len(), 10);
+        }
+        assert_eq!(row.latest_timestamp(), Timestamp(42));
+    }
+
+    #[test]
+    fn single_and_multi_mutations() {
+        let s = Mutation::single("field0", vec![1, 2, 3]);
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+        let mut cols = BTreeMap::new();
+        cols.insert("a".to_string(), vec![0u8; 4]);
+        cols.insert("b".to_string(), vec![0u8; 6]);
+        let m = Mutation::multi(cols);
+        assert_eq!(m.size_bytes(), 1 + 4 + 1 + 6);
+    }
+
+    #[test]
+    fn row_size_accounts_for_names_and_values() {
+        let mut r = Row::new();
+        r.columns.insert("ab".into(), cell("xyz", 1));
+        assert_eq!(r.size_bytes(), 2 + 3 + std::mem::size_of::<Timestamp>());
+    }
+
+    #[test]
+    fn timestamps_order_naturally() {
+        assert!(Timestamp(2) > Timestamp(1));
+        assert!(Timestamp::ZERO < Timestamp(1));
+    }
+}

@@ -1,0 +1,94 @@
+//! Network latency dominates the stale-read estimate (paper Figure 4b).
+//!
+//! This example sweeps the inter-replica network latency from LAN-class
+//! (0.2 ms) to congested-cloud-class (50 ms) while keeping the workload
+//! fixed, and prints (a) the model's stale-read estimate and (b) the
+//! consistency level Harmony would pick for three tolerance settings.
+//! It then simulates an EC2-style latency spike mid-run and shows the
+//! controller raising and relaxing the level as the spike passes.
+//!
+//! Run with: `cargo run --release --example latency_spike`
+
+use harmony::adaptive::config::ControllerConfig;
+use harmony::adaptive::controller::AdaptiveController;
+use harmony::adaptive::policy::HarmonyPolicy;
+use harmony::model::staleness::{PropagationModel, StaleReadModel};
+use harmony::monitor::probe::MockProbe;
+use harmony::prelude::*;
+
+fn main() {
+    sweep_latency();
+    println!();
+    spike_timeline();
+}
+
+/// Part 1: the estimate as a function of latency, for a fixed access pattern.
+fn sweep_latency() {
+    let model = StaleReadModel::new(5);
+    let propagation = PropagationModel::default();
+    let read_rate = 2_000.0; // ops/s
+    let write_rate = 1_500.0; // ops/s
+    let tolerances = [0.20, 0.40, 0.60];
+
+    println!("Stale-read estimate vs network latency (workload-A-like rates, RF = 5)");
+    println!(
+        "{:>12} {:>12} {:>18} {:>18} {:>18}",
+        "latency(ms)", "Pr(stale)", "Xn @ ASR=20%", "Xn @ ASR=40%", "Xn @ ASR=60%"
+    );
+    for latency_ms in [0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 30.0, 40.0, 50.0] {
+        let tp = propagation.propagation_time_secs(latency_ms, 1024.0);
+        let estimate = model.stale_probability(read_rate, write_rate, tp);
+        let levels: Vec<usize> = tolerances
+            .iter()
+            .map(|asr| model.required_replicas(*asr, read_rate, write_rate, tp))
+            .collect();
+        println!(
+            "{:>12.1} {:>12.4} {:>18} {:>18} {:>18}",
+            latency_ms, estimate, levels[0], levels[1], levels[2]
+        );
+    }
+    println!(
+        "\nAs in Figure 4(b): above a few milliseconds of latency the estimate saturates near its\n\
+         ceiling regardless of the exact access rates — latency dominates."
+    );
+}
+
+/// Part 2: a controller watching a cluster whose latency spikes and recovers.
+fn spike_timeline() {
+    let mut controller = AdaptiveController::new(
+        ControllerConfig::default(),
+        5,
+        Box::new(HarmonyPolicy::new(5, 0.40)),
+    );
+    println!("Harmony-40% reacting to an EC2-style latency spike");
+    println!(
+        "{:>6} {:>14} {:>12} {:>16}",
+        "t(s)", "latency(ms)", "Pr(stale)", "read level"
+    );
+    let mut probe = MockProbe {
+        reads: 0,
+        writes: 0,
+        latency_ms: 1.2,
+        nodes: 20,
+    };
+    for second in 1..=20u64 {
+        // A steady workload-A-like load...
+        probe.reads += 2_000;
+        probe.writes += 1_800;
+        // ...with a latency spike between t = 8 s and t = 12 s.
+        probe.latency_ms = if (8..12).contains(&second) { 25.0 } else { 1.2 };
+        let level = controller.tick(SimTime::from_secs(second), &probe);
+        let record = controller.decisions().last().unwrap();
+        println!(
+            "{:>6} {:>14.1} {:>12.4} {:>16}",
+            second,
+            record.latency_ms,
+            record.estimate.unwrap_or(0.0),
+            level.to_string()
+        );
+    }
+    println!(
+        "\nDuring the spike the estimated stale-read rate exceeds the 40% tolerance and Harmony\n\
+         raises the read level; once the network recovers the level relaxes back to ONE."
+    );
+}

@@ -1,0 +1,189 @@
+//! Cross-crate integration tests of the store's consistency guarantees —
+//! the quorum-intersection properties of §II.B exercised end to end through
+//! the simulated cluster, including property-based tests over random
+//! interleavings of reads and writes.
+
+use harmony::prelude::*;
+use harmony::sim::rng::RngFactory;
+use harmony::sim::topology::{NetworkModel, Topology};
+use proptest::prelude::*;
+
+fn cluster(latency_ms: f64, rf: usize, seed: u64) -> (Cluster, Simulation<StoreEvent>) {
+    let topology = Topology::single_dc(2, 4);
+    let network = NetworkModel::uniform(Latency::constant_ms(latency_ms));
+    let config = StoreConfig {
+        replication_factor: rf,
+        ..StoreConfig::default()
+    };
+    (
+        Cluster::new(config, topology, network, RngFactory::new(seed)),
+        Simulation::new(seed),
+    )
+}
+
+fn drain(cluster: &mut Cluster, sim: &mut Simulation<StoreEvent>) -> Vec<Completion> {
+    let mut out = Vec::new();
+    while let Some((_, ev)) = sim.next() {
+        if let Some(c) = cluster.handle(ev, sim) {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// R + W > N ⇒ the read observes the latest acknowledged write, for every
+/// (read level, write level) combination that forms an intersecting quorum.
+#[test]
+fn intersecting_quorums_always_read_the_latest_write() {
+    let combos = [
+        (ConsistencyLevel::Quorum, ConsistencyLevel::Quorum),
+        (ConsistencyLevel::All, ConsistencyLevel::One),
+        (ConsistencyLevel::One, ConsistencyLevel::All),
+        (ConsistencyLevel::All, ConsistencyLevel::All),
+        (ConsistencyLevel::Replicas(4), ConsistencyLevel::Two),
+    ];
+    for (read_level, write_level) in combos {
+        assert!(read_level.read_your_writes(write_level, 5));
+        let (mut cluster, mut sim) = cluster(1.0, 5, 99);
+        for i in 0..30u64 {
+            cluster.submit_write(
+                "account",
+                Mutation::single("balance", format!("{i}").into_bytes()),
+                write_level,
+                &mut sim,
+            );
+            let _ = drain(&mut cluster, &mut sim);
+            cluster.submit_read("account", read_level, &mut sim);
+            let read = drain(&mut cluster, &mut sim)
+                .into_iter()
+                .find(|c| c.kind == OpKind::Read)
+                .unwrap();
+            assert!(
+                !read.stale,
+                "{read_level} read after {write_level} write returned stale data at iteration {i}"
+            );
+        }
+    }
+}
+
+/// Reads at ALL can never be stale regardless of the write level, even with
+/// writes racing ahead of propagation.
+#[test]
+fn all_reads_are_never_stale_under_racing_writes() {
+    let (mut cluster, mut sim) = cluster(2.0, 5, 7);
+    for i in 0..200u64 {
+        cluster.submit_write(
+            "hot",
+            Mutation::single("f", format!("{i}").into_bytes()),
+            ConsistencyLevel::One,
+            &mut sim,
+        );
+        cluster.submit_read("hot", ConsistencyLevel::All, &mut sim);
+    }
+    let completions = drain(&mut cluster, &mut sim);
+    assert!(completions
+        .iter()
+        .filter(|c| c.kind == OpKind::Read)
+        .all(|c| !c.stale));
+}
+
+/// The Harmony policy with a zero tolerated stale-read rate escalates to
+/// reading every replica as soon as the monitor observes load, so the vast
+/// majority of reads run at level ALL and overall staleness stays marginal.
+/// (Harmony is reactive: reads issued before the first loaded monitoring
+/// sweep still run at ONE, which is why the count is "marginal", not zero —
+/// the same caveat applies to the paper's prototype.)
+#[test]
+fn zero_tolerance_harmony_escalates_to_all_replicas() {
+    let profile = harmony::profiles::grid5000_with_nodes(10);
+    let mut workload = WorkloadSpec::workload_a(1_000);
+    workload.field_count = 2;
+    workload.field_size = 16;
+    let spec = ExperimentSpec {
+        workload,
+        phases: vec![Phase::new(40, 15_000)],
+        seed: 11,
+        dual_read_measurement: false,
+        max_virtual_secs: 600.0,
+    };
+    let controller = ControllerConfig {
+        monitor: harmony::monitor::collector::MonitorConfig {
+            interval_secs: 0.05,
+            ..Default::default()
+        },
+        ..ControllerConfig::default()
+    };
+    let store = StoreConfig {
+        replication_factor: 5,
+        write_service_ms: 0.4,
+        ..StoreConfig::default()
+    };
+    let result = run_experiment(
+        &profile,
+        store,
+        controller,
+        Box::new(HarmonyPolicy::new(5, 0.0)),
+        spec,
+    );
+    let at_all = result.read_level_histogram.get(&5).copied().unwrap_or(0);
+    let total_reads: u64 = result.read_level_histogram.values().sum();
+    assert!(
+        at_all as f64 / total_reads as f64 > 0.6,
+        "most reads should run at ALL once the controller reacts: {:?}",
+        result.read_level_histogram
+    );
+    assert!(
+        result.stats.stale_fraction() < 0.05,
+        "staleness should be marginal ({} of {} reads)",
+        result.stats.stale_reads,
+        result.stats.reads
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Quorum writes followed by quorum reads are never stale, for arbitrary
+    /// interleavings of keys and payload sizes.
+    #[test]
+    fn quorum_quorum_never_stale(
+        keys in prop::collection::vec("[a-z]{1,8}", 1..6),
+        rounds in 1usize..15,
+        seed in 0u64..1_000,
+    ) {
+        let (mut cluster, mut sim) = cluster(1.5, 5, seed);
+        for round in 0..rounds {
+            for (k, key) in keys.iter().enumerate() {
+                cluster.submit_write(
+                    key,
+                    Mutation::single("f", format!("{round}-{k}").into_bytes()),
+                    ConsistencyLevel::Quorum,
+                    &mut sim,
+                );
+            }
+            let _ = drain(&mut cluster, &mut sim);
+            for key in &keys {
+                cluster.submit_read(key, ConsistencyLevel::Quorum, &mut sim);
+            }
+            let comps = drain(&mut cluster, &mut sim);
+            for c in comps.iter().filter(|c| c.kind == OpKind::Read) {
+                prop_assert!(!c.stale, "round {round}: stale quorum read of {}", c.key);
+            }
+        }
+    }
+
+    /// Replica sets always have exactly `min(RF, nodes)` distinct members and
+    /// are deterministic, for arbitrary keys.
+    #[test]
+    fn replica_sets_are_stable(key in "[a-zA-Z0-9]{1,16}", rf in 1usize..8) {
+        let (cluster, _) = cluster(0.5, rf.min(5), 1);
+        let a = cluster.replicas_for(&key);
+        let b = cluster.replicas_for(&key);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), rf.min(5).min(8));
+        let mut dedup = a.clone();
+        dedup.sort_by_key(|n| n.0);
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), a.len());
+    }
+}

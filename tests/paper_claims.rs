@@ -1,0 +1,158 @@
+//! End-to-end integration tests asserting the paper's qualitative claims on a
+//! scaled-down configuration: the relative ordering of the policies in terms
+//! of staleness, latency and throughput (§V.E-F), using the full stack —
+//! simulated cluster, monitoring module, adaptive controller and the
+//! YCSB-style workload runner.
+
+use harmony::prelude::*;
+
+fn profile() -> ClusterProfile {
+    harmony::profiles::grid5000_with_nodes(10)
+}
+
+fn store_config() -> StoreConfig {
+    StoreConfig {
+        replication_factor: 5,
+        node_concurrency: 4,
+        read_service_ms: 0.25,
+        write_service_ms: 0.4,
+        client_latency_ms: 0.15,
+        ..StoreConfig::default()
+    }
+}
+
+fn controller_config() -> ControllerConfig {
+    ControllerConfig {
+        monitor: harmony::monitor::collector::MonitorConfig {
+            interval_secs: 0.05,
+            estimator: harmony::monitor::collector::EstimatorKind::SlidingWindow(0.25),
+            ..Default::default()
+        },
+        propagation: PropagationModel::differential(0.02, 0.005),
+        avg_write_size_bytes: 100.0,
+    }
+}
+
+fn run(policy: Box<dyn ConsistencyPolicy>, threads: usize, ops: u64) -> ExperimentResult {
+    let mut workload = WorkloadSpec::workload_a(2_000);
+    workload.field_count = 4;
+    workload.field_size = 32;
+    let spec = ExperimentSpec {
+        workload,
+        phases: vec![Phase::new(threads, ops)],
+        seed: 20120920,
+        dual_read_measurement: false,
+        max_virtual_secs: 600.0,
+    };
+    run_experiment(&profile(), store_config(), controller_config(), policy, spec)
+}
+
+/// §V.F: every Harmony setting returns fewer stale reads than static eventual
+/// consistency, stricter settings fewer than looser ones, and strong
+/// consistency none at all.
+#[test]
+fn staleness_ordering_matches_figure6() {
+    let threads = 60;
+    let ops = 25_000;
+    let eventual = run(Box::new(StaticPolicy::Eventual), threads, ops);
+    let harmony40 = run(Box::new(HarmonyPolicy::new(5, 0.4)), threads, ops);
+    let harmony20 = run(Box::new(HarmonyPolicy::new(5, 0.2)), threads, ops);
+    let strong = run(Box::new(StaticPolicy::Strong), threads, ops);
+
+    assert!(
+        eventual.stats.stale_reads > 0,
+        "eventual consistency under heavy read-update load must observe stale reads"
+    );
+    assert!(harmony40.stats.stale_reads <= eventual.stats.stale_reads);
+    assert!(harmony20.stats.stale_reads <= harmony40.stats.stale_reads);
+    assert_eq!(strong.stats.stale_reads, 0);
+}
+
+/// §I headline: Harmony with a strict tolerance cuts the stale reads sharply
+/// (the paper reports ~80%) while adding only modest latency over eventual
+/// consistency.
+#[test]
+fn harmony_cuts_staleness_with_modest_latency_cost() {
+    let threads = 60;
+    let ops = 25_000;
+    let eventual = run(Box::new(StaticPolicy::Eventual), threads, ops);
+    let harmony20 = run(Box::new(HarmonyPolicy::new(5, 0.2)), threads, ops);
+
+    let reduction =
+        1.0 - harmony20.stats.stale_reads as f64 / eventual.stats.stale_reads.max(1) as f64;
+    assert!(
+        reduction > 0.5,
+        "expected a large stale-read reduction, got {:.0}% ({} vs {})",
+        reduction * 100.0,
+        harmony20.stats.stale_reads,
+        eventual.stats.stale_reads
+    );
+    // "Minimal latency" in the paper means the mean read latency stays within
+    // a small factor of the eventual-consistency latency (far below strong's).
+    let strong = run(Box::new(StaticPolicy::Strong), threads, ops);
+    let harmony_lat = harmony20.stats.read_latency.mean_ms();
+    let eventual_lat = eventual.stats.read_latency.mean_ms();
+    let strong_lat = strong.stats.read_latency.mean_ms();
+    assert!(harmony_lat >= eventual_lat);
+    assert!(
+        harmony_lat < strong_lat,
+        "harmony {harmony_lat} ms should stay below strong {strong_lat} ms"
+    );
+}
+
+/// §V.E: strong consistency has the highest read latency and the lowest
+/// throughput; eventual consistency the opposite; Harmony sits in between,
+/// much closer to eventual.
+#[test]
+fn latency_and_throughput_ordering_matches_figure5() {
+    let threads = 40;
+    let ops = 20_000;
+    let eventual = run(Box::new(StaticPolicy::Eventual), threads, ops);
+    let harmony40 = run(Box::new(HarmonyPolicy::new(5, 0.4)), threads, ops);
+    let strong = run(Box::new(StaticPolicy::Strong), threads, ops);
+
+    // Latency ordering (99th percentile of reads).
+    assert!(strong.read_p99_ms() > eventual.read_p99_ms());
+    assert!(harmony40.read_p99_ms() <= strong.read_p99_ms());
+    // Throughput ordering.
+    assert!(eventual.throughput() > strong.throughput());
+    assert!(harmony40.throughput() > strong.throughput());
+    // Harmony stays reasonably close to eventual consistency.
+    assert!(
+        harmony40.throughput() > 0.6 * eventual.throughput(),
+        "harmony {:.0} ops/s should stay within reach of eventual {:.0} ops/s",
+        harmony40.throughput(),
+        eventual.throughput()
+    );
+}
+
+/// The paper's throughput claim: Harmony improves throughput substantially
+/// over the strong-consistency baseline under load.
+#[test]
+fn harmony_outperforms_strong_consistency_in_throughput() {
+    let threads = 60;
+    let ops = 25_000;
+    let harmony40 = run(Box::new(HarmonyPolicy::new(5, 0.4)), threads, ops);
+    let strong = run(Box::new(StaticPolicy::Strong), threads, ops);
+    let gain = harmony40.throughput() / strong.throughput() - 1.0;
+    assert!(
+        gain > 0.15,
+        "expected a clear throughput gain over strong consistency, got {:.0}%",
+        gain * 100.0
+    );
+}
+
+/// Reads under Harmony use a mix of consistency levels: ONE when the estimate
+/// is low, elevated levels when it crosses the tolerance — never a single
+/// static level throughout a loaded run.
+#[test]
+fn harmony_actually_adapts_the_level() {
+    let result = run(Box::new(HarmonyPolicy::new(5, 0.2)), 60, 25_000);
+    assert!(
+        result.read_level_histogram.len() > 1,
+        "expected multiple read levels, got {:?}",
+        result.read_level_histogram
+    );
+    assert!(result.decisions.iter().any(|d| d.replicas_in_read > 1));
+    assert!(result.decisions.iter().any(|d| d.replicas_in_read == 1));
+}
