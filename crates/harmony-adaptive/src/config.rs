@@ -55,8 +55,10 @@ mod tests {
         c.monitor.interval_secs = 0.0;
         assert!(c.validate().is_err());
 
-        let mut c = ControllerConfig::default();
-        c.avg_write_size_bytes = -1.0;
+        let c = ControllerConfig {
+            avg_write_size_bytes: -1.0,
+            ..ControllerConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 }

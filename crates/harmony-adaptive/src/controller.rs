@@ -25,6 +25,8 @@ pub struct DecisionRecord {
     pub write_rate: f64,
     /// Aggregated network latency (ms).
     pub latency_ms: f64,
+    /// Monitored mutation-stage backlog (ms) folded into `tp_secs`.
+    pub backlog_ms: f64,
     /// Propagation time fed to the model (seconds).
     pub tp_secs: f64,
     /// The policy's stale-read estimate, if it computes one.
@@ -103,10 +105,16 @@ impl AdaptiveController {
     /// cluster probe and returns the (possibly unchanged) read level.
     pub fn tick<P: ClusterProbe + ?Sized>(&mut self, now: SimTime, probe: &P) -> ConsistencyLevel {
         let sample = self.monitor.sweep(now, probe);
+        // The network-model propagation time plus the monitored replica-side
+        // mutation backlog: near saturation the queueing delay, not the
+        // network transfer, dominates how long a write takes to reach every
+        // replica, and ignoring it makes the estimate blind to exactly the
+        // load regime Harmony exists for.
         let tp_secs = self
             .config
             .propagation
-            .propagation_time_secs(sample.latency_ms, self.config.avg_write_size_bytes);
+            .propagation_time_secs(sample.latency_ms, self.config.avg_write_size_bytes)
+            + sample.backlog_ms / 1e3;
         let ctx = PolicyContext {
             read_rate: sample.read_rate,
             write_rate: sample.write_rate,
@@ -120,9 +128,12 @@ impl AdaptiveController {
             read_rate: sample.read_rate,
             write_rate: sample.write_rate,
             latency_ms: sample.latency_ms,
+            backlog_ms: sample.backlog_ms,
             tp_secs,
             estimate: self.policy.last_estimate(),
-            replicas_in_read: self.current_read_level.required_acks(self.replication_factor),
+            replicas_in_read: self
+                .current_read_level
+                .required_acks(self.replication_factor),
         });
         self.current_read_level
     }
@@ -237,8 +248,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid controller configuration")]
     fn invalid_config_panics() {
-        let mut cfg = ControllerConfig::default();
-        cfg.avg_write_size_bytes = -1.0;
+        let cfg = ControllerConfig {
+            avg_write_size_bytes: -1.0,
+            ..ControllerConfig::default()
+        };
         AdaptiveController::new(cfg, 5, Box::new(StaticPolicy::Eventual));
     }
 }

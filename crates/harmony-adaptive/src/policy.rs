@@ -221,14 +221,26 @@ mod tests {
     #[test]
     fn static_policies_ignore_context() {
         let busy = ctx(10_000.0, 10_000.0, 0.05);
-        assert_eq!(StaticPolicy::Eventual.read_level(&busy), ConsistencyLevel::One);
-        assert_eq!(StaticPolicy::Strong.read_level(&busy), ConsistencyLevel::All);
-        assert_eq!(StaticPolicy::Quorum.read_level(&busy), ConsistencyLevel::Quorum);
+        assert_eq!(
+            StaticPolicy::Eventual.read_level(&busy),
+            ConsistencyLevel::One
+        );
+        assert_eq!(
+            StaticPolicy::Strong.read_level(&busy),
+            ConsistencyLevel::All
+        );
+        assert_eq!(
+            StaticPolicy::Quorum.read_level(&busy),
+            ConsistencyLevel::Quorum
+        );
         assert_eq!(
             StaticPolicy::Fixed(4).read_level(&busy),
             ConsistencyLevel::Replicas(4)
         );
-        assert_eq!(StaticPolicy::Fixed(1).read_level(&busy), ConsistencyLevel::One);
+        assert_eq!(
+            StaticPolicy::Fixed(1).read_level(&busy),
+            ConsistencyLevel::One
+        );
     }
 
     #[test]

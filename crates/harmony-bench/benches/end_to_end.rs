@@ -100,5 +100,9 @@ fn bench_full_experiment_per_policy(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_raw_store_ops, bench_full_experiment_per_policy);
+criterion_group!(
+    benches,
+    bench_raw_store_ops,
+    bench_full_experiment_per_policy
+);
 criterion_main!(benches);

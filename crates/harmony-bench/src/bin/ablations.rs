@@ -13,7 +13,9 @@
 //! Usage: `cargo run --release -p harmony-bench --bin ablations [-- --quick]`
 
 use harmony_adaptive::config::ControllerConfig;
-use harmony_bench::experiments::{grid5000_experiment_config, run_point, ExperimentConfig, PolicySpec};
+use harmony_bench::experiments::{
+    grid5000_experiment_config, run_point, ExperimentConfig, PolicySpec,
+};
 use harmony_bench::report::{has_flag, Table};
 use harmony_monitor::collector::EstimatorKind;
 
@@ -30,11 +32,7 @@ fn scaled(quick: bool) -> ExperimentConfig {
     config
 }
 
-fn row_from(
-    table: &mut Table,
-    label: &str,
-    result: &harmony_ycsb::runner::ExperimentResult,
-) {
+fn row_from(table: &mut Table, label: &str, result: &harmony_ycsb::runner::ExperimentResult) {
     table.add_row(vec![
         label.to_string(),
         format!("{:.0}", result.throughput()),
@@ -46,7 +44,14 @@ fn row_from(
 }
 
 fn headers() -> Vec<&'static str> {
-    vec!["variant", "ops/s", "read p99 (ms)", "stale reads", "stale %", "repairs"]
+    vec![
+        "variant",
+        "ops/s",
+        "read p99 (ms)",
+        "stale reads",
+        "stale %",
+        "repairs",
+    ]
 }
 
 fn main() {
@@ -58,7 +63,10 @@ fn main() {
     println!("Ablation 1 — rate estimator feeding the model (Harmony-20%, {threads} threads)");
     let mut table = Table::new(headers());
     for (label, estimator) in [
-        ("sliding-window 5s (paper-like)", EstimatorKind::SlidingWindow(5.0)),
+        (
+            "sliding-window 5s (paper-like)",
+            EstimatorKind::SlidingWindow(5.0),
+        ),
         ("sliding-window 1s", EstimatorKind::SlidingWindow(1.0)),
         ("ewma alpha=0.3", EstimatorKind::Ewma(0.3)),
         ("ewma alpha=0.9", EstimatorKind::Ewma(0.9)),
@@ -88,13 +96,19 @@ fn main() {
     println!("{table}");
 
     // 3. Background read repair.
-    println!("Ablation 3 — background read-repair probability (eventual consistency, {threads} threads)");
+    println!(
+        "Ablation 3 — background read-repair probability (eventual consistency, {threads} threads)"
+    );
     let mut table = Table::new(headers());
     for chance in [0.0, 0.1, 1.0] {
         let mut config = scaled(quick);
         config.store.background_read_repair_chance = chance;
         let result = run_point(&config, &PolicySpec::Eventual, threads, false);
-        row_from(&mut table, &format!("read_repair_chance {chance:.1}"), &result);
+        row_from(
+            &mut table,
+            &format!("read_repair_chance {chance:.1}"),
+            &result,
+        );
     }
     println!("{table}");
 

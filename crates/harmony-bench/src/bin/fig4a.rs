@@ -9,9 +9,11 @@
 //!
 //! Usage: `cargo run --release -p harmony-bench --bin fig4a [-- --quick] [--json out.json]`
 
-use harmony_bench::experiments::{fig4a_thread_phases, grid5000_experiment_config, scaled_workload_a, scaled_workload_b};
-use harmony_bench::report::{has_flag, json_arg, Table};
 use harmony_adaptive::policy::HarmonyPolicy;
+use harmony_bench::experiments::{
+    fig4a_thread_phases, grid5000_experiment_config, scaled_workload_a, scaled_workload_b,
+};
+use harmony_bench::report::{has_flag, json_arg, Table};
 use harmony_ycsb::runner::{run_experiment, ExperimentSpec, Phase};
 use serde::Serialize;
 
@@ -34,11 +36,18 @@ fn main() {
         config.min_operations = 8_000;
     }
 
-    println!("Figure 4(a) — estimated probability of stale reads over running time (Grid'5000 profile)");
+    println!(
+        "Figure 4(a) — estimated probability of stale reads over running time (Grid'5000 profile)"
+    );
     println!("Thread phases: {:?}\n", fig4a_thread_phases());
 
     let mut all_points = Vec::new();
-    let mut table = Table::new(vec!["workload", "phase threads", "mean estimate", "max estimate"]);
+    let mut table = Table::new(vec![
+        "workload",
+        "phase threads",
+        "mean estimate",
+        "max estimate",
+    ]);
     for (name, workload) in [
         ("workload-A", scaled_workload_a(config.records)),
         ("workload-B", scaled_workload_b(config.records)),

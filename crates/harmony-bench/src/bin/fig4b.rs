@@ -14,9 +14,9 @@
 //!
 //! Usage: `cargo run --release -p harmony-bench --bin fig4b [-- --quick] [--json out.json]`
 
+use harmony_adaptive::policy::HarmonyPolicy;
 use harmony_bench::experiments::{ec2_experiment_config, scaled_workload_a};
 use harmony_bench::report::{has_flag, json_arg, Table};
-use harmony_adaptive::policy::HarmonyPolicy;
 use harmony_model::staleness::{PropagationModel, StaleReadModel};
 use harmony_ycsb::runner::{run_experiment, ExperimentSpec, Phase};
 use serde::Serialize;
@@ -88,7 +88,10 @@ fn main() {
         Box::new(HarmonyPolicy::new(config.store.replication_factor, 1.0)),
         spec,
     );
-    println!("Observed on the EC2 profile ({} monitoring ticks):", result.decisions.len());
+    println!(
+        "Observed on the EC2 profile ({} monitoring ticks):",
+        result.decisions.len()
+    );
     let mut observed = Table::new(vec!["t (s)", "latency (ms)", "Pr(stale)"]);
     for d in result.decisions.iter().filter(|d| d.estimate.is_some()) {
         points.push(LatencyPoint {

@@ -11,7 +11,9 @@
 //!   cargo run --release -p harmony-bench --bin fig5_throughput -- --profile ec2        # Figure 5(d)
 //! Flags: `--quick`, `--json <path>`.
 
-use harmony_bench::experiments::{config_by_name, fig5_thread_counts, run_policy_sweep, PolicySpec};
+use harmony_bench::experiments::{
+    config_by_name, fig5_thread_counts, run_policy_sweep, PolicySpec,
+};
 use harmony_bench::report::{has_flag, json_arg, profile_arg, Table};
 
 fn main() {
@@ -25,7 +27,11 @@ fn main() {
         config.operations_per_thread = 250;
         config.min_operations = 8_000;
     }
-    let figure = if profile_name == "ec2" { "5(d)" } else { "5(c)" };
+    let figure = if profile_name == "ec2" {
+        "5(d)"
+    } else {
+        "5(c)"
+    };
     let thread_counts = if quick {
         vec![1, 15, 40, 90]
     } else {

@@ -15,7 +15,9 @@
 //! Flags: `--quick`, `--dual-read` (use the paper's measurement method instead
 //! of the simulator's ground truth), `--json <path>`.
 
-use harmony_bench::experiments::{config_by_name, fig5_thread_counts, run_policy_sweep, PolicySpec};
+use harmony_bench::experiments::{
+    config_by_name, fig5_thread_counts, run_policy_sweep, PolicySpec,
+};
 use harmony_bench::report::{has_flag, json_arg, profile_arg, Table};
 
 fn main() {
@@ -30,7 +32,11 @@ fn main() {
         config.operations_per_thread = 250;
         config.min_operations = 8_000;
     }
-    let figure = if profile_name == "ec2" { "6(b)" } else { "6(a)" };
+    let figure = if profile_name == "ec2" {
+        "6(b)"
+    } else {
+        "6(a)"
+    };
     let thread_counts = if quick {
         vec![1, 15, 40, 90]
     } else {
@@ -42,7 +48,11 @@ fn main() {
         "Figure {figure} — stale reads vs client threads ({} profile, RF = {}, measurement: {})",
         config.profile.name,
         config.store.replication_factor,
-        if dual_read { "dual-read (paper §V.F)" } else { "simulator ground truth" }
+        if dual_read {
+            "dual-read (paper §V.F)"
+        } else {
+            "simulator ground truth"
+        }
     );
     let rows = run_policy_sweep(&config, &policies, &thread_counts, dual_read);
 

@@ -31,12 +31,7 @@ fn main() {
 
     println!("Harmony headline claims — measured vs paper\n");
     let mut results = Vec::new();
-    let mut table = Table::new(vec![
-        "profile",
-        "metric",
-        "paper",
-        "measured",
-    ]);
+    let mut table = Table::new(vec!["profile", "metric", "paper", "measured"]);
 
     for profile_name in ["grid5000", "ec2"] {
         let mut config = config_by_name(profile_name).unwrap();
@@ -57,7 +52,10 @@ fn main() {
         let rows = run_policy_sweep(&config, &policies, &threads, false);
 
         let sum = |label: &str, f: &dyn Fn(&harmony_bench::SweepRow) -> f64| -> f64 {
-            rows.iter().filter(|r| r.policy == label).map(f).sum::<f64>()
+            rows.iter()
+                .filter(|r| r.policy == label)
+                .map(f)
+                .sum::<f64>()
                 / threads.len() as f64
         };
         let harmony_label = PolicySpec::Harmony(strict).label();

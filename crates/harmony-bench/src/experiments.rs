@@ -283,9 +283,13 @@ mod tests {
     fn policy_specs_build_and_label() {
         assert_eq!(PolicySpec::Eventual.label(), "eventual");
         assert_eq!(PolicySpec::Harmony(0.2).label(), "harmony-20%");
-        assert_eq!(PolicySpec::Quorum.build(5).read_level(
-            &harmony_adaptive::policy::PolicyContext::idle(5)
-        ).required_acks(5), 3);
+        assert_eq!(
+            PolicySpec::Quorum
+                .build(5)
+                .read_level(&harmony_adaptive::policy::PolicyContext::idle(5))
+                .required_acks(5),
+            3
+        );
         let profile = profiles::grid5000();
         let set = PolicySpec::paper_set(&profile);
         assert_eq!(set.len(), 4);

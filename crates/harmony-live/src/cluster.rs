@@ -75,6 +75,10 @@ enum NodeMsg {
 
 struct NodeState {
     data: Mutex<HashMap<String, (Vec<u8>, u64)>>,
+    /// Writes accepted by a coordinator but not yet applied on this replica
+    /// (in-flight in the delayed "network" or queued on the channel) — the
+    /// live analogue of a pending-MutationStage count.
+    pending_writes: AtomicU64,
 }
 
 fn node_loop(state: Arc<NodeState>, rx: Receiver<NodeMsg>) {
@@ -94,6 +98,7 @@ fn node_loop(state: Arc<NodeState>, rx: Receiver<NodeMsg>) {
                         *entry = (value, version);
                     }
                 }
+                state.pending_writes.fetch_sub(1, Ordering::Relaxed);
                 let _ = ack.send(());
             }
             NodeMsg::Read { key, reply } => {
@@ -116,6 +121,7 @@ fn jittered(delay: Duration, jitter: f64, rng: &mut StdRng) -> Duration {
 pub struct LiveCluster {
     config: LiveConfig,
     senders: Vec<Sender<NodeMsg>>,
+    states: Vec<Arc<NodeState>>,
     handles: Vec<JoinHandle<()>>,
     counters: Arc<LiveCounters>,
     next_version: AtomicU64,
@@ -138,12 +144,15 @@ impl LiveCluster {
             "replication factor must be at least 1"
         );
         let mut senders = Vec::with_capacity(config.nodes);
+        let mut states = Vec::with_capacity(config.nodes);
         let mut handles = Vec::with_capacity(config.nodes);
         for i in 0..config.nodes {
             let (tx, rx) = unbounded();
             let state = Arc::new(NodeState {
                 data: Mutex::new(HashMap::new()),
+                pending_writes: AtomicU64::new(0),
             });
+            states.push(Arc::clone(&state));
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("harmony-live-node-{i}"))
@@ -155,6 +164,7 @@ impl LiveCluster {
         LiveCluster {
             config,
             senders,
+            states,
             handles,
             counters: Arc::new(LiveCounters::default()),
             next_version: AtomicU64::new(1),
@@ -171,6 +181,27 @@ impl LiveCluster {
     /// The cumulative operation counters.
     pub fn counters(&self) -> &LiveCounters {
         &self.counters
+    }
+
+    /// Mean per-node count of accepted-but-not-yet-applied writes expressed
+    /// as the expected extra apply delay in milliseconds — the live analogue
+    /// of the simulator's mutation-backlog probe, so the controller is not
+    /// blind to write saturation on this backend either. Only mutations are
+    /// counted; queued reads do not inflate the figure.
+    pub fn mutation_backlog_ms(&self) -> f64 {
+        // An apply is a map insert behind a mutex; ~1 µs per pending write
+        // is a conservative service estimate, so this only surfaces
+        // milliseconds of lag when thousands of writes are truly pending.
+        const APPLY_COST_MS: f64 = 0.001;
+        if self.states.is_empty() {
+            return 0.0;
+        }
+        let pending: u64 = self
+            .states
+            .iter()
+            .map(|s| s.pending_writes.load(Ordering::Relaxed))
+            .sum();
+        pending as f64 * APPLY_COST_MS / self.states.len() as f64
     }
 
     /// The replica node indices for a key (first `replication_factor` nodes
@@ -198,6 +229,9 @@ impl LiveCluster {
         let required = level.required_acks(replicas.len());
         let (ack_tx, ack_rx) = bounded(replicas.len());
         for (i, &r) in replicas.iter().enumerate() {
+            self.states[r]
+                .pending_writes
+                .fetch_add(1, Ordering::Relaxed);
             let sender = self.senders[r].clone();
             let msg_key = key.to_string();
             let msg_value = value.clone();
@@ -334,6 +368,16 @@ mod tests {
     }
 
     #[test]
+    fn idle_cluster_reports_no_backlog() {
+        let cluster = LiveCluster::start(quick_config());
+        cluster.write("k", b"v".to_vec(), ConsistencyLevel::All);
+        // All replicas have applied (write acked at ALL) and no work is
+        // queued, so the backlog probe must read zero.
+        assert_eq!(cluster.mutation_backlog_ms(), 0.0);
+        cluster.shutdown();
+    }
+
+    #[test]
     fn missing_key_reads_none() {
         let cluster = LiveCluster::start(quick_config());
         assert!(cluster.read("nope", ConsistencyLevel::Quorum).is_none());
@@ -344,7 +388,11 @@ mod tests {
     fn quorum_write_then_quorum_read_sees_latest() {
         let cluster = LiveCluster::start(quick_config());
         for i in 0..50u64 {
-            let v = cluster.write("hot", format!("v{i}").into_bytes(), ConsistencyLevel::Quorum);
+            let v = cluster.write(
+                "hot",
+                format!("v{i}").into_bytes(),
+                ConsistencyLevel::Quorum,
+            );
             let (value, version) = cluster.read("hot", ConsistencyLevel::Quorum).unwrap();
             assert!(version >= v, "read version {version} older than acked {v}");
             assert!(!value.is_empty());
@@ -437,7 +485,11 @@ mod tests {
             let c = Arc::clone(&cluster);
             joins.push(std::thread::spawn(move || {
                 for i in 0..50 {
-                    c.write(&format!("k{}", i % 7), vec![t as u8, i as u8], ConsistencyLevel::Quorum);
+                    c.write(
+                        &format!("k{}", i % 7),
+                        vec![t as u8, i as u8],
+                        ConsistencyLevel::Quorum,
+                    );
                 }
             }));
         }

@@ -34,6 +34,9 @@ impl ClusterProbe for LiveProbe<'_> {
     fn node_count(&self) -> usize {
         self.cluster.config().nodes
     }
+    fn mutation_backlog_ms(&self) -> f64 {
+        self.cluster.mutation_backlog_ms()
+    }
 }
 
 /// A live cluster with the Harmony control loop attached.
@@ -142,7 +145,7 @@ mod tests {
             Box::new(StaticPolicy::Strong),
         );
         h.adapt();
-        let v = h.write("k", b"value".to_vec(), );
+        let v = h.write("k", b"value".to_vec());
         // Static strong policy reads at ALL, which always sees the newest
         // acknowledged version.
         let (value, version) = h.read("k").unwrap();

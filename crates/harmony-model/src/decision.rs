@@ -74,7 +74,10 @@ mod tests {
     #[test]
     fn idle_system_gets_eventual_consistency() {
         let model = StaleReadModel::new(5);
-        assert_eq!(decide(&model, 0.0, 0.0, 0.0, 0.0), ConsistencyDecision::Eventual);
+        assert_eq!(
+            decide(&model, 0.0, 0.0, 0.0, 0.0),
+            ConsistencyDecision::Eventual
+        );
     }
 
     #[test]
@@ -126,7 +129,10 @@ mod tests {
     #[test]
     fn out_of_range_tolerance_is_clamped() {
         let model = StaleReadModel::new(5);
-        assert_eq!(decide(&model, 7.3, 2000.0, 1500.0, 0.002), ConsistencyDecision::Eventual);
+        assert_eq!(
+            decide(&model, 7.3, 2000.0, 1500.0, 0.002),
+            ConsistencyDecision::Eventual
+        );
         assert_eq!(
             decide(&model, -0.5, 2000.0, 1500.0, 0.002),
             ConsistencyDecision::Replicas(5)

@@ -352,10 +352,7 @@ mod tests {
                 let x = m.required_replicas(asr, r, w, tp);
                 if x < 5 {
                     let p = m.stale_probability_with_replicas(x, r, w, tp);
-                    assert!(
-                        p <= asr + 1e-9,
-                        "x={x} p={p} asr={asr} r={r} w={w} tp={tp}"
-                    );
+                    assert!(p <= asr + 1e-9, "x={x} p={p} asr={asr} r={r} w={w} tp={tp}");
                 }
             }
         }
@@ -383,7 +380,11 @@ mod tests {
     fn numeric_series_matches_closed_form() {
         let m = StaleReadModel::new(5);
         // Moderate load so the series converges quickly and nothing clamps.
-        for &(r, w, tp) in &[(200.0, 100.0, 0.0005), (50.0, 20.0, 0.001), (500.0, 100.0, 0.0002)] {
+        for &(r, w, tp) in &[
+            (200.0, 100.0, 0.0005),
+            (50.0, 20.0, 0.001),
+            (500.0, 100.0, 0.0002),
+        ] {
             let closed = m.stale_probability(r, w, tp);
             let numeric = m.stale_probability_numeric(r, w, tp, 60);
             assert!(

@@ -80,7 +80,7 @@ proptest! {
             }
             ConsistencyDecision::Replicas(x) => {
                 prop_assert!(asr < theta);
-                prop_assert!(x >= 2 && x <= 5);
+                prop_assert!((2..=5).contains(&x));
             }
         }
     }
@@ -208,9 +208,14 @@ fn latency_dominates_estimate() {
     let model = StaleReadModel::new(5);
     let prop = PropagationModel::default();
     for rates in [(100.0, 50.0), (1000.0, 500.0), (10_000.0, 5_000.0)] {
-        let p_low = model.stale_probability(rates.0, rates.1, prop.propagation_time_secs(0.2, 1024.0));
-        let p_high = model.stale_probability(rates.0, rates.1, prop.propagation_time_secs(40.0, 1024.0));
+        let p_low =
+            model.stale_probability(rates.0, rates.1, prop.propagation_time_secs(0.2, 1024.0));
+        let p_high =
+            model.stale_probability(rates.0, rates.1, prop.propagation_time_secs(40.0, 1024.0));
         assert!(p_high >= p_low);
-        assert!(p_high > 0.9, "40ms latency should push the estimate close to its ceiling");
+        assert!(
+            p_high > 0.9,
+            "40ms latency should push the estimate close to its ceiling"
+        );
     }
 }

@@ -68,6 +68,9 @@ pub struct MonitorSample {
     pub write_rate: f64,
     /// Aggregated network latency (milliseconds).
     pub latency_ms: f64,
+    /// Mean mutation-stage backlog per node (milliseconds of expected extra
+    /// write-apply delay); zero for backends that cannot measure it.
+    pub backlog_ms: f64,
     /// How long the sweep itself took (milliseconds).
     pub sweep_duration_ms: f64,
 }
@@ -110,7 +113,10 @@ impl Monitor {
     /// Panics if the interval is not strictly positive or the estimator
     /// parameters are invalid.
     pub fn new(config: MonitorConfig) -> Self {
-        assert!(config.interval_secs > 0.0, "monitoring interval must be positive");
+        assert!(
+            config.interval_secs > 0.0,
+            "monitoring interval must be positive"
+        );
         let estimator = match config.estimator {
             EstimatorKind::SlidingWindow(secs) => Estimator::Window(SlidingWindowRate::new(secs)),
             EstimatorKind::Ewma(alpha) => Estimator::Ewma(EwmaRate::new(alpha)),
@@ -156,6 +162,7 @@ impl Monitor {
             .config
             .latency_aggregation
             .apply(&[probe.probe_latency_ms()]);
+        let backlog_ms = probe.mutation_backlog_ms().max(0.0);
 
         let elapsed_secs = match self.last_sweep_at {
             Some(prev) => now.saturating_sub(prev).as_secs_f64(),
@@ -165,7 +172,8 @@ impl Monitor {
         let reads_delta = reads.saturating_sub(self.last_reads);
         let writes_delta = writes.saturating_sub(self.last_writes);
         if elapsed_secs > 0.0 {
-            self.estimator.observe(elapsed_secs, reads_delta, writes_delta);
+            self.estimator
+                .observe(elapsed_secs, reads_delta, writes_delta);
         }
         self.last_sweep_at = Some(now);
         self.last_reads = reads;
@@ -181,6 +189,7 @@ impl Monitor {
             read_rate: est.reads_per_sec,
             write_rate: est.writes_per_sec,
             latency_ms,
+            backlog_ms,
             sweep_duration_ms: sweep_duration.as_millis_f64(),
         };
         self.history.push(sample);
@@ -229,6 +238,7 @@ mod tests {
             writes: 0,
             latency_ms: 0.4,
             nodes: 8,
+            backlog_ms: 0.0,
         };
         m.sweep(SimTime::from_secs(1), &probe);
         probe.reads = 1000;
@@ -238,8 +248,16 @@ mod tests {
         assert_eq!(s.writes_delta, 500);
         // The sliding window spans both sweeps (the first one had zero
         // deltas), so the smoothed rate is ~1000 ops over ~2 seconds.
-        assert!(s.read_rate > 450.0 && s.read_rate <= 500.0, "rate={}", s.read_rate);
-        assert!(s.write_rate > 225.0 && s.write_rate <= 250.0, "rate={}", s.write_rate);
+        assert!(
+            s.read_rate > 450.0 && s.read_rate <= 500.0,
+            "rate={}",
+            s.read_rate
+        );
+        assert!(
+            s.write_rate > 225.0 && s.write_rate <= 250.0,
+            "rate={}",
+            s.write_rate
+        );
         assert!((m.current_latency_ms() - 0.4).abs() < 1e-12);
     }
 
@@ -251,6 +269,7 @@ mod tests {
             writes: 1000,
             latency_ms: 1.0,
             nodes: 4,
+            backlog_ms: 0.0,
         };
         m.sweep(SimTime::from_secs(1), &probe);
         // A node restart could reset the counters; delta saturates at zero.
@@ -288,6 +307,7 @@ mod tests {
             writes: 0,
             latency_ms: 1.0,
             nodes: 1,
+            backlog_ms: 0.0,
         };
         m.sweep(SimTime::from_secs(1), &probe);
         probe.reads = 1100;

@@ -21,6 +21,15 @@ pub trait ClusterProbe {
     fn probe_latency_ms(&self) -> f64;
     /// Number of storage nodes (used to account for sweep duration).
     fn node_count(&self) -> usize;
+    /// Mean mutation-stage backlog per node, expressed as the expected extra
+    /// milliseconds a replica write waits before being applied (the
+    /// `nodetool tpstats` pending-MutationStage analogue). Near saturation
+    /// this queueing delay dominates the propagation time; backends that
+    /// cannot measure it report zero and the estimate falls back to the pure
+    /// network model.
+    fn mutation_backlog_ms(&self) -> f64 {
+        0.0
+    }
 }
 
 impl ClusterProbe for Cluster {
@@ -43,6 +52,10 @@ impl ClusterProbe for Cluster {
     fn node_count(&self) -> usize {
         Cluster::node_count(self)
     }
+
+    fn mutation_backlog_ms(&self) -> f64 {
+        Cluster::mutation_backlog_ms(self)
+    }
 }
 
 /// A scripted probe for unit tests and offline model exploration.
@@ -56,6 +69,8 @@ pub struct MockProbe {
     pub latency_ms: f64,
     /// Node count to report.
     pub nodes: usize,
+    /// Mutation backlog to report (ms).
+    pub backlog_ms: f64,
 }
 
 impl ClusterProbe for MockProbe {
@@ -70,6 +85,9 @@ impl ClusterProbe for MockProbe {
     }
     fn node_count(&self) -> usize {
         self.nodes
+    }
+    fn mutation_backlog_ms(&self) -> f64 {
+        self.backlog_ms
     }
 }
 
@@ -88,6 +106,7 @@ mod tests {
             writes: 20,
             latency_ms: 1.5,
             nodes: 4,
+            backlog_ms: 0.0,
         };
         assert_eq!(p.total_reads(), 10);
         assert_eq!(p.total_writes(), 20);

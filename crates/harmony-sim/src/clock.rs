@@ -14,7 +14,9 @@ use std::time::Duration;
 ///
 /// `SimTime` is also used to represent durations (the type is a plain
 /// monotonic offset); [`SimTime::ZERO`] is the simulation origin.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(pub u64);
 
 impl SimTime {

@@ -156,8 +156,8 @@ impl Latency {
                 d.sample(rng)
             }
             Latency::ParetoTail { scale_ms, shape } => {
-                let d = Pareto::new((*scale_ms).max(1e-9), (*shape).max(1e-3))
-                    .expect("valid pareto");
+                let d =
+                    Pareto::new((*scale_ms).max(1e-9), (*shape).max(1e-3)).expect("valid pareto");
                 d.sample(rng)
             }
             Latency::Spiky {
@@ -270,7 +270,10 @@ mod tests {
         let l = Latency::lognormal_ms(2.0, 0.5);
         let analytic = l.mean_ms();
         let emp = empirical_mean(&l, 100_000);
-        assert!((emp - analytic).abs() / analytic < 0.05, "emp={emp} analytic={analytic}");
+        assert!(
+            (emp - analytic).abs() / analytic < 0.05,
+            "emp={emp} analytic={analytic}"
+        );
     }
 
     #[test]

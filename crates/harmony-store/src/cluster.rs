@@ -233,6 +233,26 @@ impl Cluster {
         total / pairs as f64
     }
 
+    /// Mean per-node mutation-stage backlog expressed as the expected extra
+    /// delay (milliseconds) a newly arriving replica write waits before being
+    /// applied — the `nodetool tpstats` "pending MutationStage tasks"
+    /// analogue. Near saturation this queueing delay, not the network
+    /// transfer, dominates the real propagation time of a write, so the
+    /// monitoring module must see it for the staleness estimate to track
+    /// ground truth.
+    pub fn mutation_backlog_ms(&self) -> f64 {
+        if self.nodes.is_empty() || self.config.write_service_ms <= 0.0 {
+            return 0.0;
+        }
+        let concurrency = self.config.node_concurrency.max(1) as f64;
+        let total: f64 = self
+            .nodes
+            .iter()
+            .map(|n| n.queue_len(Stage::Write) as f64 / concurrency * self.config.write_service_ms)
+            .sum();
+        total / self.nodes.len() as f64
+    }
+
     /// The replica set (primary first) for a key under the configured
     /// placement strategy.
     pub fn replicas_for(&self, key: &str) -> Vec<NodeId> {
@@ -562,7 +582,11 @@ impl Cluster {
                     latency,
                     StoreEvent::Deliver {
                         dest: coordinator,
-                        message: Message::ReplicaReadResponse { op, from: node, row },
+                        message: Message::ReplicaReadResponse {
+                            op,
+                            from: node,
+                            row,
+                        },
                     }
                     .into(),
                 );
@@ -625,11 +649,19 @@ impl Cluster {
         }
         // Enough replies: reconcile by timestamp (newest column values win).
         let mut winner = Row::new();
-        for (_, r) in pending.responses.iter().flat_map(|(n, r)| r.as_ref().map(|r| (n, r))) {
+        for (_, r) in pending
+            .responses
+            .iter()
+            .flat_map(|(n, r)| r.as_ref().map(|r| (n, r)))
+        {
             winner.merge_from(r);
         }
         let returned_ts = winner.latest_timestamp();
-        let result = if winner.is_empty() { None } else { Some(winner.clone()) };
+        let result = if winner.is_empty() {
+            None
+        } else {
+            Some(winner.clone())
+        };
         pending.replied = true;
 
         let completion = Completion {
@@ -652,7 +684,10 @@ impl Cluster {
             .responses
             .iter()
             .filter(|(_, r)| {
-                r.as_ref().map(|r| r.latest_timestamp()).unwrap_or(Timestamp::ZERO) < returned_ts
+                r.as_ref()
+                    .map(|r| r.latest_timestamp())
+                    .unwrap_or(Timestamp::ZERO)
+                    < returned_ts
             })
             .map(|(n, _)| *n)
             .collect();
@@ -703,7 +738,9 @@ impl Cluster {
                 );
             }
             if !uncontacted.is_empty()
-                && self.rng.gen_bool(self.config.background_read_repair_chance.clamp(0.0, 1.0))
+                && self
+                    .rng
+                    .gen_bool(self.config.background_read_repair_chance.clamp(0.0, 1.0))
             {
                 for target in uncontacted {
                     let latency = self.link_latency(coordinator, target);
@@ -774,10 +811,7 @@ impl Cluster {
             }
             OpKind::Write => {
                 self.totals.writes_completed += 1;
-                let entry = self
-                    .latest_acked
-                    .entry(completion.key.clone())
-                    .or_default();
+                let entry = self.latest_acked.entry(completion.key.clone()).or_default();
                 if completion.returned_timestamp > *entry {
                     *entry = completion.returned_timestamp;
                 }

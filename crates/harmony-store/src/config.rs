@@ -92,28 +92,40 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_values() {
-        let mut c = StoreConfig::default();
-        c.replication_factor = 0;
+        let c = StoreConfig {
+            replication_factor: 0,
+            ..StoreConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = StoreConfig::default();
-        c.vnodes_per_node = 0;
+        let c = StoreConfig {
+            vnodes_per_node: 0,
+            ..StoreConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = StoreConfig::default();
-        c.background_read_repair_chance = 1.5;
+        let c = StoreConfig {
+            background_read_repair_chance: 1.5,
+            ..StoreConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = StoreConfig::default();
-        c.node_concurrency = 0;
+        let c = StoreConfig {
+            node_concurrency: 0,
+            ..StoreConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = StoreConfig::default();
-        c.read_service_ms = -1.0;
+        let c = StoreConfig {
+            read_service_ms: -1.0,
+            ..StoreConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = StoreConfig::default();
-        c.client_latency_ms = -0.1;
+        let c = StoreConfig {
+            client_latency_ms: -0.1,
+            ..StoreConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -479,8 +479,14 @@ mod tests {
     #[test]
     fn sstable_lookup_is_exact() {
         let rows = vec![
-            ("a".to_string(), Mutation::single("f", vec![1]).into_row(Timestamp(1))),
-            ("c".to_string(), Mutation::single("f", vec![2]).into_row(Timestamp(2))),
+            (
+                "a".to_string(),
+                Mutation::single("f", vec![1]).into_row(Timestamp(1)),
+            ),
+            (
+                "c".to_string(),
+                Mutation::single("f", vec![2]).into_row(Timestamp(2)),
+            ),
         ];
         let t = SsTable::from_sorted(rows);
         assert!(t.get("a").is_some());

@@ -103,7 +103,9 @@ impl Message {
     pub fn is_replica_work(&self) -> bool {
         matches!(
             self,
-            Message::ReplicaRead { .. } | Message::ReplicaWrite { .. } | Message::RepairWrite { .. }
+            Message::ReplicaRead { .. }
+                | Message::ReplicaWrite { .. }
+                | Message::RepairWrite { .. }
         )
     }
 

@@ -106,7 +106,10 @@ mod tests {
     fn replica_sets_have_requested_size_and_are_distinct() {
         let ring = HashRing::new(10, 16);
         let topo = Topology::single_dc(2, 5);
-        for strategy in [ReplicationStrategy::Simple, ReplicationStrategy::NetworkTopology] {
+        for strategy in [
+            ReplicationStrategy::Simple,
+            ReplicationStrategy::NetworkTopology,
+        ] {
             for k in 0..100 {
                 let reps = strategy.replicas_for(&ring, &topo, &format!("u{k}"), 5);
                 assert_eq!(reps.len(), 5);
@@ -130,8 +133,12 @@ mod tests {
         let ring = HashRing::new(20, 16);
         let topo = Topology::single_dc(4, 5);
         for k in 0..100 {
-            let reps =
-                ReplicationStrategy::NetworkTopology.replicas_for(&ring, &topo, &format!("u{k}"), 4);
+            let reps = ReplicationStrategy::NetworkTopology.replicas_for(
+                &ring,
+                &topo,
+                &format!("u{k}"),
+                4,
+            );
             let racks: HashSet<_> = reps.iter().map(|n| topo.location(*n).rack).collect();
             assert_eq!(racks.len(), 4, "key u{k} replicas {reps:?}");
         }
@@ -143,8 +150,12 @@ mod tests {
         let ring = HashRing::new(20, 16);
         let topo = Topology::multi_dc(2, 2, 5);
         for k in 0..100 {
-            let reps =
-                ReplicationStrategy::NetworkTopology.replicas_for(&ring, &topo, &format!("u{k}"), 2);
+            let reps = ReplicationStrategy::NetworkTopology.replicas_for(
+                &ring,
+                &topo,
+                &format!("u{k}"),
+                2,
+            );
             let dcs: HashSet<_> = reps.iter().map(|n| topo.location(*n).dc).collect();
             assert_eq!(dcs.len(), 2);
         }
@@ -156,8 +167,12 @@ mod tests {
         let ring = HashRing::new(20, 16);
         let topo = Topology::single_dc(2, 10);
         for k in 0..50 {
-            let reps =
-                ReplicationStrategy::NetworkTopology.replicas_for(&ring, &topo, &format!("u{k}"), 5);
+            let reps = ReplicationStrategy::NetworkTopology.replicas_for(
+                &ring,
+                &topo,
+                &format!("u{k}"),
+                5,
+            );
             assert_eq!(reps.len(), 5);
             let racks: HashSet<_> = reps.iter().map(|n| topo.location(*n).rack).collect();
             assert_eq!(racks.len(), 2);

@@ -15,7 +15,9 @@ pub type Key = String;
 
 /// A logical timestamp attached to every written cell (nanosecond-scale,
 /// coordinator-assigned, strictly monotonic per cluster).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Timestamp(pub u64);
 
 impl Timestamp {

@@ -1,0 +1,83 @@
+//! Property tests for the consistent-hash token ring: ownership balance,
+//! key→replica determinism, and RF-sized distinct replica sets.
+
+use harmony_store::hashring::{key_token, HashRing};
+use proptest::prelude::*;
+
+proptest! {
+    /// Token-space ownership is a probability distribution and, with enough
+    /// virtual nodes, no physical node owns a grossly outsized share.
+    #[test]
+    fn ownership_is_balanced(nodes in 2usize..16, vnodes in 32usize..128) {
+        let ring = HashRing::new(nodes, vnodes);
+        let own = ring.ownership();
+        prop_assert_eq!(own.len(), nodes);
+        let total: f64 = own.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "ownership sums to {total}");
+        let fair = 1.0 / nodes as f64;
+        for (i, o) in own.iter().enumerate() {
+            prop_assert!(*o > 0.0, "node {i} owns nothing");
+            prop_assert!(
+                *o < fair * 3.0,
+                "node {i} owns {o:.4}, more than 3x the fair share {fair:.4}"
+            );
+        }
+    }
+
+    /// Two independently constructed rings with the same shape agree on the
+    /// primary and the full preference list of every key, and repeated
+    /// lookups on one ring never change their answer.
+    #[test]
+    fn key_to_replica_mapping_is_deterministic(
+        nodes in 1usize..12,
+        vnodes in 1usize..64,
+        key in "[a-zA-Z0-9]{1,16}",
+        rf in 1usize..6,
+    ) {
+        let a = HashRing::new(nodes, vnodes);
+        let b = HashRing::new(nodes, vnodes);
+        prop_assert_eq!(a.primary_for_key(&key), b.primary_for_key(&key));
+        prop_assert_eq!(a.preference_list(&key, rf), b.preference_list(&key, rf));
+        prop_assert_eq!(a.preference_list(&key, rf), a.preference_list(&key, rf));
+        prop_assert_eq!(key_token(&key), key_token(&key));
+    }
+
+    /// The preference list has exactly `min(rf, nodes)` entries, all distinct,
+    /// all valid node ids, led by the key's primary replica.
+    #[test]
+    fn preference_lists_are_rf_sized_distinct_sets(
+        nodes in 1usize..12,
+        vnodes in 1usize..64,
+        rf in 1usize..8,
+        keys in prop::collection::vec("[a-z]{1,12}", 1..20),
+    ) {
+        let ring = HashRing::new(nodes, vnodes);
+        for key in &keys {
+            let prefs = ring.preference_list(key, rf);
+            prop_assert_eq!(prefs.len(), rf.min(nodes));
+            let mut sorted: Vec<u32> = prefs.iter().map(|n| n.0).collect();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), prefs.len(), "replica set contains duplicates");
+            for n in &prefs {
+                prop_assert!((n.0 as usize) < nodes, "node id {} out of range", n.0);
+            }
+            prop_assert_eq!(prefs[0], ring.primary_for_key(key));
+        }
+    }
+
+    /// Primary placement follows the clockwise-successor rule: the owner of
+    /// the first token at or after the key's token.
+    #[test]
+    fn primary_is_clockwise_successor(nodes in 1usize..10, vnodes in 1usize..32) {
+        let ring = HashRing::new(nodes, vnodes);
+        for k in 0..50u32 {
+            let key = format!("probe{k}");
+            let first = ring
+                .walk_from_key(&key)
+                .next()
+                .expect("non-empty ring walk");
+            prop_assert_eq!(first, ring.primary_for_key(&key));
+        }
+    }
+}

@@ -239,7 +239,11 @@ mod tests {
         let top = h.get(&0).copied().unwrap_or(0);
         let total: u64 = h.values().sum();
         // Rank 0 should receive far more than its uniform share (0.1%).
-        assert!(top as f64 / total as f64 > 0.05, "top share = {}", top as f64 / total as f64);
+        assert!(
+            top as f64 / total as f64 > 0.05,
+            "top share = {}",
+            top as f64 / total as f64
+        );
     }
 
     #[test]
@@ -249,7 +253,10 @@ mod tests {
         let (hot_key, hot_count) = h.iter().max_by_key(|(_, c)| **c).unwrap();
         assert!(*hot_count as f64 / 100_000.0 > 0.05);
         // ...but some key is still disproportionately hot.
-        assert_ne!(*hot_key, 0, "scrambling should move the hottest key away from rank 0");
+        assert_ne!(
+            *hot_key, 0,
+            "scrambling should move the hottest key away from rank 0"
+        );
     }
 
     #[test]

@@ -297,13 +297,17 @@ impl Runner {
     }
 
     fn issue_write(&mut self, session: usize, key: &str, purpose: Purpose) {
-        let field = self.workload_rng.gen_range(0..self.spec.workload.field_count);
+        let field = self
+            .workload_rng
+            .gen_range(0..self.spec.workload.field_count);
         let mutation = Mutation::single(
             format!("field{field}"),
             vec![b'u'; self.spec.workload.field_size],
         );
         let level = self.controller.current_write_level();
-        let op = self.cluster.submit_write(key, mutation, level, &mut self.sim);
+        let op = self
+            .cluster
+            .submit_write(key, mutation, level, &mut self.sim);
         self.in_flight.insert(op, OpMeta { session, purpose });
     }
 
@@ -366,11 +370,9 @@ impl Runner {
                 if completion.kind == OpKind::Read && self.spec.dual_read_measurement =>
             {
                 // Paper §V.F: verify with a second read at the strongest level.
-                let op = self.cluster.submit_read(
-                    &completion.key,
-                    ConsistencyLevel::All,
-                    &mut self.sim,
-                );
+                let op =
+                    self.cluster
+                        .submit_read(&completion.key, ConsistencyLevel::All, &mut self.sim);
                 self.in_flight.insert(
                     op,
                     OpMeta {
@@ -473,11 +475,8 @@ pub fn run_experiment(
     policy: Box<dyn ConsistencyPolicy>,
     spec: ExperimentSpec,
 ) -> ExperimentResult {
-    let controller = AdaptiveController::new(
-        controller_config,
-        store_config.replication_factor,
-        policy,
-    );
+    let controller =
+        AdaptiveController::new(controller_config, store_config.replication_factor, policy);
     Runner::new(profile, store_config, controller, spec).run()
 }
 

@@ -319,7 +319,10 @@ mod tests {
             let idx = LatencyHistogram::bucket_index(us);
             let v = LatencyHistogram::bucket_value(idx);
             assert!(v >= prev, "us={us} v={v} prev={prev}");
-            assert!(v <= us + 1.0, "bucket value {v} should not exceed input {us}");
+            assert!(
+                v <= us + 1.0,
+                "bucket value {v} should not exceed input {us}"
+            );
             prev = v;
         }
     }

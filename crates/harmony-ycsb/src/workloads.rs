@@ -151,7 +151,9 @@ impl WorkloadSpec {
             + self.insert_proportion
             + self.rmw_proportion;
         if !(0.999..=1.001).contains(&total) {
-            return Err(format!("operation proportions sum to {total}, expected 1.0"));
+            return Err(format!(
+                "operation proportions sum to {total}, expected 1.0"
+            ));
         }
         if [
             self.read_proportion,

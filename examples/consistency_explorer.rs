@@ -14,14 +14,8 @@ use harmony::model::staleness::{PropagationModel, StaleReadModel};
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let replication_factor: usize = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(5);
-    let avg_write_size: f64 = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(1024.0);
+    let replication_factor: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(5);
+    let avg_write_size: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1024.0);
 
     let model = StaleReadModel::new(replication_factor);
     let propagation = PropagationModel::default();

@@ -70,6 +70,7 @@ fn spike_timeline() {
         writes: 0,
         latency_ms: 1.2,
         nodes: 20,
+        ..MockProbe::default()
     };
     for second in 1..=20u64 {
         // A steady workload-A-like load...

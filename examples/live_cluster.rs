@@ -43,7 +43,7 @@ fn main() {
             let mut i = 0u64;
             while !stop.load(Ordering::Relaxed) {
                 let key = format!("item{}", (worker * 7 + i) % 50);
-                if i % 2 == 0 {
+                if i.is_multiple_of(2) {
                     h.write(&key, format!("value-{worker}-{i}").into_bytes());
                 } else {
                     let _ = h.read(&key);
@@ -55,13 +55,20 @@ fn main() {
     }
 
     // Control loop: adapt every 200 ms for two seconds and print the state.
+    // `--quick` (used by the smoke tests) shortens this to 3 x 50 ms.
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (rounds, tick) = if quick {
+        (3, Duration::from_millis(50))
+    } else {
+        (10, Duration::from_millis(200))
+    };
     let started = Instant::now();
     println!(
         "{:>8} {:>10} {:>10} {:>12} {:>12} {:>12}",
         "t(ms)", "reads", "writes", "stale", "estimate", "read level"
     );
-    for _ in 0..10 {
-        std::thread::sleep(Duration::from_millis(200));
+    for _ in 0..rounds {
+        std::thread::sleep(tick);
         let level = harmony.adapt();
         let counters = harmony.cluster().counters();
         println!(
@@ -88,7 +95,11 @@ fn main() {
         total_ops as f64 / elapsed,
         stale,
         reads,
-        if reads > 0 { stale as f64 / reads as f64 * 100.0 } else { 0.0 },
+        if reads > 0 {
+            stale as f64 / reads as f64 * 100.0
+        } else {
+            0.0
+        },
     );
     match Arc::try_unwrap(harmony) {
         Ok(h) => h.shutdown(),

@@ -10,17 +10,23 @@
 use harmony::prelude::*;
 
 fn main() {
+    // `--quick` (used by the smoke tests) shrinks the run so it finishes in
+    // well under a second even in debug builds.
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (records, ops) = if quick { (500, 2_000) } else { (5_000, 30_000) };
+
     let profile = harmony::profiles::grid5000();
     let store = StoreConfig {
         replication_factor: profile.replication_factor,
         ..StoreConfig::default()
     };
 
-    // A scaled-down workload A: 5 000 records, 20 client threads, 30 000 ops.
-    let mut workload = WorkloadSpec::workload_a(5_000);
+    // A scaled-down workload A on 20 client threads (5 000 records and
+    // 30 000 ops by default; 500 and 2 000 under --quick).
+    let mut workload = WorkloadSpec::workload_a(records);
     workload.field_count = 4;
     workload.field_size = 64;
-    let spec = ExperimentSpec::single_phase(workload, 20, 30_000);
+    let spec = ExperimentSpec::single_phase(workload, 20, ops);
 
     let policies: Vec<Box<dyn ConsistencyPolicy>> = vec![
         Box::new(StaticPolicy::Eventual),
@@ -29,7 +35,10 @@ fn main() {
         Box::new(StaticPolicy::Strong),
     ];
 
-    println!("Harmony quickstart — workload A on the {} profile", profile.name);
+    println!(
+        "Harmony quickstart — workload A on the {} profile",
+        profile.name
+    );
     println!(
         "{:<14} {:>12} {:>14} {:>14} {:>12} {:>12}",
         "policy", "ops/s", "read p99 (ms)", "read mean (ms)", "stale reads", "stale %"

@@ -22,6 +22,11 @@ struct Application {
 }
 
 fn main() {
+    // `--quick` (used by the smoke tests) shrinks the run so it finishes in
+    // well under a second even in debug builds.
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (records, ops) = if quick { (400, 2_000) } else { (4_000, 40_000) };
+
     let profile = harmony::profiles::grid5000();
     let store = StoreConfig {
         replication_factor: profile.replication_factor,
@@ -30,11 +35,11 @@ fn main() {
 
     // Identical access pattern for both applications: heavy read-update
     // bursts from 40 concurrent clients (a busy period in both stories).
-    let mut workload = WorkloadSpec::workload_a(4_000);
+    let mut workload = WorkloadSpec::workload_a(records);
     workload.name = "busy-period".into();
     workload.field_count = 4;
     workload.field_size = 64;
-    let spec = ExperimentSpec::single_phase(workload, 40, 40_000);
+    let spec = ExperimentSpec::single_phase(workload, 40, ops);
 
     let applications = [
         Application {
@@ -74,8 +79,14 @@ fn main() {
         };
         println!("{}", app.name);
         println!("  policy                 : {}", result.policy);
-        println!("  throughput             : {:>10.0} ops/s", result.throughput());
-        println!("  read latency p99       : {:>10.3} ms", result.read_p99_ms());
+        println!(
+            "  throughput             : {:>10.0} ops/s",
+            result.throughput()
+        );
+        println!(
+            "  read latency p99       : {:>10.3} ms",
+            result.read_p99_ms()
+        );
         println!(
             "  stale reads            : {:>10}  ({:.2}% of reads)",
             result.stats.stale_reads,

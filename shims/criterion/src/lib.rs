@@ -1,0 +1,241 @@
+//! Offline stand-in for `criterion`: measures each benchmark with a short
+//! calibrated loop and prints a `name ... time/iter` line. No statistics,
+//! plots or CLI — just enough for `cargo bench` to produce useful numbers
+//! and for `cargo bench --no-run` to verify the targets compile.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped; only a hint in this shim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumIterations(u64),
+}
+
+/// Drives one benchmark's timing loop.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: usize,
+    /// Best (minimum) per-iteration time over all samples, in nanoseconds.
+    best_ns_per_iter: f64,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            iters_per_sample: 0,
+            samples,
+            best_ns_per_iter: f64::INFINITY,
+        }
+    }
+
+    fn record(&mut self, elapsed: Duration, iters: u64) {
+        if iters > 0 {
+            let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+            if per_iter < self.best_ns_per_iter {
+                self.best_ns_per_iter = per_iter;
+            }
+        }
+    }
+
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate so one sample lasts roughly 2 ms.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(2);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        self.iters_per_sample = iters;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.record(start.elapsed(), iters);
+        }
+    }
+
+    /// Times `routine` on fresh inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let iters = 16u64;
+        self.iters_per_sample = iters;
+        for _ in 0..self.samples {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.record(start.elapsed(), iters);
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`] but passes the input by mutable reference.
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        let iters = 16u64;
+        self.iters_per_sample = iters;
+        for _ in 0..self.samples {
+            let mut inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in &mut inputs {
+                black_box(routine(input));
+            }
+            self.record(start.elapsed(), iters);
+        }
+    }
+}
+
+fn report(name: &str, bencher: &Bencher) {
+    let ns = bencher.best_ns_per_iter;
+    let formatted = if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    };
+    println!(
+        "{name:<50} {formatted}/iter  ({} iters x {} samples)",
+        bencher.iters_per_sample, bencher.samples
+    );
+}
+
+/// Top-level benchmark driver (vastly simplified).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<N: AsRef<str>, F>(&mut self, name: N, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        report(name.as_ref(), &bencher);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group<N: AsRef<str>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.as_ref().to_string(),
+            sample_size: self.sample_size,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A named group; benchmarks report as `group/name`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    // Tie the group to its Criterion like the real API does.
+    #[allow(dead_code)]
+    _marker: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target measurement time (accepted and ignored by the shim).
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<N: AsRef<str>, F>(&mut self, name: N, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        report(&format!("{}/{}", self.name, name.as_ref()), &bencher);
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        c.sample_size(2);
+        let mut runs = 0u64;
+        c.bench_function("shim/self_test", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn groups_and_batched() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

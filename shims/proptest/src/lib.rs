@@ -1,0 +1,381 @@
+//! Offline stand-in for `proptest`: a miniature property-testing engine
+//! covering the subset the workspace uses — the `proptest!` macro with
+//! optional `#![proptest_config(...)]`, range and tuple strategies,
+//! `prop::collection::vec`, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! No shrinking: a failing case panics with the sampled inputs so it can be
+//! reproduced (sampling is fully deterministic per test name).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 128 }
+    }
+}
+
+pub mod test_runner {
+    use super::*;
+
+    /// Deterministic per-test RNG: the seed is derived from the test name.
+    pub struct TestRng {
+        pub(crate) rng: StdRng,
+    }
+
+    impl TestRng {
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the test name gives a stable per-property seed.
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            TestRng {
+                rng: StdRng::seed_from_u64(h),
+            }
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// Generates values of `Self::Value` for property tests.
+pub trait Strategy {
+    type Value: std::fmt::Debug;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// String strategies from a regex-like pattern, mirroring proptest's
+/// `impl Strategy for &str`. Supports the subset the tests use: literal
+/// characters, `[a-z0-9_]`-style classes (with ranges), and `{m}` / `{m,n}`
+/// repetition applied to the preceding class or literal.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let tokens = parse_pattern(self);
+        let mut out = String::new();
+        for (choices, min, max) in &tokens {
+            let n = if min == max {
+                *min
+            } else {
+                rng.rng.gen_range(*min..=*max)
+            };
+            for _ in 0..n {
+                let idx = rng.rng.gen_range(0..choices.len());
+                out.push(choices[idx]);
+            }
+        }
+        out
+    }
+}
+
+/// Parses a pattern into (choices, min_repeats, max_repeats) runs.
+fn parse_pattern(pattern: &str) -> Vec<(Vec<char>, usize, usize)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut tokens: Vec<(Vec<char>, usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unterminated class in pattern `{pattern}`"));
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                set
+            }
+            '\\' => {
+                i += 1;
+                let c = chars
+                    .get(i)
+                    .copied()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern `{pattern}`"));
+                i += 1;
+                vec![c]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (mut min, mut max) = (1usize, 1usize);
+        if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unterminated quantifier in pattern `{pattern}`"));
+            let body: String = chars[i + 1..close].iter().collect();
+            if let Some((lo, hi)) = body.split_once(',') {
+                min = lo.trim().parse().expect("bad quantifier min");
+                max = hi.trim().parse().expect("bad quantifier max");
+            } else {
+                min = body.trim().parse().expect("bad quantifier");
+                max = min;
+            }
+            i = close + 1;
+        }
+        assert!(
+            !choices.is_empty() && min <= max,
+            "degenerate pattern `{pattern}`"
+        );
+        tokens.push((choices, min, max));
+    }
+    tokens
+}
+
+/// A strategy producing one fixed value (mirror of `proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+)),*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy for `Vec`s of a given element strategy and length range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// Mirror of `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(!len.is_empty(), "empty length range for collection::vec");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a test that samples `cases` inputs and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for __case in 0..__cfg.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                    let __inputs = format!(
+                        concat!("[" $(, stringify!($arg), " = {:?} ")*, "]"),
+                        $(&$arg),*
+                    );
+                    let __outcome: ::std::result::Result<(), ::std::string::String> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(__msg) = __outcome {
+                        panic!(
+                            "property `{}` failed at case {}/{}: {}\n  inputs: {}",
+                            stringify!($name),
+                            __case + 1,
+                            __cfg.cases,
+                            __msg,
+                            __inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                format!("prop_assert!({}) failed", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the current property case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l != __r {
+            return ::std::result::Result::Err(format!(
+                "prop_assert_eq! failed: {:?} != {:?}",
+                __l, __r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l != __r {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    }};
+}
+
+/// Everything a `proptest!` user needs in scope.
+pub mod prelude {
+    pub use crate::test_runner::TestRng;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, Just, ProptestConfig, Strategy};
+
+    /// Namespace mirror so `prop::collection::vec(...)` resolves.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, f in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f), "f = {f}");
+        }
+
+        #[test]
+        fn vec_strategy_respects_len(xs in prop::collection::vec(0u32..5, 1..9)) {
+            prop_assert!(!xs.is_empty() && xs.len() < 9);
+            for x in xs {
+                prop_assert!(x < 5);
+            }
+        }
+
+        #[test]
+        fn string_pattern_strategy(key in "[a-z]{1,8}", id in "u-[0-9]{3}") {
+            prop_assert!(!key.is_empty() && key.len() <= 8);
+            prop_assert!(key.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert!(id.starts_with("u-") && id.len() == 5, "id = {id}");
+        }
+
+        #[test]
+        fn tuple_strategy(pair in (0u8..4, 10i64..20)) {
+            prop_assert!(pair.0 < 4);
+            prop_assert!((10..20).contains(&pair.1));
+            prop_assert_eq!(pair.0 as i64 + pair.1, pair.1 + pair.0 as i64);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_form_compiles(x in 0u8..2) {
+            prop_assert!(x < 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed")]
+    fn failure_reports_inputs() {
+        proptest! {
+            fn always_fails(x in 0u8..4) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}

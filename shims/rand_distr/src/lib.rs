@@ -1,0 +1,147 @@
+//! Offline stand-in for `rand_distr`: the `Distribution` trait plus the
+//! `Normal`, `LogNormal` and `Pareto` distributions used by the latency
+//! models. Normal sampling uses Box-Muller (caching the second deviate would
+//! change the draw order under rejection, so we deliberately discard it —
+//! determinism per call matters more here than a 2x constant).
+
+pub use rand::Distribution;
+use rand::{Rng, RngCore};
+
+/// Error returned by distribution constructors on invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Mirrors `rand_distr::NormalError`.
+pub type NormalError = ParamError;
+
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // Box-Muller transform; u1 is kept away from zero so ln() is finite.
+    let u1: f64 = loop {
+        let u: f64 = rng.gen();
+        if u > f64::MIN_POSITIVE {
+            break u;
+        }
+    };
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Normal (Gaussian) distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, ParamError> {
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(ParamError("std_dev must be finite and non-negative"));
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
+        if !sigma.is_finite() || sigma < 0.0 {
+            return Err(ParamError("sigma must be finite and non-negative"));
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// Pareto distribution with the given scale (minimum) and shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    scale: f64,
+    shape: f64,
+}
+
+impl Pareto {
+    pub fn new(scale: f64, shape: f64) -> Result<Self, ParamError> {
+        if !(scale.is_finite() && shape.is_finite()) || scale <= 0.0 || shape <= 0.0 {
+            return Err(ParamError("scale and shape must be positive"));
+        }
+        Ok(Pareto { scale, shape })
+    }
+}
+
+impl Distribution<f64> for Pareto {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse transform: scale / U^(1/shape), with U in (0, 1].
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        self.scale / u.powf(1.0 / self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Normal::new(10.0, 2.0).unwrap();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean = {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "sd = {}", var.sqrt());
+    }
+
+    #[test]
+    fn lognormal_positive() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = LogNormal::new(0.0, 0.5).unwrap();
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = Pareto::new(1.5, 2.0).unwrap();
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) >= 1.5);
+        }
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(0.0, f64::NAN).is_err());
+        assert!(Pareto::new(0.0, 1.0).is_err());
+    }
+}

@@ -84,7 +84,10 @@ fn workload_a_causes_more_staleness_than_workload_b() {
     let ops = 20_000;
     let a = run_phased(small_workload_a(), vec![Phase::new(threads, ops)]);
     let b = run_phased(small_workload_b(), vec![Phase::new(threads, ops)]);
-    assert!(mean_estimate(&a) > 0.0, "workload A must produce a non-zero estimate");
+    assert!(
+        mean_estimate(&a) > 0.0,
+        "workload A must produce a non-zero estimate"
+    );
     assert!(
         a.stats.stale_reads > b.stats.stale_reads,
         "workload A stale reads ({}) should exceed workload B ({})",
@@ -93,7 +96,10 @@ fn workload_a_causes_more_staleness_than_workload_b() {
     );
     // The write rate the monitor observed is far higher under A than B.
     let peak_writes = |r: &ExperimentResult| {
-        r.decisions.iter().map(|d| d.write_rate).fold(0.0f64, f64::max)
+        r.decisions
+            .iter()
+            .map(|d| d.write_rate)
+            .fold(0.0f64, f64::max)
     };
     assert!(peak_writes(&a) > 3.0 * peak_writes(&b));
 }
@@ -171,7 +177,10 @@ fn latency_spike_raises_then_relaxes_the_level() {
     probe.reads += 200;
     probe.writes += 100;
     let spiked = controller.tick(SimTime::from_secs(6), &probe);
-    assert!(spiked.required_acks(5) > 1, "level should rise during the spike");
+    assert!(
+        spiked.required_acks(5) > 1,
+        "level should rise during the spike"
+    );
     // Recovery.
     probe.latency_ms = 0.3;
     probe.reads += 200;
@@ -186,13 +195,16 @@ fn latency_spike_raises_then_relaxes_the_level() {
 fn decision_timeline_is_complete_and_ordered() {
     let result = run_phased(small_workload_a(), vec![Phase::new(40, 15_000)]);
     assert!(result.decisions.len() >= 3);
+    assert!(result.decisions.windows(2).all(|w| w[0].at <= w[1].at));
+    assert!(result.decisions.iter().all(|d| d.estimate.is_some()));
     assert!(result
         .decisions
-        .windows(2)
-        .all(|w| w[0].at <= w[1].at));
-    assert!(result.decisions.iter().all(|d| d.estimate.is_some()));
-    assert!(result.decisions.iter().any(|d| d.read_rate > 0.0 && d.write_rate > 0.0));
-    assert!(result.decisions.iter().all(|d| d.latency_ms >= 0.0 && d.tp_secs >= 0.0));
+        .iter()
+        .any(|d| d.read_rate > 0.0 && d.write_rate > 0.0));
+    assert!(result
+        .decisions
+        .iter()
+        .all(|d| d.latency_ms >= 0.0 && d.tp_secs >= 0.0));
 }
 
 /// The dual-read measurement of §V.F perturbs the system (every read issues a
