@@ -1,5 +1,6 @@
 //! Configuration of the adaptive-consistency controller.
 
+use harmony_model::queueing::QueueingModel;
 use harmony_model::staleness::PropagationModel;
 use harmony_monitor::collector::MonitorConfig;
 use serde::{Deserialize, Serialize};
@@ -12,6 +13,10 @@ pub struct ControllerConfig {
     /// How the network latency and write size are converted into the update
     /// propagation time `Tp`.
     pub propagation: PropagationModel,
+    /// How the monitored write-stage queue signals (backlog dispersion,
+    /// arrival/service rates, growth trend) become the queue-wait spread of
+    /// the propagation-time distribution.
+    pub queueing: QueueingModel,
     /// Average write payload size in bytes, fed to the propagation model
     /// (the paper's `avg_w`).
     pub avg_write_size_bytes: f64,
@@ -22,6 +27,7 @@ impl Default for ControllerConfig {
         ControllerConfig {
             monitor: MonitorConfig::default(),
             propagation: PropagationModel::default(),
+            queueing: QueueingModel::default(),
             avg_write_size_bytes: 1024.0,
         }
     }
@@ -36,6 +42,7 @@ impl ControllerConfig {
         if self.avg_write_size_bytes < 0.0 {
             return Err("average write size must be non-negative".into());
         }
+        self.queueing.validate()?;
         Ok(())
     }
 }
@@ -59,6 +66,10 @@ mod tests {
             avg_write_size_bytes: -1.0,
             ..ControllerConfig::default()
         };
+        assert!(c.validate().is_err());
+
+        let mut c = ControllerConfig::default();
+        c.queueing.spread_shape = -1.0;
         assert!(c.validate().is_err());
     }
 }

@@ -8,6 +8,7 @@
 
 use crate::config::ControllerConfig;
 use crate::policy::{ConsistencyPolicy, PolicyContext};
+use harmony_model::queueing::WriteStageObservation;
 use harmony_monitor::collector::Monitor;
 use harmony_monitor::probe::ClusterProbe;
 use harmony_sim::clock::SimTime;
@@ -25,9 +26,17 @@ pub struct DecisionRecord {
     pub write_rate: f64,
     /// Aggregated network latency (ms).
     pub latency_ms: f64,
-    /// Monitored mutation-stage backlog (ms) folded into `tp_secs`.
+    /// Monitored mean mutation-stage backlog (ms). Informational: only its
+    /// cross-replica *spread* widens the propagation window.
     pub backlog_ms: f64,
-    /// Propagation time fed to the model (seconds).
+    /// Cross-replica backlog dispersion (ms, standard deviation).
+    pub backlog_spread_ms: f64,
+    /// Write-stage utilisation `ρ` from the M/G/1 model.
+    pub utilization: f64,
+    /// Whether the write-stage queue was judged to be diverging.
+    pub diverging: bool,
+    /// Mean propagation time fed to the model (seconds): network transfer
+    /// plus the queue-wait spread mean.
     pub tp_secs: f64,
     /// The policy's stale-read estimate, if it computes one.
     pub estimate: Option<f64>,
@@ -105,20 +114,34 @@ impl AdaptiveController {
     /// cluster probe and returns the (possibly unchanged) read level.
     pub fn tick<P: ClusterProbe + ?Sized>(&mut self, now: SimTime, probe: &P) -> ConsistencyLevel {
         let sample = self.monitor.sweep(now, probe);
-        // The network-model propagation time plus the monitored replica-side
-        // mutation backlog: near saturation the queueing delay, not the
-        // network transfer, dominates how long a write takes to reach every
-        // replica, and ignoring it makes the estimate blind to exactly the
-        // load regime Harmony exists for.
-        let tp_secs = self
+        // The network-transfer component of `Tp` from the propagation model;
+        // the replica-side queueing behaviour enters as a *distribution* via
+        // the queueing model rather than being folded into the scalar. Near
+        // saturation this is the difference between a high-but-stable backlog
+        // (narrow spread — cheap reads stay safe) and a diverging queue
+        // (escalate), which is exactly the regime Figure 5(c)/(d) sweeps.
+        let tp_network_secs = self
             .config
             .propagation
-            .propagation_time_secs(sample.latency_ms, self.config.avg_write_size_bytes)
-            + sample.backlog_ms / 1e3;
+            .propagation_time_secs(sample.latency_ms, self.config.avg_write_size_bytes);
+        let observation = WriteStageObservation {
+            arrival_rate_per_replica: sample.write_arrival_rate_per_replica,
+            service_mean_ms: sample.write_service_mean_ms,
+            service_scv: sample.write_service_scv,
+            backlog_mean_ms: sample.backlog_ms,
+            backlog_variance_ms2: sample.backlog_spread_ms * sample.backlog_spread_ms,
+            backlog_trend_ms_per_s: sample.backlog_trend_ms_per_s,
+        };
+        let staleness =
+            self.config
+                .queueing
+                .estimate(&observation, tp_network_secs, self.replication_factor);
+        let tp_secs = staleness.tp_mean_secs();
         let ctx = PolicyContext {
             read_rate: sample.read_rate,
             write_rate: sample.write_rate,
             tp_secs,
+            staleness,
             replication_factor: self.replication_factor,
         };
         self.current_read_level = self.policy.read_level(&ctx);
@@ -129,6 +152,9 @@ impl AdaptiveController {
             write_rate: sample.write_rate,
             latency_ms: sample.latency_ms,
             backlog_ms: sample.backlog_ms,
+            backlog_spread_ms: sample.backlog_spread_ms,
+            utilization: staleness.utilization,
+            diverging: staleness.diverging,
             tp_secs,
             estimate: self.policy.last_estimate(),
             replicas_in_read: self
@@ -231,6 +257,51 @@ mod tests {
         assert_eq!(d.len(), 20);
         assert!(d.windows(2).all(|w| w[0].at < w[1].at));
         assert!(d.iter().all(|r| r.estimate.is_some()));
+    }
+
+    #[test]
+    fn uniform_backlog_keeps_cheap_reads_but_dispersion_escalates() {
+        let build = || {
+            AdaptiveController::new(
+                ControllerConfig {
+                    monitor: harmony_monitor::collector::MonitorConfig {
+                        estimator: harmony_monitor::collector::EstimatorKind::Ewma(1.0),
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+                5,
+                Box::new(HarmonyPolicy::new(5, 0.4)),
+            )
+        };
+        // Uniform 20 ms backlog on every node: the spread is zero, so even a
+        // modest load keeps reads at ONE — the estimate is driven by the
+        // network window alone.
+        let mut uniform = build();
+        let mut probe = MockProbe {
+            nodes: 10,
+            latency_ms: 0.2,
+            replica_backlogs: vec![20.0; 10],
+            ..MockProbe::default()
+        };
+        probe.reads = 300;
+        probe.writes = 200;
+        let level = uniform.tick(SimTime::from_secs(1), &probe);
+        assert_eq!(level, ConsistencyLevel::One);
+        let rec = uniform.decisions().last().copied().unwrap();
+        assert!((rec.backlog_ms - 20.0).abs() < 1e-9);
+        assert_eq!(rec.backlog_spread_ms, 0.0);
+        assert!(!rec.diverging);
+
+        // The same mean backlog with heavy cross-replica dispersion widens
+        // the window and escalates the level.
+        let mut dispersed = build();
+        probe.replica_backlogs = vec![0.0, 0.0, 0.0, 0.0, 0.0, 40.0, 40.0, 40.0, 40.0, 40.0];
+        let level = dispersed.tick(SimTime::from_secs(1), &probe);
+        assert!(level.required_acks(5) > 1, "level={level}");
+        let rec = dispersed.decisions().last().copied().unwrap();
+        assert!(rec.backlog_spread_ms > 19.0);
+        assert!(rec.tp_secs > 0.001);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Consistency policies: the Harmony adaptive policy and the static baselines
 //! the paper compares against.
 
-use harmony_model::decision::{decide, ConsistencyDecision};
+use harmony_model::decision::{decide_with_estimate, ConsistencyDecision};
+use harmony_model::queueing::StalenessEstimate;
 use harmony_model::staleness::StaleReadModel;
 use harmony_store::consistency::ConsistencyLevel;
 use serde::{Deserialize, Serialize};
@@ -13,8 +14,13 @@ pub struct PolicyContext {
     pub read_rate: f64,
     /// Monitored write/update rate (operations/second).
     pub write_rate: f64,
-    /// Estimated update propagation time `Tp` in seconds.
+    /// Mean of the estimated update propagation time `Tp` in seconds (kept in
+    /// sync with `staleness.tp_mean_secs()`).
     pub tp_secs: f64,
+    /// The full propagation-time distribution plus write-stage queue health;
+    /// policies that model staleness should consume this rather than the
+    /// scalar `tp_secs`.
+    pub staleness: StalenessEstimate,
     /// Replication factor of the store.
     pub replication_factor: usize,
 }
@@ -22,10 +28,22 @@ pub struct PolicyContext {
 impl PolicyContext {
     /// A context describing an idle system.
     pub fn idle(replication_factor: usize) -> Self {
+        PolicyContext::from_rates(0.0, 0.0, 0.0, replication_factor)
+    }
+
+    /// A context with a point-mass (zero-spread) propagation time — the
+    /// scalar model's view of the world.
+    pub fn from_rates(
+        read_rate: f64,
+        write_rate: f64,
+        tp_secs: f64,
+        replication_factor: usize,
+    ) -> Self {
         PolicyContext {
-            read_rate: 0.0,
-            write_rate: 0.0,
-            tp_secs: 0.0,
+            read_rate,
+            write_rate,
+            tp_secs,
+            staleness: StalenessEstimate::deterministic(tp_secs),
             replication_factor,
         }
     }
@@ -92,15 +110,22 @@ impl ConsistencyPolicy for HarmonyPolicy {
     }
 
     fn read_level(&mut self, ctx: &PolicyContext) -> ConsistencyLevel {
+        // The queueing-aware estimate: integrates the closed form over the
+        // propagation-time distribution, distinguishing a high-but-stable
+        // backlog (narrow spread — stay eventual or raise a few replicas)
+        // from a diverging queue (go strong).
         self.last_estimate =
             self.model
-                .stale_probability(ctx.read_rate, ctx.write_rate, ctx.tp_secs);
-        let decision = decide(
+                .stale_probability_estimate(ctx.read_rate, ctx.write_rate, &ctx.staleness);
+        // On a diverging queue the decision scheme escalates to all N
+        // replicas (the propagation window is effectively unbounded) unless
+        // the tolerance already covers the ceiling estimate.
+        let decision = decide_with_estimate(
             &self.model,
             self.app_stale_rate,
             ctx.read_rate,
             ctx.write_rate,
-            ctx.tp_secs,
+            &ctx.staleness,
         );
         self.last_decision = decision;
         match decision {
@@ -156,12 +181,7 @@ mod tests {
     use super::*;
 
     fn ctx(read_rate: f64, write_rate: f64, tp_secs: f64) -> PolicyContext {
-        PolicyContext {
-            read_rate,
-            write_rate,
-            tp_secs,
-            replication_factor: 5,
-        }
+        PolicyContext::from_rates(read_rate, write_rate, tp_secs, 5)
     }
 
     #[test]
@@ -204,6 +224,49 @@ mod tests {
             assert!(acks <= prev, "asr={asr}");
             prev = acks;
         }
+    }
+
+    #[test]
+    fn harmony_distinguishes_stable_backlog_from_diverging_queue() {
+        // Same rates and network Tp; the only difference is the queue state.
+        let base = ctx(3000.0, 2500.0, 0.00002);
+        let mut stable = base;
+        stable.staleness.queue_wait_secs = 0.05; // 50 ms of uniform backlog
+        stable.staleness.utilization = 0.99;
+        let mut diverging = stable;
+        diverging.staleness.diverging = true;
+
+        let mut p = HarmonyPolicy::new(5, 0.4);
+        let stable_level = p.read_level(&stable);
+        let stable_estimate = p.last_estimate().unwrap();
+        let diverging_level = p.read_level(&diverging);
+        let diverging_estimate = p.last_estimate().unwrap();
+
+        // A high but perfectly uniform backlog does not widen the window:
+        // the policy keeps cheap reads instead of collapsing to ALL.
+        assert!(
+            stable_level.required_acks(5) < 5,
+            "stable backlog escalated to {stable_level}"
+        );
+        // A diverging queue pins the estimate at its ceiling and goes strong.
+        assert_eq!(diverging_level.required_acks(5), 5);
+        assert!(diverging_estimate >= stable_estimate);
+    }
+
+    #[test]
+    fn queue_spread_raises_the_level() {
+        let calm = ctx(3000.0, 2500.0, 0.00002);
+        let mut spread = calm;
+        spread.staleness.spread_mean_secs = 0.0005;
+        spread.staleness.spread_variance_secs2 = 0.0005f64.powi(2) / 2.0;
+        let mut p = HarmonyPolicy::new(5, 0.4);
+        let calm_acks = p.read_level(&calm).required_acks(5);
+        let calm_estimate = p.last_estimate().unwrap();
+        let spread_acks = p.read_level(&spread).required_acks(5);
+        let spread_estimate = p.last_estimate().unwrap();
+        assert!(spread_estimate > calm_estimate);
+        assert!(spread_acks >= calm_acks);
+        assert!(spread_acks > 1);
     }
 
     #[test]

@@ -97,13 +97,18 @@ impl ExperimentConfig {
     }
 }
 
-/// The controller configuration shared by the figure harness: a monitoring
-/// sweep every 250 ms (so even the shortest runs span several adaptation
-/// periods), rates smoothed over a one-second window, and a differential
-/// propagation window — writes are acknowledged once the first replica has
-/// applied them, so the staleness window fed to the model is the *spread* of
-/// replica propagation times rather than the full one-way latency.
-fn figure_controller_config() -> ControllerConfig {
+/// The controller configuration shared by the figure harness *and* the
+/// paper-claim integration tests (which exist to guard exactly what the
+/// figure binaries run): a monitoring sweep every 50 ms (so even the
+/// shortest runs span several adaptation periods), rates smoothed over a
+/// 250 ms window, and a differential propagation window — writes are
+/// acknowledged once the first replica has applied them, so the staleness
+/// window fed to the model is the *spread* of replica propagation times
+/// rather than the full one-way latency. The same calibration applies to the
+/// queueing model: only the differential fraction of the cross-replica
+/// queue-wait dispersion widens the window.
+pub fn figure_controller_config() -> ControllerConfig {
+    use harmony_model::queueing::QueueingModel;
     use harmony_model::staleness::PropagationModel;
     use harmony_monitor::collector::{EstimatorKind, MonitorConfig};
     ControllerConfig {
@@ -116,6 +121,17 @@ fn figure_controller_config() -> ControllerConfig {
             ..MonitorConfig::default()
         },
         propagation: PropagationModel::differential(0.02, 0.005),
+        // The queueing analogue of the differential latency window: only a
+        // small calibrated fraction of the measured cross-replica backlog
+        // dispersion enters the staleness window (the conditional closed
+        // form overweights long windows at high access rates), and the
+        // divergence detector requires the backlog to outgrow 4x its own
+        // magnitude per second so stable saturation is not misread as a
+        // runaway queue.
+        queueing: QueueingModel {
+            divergence_growth: 4.0,
+            ..QueueingModel::differential(1e-4)
+        },
         avg_write_size_bytes: 100.0,
     }
 }

@@ -79,7 +79,17 @@ struct NodeState {
     /// (in-flight in the delayed "network" or queued on the channel) — the
     /// live analogue of a pending-MutationStage count.
     pending_writes: AtomicU64,
+    /// Cumulative replica writes accepted for this node (arrival counter of
+    /// the write stage).
+    accepted_writes: AtomicU64,
+    /// Cumulative replica writes applied on this node (completion counter).
+    applied_writes: AtomicU64,
 }
+
+/// Modelled apply cost: a map insert behind a mutex, ~1 µs per pending
+/// write — conservative, so backlogs only surface milliseconds of lag when
+/// thousands of writes are truly pending.
+const APPLY_COST_MS: f64 = 0.001;
 
 fn node_loop(state: Arc<NodeState>, rx: Receiver<NodeMsg>) {
     while let Ok(msg) = rx.recv() {
@@ -99,6 +109,7 @@ fn node_loop(state: Arc<NodeState>, rx: Receiver<NodeMsg>) {
                     }
                 }
                 state.pending_writes.fetch_sub(1, Ordering::Relaxed);
+                state.applied_writes.fetch_add(1, Ordering::Relaxed);
                 let _ = ack.send(());
             }
             NodeMsg::Read { key, reply } => {
@@ -151,6 +162,8 @@ impl LiveCluster {
             let state = Arc::new(NodeState {
                 data: Mutex::new(HashMap::new()),
                 pending_writes: AtomicU64::new(0),
+                accepted_writes: AtomicU64::new(0),
+                applied_writes: AtomicU64::new(0),
             });
             states.push(Arc::clone(&state));
             handles.push(
@@ -189,19 +202,44 @@ impl LiveCluster {
     /// blind to write saturation on this backend either. Only mutations are
     /// counted; queued reads do not inflate the figure.
     pub fn mutation_backlog_ms(&self) -> f64 {
-        // An apply is a map insert behind a mutex; ~1 µs per pending write
-        // is a conservative service estimate, so this only surfaces
-        // milliseconds of lag when thousands of writes are truly pending.
-        const APPLY_COST_MS: f64 = 0.001;
         if self.states.is_empty() {
             return 0.0;
         }
-        let pending: u64 = self
-            .states
+        self.replica_backlog_ms().iter().sum::<f64>() / self.states.len() as f64
+    }
+
+    /// Per-node accepted-but-not-yet-applied write backlog in milliseconds,
+    /// one entry per node. The cross-node *dispersion* of these values is the
+    /// queue-wait spread signal of the queueing-aware staleness model, so the
+    /// live backend feeds the same saturation-awareness path as the
+    /// simulator.
+    pub fn replica_backlog_ms(&self) -> Vec<f64> {
+        self.states
             .iter()
-            .map(|s| s.pending_writes.load(Ordering::Relaxed))
-            .sum();
-        pending as f64 * APPLY_COST_MS / self.states.len() as f64
+            .map(|s| s.pending_writes.load(Ordering::Relaxed) as f64 * APPLY_COST_MS)
+            .collect()
+    }
+
+    /// Per-node write-stage telemetry (arrival/completion counters plus the
+    /// modelled apply cost as accumulated service time), so the monitor can
+    /// derive per-replica arrival rates and a truthful — if tiny — write-stage
+    /// utilisation on this backend too, instead of a structural zero that
+    /// would keep the divergence detector permanently disarmed.
+    pub fn write_stage_telemetry(&self) -> Vec<harmony_store::node::WriteStageTelemetry> {
+        self.states
+            .iter()
+            .map(|s| {
+                let completed = s.applied_writes.load(Ordering::Relaxed);
+                harmony_store::node::WriteStageTelemetry {
+                    arrivals: s.accepted_writes.load(Ordering::Relaxed),
+                    completed,
+                    service_ms_total: completed as f64 * APPLY_COST_MS,
+                    service_ms_sq_total: completed as f64 * APPLY_COST_MS * APPLY_COST_MS,
+                    queued: s.pending_writes.load(Ordering::Relaxed) as usize,
+                    busy: 0,
+                }
+            })
+            .collect()
     }
 
     /// The replica node indices for a key (first `replication_factor` nodes
@@ -231,6 +269,9 @@ impl LiveCluster {
         for (i, &r) in replicas.iter().enumerate() {
             self.states[r]
                 .pending_writes
+                .fetch_add(1, Ordering::Relaxed);
+            self.states[r]
+                .accepted_writes
                 .fetch_add(1, Ordering::Relaxed);
             let sender = self.senders[r].clone();
             let msg_key = key.to_string();

@@ -37,6 +37,12 @@ impl ClusterProbe for LiveProbe<'_> {
     fn mutation_backlog_ms(&self) -> f64 {
         self.cluster.mutation_backlog_ms()
     }
+    fn replica_backlog_ms(&self) -> Vec<f64> {
+        self.cluster.replica_backlog_ms()
+    }
+    fn write_stage_telemetry(&self) -> Vec<harmony_store::node::WriteStageTelemetry> {
+        self.cluster.write_stage_telemetry()
+    }
 }
 
 /// A live cluster with the Harmony control loop attached.

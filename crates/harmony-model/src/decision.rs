@@ -8,6 +8,7 @@
 //!     stale-read rate stays below app_stale_rate, and read at level Xn
 //! ```
 
+use crate::queueing::StalenessEstimate;
 use crate::staleness::StaleReadModel;
 use serde::{Deserialize, Serialize};
 
@@ -50,6 +51,32 @@ pub fn decide(
         ConsistencyDecision::Eventual
     } else {
         let xn = model.required_replicas(asr, read_rate, write_rate, tp_secs);
+        if xn <= 1 {
+            ConsistencyDecision::Eventual
+        } else {
+            ConsistencyDecision::Replicas(xn)
+        }
+    }
+}
+
+/// The queueing-aware decision scheme: identical control flow to [`decide`],
+/// but the stale-read estimate integrates over the propagation-time
+/// distribution of a [`StalenessEstimate`] instead of point-estimating `Tp`.
+/// With a zero-spread estimate this is exactly [`decide`] at
+/// `tp_secs = estimate.tp_mean_secs()`.
+pub fn decide_with_estimate(
+    model: &StaleReadModel,
+    app_stale_rate: f64,
+    read_rate: f64,
+    write_rate: f64,
+    estimate: &StalenessEstimate,
+) -> ConsistencyDecision {
+    let asr = app_stale_rate.clamp(0.0, 1.0);
+    let theta = model.stale_probability_estimate(read_rate, write_rate, estimate);
+    if asr >= theta {
+        ConsistencyDecision::Eventual
+    } else {
+        let xn = model.required_replicas_estimate(asr, read_rate, write_rate, estimate);
         if xn <= 1 {
             ConsistencyDecision::Eventual
         } else {
@@ -124,6 +151,49 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn estimate_decision_matches_scalar_decision_at_zero_spread() {
+        let model = StaleReadModel::new(5);
+        for &(r, w, tp) in &[(500.0, 300.0, 0.001), (4000.0, 3500.0, 0.0025)] {
+            for asr in [0.0, 0.1, 0.4, 1.0] {
+                let est = StalenessEstimate::deterministic(tp);
+                assert_eq!(
+                    decide_with_estimate(&model, asr, r, w, &est),
+                    decide(&model, asr, r, w, tp),
+                    "asr={asr} r={r} w={w} tp={tp}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diverging_estimate_decides_strong_for_strict_tolerance() {
+        let model = StaleReadModel::new(5);
+        let est = StalenessEstimate {
+            diverging: true,
+            ..StalenessEstimate::deterministic(0.0001)
+        };
+        assert_eq!(
+            decide_with_estimate(&model, 0.0, 2000.0, 1500.0, &est),
+            ConsistencyDecision::Replicas(5)
+        );
+        // Mid-range tolerances get ALL replicas too, not the N-1 the finite
+        // intensity ceiling alone would permit: while the queue diverges the
+        // real propagation window is unbounded.
+        for asr in [0.1, 0.3, 0.6, 0.9] {
+            assert_eq!(
+                decide_with_estimate(&model, asr, 2000.0, 1500.0, &est),
+                ConsistencyDecision::Replicas(5),
+                "asr={asr}"
+            );
+        }
+        // A fully tolerant application still reads at ONE.
+        assert_eq!(
+            decide_with_estimate(&model, 1.0, 2000.0, 1500.0, &est),
+            ConsistencyDecision::Eventual
+        );
     }
 
     #[test]

@@ -54,9 +54,11 @@
 
 pub mod decision;
 pub mod poisson;
+pub mod queueing;
 pub mod rates;
 pub mod staleness;
 
-pub use decision::{decide, ConsistencyDecision};
+pub use decision::{decide, decide_with_estimate, ConsistencyDecision};
+pub use queueing::{MG1Queue, QueueingModel, StalenessEstimate, WriteStageObservation};
 pub use rates::{EwmaRate, RateEstimate, SlidingWindowRate};
 pub use staleness::{PropagationModel, StaleReadModel};

@@ -17,7 +17,32 @@
 //! single-stale-replica approximation.
 
 use crate::poisson::{exponential_cdf, gamma_pdf};
+use crate::queueing::StalenessEstimate;
 use serde::{Deserialize, Serialize};
+
+/// Debug-assert that model inputs are physical (non-negative). Release builds
+/// clamp instead (see the `*_saturating` entry points), matching the paper's
+/// monitor which can only ever produce non-negative rates — a negative value
+/// reaching the model is a caller bug worth catching early in development.
+macro_rules! debug_check_rates {
+    ($read_rate:expr, $write_rate:expr, $tp_secs:expr) => {
+        debug_assert!(
+            $read_rate >= 0.0,
+            "read_rate must be non-negative, got {}",
+            $read_rate
+        );
+        debug_assert!(
+            $write_rate >= 0.0,
+            "write_rate must be non-negative, got {}",
+            $write_rate
+        );
+        debug_assert!(
+            $tp_secs >= 0.0,
+            "tp_secs must be non-negative, got {}",
+            $tp_secs
+        );
+    };
+}
 
 /// Models the update propagation time `Tp(Ln, avg_write_size)` (paper §IV):
 /// the time for a write to reach all replicas once it has been committed on
@@ -126,13 +151,41 @@ impl StaleReadModel {
     /// Paper Eq. (6): the probability that the next read is stale when reads
     /// are served by a single replica (consistency level ONE / basic eventual
     /// consistency). The result is clamped to `[0, 1]`.
+    ///
+    /// # Panics
+    /// Debug builds panic on negative rates or propagation time (degenerate
+    /// inputs indicate a caller bug); release builds clamp them to zero, which
+    /// yields a zero probability — use
+    /// [`StaleReadModel::stale_probability_saturating`] to get the clamped
+    /// behaviour without the assertion.
     pub fn stale_probability(&self, read_rate: f64, write_rate: f64, tp_secs: f64) -> f64 {
-        self.stale_probability_with_replicas(1, read_rate, write_rate, tp_secs)
+        debug_check_rates!(read_rate, write_rate, tp_secs);
+        self.stale_probability_saturating(read_rate, write_rate, tp_secs)
+    }
+
+    /// The non-asserting variant of [`StaleReadModel::stale_probability`]:
+    /// degenerate (negative) inputs are clamped to zero instead of tripping a
+    /// debug assertion, yielding a zero probability. This is the release-mode
+    /// behaviour of every entry point, made available explicitly for callers
+    /// that feed the model unsanitised telemetry.
+    pub fn stale_probability_saturating(
+        &self,
+        read_rate: f64,
+        write_rate: f64,
+        tp_secs: f64,
+    ) -> f64 {
+        let n = self.replication_factor as f64;
+        let a = self.intensity(read_rate.max(0.0), write_rate.max(0.0), tp_secs.max(0.0));
+        (((n - 1.0) / n) * a).clamp(0.0, 1.0)
     }
 
     /// The generalisation of Eq. (6) to a read touching `replicas_in_read`
     /// replicas (the `X` of Eq. 7). With `X = N` the probability is zero —
     /// reading all replicas always observes the latest committed write.
+    ///
+    /// # Panics
+    /// Debug builds panic on negative rates or propagation time; release
+    /// builds clamp (see [`StaleReadModel::stale_probability`]).
     pub fn stale_probability_with_replicas(
         &self,
         replicas_in_read: usize,
@@ -140,10 +193,105 @@ impl StaleReadModel {
         write_rate: f64,
         tp_secs: f64,
     ) -> f64 {
+        debug_check_rates!(read_rate, write_rate, tp_secs);
         let n = self.replication_factor as f64;
         let x = replicas_in_read.clamp(1, self.replication_factor) as f64;
         let a = self.intensity(read_rate, write_rate, tp_secs);
         (((n - x) / n) * a).clamp(0.0, 1.0)
+    }
+
+    /// The queueing-aware counterpart of [`StaleReadModel::stale_probability`]:
+    /// `Tp` is a distribution (deterministic network component plus the
+    /// Gamma-distributed queue-wait spread of a [`StalenessEstimate`]) and the
+    /// closed form is integrated over it exactly via the Laplace transform:
+    ///
+    /// `A = (1 - E[e^{-λr·Tp}]) (1 + λr·λw) / (λr·λw)`
+    ///
+    /// With zero spread variance this reduces to the scalar closed form at
+    /// `Tp = tp_mean_secs()` exactly. A diverging estimate pins the intensity
+    /// at its `Tp → ∞` ceiling.
+    pub fn stale_probability_estimate(
+        &self,
+        read_rate: f64,
+        write_rate: f64,
+        estimate: &StalenessEstimate,
+    ) -> f64 {
+        self.stale_probability_with_replicas_estimate(1, read_rate, write_rate, estimate)
+    }
+
+    /// [`StaleReadModel::stale_probability_with_replicas`] over a `Tp`
+    /// distribution (see [`StaleReadModel::stale_probability_estimate`]).
+    pub fn stale_probability_with_replicas_estimate(
+        &self,
+        replicas_in_read: usize,
+        read_rate: f64,
+        write_rate: f64,
+        estimate: &StalenessEstimate,
+    ) -> f64 {
+        debug_check_rates!(read_rate, write_rate, estimate.tp_mean_secs());
+        let n = self.replication_factor as f64;
+        let x = replicas_in_read.clamp(1, self.replication_factor) as f64;
+        let a = self.intensity_estimate(read_rate, write_rate, estimate);
+        (((n - x) / n) * a).clamp(0.0, 1.0)
+    }
+
+    /// [`StaleReadModel::required_replicas`] over a `Tp` distribution: the
+    /// minimal `Xn` keeping the integrated stale-read estimate within
+    /// `app_stale_rate`. A diverging estimate requires all `N` replicas
+    /// unless the tolerance already covers the ceiling.
+    pub fn required_replicas_estimate(
+        &self,
+        app_stale_rate: f64,
+        read_rate: f64,
+        write_rate: f64,
+        estimate: &StalenessEstimate,
+    ) -> usize {
+        let n = self.replication_factor;
+        let asr = app_stale_rate.clamp(0.0, 1.0);
+        let a = self.intensity_estimate(read_rate, write_rate, estimate);
+        if a <= 0.0 {
+            return 1;
+        }
+        if estimate.diverging {
+            // The intensity ceiling is finite, so the closed form alone would
+            // still permit fewer than N replicas — not safe while the real
+            // propagation window is unbounded. Either the tolerance covers
+            // the (clamped) ceiling estimate, or every replica must be read.
+            let theta = self.stale_probability_estimate(read_rate, write_rate, estimate);
+            return if asr >= theta { 1 } else { n };
+        }
+        let xn = n as f64 * (1.0 - asr / a);
+        if xn <= 1.0 {
+            1
+        } else {
+            (xn.ceil() as usize).min(n)
+        }
+    }
+
+    /// The staleness window intensity `A` integrated over the `Tp`
+    /// distribution (exact, via the Laplace transform of the queue-wait
+    /// spread).
+    fn intensity_estimate(
+        &self,
+        read_rate: f64,
+        write_rate: f64,
+        estimate: &StalenessEstimate,
+    ) -> f64 {
+        let read_rate = read_rate.max(0.0);
+        let write_rate = write_rate.max(0.0);
+        if read_rate <= 0.0 || write_rate <= 0.0 {
+            return 0.0;
+        }
+        let product = read_rate / write_rate; // λr·λw in the paper's notation
+        let ceiling = (1.0 + product) / product;
+        if estimate.diverging {
+            // Tp → ∞: the transform vanishes and the intensity hits its cap.
+            return ceiling;
+        }
+        if estimate.tp_mean_secs() <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - estimate.laplace(read_rate)) * ceiling
     }
 
     /// Paper Eq. (8): the minimal number of replicas `Xn` a read must touch so
@@ -157,6 +305,7 @@ impl StaleReadModel {
         write_rate: f64,
         tp_secs: f64,
     ) -> usize {
+        debug_check_rates!(read_rate, write_rate, tp_secs);
         let n = self.replication_factor;
         let asr = app_stale_rate.clamp(0.0, 1.0);
         let a = self.intensity(read_rate, write_rate, tp_secs);
@@ -252,7 +401,42 @@ mod tests {
         assert_eq!(m.stale_probability(0.0, 100.0, 0.001), 0.0);
         assert_eq!(m.stale_probability(100.0, 0.0, 0.001), 0.0);
         assert_eq!(m.stale_probability(100.0, 100.0, 0.0), 0.0);
-        assert_eq!(m.stale_probability(-5.0, 100.0, 0.001), 0.0);
+    }
+
+    /// The release-mode (clamping) contract for negative inputs, available in
+    /// all builds through the explicitly saturating entry point.
+    #[test]
+    fn negative_inputs_saturate_to_zero_probability() {
+        let m = StaleReadModel::new(5);
+        assert_eq!(m.stale_probability_saturating(-5.0, 100.0, 0.001), 0.0);
+        assert_eq!(m.stale_probability_saturating(100.0, -1.0, 0.001), 0.0);
+        assert_eq!(m.stale_probability_saturating(100.0, 100.0, -0.2), 0.0);
+        // Non-degenerate inputs agree with the asserting entry point.
+        assert_eq!(
+            m.stale_probability_saturating(100.0, 100.0, 0.001),
+            m.stale_probability(100.0, 100.0, 0.001)
+        );
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "read_rate must be non-negative")]
+    fn negative_read_rate_panics_in_debug() {
+        StaleReadModel::new(5).stale_probability(-5.0, 100.0, 0.001);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "write_rate must be non-negative")]
+    fn negative_write_rate_panics_in_debug() {
+        StaleReadModel::new(5).stale_probability(100.0, -5.0, 0.001);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "tp_secs must be non-negative")]
+    fn negative_tp_panics_in_debug() {
+        StaleReadModel::new(5).required_replicas(0.2, 100.0, 100.0, -0.001);
     }
 
     #[test]
@@ -392,6 +576,68 @@ mod tests {
                 "closed={closed} numeric={numeric} r={r} w={w} tp={tp}"
             );
         }
+    }
+
+    #[test]
+    fn deterministic_estimate_reduces_to_closed_form() {
+        let m = StaleReadModel::new(5);
+        for &(r, w, tp) in &[
+            (1000.0, 800.0, 0.001),
+            (200.0, 50.0, 0.0004),
+            (5000.0, 5000.0, 0.01),
+        ] {
+            let est = StalenessEstimate::deterministic(tp);
+            assert!(
+                close(
+                    m.stale_probability_estimate(r, w, &est),
+                    m.stale_probability(r, w, tp),
+                    1e-12
+                ),
+                "r={r} w={w} tp={tp}"
+            );
+            for asr in [0.0, 0.2, 0.6] {
+                assert_eq!(
+                    m.required_replicas_estimate(asr, r, w, &est),
+                    m.required_replicas(asr, r, w, tp)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spread_widens_the_estimate() {
+        let m = StaleReadModel::new(5);
+        let narrow = StalenessEstimate::deterministic(0.0002);
+        let wide = StalenessEstimate {
+            spread_mean_secs: 0.0005,
+            spread_variance_secs2: 0.0005f64.powi(2) / 2.0,
+            ..narrow
+        };
+        let p_narrow = m.stale_probability_estimate(800.0, 600.0, &narrow);
+        let p_wide = m.stale_probability_estimate(800.0, 600.0, &wide);
+        assert!(p_wide > p_narrow, "wide={p_wide} narrow={p_narrow}");
+    }
+
+    #[test]
+    fn diverging_estimate_hits_the_ceiling() {
+        let m = StaleReadModel::new(5);
+        let diverging = StalenessEstimate {
+            diverging: true,
+            ..StalenessEstimate::deterministic(0.0001)
+        };
+        // The ceiling equals the Tp → ∞ limit of the closed form.
+        let limit = m.stale_probability(800.0, 600.0, 1e6);
+        assert_eq!(
+            m.stale_probability_estimate(800.0, 600.0, &diverging),
+            limit
+        );
+        // Zero tolerance under a diverging queue reads everything.
+        assert_eq!(
+            m.required_replicas_estimate(0.0, 800.0, 600.0, &diverging),
+            5
+        );
+        // An idle system is never stale even if flagged diverging.
+        assert_eq!(m.stale_probability_estimate(0.0, 600.0, &diverging), 0.0);
     }
 
     #[test]

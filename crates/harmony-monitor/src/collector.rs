@@ -71,6 +71,22 @@ pub struct MonitorSample {
     /// Mean mutation-stage backlog per node (milliseconds of expected extra
     /// write-apply delay); zero for backends that cannot measure it.
     pub backlog_ms: f64,
+    /// Standard deviation of the per-node mutation backlog across replicas
+    /// (milliseconds) — the queue-wait dispersion that widens the staleness
+    /// window; zero for backends reporting only the aggregate backlog.
+    pub backlog_spread_ms: f64,
+    /// Rate of change of the mean backlog over the recent sweep history
+    /// (milliseconds of backlog per second); positive while the queue grows.
+    pub backlog_trend_ms_per_s: f64,
+    /// Smoothed replica-write arrival rate per node's mutation stage (jobs/s).
+    pub write_arrival_rate_per_replica: f64,
+    /// Measured mean mutation service time (milliseconds), normalised by the
+    /// node's service concurrency so it is directly comparable with the
+    /// backlog-per-queued-mutation figure.
+    pub write_service_mean_ms: f64,
+    /// Squared coefficient of variation of the measured mutation service time
+    /// (1.0 when nothing has been measured yet — the exponential assumption).
+    pub write_service_scv: f64,
     /// How long the sweep itself took (milliseconds).
     pub sweep_duration_ms: f64,
 }
@@ -99,11 +115,35 @@ impl Estimator {
 pub struct Monitor {
     config: MonitorConfig,
     estimator: Estimator,
+    /// Smooths the replica-write (mutation-stage) arrival counts the same way
+    /// client rates are smoothed; writes side unused.
+    arrival_estimator: Estimator,
     last_sweep_at: Option<SimTime>,
     last_reads: u64,
     last_writes: u64,
+    last_write_arrivals: u64,
+    last_service_completed: u64,
+    last_service_ms_total: f64,
+    last_service_ms_sq_total: f64,
+    /// Most recent per-sweep service-time estimates, retained across sweeps
+    /// that complete no mutations (or hit a counter reset).
+    last_service_mean_ms: f64,
+    last_service_scv: f64,
     last_latency_ms: f64,
+    /// Recent (time, mean backlog) points used for the trend estimate.
+    backlog_history: std::collections::VecDeque<(SimTime, f64)>,
     history: Vec<MonitorSample>,
+}
+
+/// Population mean and standard deviation of a slice; (0, 0) when empty.
+fn mean_and_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    (mean, var.max(0.0).sqrt())
 }
 
 impl Monitor {
@@ -117,19 +157,37 @@ impl Monitor {
             config.interval_secs > 0.0,
             "monitoring interval must be positive"
         );
-        let estimator = match config.estimator {
+        let build = |kind: EstimatorKind| match kind {
             EstimatorKind::SlidingWindow(secs) => Estimator::Window(SlidingWindowRate::new(secs)),
             EstimatorKind::Ewma(alpha) => Estimator::Ewma(EwmaRate::new(alpha)),
         };
         Monitor {
+            estimator: build(config.estimator),
+            arrival_estimator: build(config.estimator),
             config,
-            estimator,
             last_sweep_at: None,
             last_reads: 0,
             last_writes: 0,
+            last_write_arrivals: 0,
+            last_service_completed: 0,
+            last_service_ms_total: 0.0,
+            last_service_ms_sq_total: 0.0,
+            last_service_mean_ms: 0.0,
+            last_service_scv: 1.0,
             last_latency_ms: 0.0,
+            backlog_history: std::collections::VecDeque::new(),
             history: Vec::new(),
         }
+    }
+
+    /// How far back the backlog-trend estimate looks: the sliding-window
+    /// length when one is configured, and never less than a few sweeps.
+    fn trend_window_secs(&self) -> f64 {
+        let base = match self.config.estimator {
+            EstimatorKind::SlidingWindow(secs) => secs,
+            EstimatorKind::Ewma(_) => 0.0,
+        };
+        base.max(self.config.interval_secs * 5.0)
     }
 
     /// The monitor configuration.
@@ -162,7 +220,47 @@ impl Monitor {
             .config
             .latency_aggregation
             .apply(&[probe.probe_latency_ms()]);
-        let backlog_ms = probe.mutation_backlog_ms().max(0.0);
+
+        // Backlog: prefer the per-node view (mean + cross-replica spread);
+        // fall back to the scalar aggregate for backends without it.
+        let replica_backlogs = probe.replica_backlog_ms();
+        let (backlog_ms, backlog_spread_ms) = if replica_backlogs.is_empty() {
+            (probe.mutation_backlog_ms().max(0.0), 0.0)
+        } else {
+            mean_and_std(&replica_backlogs)
+        };
+
+        // Write-stage telemetry: arrival counts feed a smoothed per-replica
+        // arrival rate; per-sweep *deltas* of the accumulated sampled service
+        // times give the measured service mean and SCV (normalised per
+        // concurrency slot), so a drifting service time is visible within one
+        // sweep instead of being averaged away by the run's history. A
+        // counter reset (node restart) makes a delta go negative; the sweep
+        // then retains the previous estimates and re-baselines.
+        let telemetry = probe.write_stage_telemetry();
+        let write_arrivals: u64 = telemetry.iter().map(|t| t.arrivals).sum();
+        let completed: u64 = telemetry.iter().map(|t| t.completed).sum();
+        let service_total_ms: f64 = telemetry.iter().map(|t| t.service_ms_total).sum();
+        let service_sq_total: f64 = telemetry.iter().map(|t| t.service_ms_sq_total).sum();
+        let concurrency = probe.write_stage_concurrency().max(1) as f64;
+        let completed_delta = completed.saturating_sub(self.last_service_completed);
+        let service_ms_delta = service_total_ms - self.last_service_ms_total;
+        let service_sq_delta = service_sq_total - self.last_service_ms_sq_total;
+        let reset = completed < self.last_service_completed
+            || service_ms_delta < 0.0
+            || service_sq_delta < 0.0;
+        if !reset && completed_delta > 0 && service_ms_delta > 0.0 {
+            let raw_mean = service_ms_delta / completed_delta as f64;
+            let raw_var =
+                (service_sq_delta / completed_delta as f64 - raw_mean * raw_mean).max(0.0);
+            self.last_service_mean_ms = raw_mean / concurrency;
+            self.last_service_scv = raw_var / (raw_mean * raw_mean);
+        }
+        self.last_service_completed = completed;
+        self.last_service_ms_total = service_total_ms;
+        self.last_service_ms_sq_total = service_sq_total;
+        let (write_service_mean_ms, write_service_scv) =
+            (self.last_service_mean_ms, self.last_service_scv);
 
         let elapsed_secs = match self.last_sweep_at {
             Some(prev) => now.saturating_sub(prev).as_secs_f64(),
@@ -171,16 +269,44 @@ impl Monitor {
 
         let reads_delta = reads.saturating_sub(self.last_reads);
         let writes_delta = writes.saturating_sub(self.last_writes);
+        let arrivals_delta = write_arrivals.saturating_sub(self.last_write_arrivals);
         if elapsed_secs > 0.0 {
             self.estimator
                 .observe(elapsed_secs, reads_delta, writes_delta);
+            self.arrival_estimator
+                .observe(elapsed_secs, arrivals_delta, 0);
         }
+
+        // Backlog trend: slope between the oldest retained point and now.
+        let backlog_trend_ms_per_s = match self.backlog_history.front() {
+            Some(&(t0, b0)) => {
+                let dt = now.saturating_sub(t0).as_secs_f64();
+                if dt > 0.0 {
+                    (backlog_ms - b0) / dt
+                } else {
+                    0.0
+                }
+            }
+            None => 0.0,
+        };
+        self.backlog_history.push_back((now, backlog_ms));
+        let horizon = SimTime::from_secs_f64(self.trend_window_secs());
+        while let Some(&(t0, _)) = self.backlog_history.front() {
+            if now.saturating_sub(t0) > horizon && self.backlog_history.len() > 2 {
+                self.backlog_history.pop_front();
+            } else {
+                break;
+            }
+        }
+
         self.last_sweep_at = Some(now);
         self.last_reads = reads;
         self.last_writes = writes;
+        self.last_write_arrivals = write_arrivals;
         self.last_latency_ms = latency_ms;
 
         let est = self.estimator.estimate();
+        let nodes = probe.node_count().max(1) as f64;
         let sample = MonitorSample {
             at: now,
             elapsed_secs,
@@ -190,6 +316,11 @@ impl Monitor {
             write_rate: est.writes_per_sec,
             latency_ms,
             backlog_ms,
+            backlog_spread_ms,
+            backlog_trend_ms_per_s,
+            write_arrival_rate_per_replica: self.arrival_estimator.estimate().reads_per_sec / nodes,
+            write_service_mean_ms,
+            write_service_scv,
             sweep_duration_ms: sweep_duration.as_millis_f64(),
         };
         self.history.push(sample);
@@ -239,6 +370,7 @@ mod tests {
             latency_ms: 0.4,
             nodes: 8,
             backlog_ms: 0.0,
+            ..MockProbe::default()
         };
         m.sweep(SimTime::from_secs(1), &probe);
         probe.reads = 1000;
@@ -270,6 +402,7 @@ mod tests {
             latency_ms: 1.0,
             nodes: 4,
             backlog_ms: 0.0,
+            ..MockProbe::default()
         };
         m.sweep(SimTime::from_secs(1), &probe);
         // A node restart could reset the counters; delta saturates at zero.
@@ -308,6 +441,7 @@ mod tests {
             latency_ms: 1.0,
             nodes: 1,
             backlog_ms: 0.0,
+            ..MockProbe::default()
         };
         m.sweep(SimTime::from_secs(1), &probe);
         probe.reads = 1100;
@@ -337,6 +471,193 @@ mod tests {
         // Samples are 0/s (first sweep), 100/s, 200/s; with alpha 0.5 the
         // EWMA is 0.5*200 + 0.25*100 + 0.25*0 = 125/s.
         assert!((m.current_rates().reads_per_sec - 125.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn per_replica_backlogs_produce_mean_and_spread() {
+        let mut m = monitor();
+        let probe = MockProbe {
+            nodes: 4,
+            latency_ms: 0.3,
+            backlog_ms: 99.0, // ignored: the per-replica view wins
+            replica_backlogs: vec![1.0, 3.0, 5.0, 7.0],
+            ..MockProbe::default()
+        };
+        let s = m.sweep(SimTime::from_secs(1), &probe);
+        assert!((s.backlog_ms - 4.0).abs() < 1e-12);
+        // Population std of [1,3,5,7] = sqrt(5).
+        assert!((s.backlog_spread_ms - 5.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scalar_backlog_fallback_has_zero_spread() {
+        let mut m = monitor();
+        let probe = MockProbe {
+            nodes: 4,
+            latency_ms: 0.3,
+            backlog_ms: 2.5,
+            ..MockProbe::default()
+        };
+        let s = m.sweep(SimTime::from_secs(1), &probe);
+        assert_eq!(s.backlog_ms, 2.5);
+        assert_eq!(s.backlog_spread_ms, 0.0);
+    }
+
+    #[test]
+    fn backlog_trend_tracks_growth_and_plateau() {
+        let mut m = monitor();
+        let mut probe = MockProbe {
+            nodes: 2,
+            latency_ms: 0.3,
+            ..MockProbe::default()
+        };
+        // Growing backlog: 0 → 2 → 4 ms over two 1-second steps.
+        for (i, b) in [0.0, 2.0, 4.0].iter().enumerate() {
+            probe.backlog_ms = *b;
+            m.sweep(SimTime::from_secs(i as u64 + 1), &probe);
+        }
+        let s = m.history().last().copied().unwrap();
+        assert!(
+            (s.backlog_trend_ms_per_s - 2.0).abs() < 1e-9,
+            "trend={}",
+            s.backlog_trend_ms_per_s
+        );
+        // Plateau: the trend decays back towards zero.
+        for i in 4..=12u64 {
+            probe.backlog_ms = 4.0;
+            m.sweep(SimTime::from_secs(i), &probe);
+        }
+        let s = m.history().last().copied().unwrap();
+        assert!(
+            s.backlog_trend_ms_per_s.abs() < 0.2,
+            "trend={}",
+            s.backlog_trend_ms_per_s
+        );
+    }
+
+    #[test]
+    fn write_stage_telemetry_yields_arrival_rate_and_service_stats() {
+        use harmony_store::node::WriteStageTelemetry;
+        let mut m = Monitor::new(MonitorConfig {
+            estimator: EstimatorKind::Ewma(1.0),
+            probe_cost_per_node_ms: 0.0,
+            ..MonitorConfig::default()
+        });
+        let mut probe = MockProbe {
+            nodes: 2,
+            latency_ms: 0.3,
+            write_concurrency: 2,
+            ..MockProbe::default()
+        };
+        m.sweep(SimTime::from_secs(1), &probe);
+        // 400 mutations arrive across 2 nodes in 1 s; mean sampled service
+        // 0.5 ms with some dispersion.
+        probe.write_telemetry = vec![
+            WriteStageTelemetry {
+                arrivals: 200,
+                completed: 200,
+                service_ms_total: 100.0,
+                service_ms_sq_total: 100.0,
+                queued: 0,
+                busy: 0,
+            },
+            WriteStageTelemetry {
+                arrivals: 200,
+                completed: 200,
+                service_ms_total: 100.0,
+                service_ms_sq_total: 50.0,
+                queued: 0,
+                busy: 0,
+            },
+        ];
+        let s = m.sweep(SimTime::from_secs(2), &probe);
+        // 400 arrivals / 1 s / 2 nodes = 200 jobs/s per replica.
+        assert!(
+            (s.write_arrival_rate_per_replica - 200.0).abs() < 1.0,
+            "rate={}",
+            s.write_arrival_rate_per_replica
+        );
+        // Raw mean 0.5 ms normalised by concurrency 2 → 0.25 ms.
+        assert!(
+            (s.write_service_mean_ms - 0.25).abs() < 1e-9,
+            "mean={}",
+            s.write_service_mean_ms
+        );
+        // SCV = var / mean² on the raw scale: (0.375/0.25 - 1) = 0.5.
+        assert!(
+            (s.write_service_scv - 0.5).abs() < 1e-9,
+            "scv={}",
+            s.write_service_scv
+        );
+    }
+
+    #[test]
+    fn service_stats_track_drift_and_survive_counter_resets() {
+        use harmony_store::node::WriteStageTelemetry;
+        let mut m = monitor();
+        let mut probe = MockProbe {
+            nodes: 1,
+            latency_ms: 0.3,
+            write_concurrency: 1,
+            ..MockProbe::default()
+        };
+        let telemetry = |completed: u64, per_job_ms: f64| {
+            vec![WriteStageTelemetry {
+                arrivals: completed,
+                completed,
+                service_ms_total: completed as f64 * per_job_ms,
+                service_ms_sq_total: completed as f64 * per_job_ms * per_job_ms,
+                queued: 0,
+                busy: 0,
+            }]
+        };
+        // 100 jobs at 0.5 ms each.
+        probe.write_telemetry = telemetry(100, 0.5);
+        let s = m.sweep(SimTime::from_secs(1), &probe);
+        assert!((s.write_service_mean_ms - 0.5).abs() < 1e-9);
+        // The next 100 jobs take 2 ms each (noisy neighbour): the per-sweep
+        // delta sees the new mean immediately, not the run-lifetime average.
+        probe.write_telemetry = vec![WriteStageTelemetry {
+            arrivals: 200,
+            completed: 200,
+            service_ms_total: 100.0 * 0.5 + 100.0 * 2.0,
+            service_ms_sq_total: 100.0 * 0.25 + 100.0 * 4.0,
+            queued: 0,
+            busy: 0,
+        }];
+        let s = m.sweep(SimTime::from_secs(2), &probe);
+        assert!(
+            (s.write_service_mean_ms - 2.0).abs() < 1e-9,
+            "mean={}",
+            s.write_service_mean_ms
+        );
+        // Node restart: counters reset below the baseline. The sweep keeps
+        // the previous estimates instead of mixing epochs.
+        probe.write_telemetry = telemetry(10, 0.5);
+        let s = m.sweep(SimTime::from_secs(3), &probe);
+        assert!((s.write_service_mean_ms - 2.0).abs() < 1e-9);
+        // After re-baselining, fresh deltas are measured again.
+        probe.write_telemetry = telemetry(60, 0.5);
+        let s = m.sweep(SimTime::from_secs(4), &probe);
+        assert!(
+            (s.write_service_mean_ms - 0.5).abs() < 1e-9,
+            "mean={}",
+            s.write_service_mean_ms
+        );
+    }
+
+    #[test]
+    fn missing_write_telemetry_defaults_to_exponential_assumption() {
+        let mut m = monitor();
+        let probe = MockProbe {
+            nodes: 3,
+            latency_ms: 0.2,
+            ..MockProbe::default()
+        };
+        let s = m.sweep(SimTime::from_secs(1), &probe);
+        assert_eq!(s.write_arrival_rate_per_replica, 0.0);
+        assert_eq!(s.write_service_mean_ms, 0.0);
+        assert_eq!(s.write_service_scv, 1.0);
     }
 
     #[test]

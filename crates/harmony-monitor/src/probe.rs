@@ -6,6 +6,7 @@
 //! them through [`ClusterProbe`].
 
 use harmony_store::cluster::Cluster;
+use harmony_store::node::WriteStageTelemetry;
 
 /// A source of monitoring signals.
 pub trait ClusterProbe {
@@ -29,6 +30,27 @@ pub trait ClusterProbe {
     /// network model.
     fn mutation_backlog_ms(&self) -> f64 {
         0.0
+    }
+    /// Per-node mutation-stage backlog in milliseconds (one entry per node).
+    /// The *dispersion* of these values across replicas is the queue-wait
+    /// spread signal of the queueing-aware staleness model; backends that can
+    /// only measure the aggregate report an empty vector and the model
+    /// degrades to the scalar backlog.
+    fn replica_backlog_ms(&self) -> Vec<f64> {
+        Vec::new()
+    }
+    /// Cumulative write-stage telemetry per node (arrivals, completions,
+    /// accumulated sampled service times). The monitor turns deltas of these
+    /// counters into per-replica arrival rates and the measured service-time
+    /// mean/SCV the M/G/1 model consumes. Backends that cannot measure it
+    /// report an empty vector.
+    fn write_stage_telemetry(&self) -> Vec<WriteStageTelemetry> {
+        Vec::new()
+    }
+    /// Per-node mutation-stage service concurrency (worker slots). Used to
+    /// normalise measured service times into effective per-slot-group values.
+    fn write_stage_concurrency(&self) -> usize {
+        1
     }
 }
 
@@ -56,6 +78,18 @@ impl ClusterProbe for Cluster {
     fn mutation_backlog_ms(&self) -> f64 {
         Cluster::mutation_backlog_ms(self)
     }
+
+    fn replica_backlog_ms(&self) -> Vec<f64> {
+        Cluster::replica_backlog_ms(self)
+    }
+
+    fn write_stage_telemetry(&self) -> Vec<WriteStageTelemetry> {
+        Cluster::write_stage_telemetry(self)
+    }
+
+    fn write_stage_concurrency(&self) -> usize {
+        self.config().node_concurrency
+    }
 }
 
 /// A scripted probe for unit tests and offline model exploration.
@@ -71,6 +105,12 @@ pub struct MockProbe {
     pub nodes: usize,
     /// Mutation backlog to report (ms).
     pub backlog_ms: f64,
+    /// Per-node backlogs to report (ms); empty = not measured.
+    pub replica_backlogs: Vec<f64>,
+    /// Per-node write-stage telemetry to report; empty = not measured.
+    pub write_telemetry: Vec<WriteStageTelemetry>,
+    /// Write-stage concurrency to report (0 is treated as 1).
+    pub write_concurrency: usize,
 }
 
 impl ClusterProbe for MockProbe {
@@ -88,6 +128,15 @@ impl ClusterProbe for MockProbe {
     }
     fn mutation_backlog_ms(&self) -> f64 {
         self.backlog_ms
+    }
+    fn replica_backlog_ms(&self) -> Vec<f64> {
+        self.replica_backlogs.clone()
+    }
+    fn write_stage_telemetry(&self) -> Vec<WriteStageTelemetry> {
+        self.write_telemetry.clone()
+    }
+    fn write_stage_concurrency(&self) -> usize {
+        self.write_concurrency.max(1)
     }
 }
 
@@ -107,6 +156,7 @@ mod tests {
             latency_ms: 1.5,
             nodes: 4,
             backlog_ms: 0.0,
+            ..MockProbe::default()
         };
         assert_eq!(p.total_reads(), 10);
         assert_eq!(p.total_writes(), 20);

@@ -45,10 +45,12 @@ pub mod event;
 pub mod latency;
 pub mod profiles;
 pub mod rng;
+pub mod service;
 pub mod topology;
 
 pub use clock::SimTime;
 pub use engine::Simulation;
 pub use event::EventQueue;
 pub use latency::Latency;
+pub use service::ServiceModel;
 pub use topology::{NodeId, Topology};

@@ -10,6 +10,8 @@
 use harmony_sim::clock::SimTime;
 use harmony_sim::engine::Simulation;
 use harmony_sim::latency::Latency;
+use harmony_sim::service::ServiceModel;
+use harmony_sim::topology::NodeId;
 use rand::Rng;
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -74,4 +76,71 @@ fn different_seed_produces_different_trace() {
 fn trace_times_are_monotonic() {
     let t = trace(7);
     assert!(t.windows(2).all(|w| w[0].0 <= w[1].0));
+}
+
+/// Per-node write-stage service-time events: arrivals flow through a bounded
+/// single-server queue per node whose service times come from the per-node
+/// [`ServiceModel`]. The trace records, for every completed unit of work,
+/// the node, the sampled service time and the queue wait it experienced —
+/// the exact quantities the queueing-aware staleness model consumes.
+#[derive(Debug, Clone, PartialEq)]
+enum QEv {
+    Arrive(u32),
+    Finish(u32),
+}
+
+fn service_trace(seed: u64) -> Vec<(SimTime, u32, SimTime, SimTime)> {
+    let model = ServiceModel::erlang_ms(0.8, 2).with_node_factors(vec![1.0, 2.5, 0.7]);
+    let mut sim: Simulation<QEv> = Simulation::new(seed);
+    let arrivals = 120u32;
+    // Poisson-ish arrivals over 3 nodes, scheduled up front from the sim RNG.
+    let mut t = SimTime::ZERO;
+    for i in 0..arrivals {
+        let gap = -(1.0 - sim.rng().gen::<f64>()).ln() * 0.25; // mean 0.25 ms
+        t += SimTime::from_millis_f64(gap);
+        sim.schedule_at(t, QEv::Arrive(i % 3));
+    }
+    // Per-node single-server FIFO queue state: (busy-until, waiting count).
+    let mut busy_until = [SimTime::ZERO; 3];
+    let mut out = Vec::new();
+    while let Some((now, ev)) = sim.next() {
+        match ev {
+            QEv::Arrive(node) => {
+                let start = busy_until[node as usize].max(now);
+                let wait = start.saturating_sub(now);
+                let service = model.sample(NodeId(node), sim.rng());
+                busy_until[node as usize] = start + service;
+                out.push((now, node, service, wait));
+                sim.schedule_at(busy_until[node as usize], QEv::Finish(node));
+            }
+            QEv::Finish(_) => {}
+        }
+    }
+    out
+}
+
+#[test]
+fn same_seed_reproduces_service_times_and_queue_waits() {
+    let a = service_trace(0x5EED);
+    let b = service_trace(0x5EED);
+    assert_eq!(a.len(), 120);
+    assert_eq!(
+        a, b,
+        "same seed must reproduce every service-time sample and queue wait"
+    );
+    // The heterogeneous factors actually matter: the straggler node (factor
+    // 2.5) accumulates longer waits than the fast node (factor 0.7).
+    let total_wait = |trace: &[(SimTime, u32, SimTime, SimTime)], node: u32| {
+        trace
+            .iter()
+            .filter(|(_, n, _, _)| *n == node)
+            .map(|(_, _, _, w)| w.as_millis_f64())
+            .sum::<f64>()
+    };
+    assert!(total_wait(&a, 1) > total_wait(&a, 2));
+}
+
+#[test]
+fn different_seed_changes_service_samples() {
+    assert_ne!(service_trace(3), service_trace(4));
 }

@@ -15,11 +15,12 @@ use crate::config::StoreConfig;
 use crate::consistency::ConsistencyLevel;
 use crate::hashring::HashRing;
 use crate::messages::{Message, OpId, OpKind, StoreEvent};
-use crate::node::{NodeCounters, Stage, StorageNode};
+use crate::node::{NodeCounters, Stage, StorageNode, WriteStageTelemetry};
 use crate::types::{Key, Mutation, Row, Timestamp};
 use harmony_sim::clock::SimTime;
 use harmony_sim::engine::Simulation;
 use harmony_sim::rng::RngFactory;
+use harmony_sim::service::ServiceModel;
 use harmony_sim::topology::{NetworkModel, NodeId, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -112,6 +113,8 @@ pub struct Cluster {
     network: NetworkModel,
     ring: HashRing,
     nodes: Vec<StorageNode>,
+    read_service: ServiceModel,
+    write_service: ServiceModel,
     rng: StdRng,
     next_op: u64,
     last_timestamp: u64,
@@ -145,6 +148,11 @@ impl Cluster {
             .nodes()
             .map(|id| StorageNode::new(id, config.engine, config.node_concurrency))
             .collect();
+        let read_service = ServiceModel::exponential_ms(config.read_service_ms)
+            .with_node_factors(config.node_service_factors.clone());
+        let write_service =
+            ServiceModel::erlang_ms(config.write_service_ms, config.write_service_shape)
+                .with_node_factors(config.node_service_factors.clone());
         Cluster {
             rng: rng_factory.stream("store-cluster"),
             config,
@@ -152,6 +160,8 @@ impl Cluster {
             network,
             ring,
             nodes,
+            read_service,
+            write_service,
             next_op: 0,
             last_timestamp: 0,
             pending_reads: HashMap::new(),
@@ -233,24 +243,46 @@ impl Cluster {
         total / pairs as f64
     }
 
-    /// Mean per-node mutation-stage backlog expressed as the expected extra
-    /// delay (milliseconds) a newly arriving replica write waits before being
-    /// applied — the `nodetool tpstats` "pending MutationStage tasks"
-    /// analogue. Near saturation this queueing delay, not the network
-    /// transfer, dominates the real propagation time of a write, so the
-    /// monitoring module must see it for the staleness estimate to track
-    /// ground truth.
+    /// Per-node mutation-stage backlog: the expected extra delay
+    /// (milliseconds) a newly arriving replica write waits on each node before
+    /// being applied — the `nodetool tpstats` "pending MutationStage tasks"
+    /// analogue, one entry per node. The *dispersion* of these values across
+    /// replicas is what widens the staleness window under saturation (the
+    /// queueing-aware model's key signal); their mean is the absolute backlog.
+    pub fn replica_backlog_ms(&self) -> Vec<f64> {
+        let concurrency = self.config.node_concurrency.max(1) as f64;
+        self.nodes
+            .iter()
+            .map(|n| {
+                let mean_ms = self.write_service.mean_ms_for(n.id);
+                if mean_ms <= 0.0 {
+                    0.0
+                } else {
+                    n.queue_len(Stage::Write) as f64 / concurrency * mean_ms
+                }
+            })
+            .collect()
+    }
+
+    /// Mean per-node mutation-stage backlog (milliseconds); see
+    /// [`Cluster::replica_backlog_ms`].
     pub fn mutation_backlog_ms(&self) -> f64 {
-        if self.nodes.is_empty() || self.config.write_service_ms <= 0.0 {
+        if self.nodes.is_empty() {
             return 0.0;
         }
-        let concurrency = self.config.node_concurrency.max(1) as f64;
-        let total: f64 = self
-            .nodes
+        self.replica_backlog_ms().iter().sum::<f64>() / self.nodes.len() as f64
+    }
+
+    /// Cumulative write-stage telemetry per node: arrival and completion
+    /// counts plus accumulated sampled service times, the raw input of the
+    /// M/G/1 write-stage model. The per-replica arrival rate and the measured
+    /// service-time mean/variance are derived from deltas of these counters by
+    /// the monitoring module.
+    pub fn write_stage_telemetry(&self) -> Vec<WriteStageTelemetry> {
+        self.nodes
             .iter()
-            .map(|n| n.queue_len(Stage::Write) as f64 / concurrency * self.config.write_service_ms)
-            .sum();
-        total / self.nodes.len() as f64
+            .map(|n| n.write_stage_telemetry())
+            .collect()
     }
 
     /// The replica set (primary first) for a key under the configured
@@ -311,20 +343,24 @@ impl Cluster {
         self.network.sample(&self.topology, from, to, &mut self.rng)
     }
 
-    fn service_time(&mut self, message: &Message) -> SimTime {
-        let mean_ms = match message {
-            Message::ReplicaRead { .. } => self.config.read_service_ms,
-            Message::ReplicaWrite { .. } | Message::RepairWrite { .. } => {
-                self.config.write_service_ms
-            }
-            _ => 0.0,
-        };
-        if mean_ms <= 0.0 {
+    /// Samples the service time of `message` on `node` from the per-node
+    /// service model, and threads the sampled duration into the node's
+    /// write-stage telemetry (the monitoring module derives the measured
+    /// service-time mean and variance from it).
+    fn service_time(&mut self, node: NodeId, message: &Message) -> SimTime {
+        let Some(stage) = Stage::of(message) else {
             return SimTime::ZERO;
-        }
-        // Exponential service time with the configured mean.
-        let u: f64 = self.rng.gen::<f64>();
-        SimTime::from_millis_f64(-(1.0 - u).ln() * mean_ms)
+        };
+        let model = match stage {
+            Stage::Read => &self.read_service,
+            Stage::Write => &self.write_service,
+        };
+        // No zero-mean short-circuit: `sample` returns ZERO itself while
+        // still drawing its RNG inputs, keeping the event trace aligned
+        // across configurations that differ only in a zeroed service time.
+        let service = model.sample(node, &mut self.rng);
+        self.nodes[node.index()].note_service_time(stage, service.as_millis_f64());
+        service
     }
 
     /// Submits a client read at the given consistency level. The completion
@@ -446,7 +482,7 @@ impl Cluster {
             // Replica-side work competes for the node's service slots.
             let start_now = self.nodes[dest.index()].try_start_work(message);
             if let Some(msg) = start_now {
-                let service = self.service_time(&msg);
+                let service = self.service_time(dest, &msg);
                 sim.schedule_in(
                     service,
                     StoreEvent::Process {
@@ -616,7 +652,7 @@ impl Cluster {
         }
         // Hand the freed slot to the next queued message of the same stage.
         if let Some(next) = self.nodes[node.index()].finish_work(stage) {
-            let service = self.service_time(&next);
+            let service = self.service_time(node, &next);
             sim.schedule_in(
                 service,
                 StoreEvent::Process {
@@ -1033,6 +1069,95 @@ mod tests {
         let totals = cluster.totals();
         assert_eq!(totals.reads_completed, 30);
         assert_eq!(totals.writes_completed, 30);
+    }
+
+    #[test]
+    fn write_stage_telemetry_accumulates_service_samples() {
+        let (mut cluster, mut sim) = test_cluster(0.2);
+        for i in 0..20 {
+            cluster.submit_write(
+                &format!("k{i}"),
+                Mutation::single("f", b"v".to_vec()),
+                ConsistencyLevel::Quorum,
+                &mut sim,
+            );
+        }
+        let _ = drain(&mut cluster, &mut sim);
+        let telemetry = cluster.write_stage_telemetry();
+        assert_eq!(telemetry.len(), cluster.node_count());
+        let arrivals: u64 = telemetry.iter().map(|t| t.arrivals).sum();
+        let completed: u64 = telemetry.iter().map(|t| t.completed).sum();
+        // Every write reaches all 3 replicas (plus possible repair traffic).
+        assert!(arrivals >= 60, "arrivals={arrivals}");
+        assert_eq!(arrivals, completed, "queue drained");
+        let service_total: f64 = telemetry.iter().map(|t| t.service_ms_total).sum();
+        assert!(service_total > 0.0);
+        // Mean sampled service time is in the ballpark of the configured mean.
+        let mean = service_total / completed as f64;
+        assert!(
+            mean > 0.05 && mean < 1.0,
+            "mean sampled write service {mean} ms vs configured {} ms",
+            cluster.config().write_service_ms
+        );
+        // Queues are empty after draining.
+        assert!(telemetry.iter().all(|t| t.queued == 0 && t.busy == 0));
+    }
+
+    #[test]
+    fn replica_backlogs_reflect_per_node_service_factors() {
+        let topology = Topology::single_dc(1, 3);
+        let network = NetworkModel::uniform(Latency::constant_ms(0.2));
+        let config = StoreConfig {
+            replication_factor: 3,
+            node_service_factors: vec![1.0, 2.0, 0.0],
+            ..StoreConfig::default()
+        };
+        let cluster = Cluster::new(config, topology, network, RngFactory::new(5));
+        // Idle cluster: all backlogs zero, vector sized to the node count.
+        let backlogs = cluster.replica_backlog_ms();
+        assert_eq!(backlogs.len(), 3);
+        assert!(backlogs.iter().all(|b| *b == 0.0));
+        assert_eq!(cluster.mutation_backlog_ms(), 0.0);
+    }
+
+    #[test]
+    fn straggler_node_accumulates_a_longer_backlog() {
+        // One node with 4x the write service time: under sustained ONE writes
+        // its mutation queue must grow beyond its peers', which is exactly
+        // the cross-replica dispersion the queueing model keys on.
+        let topology = Topology::single_dc(1, 3);
+        let network = NetworkModel::uniform(Latency::constant_ms(0.1));
+        let config = StoreConfig {
+            replication_factor: 3,
+            node_concurrency: 1,
+            write_service_ms: 0.4,
+            node_service_factors: vec![4.0, 1.0, 1.0],
+            background_read_repair_chance: 0.0,
+            ..StoreConfig::default()
+        };
+        let mut cluster = Cluster::new(config, topology, network, RngFactory::new(11));
+        let mut sim: Simulation<StoreEvent> = Simulation::new(11);
+        for i in 0..300u64 {
+            cluster.submit_write(
+                &format!("k{}", i % 7),
+                Mutation::single("f", b"v".to_vec()),
+                ConsistencyLevel::One,
+                &mut sim,
+            );
+        }
+        // Drive the sim just far enough to see the queues build up.
+        let mut peak: Vec<f64> = vec![0.0; 3];
+        for _ in 0..4_000 {
+            let Some((_, ev)) = sim.next() else { break };
+            cluster.handle(ev, &mut sim);
+            for (i, b) in cluster.replica_backlog_ms().iter().enumerate() {
+                peak[i] = peak[i].max(*b);
+            }
+        }
+        assert!(
+            peak[0] > peak[1] && peak[0] > peak[2],
+            "straggler backlog {peak:?}"
+        );
     }
 
     #[test]

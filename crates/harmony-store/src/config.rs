@@ -25,6 +25,16 @@ pub struct StoreConfig {
     pub read_service_ms: f64,
     /// Mean replica service time for a write, in milliseconds.
     pub write_service_ms: f64,
+    /// Erlang shape `k` of the write service-time distribution: samples are
+    /// the sum of `k` exponentials (squared coefficient of variation `1/k`).
+    /// 1 = exponential service (the historical behaviour), larger values
+    /// approach deterministic service and calmer queues.
+    pub write_service_shape: u32,
+    /// Per-node multipliers on the mean service times (both stages); an empty
+    /// vector means every node is identical. A factor above 1 models a
+    /// straggler whose write stage saturates first — the heterogeneity that
+    /// makes the saturation regime of Figure 5(c)/(d) reproducible in-sim.
+    pub node_service_factors: Vec<f64>,
     /// Extra one-way latency between the client and the coordinator, in
     /// milliseconds (clients run on separate machines/VMs in both testbeds).
     pub client_latency_ms: f64,
@@ -41,6 +51,8 @@ impl Default for StoreConfig {
             node_concurrency: 4,
             read_service_ms: 0.35,
             write_service_ms: 0.25,
+            write_service_shape: 1,
+            node_service_factors: Vec::new(),
             client_latency_ms: 0.25,
         }
     }
@@ -69,6 +81,12 @@ impl StoreConfig {
         }
         if self.read_service_ms < 0.0 || self.write_service_ms < 0.0 {
             return Err("service times must be non-negative".into());
+        }
+        if self.write_service_shape == 0 {
+            return Err("write_service_shape must be at least 1".into());
+        }
+        if self.node_service_factors.iter().any(|f| *f < 0.0) {
+            return Err("node_service_factors must be non-negative".into());
         }
         if self.client_latency_ms < 0.0 {
             return Err("client_latency_ms must be non-negative".into());
@@ -118,6 +136,18 @@ mod tests {
 
         let c = StoreConfig {
             read_service_ms: -1.0,
+            ..StoreConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = StoreConfig {
+            write_service_shape: 0,
+            ..StoreConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = StoreConfig {
+            node_service_factors: vec![1.0, -0.5],
             ..StoreConfig::default()
         };
         assert!(c.validate().is_err());

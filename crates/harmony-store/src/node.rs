@@ -52,6 +52,28 @@ impl Stage {
     }
 }
 
+/// Cumulative write-stage (mutation-stage) telemetry for one node: the raw
+/// material of the queueing-aware staleness model. Arrival counts, completed
+/// service counts and accumulated (sampled) service times let the monitor
+/// derive per-replica arrival rates, the mean service time and its variance;
+/// the live queue length and busy slots give the instantaneous backlog.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct WriteStageTelemetry {
+    /// Mutations (client writes, async propagation, read repair) that entered
+    /// the write stage — queued or started.
+    pub arrivals: u64,
+    /// Mutations whose service completed.
+    pub completed: u64,
+    /// Sum of the sampled service times of started mutations (ms).
+    pub service_ms_total: f64,
+    /// Sum of squared sampled service times (ms²), for variance estimation.
+    pub service_ms_sq_total: f64,
+    /// Mutations currently waiting for a service slot.
+    pub queued: usize,
+    /// Service slots currently busy.
+    pub busy: usize,
+}
+
 #[derive(Debug, Default)]
 struct StageQueue {
     queue: VecDeque<Message>,
@@ -67,6 +89,7 @@ pub struct StorageNode {
     counters: NodeCounters,
     read_stage: StageQueue,
     write_stage: StageQueue,
+    write_telemetry: WriteStageTelemetry,
     /// Maximum concurrent operations per stage (worker threads / cores).
     concurrency: usize,
 }
@@ -81,6 +104,7 @@ impl StorageNode {
             counters: NodeCounters::default(),
             read_stage: StageQueue::default(),
             write_stage: StageQueue::default(),
+            write_telemetry: WriteStageTelemetry::default(),
             concurrency: concurrency.max(1),
         }
     }
@@ -128,11 +152,35 @@ impl StorageNode {
         self.concurrency
     }
 
+    /// The node's cumulative write-stage telemetry, with the instantaneous
+    /// queue length and busy-slot count filled in.
+    pub fn write_stage_telemetry(&self) -> WriteStageTelemetry {
+        WriteStageTelemetry {
+            queued: self.write_stage.queue.len(),
+            busy: self.write_stage.busy,
+            ..self.write_telemetry
+        }
+    }
+
+    /// Records the sampled service time of a unit of work that is about to
+    /// start on this node. Only the write stage is tracked — it is the stage
+    /// whose queueing behaviour drives the staleness window.
+    pub fn note_service_time(&mut self, stage: Stage, service_ms: f64) {
+        if stage == Stage::Write {
+            let ms = service_ms.max(0.0);
+            self.write_telemetry.service_ms_total += ms;
+            self.write_telemetry.service_ms_sq_total += ms * ms;
+        }
+    }
+
     /// Called when replica work arrives. Returns the message if it can start
     /// service immediately (a slot in its stage was free and is now taken);
     /// `None` if it was queued behind other work of the same stage.
     pub fn try_start_work(&mut self, message: Message) -> Option<Message> {
         let stage = Stage::of(&message).expect("replica work message");
+        if stage == Stage::Write {
+            self.write_telemetry.arrivals += 1;
+        }
         let concurrency = self.concurrency;
         let sq = self.stage_mut(stage);
         if sq.busy < concurrency {
@@ -149,6 +197,9 @@ impl StorageNode {
     /// Returns the next queued message of that stage to start (the freed slot
     /// is immediately reused), if any.
     pub fn finish_work(&mut self, stage: Stage) -> Option<Message> {
+        if stage == Stage::Write {
+            self.write_telemetry.completed += 1;
+        }
         let sq = self.stage_mut(stage);
         match sq.queue.pop_front() {
             Some(next) => Some(next),
@@ -306,6 +357,40 @@ mod tests {
         assert_eq!(n.finish_work(Stage::Read), Some(dummy_read(2)));
         assert_eq!(n.finish_work(Stage::Read), Some(dummy_read(3)));
         assert_eq!(n.finish_work(Stage::Read), None);
+    }
+
+    #[test]
+    fn write_stage_telemetry_tracks_arrivals_service_and_queue() {
+        let mut n = StorageNode::new(NodeId(0), EngineConfig::default(), 1);
+        assert_eq!(n.write_stage_telemetry(), WriteStageTelemetry::default());
+        // Two writes arrive: the first starts, the second queues.
+        assert!(n.try_start_work(dummy_write(1)).is_some());
+        n.note_service_time(Stage::Write, 0.5);
+        assert!(n.try_start_work(dummy_write(2)).is_none());
+        let t = n.write_stage_telemetry();
+        assert_eq!(t.arrivals, 2);
+        assert_eq!(t.completed, 0);
+        assert_eq!(t.queued, 1);
+        assert_eq!(t.busy, 1);
+        assert!((t.service_ms_total - 0.5).abs() < 1e-12);
+        assert!((t.service_ms_sq_total - 0.25).abs() < 1e-12);
+        // Finishing the first hands the slot to the second.
+        assert_eq!(n.finish_work(Stage::Write), Some(dummy_write(2)));
+        n.note_service_time(Stage::Write, 1.5);
+        let t = n.write_stage_telemetry();
+        assert_eq!(t.completed, 1);
+        assert_eq!(t.queued, 0);
+        assert!((t.service_ms_total - 2.0).abs() < 1e-12);
+        // Reads do not touch write-stage telemetry.
+        assert!(n.try_start_work(dummy_read(3)).is_some());
+        n.note_service_time(Stage::Read, 9.0);
+        assert!(n.finish_work(Stage::Read).is_none());
+        let t = n.write_stage_telemetry();
+        assert_eq!(t.arrivals, 2);
+        assert!((t.service_ms_total - 2.0).abs() < 1e-12);
+        // Negative samples clamp to zero rather than corrupting the sums.
+        n.note_service_time(Stage::Write, -3.0);
+        assert!((n.write_stage_telemetry().service_ms_total - 2.0).abs() < 1e-12);
     }
 
     #[test]

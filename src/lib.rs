@@ -71,7 +71,10 @@ pub mod prelude {
     pub use harmony_adaptive::policy::{
         ConsistencyPolicy, HarmonyPolicy, PolicyContext, StaticPolicy,
     };
-    pub use harmony_model::decision::{decide, ConsistencyDecision};
+    pub use harmony_model::decision::{decide, decide_with_estimate, ConsistencyDecision};
+    pub use harmony_model::queueing::{
+        MG1Queue, QueueingModel, StalenessEstimate, WriteStageObservation,
+    };
     pub use harmony_model::staleness::{PropagationModel, StaleReadModel};
     pub use harmony_monitor::collector::{Monitor, MonitorConfig};
     pub use harmony_sim::profiles::{ec2, grid5000, ClusterProfile};

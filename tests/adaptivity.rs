@@ -7,15 +7,9 @@ use harmony::monitor::probe::MockProbe;
 use harmony::prelude::*;
 
 fn controller_config() -> ControllerConfig {
-    ControllerConfig {
-        monitor: harmony::monitor::collector::MonitorConfig {
-            interval_secs: 0.05,
-            estimator: harmony::monitor::collector::EstimatorKind::SlidingWindow(0.25),
-            ..Default::default()
-        },
-        propagation: PropagationModel::differential(0.02, 0.005),
-        avg_write_size_bytes: 100.0,
-    }
+    // Shared with the figure binaries and the paper-claim tests, so a future
+    // recalibration cannot silently diverge between them.
+    harmony_bench::experiments::figure_controller_config()
 }
 
 fn store_config() -> StoreConfig {

@@ -22,15 +22,10 @@ fn store_config() -> StoreConfig {
 }
 
 fn controller_config() -> ControllerConfig {
-    ControllerConfig {
-        monitor: harmony::monitor::collector::MonitorConfig {
-            interval_secs: 0.05,
-            estimator: harmony::monitor::collector::EstimatorKind::SlidingWindow(0.25),
-            ..Default::default()
-        },
-        propagation: PropagationModel::differential(0.02, 0.005),
-        avg_write_size_bytes: 100.0,
-    }
+    // The exact configuration the figure binaries run, so these tests guard
+    // what `fig5_*`/`fig6_*`/`headline` actually measure (including the
+    // calibrated queueing model).
+    harmony_bench::experiments::figure_controller_config()
 }
 
 fn run(policy: Box<dyn ConsistencyPolicy>, threads: usize, ops: u64) -> ExperimentResult {
@@ -133,13 +128,8 @@ fn latency_and_throughput_ordering_matches_figure5() {
 }
 
 /// The paper's throughput claim: Harmony improves throughput substantially
-/// over the strong-consistency baseline under load.
-///
-/// Figure 5(c)/(d) report the gap in the thread range *before* the cluster
-/// saturates; past saturation the monitored mutation backlog drives the
-/// stale-read estimate towards its ceiling and Harmony (correctly) escalates
-/// to near-ALL reads, converging with the strong baseline. 20 threads is this
-/// 10-node cluster's pre-saturation knee, where Harmony mixes levels 1-5.
+/// over the strong-consistency baseline under load. 20 threads is this
+/// 10-node cluster's pre-saturation knee.
 #[test]
 fn harmony_outperforms_strong_consistency_in_throughput() {
     let threads = 20;
@@ -154,37 +144,78 @@ fn harmony_outperforms_strong_consistency_in_throughput() {
     );
 }
 
-/// Past the write-stage saturation knee the monitored mutation backlog pushes
-/// the stale-read estimate to its ceiling and Harmony (correctly) escalates
-/// toward ALL reads, converging with — not collapsing below — the strong
-/// baseline. This pins the saturated regime the throughput test above
-/// deliberately avoids, so a regression there cannot slip through.
+/// Figure 5(c)/(d)'s claim holds *past* the saturation knee too: at 40
+/// threads the write stage is saturated (the regime where the old
+/// backlog-folded scalar `Tp` pushed the estimate to its ceiling), yet the
+/// queueing-aware model keeps the throughput gain over strong consistency
+/// while ground-truth staleness stays within the tolerated 40% rate.
 #[test]
-fn harmony_converges_with_strong_past_saturation() {
+fn harmony_outperforms_strong_consistency_at_saturation() {
+    let threads = 40;
+    let ops = 25_000;
+    let harmony40 = run(Box::new(HarmonyPolicy::new(5, 0.4)), threads, ops);
+    let strong = run(Box::new(StaticPolicy::Strong), threads, ops);
+    let gain = harmony40.throughput() / strong.throughput() - 1.0;
+    assert!(
+        gain > 0.15,
+        "expected the throughput gain to persist at saturation, got {:.0}%",
+        gain * 100.0
+    );
+    let stale_fraction = harmony40.stats.stale_fraction();
+    assert!(
+        stale_fraction <= 0.40,
+        "harmony-40 exceeded its tolerated stale-read rate: {:.1}%",
+        stale_fraction * 100.0
+    );
+    // The gain comes from *graded* levels, not from abandoning consistency:
+    // the controller escalates some reads yet stays below ALL for most.
+    assert!(harmony40.decisions.iter().any(|d| d.replicas_in_read > 1));
+}
+
+/// Regression guard: the old saturation behaviour — the backlog-folded
+/// estimate saturating and Harmony collapsing onto the strong baseline with
+/// near-ALL reads — must stay gone. At 60 threads (deep past the knee)
+/// Harmony-40% must clearly outrun strong consistency, ALL-replica decisions
+/// must be the exception rather than the rule, and staleness must still be
+/// within tolerance.
+#[test]
+fn harmony_no_longer_collapses_to_strong_past_saturation() {
     let threads = 60;
     let ops = 25_000;
     let harmony40 = run(Box::new(HarmonyPolicy::new(5, 0.4)), threads, ops);
     let strong = run(Box::new(StaticPolicy::Strong), threads, ops);
 
-    // Converged: throughput within a whisker of strong (or above it), never
-    // strictly worse than the static baseline it is meant to dominate.
     assert!(
-        harmony40.throughput() >= 0.9 * strong.throughput(),
-        "saturated harmony-40 at {:.0} ops/s fell below 0.9x strong ({:.0} ops/s)",
+        harmony40.throughput() > 1.15 * strong.throughput(),
+        "saturated harmony-40 at {:.0} ops/s no longer clears strong ({:.0} ops/s) — \
+         the scalar-backlog collapse is back",
         harmony40.throughput(),
         strong.throughput()
     );
-    // And it converged *because* it escalated: the majority of control
-    // decisions prescribe at least a quorum of replicas per read.
-    let quorum = ConsistencyLevel::Quorum.required_acks(5);
-    let escalated = harmony40
+    // The collapse signature was a majority of ALL (5-replica) decisions.
+    let at_all = harmony40
         .decisions
         .iter()
-        .filter(|d| d.replicas_in_read >= quorum)
+        .filter(|d| d.replicas_in_read >= 5)
         .count();
     assert!(
-        escalated * 2 > harmony40.decisions.len(),
-        "expected mostly quorum-or-stronger decisions under saturation, got {escalated}/{}",
+        at_all * 2 < harmony40.decisions.len(),
+        "ALL-replica decisions dominate again under saturation: {at_all}/{}",
+        harmony40.decisions.len()
+    );
+    // Throughput is not bought with unbounded staleness.
+    assert!(harmony40.stats.stale_fraction() <= 0.40);
+    // The queueing signals driving this are visible in the decision records:
+    // a saturated-but-stable write stage (high utilisation, wide cross-replica
+    // spread) without a majority of divergence escalations.
+    assert!(harmony40
+        .decisions
+        .iter()
+        .any(|d| d.backlog_spread_ms > 1.0));
+    let diverging = harmony40.decisions.iter().filter(|d| d.diverging).count();
+    assert!(
+        diverging * 2 < harmony40.decisions.len(),
+        "divergence flagged on {diverging}/{} ticks — saturation misread as runaway",
         harmony40.decisions.len()
     );
 }
