@@ -1,9 +1,30 @@
 //! Configuration of the adaptive-consistency controller.
 
+use harmony_model::perkey::PerKeyModel;
 use harmony_model::queueing::QueueingModel;
 use harmony_model::staleness::PropagationModel;
 use harmony_monitor::collector::MonitorConfig;
 use serde::{Deserialize, Serialize};
+
+/// Configuration of the controller's per-key split decisions: a strong-read
+/// hot set escalated against the policy's tolerance, plus the policy's own
+/// decision as the cheap default for the cold tail.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PerKeySplitConfig {
+    /// Whether split decisions are made at all. Disabled, the controller is
+    /// exactly the cluster-wide (global) controller.
+    pub enabled: bool,
+    /// How a hot key's backlog and arrival intensity specialise the global
+    /// staleness estimate.
+    pub model: PerKeyModel,
+    /// The propagation window used for *per-key* decisions. The global
+    /// controller is typically calibrated with a differential window (only a
+    /// fraction of the latency counts, because at aggregate rates the
+    /// single-object closed form badly over-counts); evaluated at one key's
+    /// own rates the model's assumptions actually hold, so the per-key window
+    /// defaults to the paper's conservative full propagation time.
+    pub propagation: harmony_model::staleness::PropagationModel,
+}
 
 /// Configuration of an [`crate::controller::AdaptiveController`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -17,6 +38,8 @@ pub struct ControllerConfig {
     /// arrival/service rates, growth trend) become the queue-wait spread of
     /// the propagation-time distribution.
     pub queueing: QueueingModel,
+    /// Per-key split decisions for skewed workloads (hot set + cheap default).
+    pub per_key: PerKeySplitConfig,
     /// Average write payload size in bytes, fed to the propagation model
     /// (the paper's `avg_w`).
     pub avg_write_size_bytes: f64,
@@ -28,6 +51,7 @@ impl Default for ControllerConfig {
             monitor: MonitorConfig::default(),
             propagation: PropagationModel::default(),
             queueing: QueueingModel::default(),
+            per_key: PerKeySplitConfig::default(),
             avg_write_size_bytes: 1024.0,
         }
     }
@@ -43,6 +67,7 @@ impl ControllerConfig {
             return Err("average write size must be non-negative".into());
         }
         self.queueing.validate()?;
+        self.per_key.model.validate()?;
         Ok(())
     }
 }
@@ -71,5 +96,14 @@ mod tests {
         let mut c = ControllerConfig::default();
         c.queueing.spread_shape = -1.0;
         assert!(c.validate().is_err());
+
+        let mut c = ControllerConfig::default();
+        c.per_key.model.backlog_fraction = 2.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn per_key_split_is_off_by_default() {
+        assert!(!ControllerConfig::default().per_key.enabled);
     }
 }

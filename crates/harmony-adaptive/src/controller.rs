@@ -8,12 +8,15 @@
 
 use crate::config::ControllerConfig;
 use crate::policy::{ConsistencyPolicy, PolicyContext};
+use harmony_model::perkey::KeyLoad;
 use harmony_model::queueing::WriteStageObservation;
+use harmony_model::staleness::StaleReadModel;
 use harmony_monitor::collector::Monitor;
 use harmony_monitor::probe::ClusterProbe;
 use harmony_sim::clock::SimTime;
 use harmony_store::consistency::ConsistencyLevel;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// One control decision, recorded per monitoring tick.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -40,8 +43,24 @@ pub struct DecisionRecord {
     pub tp_secs: f64,
     /// The policy's stale-read estimate, if it computes one.
     pub estimate: Option<f64>,
-    /// Number of replicas the chosen level will involve in reads.
+    /// Number of replicas the chosen (default) level will involve in reads.
     pub replicas_in_read: usize,
+    /// Number of hot keys given individual per-key decisions this tick (zero
+    /// when per-key splitting is disabled or the workload is unskewed).
+    pub hot_keys: usize,
+}
+
+/// One hot key's individual decision, as recorded by the split controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HotKeyDecision {
+    /// The hot key.
+    pub key: String,
+    /// Replicas reads of this key must touch.
+    pub replicas: usize,
+    /// The key's monitored write arrival rate (writes/s).
+    pub write_rate: f64,
+    /// The key's monitored pending-mutation backlog (ms, laggard replica).
+    pub backlog_ms: f64,
 }
 
 /// The periodic controller binding monitor, model and policy together.
@@ -49,9 +68,14 @@ pub struct AdaptiveController {
     config: ControllerConfig,
     monitor: Monitor,
     policy: Box<dyn ConsistencyPolicy>,
+    model: StaleReadModel,
     replication_factor: usize,
     current_read_level: ConsistencyLevel,
     current_write_level: ConsistencyLevel,
+    /// Hot keys currently escalated above the default level (split mode).
+    hot_set: HashMap<String, ConsistencyLevel>,
+    /// The same escalations in stable (key-sorted) order, for reporting.
+    hot_decisions: Vec<HotKeyDecision>,
     decisions: Vec<DecisionRecord>,
 }
 
@@ -72,9 +96,12 @@ impl AdaptiveController {
             monitor: Monitor::new(config.monitor),
             config,
             policy,
+            model: StaleReadModel::new(replication_factor.max(1)),
             replication_factor: replication_factor.max(1),
             current_read_level: ConsistencyLevel::One,
             current_write_level: ConsistencyLevel::One,
+            hot_set: HashMap::new(),
+            hot_decisions: Vec::new(),
             decisions: Vec::new(),
         }
     }
@@ -90,9 +117,28 @@ impl AdaptiveController {
         self.policy.name()
     }
 
-    /// The consistency level reads should currently use.
+    /// The consistency level reads should currently use — the *default*
+    /// level; reads of escalated hot keys must consult
+    /// [`AdaptiveController::read_level_for`] instead.
     pub fn current_read_level(&self) -> ConsistencyLevel {
         self.current_read_level
+    }
+
+    /// The consistency level a read of `key` should use: the key's escalated
+    /// level when it is in the hot set, the default level otherwise. With
+    /// per-key splitting disabled (or no hot keys) this is exactly
+    /// [`AdaptiveController::current_read_level`].
+    pub fn read_level_for(&self, key: &str) -> ConsistencyLevel {
+        self.hot_set
+            .get(key)
+            .copied()
+            .unwrap_or(self.current_read_level)
+    }
+
+    /// The hot keys currently escalated above the default level, in stable
+    /// (key-sorted) order.
+    pub fn hot_set(&self) -> &[HotKeyDecision] {
+        &self.hot_decisions
     }
 
     /// The consistency level writes should currently use.
@@ -137,15 +183,90 @@ impl AdaptiveController {
                 .queueing
                 .estimate(&observation, tp_network_secs, self.replication_factor);
         let tp_secs = staleness.tp_mean_secs();
+
+        // Per-key split. The paper's closed form is a single-object race
+        // model — `λr`/`λw` as if every read and write contended on the same
+        // key — so evaluated at aggregate rates it effectively prices every
+        // read as a read of the hottest key. With the heavy hitters tracked,
+        // the controller can do better on both sides of the split:
+        //
+        // * the *default* level is decided at the cold tail's provable
+        //   worst-case per-key intensity — the space-saving bound says no key
+        //   outside the hot set can have a write share above
+        //   `cold_share_bound()`, so scaling the rates by that bound covers
+        //   every cold key without charging it for hot-key pressure;
+        // * each *hot* key is decided individually from its own measured
+        //   arrival rate and per-key backlog, against the same tolerance.
+        //
+        // With splitting disabled, no tolerance-bearing policy, or no hot
+        // keys (unskewed load, warmup, incapable backend), the scaling is
+        // skipped entirely and the decision is byte-identical to the global
+        // controller's.
+        let tolerance = self.policy.tolerated_stale_rate();
+        let split_active = self.config.per_key.enabled
+            && tolerance.is_some()
+            && !self.monitor.hot_key_stats().is_empty();
+        let (default_read_rate, default_write_rate) = if split_active {
+            let bound = self.monitor.cold_share_bound().clamp(0.0, 1.0);
+            (sample.read_rate * bound, sample.write_rate * bound)
+        } else {
+            (sample.read_rate, sample.write_rate)
+        };
+
         let ctx = PolicyContext {
-            read_rate: sample.read_rate,
-            write_rate: sample.write_rate,
+            read_rate: default_read_rate,
+            write_rate: default_write_rate,
             tp_secs,
             staleness,
             replication_factor: self.replication_factor,
         };
         self.current_read_level = self.policy.read_level(&ctx);
         self.current_write_level = self.policy.write_level(&ctx);
+
+        // Decide every hot key individually; reads of these keys bypass the
+        // default level entirely.
+        self.hot_set.clear();
+        self.hot_decisions.clear();
+        if split_active {
+            let asr = tolerance.expect("split_active implies a tolerance");
+            // Per-key decisions use the per-key propagation window (full by
+            // default, where the global one is differential) on top of the
+            // same queue-health signals.
+            let per_key_staleness = harmony_model::queueing::StalenessEstimate {
+                tp_network_secs: self
+                    .config
+                    .per_key
+                    .propagation
+                    .propagation_time_secs(sample.latency_ms, self.config.avg_write_size_bytes),
+                ..staleness
+            };
+            for stat in self.monitor.hot_key_stats() {
+                // Reads follow the same key popularity as writes (YCSB draws
+                // both from one chooser), so the key's read rate is its
+                // write-share slice of the aggregate read rate.
+                let load = KeyLoad {
+                    read_rate: stat.share.clamp(0.0, 1.0) * sample.read_rate,
+                    write_rate: stat.write_rate.max(0.0),
+                    backlog_ms: stat.backlog_ms.max(0.0),
+                };
+                let replicas = self.config.per_key.model.required_replicas(
+                    &self.model,
+                    asr,
+                    &per_key_staleness,
+                    &load,
+                );
+                let level = ConsistencyLevel::from_replica_count(replicas, self.replication_factor);
+                self.hot_set.insert(stat.key.clone(), level);
+                self.hot_decisions.push(HotKeyDecision {
+                    key: stat.key.clone(),
+                    replicas,
+                    write_rate: stat.write_rate,
+                    backlog_ms: stat.backlog_ms,
+                });
+            }
+            self.hot_decisions.sort_by(|a, b| a.key.cmp(&b.key));
+        }
+
         self.decisions.push(DecisionRecord {
             at: now,
             read_rate: sample.read_rate,
@@ -160,6 +281,7 @@ impl AdaptiveController {
             replicas_in_read: self
                 .current_read_level
                 .required_acks(self.replication_factor),
+            hot_keys: self.hot_set.len(),
         });
         self.current_read_level
     }
@@ -302,6 +424,137 @@ mod tests {
         let rec = dispersed.decisions().last().copied().unwrap();
         assert!(rec.backlog_spread_ms > 19.0);
         assert!(rec.tp_secs > 0.001);
+    }
+
+    fn split_config(tolerance_policy: Box<dyn ConsistencyPolicy>) -> AdaptiveController {
+        AdaptiveController::new(
+            ControllerConfig {
+                monitor: harmony_monitor::collector::MonitorConfig {
+                    estimator: harmony_monitor::collector::EstimatorKind::Ewma(1.0),
+                    hot_key_capacity: 4,
+                    ..Default::default()
+                },
+                per_key: crate::config::PerKeySplitConfig {
+                    enabled: true,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            5,
+            tolerance_policy,
+        )
+    }
+
+    /// A skewed batch: half the writes hit "hot", the rest a rotating tail.
+    fn skewed_batch(tick: u64) -> Vec<String> {
+        (0..80u64)
+            .map(|i| {
+                if i % 2 == 0 {
+                    "hot".to_string()
+                } else {
+                    format!("cold{}", (tick * 40 + i) % 30)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn split_escalates_the_hot_key_and_keeps_the_tail_cheap() {
+        let mut c = split_config(Box::new(HarmonyPolicy::new(5, 0.4)));
+        let mut probe = MockProbe {
+            nodes: 10,
+            latency_ms: 1.0,
+            ..MockProbe::default()
+        };
+        probe.key_backlogs.insert("hot".to_string(), 20.0);
+        for tick in 1..=5u64 {
+            probe.reads += 240;
+            probe.writes += 80;
+            *probe.write_keys.borrow_mut() = skewed_batch(tick);
+            c.tick(SimTime::from_secs(tick), &probe);
+        }
+        // The default level stays cheap: the cold tail's residual load is
+        // well within the tolerance.
+        assert_eq!(c.current_read_level(), ConsistencyLevel::One);
+        // The hot key is escalated above the default.
+        let hot = c.hot_set();
+        assert_eq!(hot.len(), 1, "hot set: {hot:?}");
+        assert_eq!(hot[0].key, "hot");
+        assert!(hot[0].replicas > 1, "replicas = {}", hot[0].replicas);
+        assert!(hot[0].backlog_ms > 0.0);
+        assert!(
+            c.read_level_for("hot").required_acks(5) > 1,
+            "hot key must read above ONE"
+        );
+        assert_eq!(c.read_level_for("cold7"), ConsistencyLevel::One);
+        let last = c.decisions().last().unwrap();
+        assert_eq!(last.hot_keys, 1);
+        assert_eq!(last.replicas_in_read, 1);
+    }
+
+    #[test]
+    fn split_with_uniform_stream_is_byte_identical_to_global() {
+        let run = |enabled: bool| {
+            let mut c = AdaptiveController::new(
+                ControllerConfig {
+                    monitor: harmony_monitor::collector::MonitorConfig {
+                        estimator: harmony_monitor::collector::EstimatorKind::Ewma(1.0),
+                        hot_key_capacity: 4,
+                        ..Default::default()
+                    },
+                    per_key: crate::config::PerKeySplitConfig {
+                        enabled,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+                5,
+                Box::new(HarmonyPolicy::new(5, 0.2)),
+            );
+            let mut probe = MockProbe {
+                nodes: 10,
+                latency_ms: 1.0,
+                ..MockProbe::default()
+            };
+            for tick in 1..=6u64 {
+                probe.reads += 4_000;
+                probe.writes += 3_000;
+                // Uniform stream: no key ever clears the hot thresholds.
+                *probe.write_keys.borrow_mut() = (0..100u64)
+                    .map(|i| format!("u{}", (tick * 100 + i) % 400))
+                    .collect();
+                c.tick(SimTime::from_secs(tick), &probe);
+            }
+            assert!(c.hot_set().is_empty());
+            c.decisions().to_vec()
+        };
+        assert_eq!(
+            run(true),
+            run(false),
+            "with no hot keys the split controller must decide exactly like the global one"
+        );
+    }
+
+    #[test]
+    fn static_policies_are_never_split() {
+        let mut c = split_config(Box::new(StaticPolicy::Eventual));
+        let mut probe = MockProbe {
+            nodes: 10,
+            latency_ms: 1.0,
+            ..MockProbe::default()
+        };
+        probe.key_backlogs.insert("hot".to_string(), 50.0);
+        for tick in 1..=5u64 {
+            probe.reads += 240;
+            probe.writes += 80;
+            *probe.write_keys.borrow_mut() = skewed_batch(tick);
+            c.tick(SimTime::from_secs(tick), &probe);
+        }
+        assert!(
+            c.hot_set().is_empty(),
+            "a policy without a tolerance has nothing to escalate against"
+        );
+        assert_eq!(c.read_level_for("hot"), ConsistencyLevel::One);
     }
 
     #[test]

@@ -68,6 +68,16 @@ pub trait ConsistencyPolicy: Send {
     fn last_estimate(&self) -> Option<f64> {
         None
     }
+
+    /// The application-tolerated stale-read rate the policy enforces, if it
+    /// enforces one. Policies exposing a tolerance opt into the controller's
+    /// per-key split decisions: hot keys are escalated individually against
+    /// this tolerance while the policy's own decision becomes the cheap
+    /// default for the cold tail. Static baselines return `None` and are
+    /// never split.
+    fn tolerated_stale_rate(&self) -> Option<f64> {
+        None
+    }
 }
 
 /// The paper's adaptive policy: estimate the stale-read rate, compare with the
@@ -138,6 +148,10 @@ impl ConsistencyPolicy for HarmonyPolicy {
 
     fn last_estimate(&self) -> Option<f64> {
         Some(self.last_estimate)
+    }
+
+    fn tolerated_stale_rate(&self) -> Option<f64> {
+        Some(self.app_stale_rate)
     }
 }
 
@@ -313,5 +327,12 @@ mod tests {
         assert_eq!(StaticPolicy::Quorum.name(), "quorum");
         assert_eq!(StaticPolicy::Fixed(2).name(), "fixed-2");
         assert_eq!(StaticPolicy::Eventual.last_estimate(), None);
+    }
+
+    #[test]
+    fn only_tolerance_policies_opt_into_splitting() {
+        assert_eq!(HarmonyPolicy::new(5, 0.2).tolerated_stale_rate(), Some(0.2));
+        assert_eq!(StaticPolicy::Eventual.tolerated_stale_rate(), None);
+        assert_eq!(StaticPolicy::Strong.tolerated_stale_rate(), None);
     }
 }

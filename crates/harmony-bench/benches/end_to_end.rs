@@ -84,6 +84,7 @@ fn bench_full_experiment_per_policy(c: &mut Criterion) {
                     phases: vec![Phase::new(20, config.operations_for(20))],
                     seed: 7,
                     dual_read_measurement: false,
+                    hot_key_prefix: 0,
                     max_virtual_secs: 600.0,
                 };
                 let result = run_experiment(

@@ -61,6 +61,7 @@ fn main() {
             phases: phases.clone(),
             seed: config.seed,
             dual_read_measurement: false,
+            hot_key_prefix: 0,
             max_virtual_secs: 3_600.0,
         };
         let result = run_experiment(

@@ -79,6 +79,7 @@ fn main() {
         phases: vec![Phase::new(threads, config.operations_for(threads))],
         seed: config.seed,
         dual_read_measurement: false,
+        hot_key_prefix: 0,
         max_virtual_secs: 3_600.0,
     };
     let result = run_experiment(

@@ -7,7 +7,7 @@
 //! the replication factor (5), the thread-count sweep, the relative latency
 //! of the two platforms, and the tolerated-stale-read settings per platform.
 
-use harmony_adaptive::config::ControllerConfig;
+use harmony_adaptive::config::{ControllerConfig, PerKeySplitConfig};
 use harmony_adaptive::policy::{ConsistencyPolicy, HarmonyPolicy, StaticPolicy};
 use harmony_sim::profiles::{self, ClusterProfile};
 use harmony_store::config::StoreConfig;
@@ -132,8 +132,38 @@ pub fn figure_controller_config() -> ControllerConfig {
             divergence_growth: 4.0,
             ..QueueingModel::differential(1e-4)
         },
+        per_key: PerKeySplitConfig::default(),
         avg_write_size_bytes: 100.0,
     }
+}
+
+/// [`figure_controller_config`] with per-key split decisions enabled: the
+/// configuration of the *split* controller the `hotspot_split` sweep and the
+/// skewed-workload paper-claim tests compare against the global one. The
+/// per-key backlog feeds the key's staleness window at full weight — unlike
+/// the cross-replica dispersion (which the conditional closed form
+/// overweights, hence the tiny `spread_fraction` above), a key's own pending
+/// mutations translate one-for-one into staleness for reads of that key.
+/// The sketch is sized so the *whole* Zipfian head gets individual decisions
+/// with margin: 256 counters put the tracking noise floor at ~0.4% write
+/// share, so the head keys sit far above it and never flap out of the hot
+/// set, while the 0.3% hot threshold hands every reliably-tracked key its
+/// own level (keys that need only ONE simply get ONE — per-key decisions
+/// cannot over-protect).
+pub fn split_figure_controller_config() -> ControllerConfig {
+    enable_split(figure_controller_config())
+}
+
+/// Turns any controller configuration into its split counterpart: per-key
+/// decisions on, sketch sized as documented on
+/// [`split_figure_controller_config`]. The `hotspot_split` sweep and the
+/// paper-claim tests share this transformation, so tuning it here moves the
+/// published sweep table and the locked-in claims together.
+pub fn enable_split(mut config: ControllerConfig) -> ControllerConfig {
+    config.per_key.enabled = true;
+    config.monitor.hot_key_capacity = 256;
+    config.monitor.hot_key_min_share = 0.003;
+    config
 }
 
 /// The scaled-down Grid'5000 configuration.
@@ -250,6 +280,91 @@ impl SweepRow {
     }
 }
 
+/// One row of the skew sweep (`hotspot_split` binary): a (skew, policy,
+/// controller-kind) point with the aggregate and hot-key staleness split out.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SkewRow {
+    /// Workload name including the skew suffix (e.g. `workload-a-zipfian`).
+    pub workload: String,
+    /// Policy label; split controllers get a `+split` suffix.
+    pub policy: String,
+    /// Whether the per-key split controller was active.
+    pub split: bool,
+    /// Client threads.
+    pub threads: usize,
+    /// Overall throughput (ops/s).
+    pub throughput: f64,
+    /// 99th-percentile read latency (ms).
+    pub read_p99_ms: f64,
+    /// Stale fraction over all reads (ground truth).
+    pub stale_fraction: f64,
+    /// Stale fraction over reads of the designated hot keys.
+    pub hot_stale_fraction: f64,
+    /// Reads of the designated hot keys.
+    pub hot_reads: u64,
+    /// Hot keys escalated by the controller at the end of the run.
+    pub hot_set_size: usize,
+}
+
+/// Runs one experiment for an explicit workload (skew sweeps), optionally
+/// with the per-key split controller instead of the global one.
+pub fn run_workload_point(
+    config: &ExperimentConfig,
+    workload: WorkloadSpec,
+    policy: &PolicySpec,
+    threads: usize,
+    hot_key_prefix: u64,
+    split: bool,
+) -> ExperimentResult {
+    let spec = ExperimentSpec {
+        workload,
+        phases: vec![Phase::new(threads, config.operations_for(threads))],
+        seed: config.seed,
+        dual_read_measurement: false,
+        hot_key_prefix,
+        max_virtual_secs: 3_600.0,
+    };
+    let controller = if split {
+        enable_split(config.controller)
+    } else {
+        config.controller
+    };
+    run_experiment(
+        &config.profile,
+        config.store.clone(),
+        controller,
+        policy.build(config.store.replication_factor),
+        spec,
+    )
+}
+
+impl SkewRow {
+    /// Builds a row from an experiment result.
+    pub fn from_result(
+        policy: &PolicySpec,
+        split: bool,
+        threads: usize,
+        result: &ExperimentResult,
+    ) -> Self {
+        SkewRow {
+            workload: result.workload.clone(),
+            policy: if split {
+                format!("{}+split", policy.label())
+            } else {
+                policy.label()
+            },
+            split,
+            threads,
+            throughput: result.throughput(),
+            read_p99_ms: result.read_p99_ms(),
+            stale_fraction: result.stats.stale_fraction(),
+            hot_stale_fraction: result.stats.hot_stale_fraction(),
+            hot_reads: result.stats.hot_reads,
+            hot_set_size: result.hot_set.len(),
+        }
+    }
+}
+
 /// Runs one experiment for a (policy, thread count) point.
 pub fn run_point(
     config: &ExperimentConfig,
@@ -263,6 +378,7 @@ pub fn run_point(
         phases: vec![Phase::new(threads, config.operations_for(threads))],
         seed: config.seed,
         dual_read_measurement: dual_read,
+        hot_key_prefix: 0,
         max_virtual_secs: 3_600.0,
     };
     run_experiment(

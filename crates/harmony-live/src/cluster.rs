@@ -9,6 +9,7 @@
 //! the newest version.
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use harmony_store::cluster::WRITE_KEY_SAMPLE_CAP;
 use harmony_store::consistency::ConsistencyLevel;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -141,6 +142,9 @@ pub struct LiveCluster {
     read_rotation: AtomicU64,
     /// Newest acknowledged version per key, for ground-truth staleness checks.
     acked: Mutex<HashMap<String, u64>>,
+    /// Keys of client writes since the last monitoring drain — the sample
+    /// stream for the monitor's heavy-hitter sketch (bounded).
+    write_key_samples: Mutex<Vec<String>>,
 }
 
 impl LiveCluster {
@@ -183,7 +187,14 @@ impl LiveCluster {
             next_version: AtomicU64::new(1),
             read_rotation: AtomicU64::new(0),
             acked: Mutex::new(HashMap::new()),
+            write_key_samples: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Drains the buffered keys of client writes since the previous call —
+    /// the observation stream of the monitor's heavy-hitter sketch.
+    pub fn drain_write_key_samples(&self) -> Vec<String> {
+        std::mem::take(&mut *self.write_key_samples.lock())
     }
 
     /// The cluster configuration.
@@ -263,6 +274,12 @@ impl LiveCluster {
     /// situation of the paper's Figure 2.
     pub fn write(&self, key: &str, value: Vec<u8>, level: ConsistencyLevel) -> u64 {
         let version = self.next_version.fetch_add(1, Ordering::SeqCst);
+        {
+            let mut samples = self.write_key_samples.lock();
+            if samples.len() < WRITE_KEY_SAMPLE_CAP {
+                samples.push(key.to_string());
+            }
+        }
         let replicas = self.replicas_for(key);
         let required = level.required_acks(replicas.len());
         let (ack_tx, ack_rx) = bounded(replicas.len());

@@ -43,6 +43,9 @@ impl ClusterProbe for LiveProbe<'_> {
     fn write_stage_telemetry(&self) -> Vec<harmony_store::node::WriteStageTelemetry> {
         self.cluster.write_stage_telemetry()
     }
+    fn drain_write_key_samples(&self) -> Vec<String> {
+        self.cluster.drain_write_key_samples()
+    }
 }
 
 /// A live cluster with the Harmony control loop attached.
@@ -97,9 +100,16 @@ impl LiveHarmony {
             .and_then(|d| d.estimate)
     }
 
-    /// Reads through the adaptive level.
+    /// The hot keys currently escalated above the default level (split mode).
+    pub fn hot_set(&self) -> Vec<harmony_adaptive::controller::HotKeyDecision> {
+        self.controller.lock().hot_set().to_vec()
+    }
+
+    /// Reads through the adaptive level, consulting the controller's hot set
+    /// per operation: an escalated hot key reads at its own (stronger) level,
+    /// everything else at the cheap default.
     pub fn read(&self, key: &str) -> Option<(Vec<u8>, u64)> {
-        let level = self.current_read_level();
+        let level = self.controller.lock().read_level_for(key);
         self.cluster.read(key, level)
     }
 
@@ -157,6 +167,41 @@ mod tests {
         let (value, version) = h.read("k").unwrap();
         assert_eq!(value, b"value");
         assert!(version >= v);
+        h.shutdown();
+    }
+
+    #[test]
+    fn split_mode_escalates_hot_keys_in_the_live_path() {
+        let mut config = ControllerConfig::default();
+        config.per_key.enabled = true;
+        // A small sketch so the warmup threshold is reached within the test.
+        config.monitor.hot_key_capacity = 16;
+        let h = LiveHarmony::new(live_cluster(), config, Box::new(HarmonyPolicy::new(3, 0.1)));
+        h.adapt();
+        // 95% of the writes hammer one key; the rest is a cold tail. The hot
+        // key's own arrival intensity breaches the 10% tolerance while the
+        // residual cold-tail load stays far below it.
+        for i in 0..2_000u64 {
+            let key = if i % 20 < 19 {
+                "hot".to_string()
+            } else {
+                format!("cold{}", i % 37)
+            };
+            h.write(&key, vec![1, 2, 3]);
+            let _ = h.read(&key);
+        }
+        std::thread::sleep(Duration::from_millis(5));
+        h.adapt();
+        let hot = h.hot_set();
+        let default_level = h.current_read_level();
+        assert!(
+            hot.iter().any(|d| d.key == "hot" && d.replicas > 1),
+            "expected the hot key escalated above the default, got {hot:?} \
+             (default level {default_level})"
+        );
+        // The cold tail still reads at the cheap default.
+        let cold_level = h.controller.lock().read_level_for("cold1");
+        assert_eq!(cold_level, default_level);
         h.shutdown();
     }
 

@@ -53,12 +53,14 @@
 //! ```
 
 pub mod decision;
+pub mod perkey;
 pub mod poisson;
 pub mod queueing;
 pub mod rates;
 pub mod staleness;
 
 pub use decision::{decide, decide_with_estimate, ConsistencyDecision};
+pub use perkey::{KeyLoad, PerKeyModel};
 pub use queueing::{MG1Queue, QueueingModel, StalenessEstimate, WriteStageObservation};
 pub use rates::{EwmaRate, RateEstimate, SlidingWindowRate};
 pub use staleness::{PropagationModel, StaleReadModel};

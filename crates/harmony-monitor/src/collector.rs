@@ -7,6 +7,7 @@
 //! rates, and (c) aggregates per-pair latency probes into one figure.
 
 use crate::aggregate::LatencyAggregation;
+use crate::heavy_hitters::HotKeyTracker;
 use crate::probe::ClusterProbe;
 use harmony_model::rates::{EwmaRate, RateEstimate, RateEstimator, SlidingWindowRate};
 use harmony_sim::clock::SimTime;
@@ -37,6 +38,12 @@ pub struct MonitorConfig {
     /// How many monitoring threads the sweep is spread over (the paper's
     /// monitor collects from sets of nodes in parallel).
     pub probe_threads: usize,
+    /// Counter capacity of the heavy-hitter (space-saving) sketch tracking
+    /// per-key write arrivals. Bounds the monitor's per-key memory.
+    pub hot_key_capacity: usize,
+    /// Minimum guaranteed share of all writes for a tracked key to count as
+    /// hot (fraction; the `total/capacity` noise floor applies on top).
+    pub hot_key_min_share: f64,
 }
 
 impl Default for MonitorConfig {
@@ -47,6 +54,8 @@ impl Default for MonitorConfig {
             latency_aggregation: LatencyAggregation::Mean,
             probe_cost_per_node_ms: 0.5,
             probe_threads: 8,
+            hot_key_capacity: 64,
+            hot_key_min_share: 0.02,
         }
     }
 }
@@ -91,6 +100,22 @@ pub struct MonitorSample {
     pub sweep_duration_ms: f64,
 }
 
+/// One hot key's monitored state after a sweep: the per-key signals the
+/// split controller specialises the staleness model with.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HotKeyStat {
+    /// The key.
+    pub key: String,
+    /// Smoothed per-key write arrival rate (writes/second).
+    pub write_rate: f64,
+    /// Guaranteed share of all observed writes going to this key.
+    pub share: f64,
+    /// Deepest per-replica pending-mutation backlog for this key (ms).
+    pub backlog_ms: f64,
+    /// Guaranteed (certain) occurrence count from the sketch.
+    pub guaranteed_count: u64,
+}
+
 enum Estimator {
     Window(SlidingWindowRate),
     Ewma(EwmaRate),
@@ -132,6 +157,10 @@ pub struct Monitor {
     last_latency_ms: f64,
     /// Recent (time, mean backlog) points used for the trend estimate.
     backlog_history: std::collections::VecDeque<(SimTime, f64)>,
+    /// Heavy-hitter tracking over the probe's write-key sample stream.
+    hot_tracker: HotKeyTracker,
+    /// Hot-key stats of the most recent sweep (sorted hottest first).
+    hot_stats: Vec<HotKeyStat>,
     history: Vec<MonitorSample>,
 }
 
@@ -164,6 +193,8 @@ impl Monitor {
         Monitor {
             estimator: build(config.estimator),
             arrival_estimator: build(config.estimator),
+            hot_tracker: HotKeyTracker::new(config.hot_key_capacity, config.hot_key_min_share),
+            hot_stats: Vec::new(),
             config,
             last_sweep_at: None,
             last_reads: 0,
@@ -277,6 +308,30 @@ impl Monitor {
                 .observe(elapsed_secs, arrivals_delta, 0);
         }
 
+        // Heavy hitters: feed this sweep's write-key samples to the sketch,
+        // then snapshot the hot set with its per-key backlogs. Backends
+        // without per-key signals produce an empty stream and the snapshot
+        // stays empty — the per-key layer degrades to the global model.
+        let key_samples = probe.drain_write_key_samples();
+        self.hot_tracker.observe_sweep(&key_samples, elapsed_secs);
+        let hot = self.hot_tracker.hot_keys();
+        self.hot_stats = if hot.is_empty() {
+            Vec::new()
+        } else {
+            let keys: Vec<String> = hot.iter().map(|h| h.key.clone()).collect();
+            let backlogs = probe.per_key_backlog_ms(&keys);
+            hot.into_iter()
+                .enumerate()
+                .map(|(i, h)| HotKeyStat {
+                    key: h.key,
+                    write_rate: h.rate,
+                    share: h.share,
+                    backlog_ms: backlogs.get(i).copied().unwrap_or(0.0).max(0.0),
+                    guaranteed_count: h.guaranteed_count,
+                })
+                .collect()
+        };
+
         // Backlog trend: slope between the oldest retained point and now.
         let backlog_trend_ms_per_s = match self.backlog_history.front() {
             Some(&(t0, b0)) => {
@@ -340,6 +395,24 @@ impl Monitor {
     /// All sweeps performed so far.
     pub fn history(&self) -> &[MonitorSample] {
         &self.history
+    }
+
+    /// The hot-key stats of the most recent sweep, hottest first. Empty while
+    /// the sketch warms up, under unskewed load, or on backends that cannot
+    /// observe per-key writes.
+    pub fn hot_key_stats(&self) -> &[HotKeyStat] {
+        &self.hot_stats
+    }
+
+    /// Read-only access to the heavy-hitter tracker (tests, tools).
+    pub fn hot_tracker(&self) -> &HotKeyTracker {
+        &self.hot_tracker
+    }
+
+    /// Upper bound on the write share of any key outside the current hot set
+    /// (see [`HotKeyTracker::cold_share_bound`]).
+    pub fn cold_share_bound(&self) -> f64 {
+        self.hot_tracker.cold_share_bound()
     }
 }
 
@@ -475,16 +548,33 @@ mod tests {
 
     #[test]
     fn per_replica_backlogs_produce_mean_and_spread() {
-        let mut m = monitor();
-        let probe = MockProbe {
+        // Run the same sweep twice: once with only the scalar aggregate and
+        // once with the per-replica view layered on top. The per-replica view
+        // must win whenever it is present — the sample reports the replica
+        // mean, not whatever the scalar fallback claims.
+        let scalar_only = MockProbe {
             nodes: 4,
             latency_ms: 0.3,
-            backlog_ms: 99.0, // ignored: the per-replica view wins
-            replica_backlogs: vec![1.0, 3.0, 5.0, 7.0],
+            backlog_ms: 99.0,
             ..MockProbe::default()
         };
-        let s = m.sweep(SimTime::from_secs(1), &probe);
-        assert!((s.backlog_ms - 4.0).abs() < 1e-12);
+        let s = monitor().sweep(SimTime::from_secs(1), &scalar_only);
+        assert_eq!(
+            s.backlog_ms, 99.0,
+            "without a per-replica view the scalar is used"
+        );
+
+        let with_replica_view = MockProbe {
+            replica_backlogs: vec![1.0, 3.0, 5.0, 7.0],
+            ..scalar_only
+        };
+        let s = monitor().sweep(SimTime::from_secs(1), &with_replica_view);
+        assert!(
+            (s.backlog_ms - 4.0).abs() < 1e-12,
+            "the per-replica mean must win over the scalar aggregate, got {}",
+            s.backlog_ms
+        );
+        assert_ne!(s.backlog_ms, with_replica_view.backlog_ms);
         // Population std of [1,3,5,7] = sqrt(5).
         assert!((s.backlog_spread_ms - 5.0f64.sqrt()).abs() < 1e-12);
     }
@@ -658,6 +748,68 @@ mod tests {
         assert_eq!(s.write_arrival_rate_per_replica, 0.0);
         assert_eq!(s.write_service_mean_ms, 0.0);
         assert_eq!(s.write_service_scv, 1.0);
+    }
+
+    #[test]
+    fn hot_keys_surface_with_rates_and_backlogs() {
+        let mut m = Monitor::new(MonitorConfig {
+            estimator: EstimatorKind::Ewma(1.0),
+            probe_cost_per_node_ms: 0.0,
+            hot_key_capacity: 8,
+            hot_key_min_share: 0.05,
+            ..MonitorConfig::default()
+        });
+        let mut probe = MockProbe {
+            nodes: 4,
+            latency_ms: 0.3,
+            ..MockProbe::default()
+        };
+        probe.key_backlogs.insert("user0".to_string(), 12.5);
+        // Skewed stream: 60% of writes hit user0, the rest a cold tail.
+        for sweep in 1..=6u64 {
+            let mut batch = Vec::new();
+            for i in 0..100u64 {
+                if i % 5 < 3 {
+                    batch.push("user0".to_string());
+                } else {
+                    batch.push(format!("user{}", 1 + (sweep * 100 + i) % 40));
+                }
+            }
+            *probe.write_keys.borrow_mut() = batch;
+            m.sweep(SimTime::from_secs(sweep), &probe);
+        }
+        let stats = m.hot_key_stats();
+        assert!(!stats.is_empty(), "hot key should surface");
+        assert_eq!(stats[0].key, "user0");
+        assert!(stats[0].share > 0.5, "share = {}", stats[0].share);
+        assert!(
+            (stats[0].write_rate - 60.0).abs() < 10.0,
+            "rate = {}",
+            stats[0].write_rate
+        );
+        assert_eq!(stats[0].backlog_ms, 12.5);
+    }
+
+    #[test]
+    fn unskewed_stream_produces_no_hot_keys() {
+        let mut m = Monitor::new(MonitorConfig {
+            probe_cost_per_node_ms: 0.0,
+            hot_key_capacity: 8,
+            ..MonitorConfig::default()
+        });
+        let probe = MockProbe {
+            nodes: 4,
+            latency_ms: 0.3,
+            ..MockProbe::default()
+        };
+        for sweep in 1..=8u64 {
+            let batch: Vec<String> = (0..100u64)
+                .map(|i| format!("user{}", (sweep * 100 + i * 13) % 400))
+                .collect();
+            *probe.write_keys.borrow_mut() = batch;
+            m.sweep(SimTime::from_secs(sweep), &probe);
+        }
+        assert!(m.hot_key_stats().is_empty());
     }
 
     #[test]

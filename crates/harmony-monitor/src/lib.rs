@@ -17,8 +17,10 @@
 
 pub mod aggregate;
 pub mod collector;
+pub mod heavy_hitters;
 pub mod probe;
 
 pub use aggregate::LatencyAggregation;
-pub use collector::{Monitor, MonitorConfig, MonitorSample};
+pub use collector::{HotKeyStat, Monitor, MonitorConfig, MonitorSample};
+pub use heavy_hitters::{HotKey, HotKeyTracker, SketchEntry, SpaceSavingSketch};
 pub use probe::ClusterProbe;

@@ -52,6 +52,20 @@ pub trait ClusterProbe {
     fn write_stage_concurrency(&self) -> usize {
         1
     }
+    /// Drains the keys of client writes observed since the previous sweep —
+    /// the sample stream feeding the monitor's heavy-hitter sketch. Backends
+    /// that cannot observe per-key writes report an empty batch and the
+    /// per-key staleness layer degrades to the global model.
+    fn drain_write_key_samples(&self) -> Vec<String> {
+        Vec::new()
+    }
+    /// Per-key mutation backlog (milliseconds) for the given keys: the
+    /// deepest per-replica pending-mutation backlog of each key, i.e. how far
+    /// the laggard replica of that key is behind. Must return one entry per
+    /// requested key; backends without the signal report zeros.
+    fn per_key_backlog_ms(&self, keys: &[String]) -> Vec<f64> {
+        vec![0.0; keys.len()]
+    }
 }
 
 impl ClusterProbe for Cluster {
@@ -90,6 +104,14 @@ impl ClusterProbe for Cluster {
     fn write_stage_concurrency(&self) -> usize {
         self.config().node_concurrency
     }
+
+    fn drain_write_key_samples(&self) -> Vec<String> {
+        Cluster::drain_write_key_samples(self)
+    }
+
+    fn per_key_backlog_ms(&self, keys: &[String]) -> Vec<f64> {
+        Cluster::per_key_backlog_ms(self, keys)
+    }
 }
 
 /// A scripted probe for unit tests and offline model exploration.
@@ -111,6 +133,10 @@ pub struct MockProbe {
     pub write_telemetry: Vec<WriteStageTelemetry>,
     /// Write-stage concurrency to report (0 is treated as 1).
     pub write_concurrency: usize,
+    /// Write-key samples handed out (and cleared) by the next drain call.
+    pub write_keys: std::cell::RefCell<Vec<String>>,
+    /// Scripted per-key backlogs (ms); keys not present report zero.
+    pub key_backlogs: std::collections::HashMap<String, f64>,
 }
 
 impl ClusterProbe for MockProbe {
@@ -137,6 +163,14 @@ impl ClusterProbe for MockProbe {
     }
     fn write_stage_concurrency(&self) -> usize {
         self.write_concurrency.max(1)
+    }
+    fn drain_write_key_samples(&self) -> Vec<String> {
+        std::mem::take(&mut *self.write_keys.borrow_mut())
+    }
+    fn per_key_backlog_ms(&self, keys: &[String]) -> Vec<f64> {
+        keys.iter()
+            .map(|k| self.key_backlogs.get(k).copied().unwrap_or(0.0))
+            .collect()
     }
 }
 

@@ -1,0 +1,142 @@
+//! Property tests for the space-saving sketch: the classic guarantees hold
+//! for arbitrary streams and capacities.
+//!
+//! * **No under-estimation:** `count(k)` is at least the true frequency of
+//!   `k` in the stream.
+//! * **Bounded over-estimation:** `count(k) - true(k)` never exceeds the
+//!   minimum counter, which itself never exceeds `total / capacity`.
+//! * **Bounded memory:** the sketch never tracks more than `capacity` keys.
+//! * **Heavy hitters are never lost:** any key whose true frequency exceeds
+//!   `total / capacity` is tracked.
+//!
+//! Sampling is deterministic per property (the mini-proptest shim derives
+//! its seed from the property name), so a failure reproduces exactly.
+
+use harmony_monitor::heavy_hitters::SpaceSavingSketch;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Builds the sketch and the exact key histogram for one stream.
+fn run_stream(capacity: usize, stream: &[u64]) -> (SpaceSavingSketch, HashMap<String, u64>) {
+    let mut sketch = SpaceSavingSketch::new(capacity);
+    let mut exact: HashMap<String, u64> = HashMap::new();
+    for &raw in stream {
+        // Skew the raw draws so streams contain genuine heavy hitters next
+        // to a long tail: half the alphabet collapses onto 4 hot keys.
+        let key = if raw % 2 == 0 {
+            format!("hot{}", raw % 4)
+        } else {
+            format!("cold{raw}")
+        };
+        sketch.observe(&key);
+        *exact.entry(key).or_insert(0) += 1;
+    }
+    (sketch, exact)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn estimates_over_approximate_by_at_most_the_min_counter_bound(
+        capacity in 1usize..24,
+        stream in prop::collection::vec(0u64..200, 1..1500),
+    ) {
+        let (sketch, exact) = run_stream(capacity, &stream);
+        let total = stream.len() as u64;
+        prop_assert_eq!(sketch.total(), total);
+        let min_count = sketch.min_count();
+        if sketch.len() == capacity {
+            // At capacity, the minimum counter is bounded by total/capacity:
+            // the counters sum to the stream length, so the smallest of
+            // `capacity` counters cannot exceed the mean.
+            prop_assert!(
+                min_count <= total / capacity as u64,
+                "min_count {} > total/capacity {}",
+                min_count,
+                total / capacity as u64
+            );
+        } else {
+            // Below capacity nothing has been evicted: every count is exact.
+            prop_assert!(sketch.entries().iter().all(|e| e.error == 0));
+        }
+        for entry in sketch.entries() {
+            let true_count = exact.get(&entry.key).copied().unwrap_or(0);
+            // Never under-estimates...
+            prop_assert!(
+                entry.count >= true_count,
+                "key {} estimated {} < true {}",
+                entry.key,
+                entry.count,
+                true_count
+            );
+            // ...and over-estimates by at most the inherited error, which is
+            // bounded by the minimum counter.
+            prop_assert!(
+                entry.count - true_count <= entry.error,
+                "key {} over-estimate {} exceeds its error {}",
+                entry.key,
+                entry.count - true_count,
+                entry.error
+            );
+            prop_assert!(
+                entry.error <= min_count,
+                "key {} error {} > min counter {}",
+                entry.key,
+                entry.error,
+                min_count
+            );
+            // The guaranteed count is a certain lower bound.
+            prop_assert!(entry.guaranteed() <= true_count);
+        }
+    }
+
+    #[test]
+    fn capacity_is_never_exceeded(
+        capacity in 1usize..16,
+        stream in prop::collection::vec(0u64..500, 1..800),
+    ) {
+        let (sketch, _) = run_stream(capacity, &stream);
+        prop_assert!(sketch.len() <= capacity);
+        prop_assert_eq!(sketch.capacity(), capacity);
+    }
+
+    #[test]
+    fn keys_above_the_frequency_floor_are_always_tracked(
+        capacity in 2usize..24,
+        stream in prop::collection::vec(0u64..100, 10..1500),
+    ) {
+        let (sketch, exact) = run_stream(capacity, &stream);
+        let total = stream.len() as u64;
+        for (key, &true_count) in &exact {
+            if true_count > total / capacity as u64 {
+                prop_assert!(
+                    sketch.estimate(key).is_some(),
+                    "key {} with true frequency {}/{} (> 1/{}) was lost",
+                    key,
+                    true_count,
+                    total,
+                    capacity
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn untracked_keys_are_bounded_by_the_min_counter(
+        capacity in 1usize..12,
+        stream in prop::collection::vec(0u64..300, 1..1000),
+    ) {
+        let (sketch, exact) = run_stream(capacity, &stream);
+        for (key, &true_count) in &exact {
+            if sketch.estimate(key).is_none() {
+                prop_assert!(
+                    true_count <= sketch.min_count(),
+                    "untracked key {} has true count {} > min counter {}",
+                    key,
+                    true_count,
+                    sketch.min_count()
+                );
+            }
+        }
+    }
+}

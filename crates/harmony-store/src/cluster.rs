@@ -126,7 +126,17 @@ pub struct Cluster {
     totals: ClusterTotals,
     probe_seed: u64,
     probe_count: std::cell::Cell<u64>,
+    /// Keys of client writes since the last monitoring drain — the sample
+    /// stream feeding the monitor's heavy-hitter sketch. Bounded so an
+    /// unmonitored cluster cannot grow it without limit.
+    write_key_samples: std::cell::RefCell<Vec<Key>>,
 }
+
+/// Upper bound on buffered write-key samples between monitoring sweeps.
+/// Shared by every backend feeding the monitor's heavy-hitter sketch (the
+/// real-threaded live cluster imports it too) so the sampling policy cannot
+/// drift between them.
+pub const WRITE_KEY_SAMPLE_CAP: usize = 1 << 16;
 
 impl Cluster {
     /// Builds a cluster over `topology` with the given network behaviour.
@@ -172,6 +182,7 @@ impl Cluster {
             totals: ClusterTotals::default(),
             probe_seed: harmony_sim::rng::mix(rng_factory.seed(), 0x70726f6265), // "probe"
             probe_count: std::cell::Cell::new(0),
+            write_key_samples: std::cell::RefCell::new(Vec::new()),
         }
     }
 
@@ -283,6 +294,48 @@ impl Cluster {
             .iter()
             .map(|n| n.write_stage_telemetry())
             .collect()
+    }
+
+    /// Drains the buffered keys of client writes since the previous call —
+    /// the observation stream of the monitor's heavy-hitter sketch. The
+    /// buffer is bounded ([`WRITE_KEY_SAMPLE_CAP`]); under an absent or
+    /// stalled monitor the overflow is dropped rather than accumulated.
+    pub fn drain_write_key_samples(&self) -> Vec<Key> {
+        std::mem::take(&mut *self.write_key_samples.borrow_mut())
+    }
+
+    /// Per-key mutation backlog for the given keys: for each key, the
+    /// *deepest* per-replica pending-mutation backlog (milliseconds), i.e.
+    /// the expected extra delay before the laggard replica of that key has
+    /// applied everything queued for it. The laggard is what a partial read
+    /// can hit, so it — not the mean — bounds the key's staleness window.
+    /// One pass over each node's queue (`O(nodes · queue + keys)`), so a
+    /// monitoring sweep stays cheap even with deep saturated queues and a
+    /// large tracked set.
+    pub fn per_key_backlog_ms(&self, keys: &[Key]) -> Vec<f64> {
+        let concurrency = self.config.node_concurrency.max(1) as f64;
+        let index: HashMap<&str, usize> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (k.as_str(), i))
+            .collect();
+        let mut deepest = vec![0.0f64; keys.len()];
+        let mut counts = vec![0usize; keys.len()];
+        for node in &self.nodes {
+            for slot in counts.iter_mut() {
+                *slot = 0;
+            }
+            for key in node.queued_write_keys() {
+                if let Some(&i) = index.get(key) {
+                    counts[i] += 1;
+                }
+            }
+            let mean_ms = self.write_service.mean_ms_for(node.id);
+            for (i, &count) in counts.iter().enumerate() {
+                deepest[i] = deepest[i].max(count as f64 * mean_ms / concurrency);
+            }
+        }
+        deepest
     }
 
     /// The replica set (primary first) for a key under the configured
@@ -571,6 +624,15 @@ impl Cluster {
     ) {
         let replica_set = self.replicas_for(key);
         let timestamp = self.alloc_timestamp(sim.now());
+        {
+            // Feed the monitor's heavy-hitter stream: one sample per client
+            // write (not per replica copy), so key shares match the client
+            // write distribution.
+            let mut samples = self.write_key_samples.borrow_mut();
+            if samples.len() < WRITE_KEY_SAMPLE_CAP {
+                samples.push(key.to_string());
+            }
+        }
         if let Some(p) = self.pending_writes.get_mut(&op) {
             p.replica_count = replica_set.len();
             p.required = p.required.min(replica_set.len());
@@ -1158,6 +1220,69 @@ mod tests {
             peak[0] > peak[1] && peak[0] > peak[2],
             "straggler backlog {peak:?}"
         );
+    }
+
+    #[test]
+    fn write_key_samples_accumulate_and_drain() {
+        let (mut cluster, mut sim) = test_cluster(0.2);
+        for i in 0..12 {
+            cluster.submit_write(
+                &format!("k{}", i % 3),
+                Mutation::single("f", b"v".to_vec()),
+                ConsistencyLevel::One,
+                &mut sim,
+            );
+        }
+        let _ = drain(&mut cluster, &mut sim);
+        let samples = cluster.drain_write_key_samples();
+        assert_eq!(samples.len(), 12);
+        assert_eq!(samples.iter().filter(|k| *k == "k0").count(), 4);
+        // Draining empties the buffer.
+        assert!(cluster.drain_write_key_samples().is_empty());
+    }
+
+    #[test]
+    fn per_key_backlog_tracks_the_laggard_replica() {
+        // One slow node, writes hammering a single key at ONE: the key's
+        // backlog must reflect the deepest replica queue, while an untouched
+        // key reports zero.
+        let topology = Topology::single_dc(1, 3);
+        let network = NetworkModel::uniform(Latency::constant_ms(0.1));
+        let config = StoreConfig {
+            replication_factor: 3,
+            node_concurrency: 1,
+            write_service_ms: 0.4,
+            node_service_factors: vec![4.0, 4.0, 4.0],
+            background_read_repair_chance: 0.0,
+            ..StoreConfig::default()
+        };
+        let mut cluster = Cluster::new(config, topology, network, RngFactory::new(11));
+        let mut sim: Simulation<StoreEvent> = Simulation::new(11);
+        for _ in 0..200u64 {
+            cluster.submit_write(
+                "hot",
+                Mutation::single("f", b"v".to_vec()),
+                ConsistencyLevel::One,
+                &mut sim,
+            );
+        }
+        let keys = vec!["hot".to_string(), "cold".to_string()];
+        let mut peak_hot = 0.0f64;
+        for _ in 0..1_500 {
+            let Some((_, ev)) = sim.next() else { break };
+            cluster.handle(ev, &mut sim);
+            let backlogs = cluster.per_key_backlog_ms(&keys);
+            assert_eq!(backlogs.len(), 2);
+            assert_eq!(backlogs[1], 0.0, "untouched key must have no backlog");
+            peak_hot = peak_hot.max(backlogs[0]);
+        }
+        assert!(
+            peak_hot > 1.0,
+            "expected a visible per-key backlog, got {peak_hot} ms"
+        );
+        // The per-key backlog never exceeds the cluster-wide deepest queue.
+        let _ = drain(&mut cluster, &mut sim);
+        assert_eq!(cluster.per_key_backlog_ms(&keys), vec![0.0, 0.0]);
     }
 
     #[test]

@@ -139,6 +139,21 @@ impl StorageNode {
         }
     }
 
+    /// The keys of the mutations currently waiting in the write-stage queue
+    /// (client writes, async propagation and read repair alike), in queue
+    /// order. The raw material of the per-key backlog probe — the per-key
+    /// analogue of the aggregate mutation backlog, since a deep per-key queue
+    /// means reads of that key observe stale data until it drains; callers
+    /// count occurrences in one pass instead of rescanning the queue per key.
+    pub fn queued_write_keys(&self) -> impl Iterator<Item = &str> {
+        self.write_stage.queue.iter().filter_map(|m| match m {
+            Message::ReplicaWrite { key, .. } | Message::RepairWrite { key, .. } => {
+                Some(key.as_str())
+            }
+            _ => None,
+        })
+    }
+
     /// Number of busy service slots in the given stage.
     pub fn busy_slots(&self, stage: Stage) -> usize {
         match stage {

@@ -181,6 +181,11 @@ pub struct RunStats {
     /// Stale reads observed via the paper's dual-read measurement (only
     /// populated when that mode is enabled).
     pub stale_reads_dual_read: u64,
+    /// Reads of the workload's designated hot keys (only populated when the
+    /// experiment spec marks a hot-key prefix for reporting).
+    pub hot_reads: u64,
+    /// Stale reads among the hot-key reads (ground truth).
+    pub hot_stale_reads: u64,
     /// Virtual time at which the measured phase started.
     pub started_at: SimTime,
     /// Virtual time at which the measured phase ended.
@@ -209,6 +214,16 @@ impl RunStats {
             0.0
         } else {
             self.stale_reads as f64 / self.reads as f64
+        }
+    }
+
+    /// Fraction of hot-key reads that were stale (ground truth); zero when no
+    /// hot-key prefix was designated or no hot key was read.
+    pub fn hot_stale_fraction(&self) -> f64 {
+        if self.hot_reads == 0 {
+            0.0
+        } else {
+            self.hot_stale_reads as f64 / self.hot_reads as f64
         }
     }
 }
@@ -306,6 +321,11 @@ mod tests {
         assert!((s.duration_secs() - 10.0).abs() < 1e-12);
         assert!((s.throughput_ops_per_sec() - 1000.0).abs() < 1e-9);
         assert!((s.stale_fraction() - 0.1).abs() < 1e-12);
+        s.hot_reads = 1_000;
+        s.hot_stale_reads = 250;
+        assert!((s.hot_stale_fraction() - 0.25).abs() < 1e-12);
+        s.hot_reads = 0;
+        assert_eq!(s.hot_stale_fraction(), 0.0);
         s.reads = 0;
         assert_eq!(s.stale_fraction(), 0.0);
         s.ended_at = s.started_at;

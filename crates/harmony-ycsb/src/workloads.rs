@@ -52,6 +52,12 @@ pub struct WorkloadSpec {
     pub rmw_proportion: f64,
     /// Key-popularity distribution.
     pub request_distribution: RequestDistribution,
+    /// For [`RequestDistribution::Hotspot`]: fraction of the keyspace that is
+    /// hot (YCSB's `hotspotdatafraction`; ignored by other distributions).
+    pub hotspot_hot_fraction: f64,
+    /// For [`RequestDistribution::Hotspot`]: fraction of operations that
+    /// target the hot set (YCSB's `hotspotopnfraction`).
+    pub hotspot_op_fraction: f64,
     /// Number of records loaded before the transaction phase.
     pub record_count: u64,
     /// Number of fields per record.
@@ -71,6 +77,8 @@ impl WorkloadSpec {
             insert_proportion: 0.0,
             rmw_proportion: 0.0,
             request_distribution: RequestDistribution::Zipfian,
+            hotspot_hot_fraction: 0.2,
+            hotspot_op_fraction: 0.8,
             record_count,
             field_count: 10,
             field_size: 100,
@@ -172,6 +180,11 @@ impl WorkloadSpec {
         if self.field_count == 0 || self.field_size == 0 {
             return Err("field_count and field_size must be at least 1".into());
         }
+        if !(0.0..=1.0).contains(&self.hotspot_hot_fraction)
+            || !(0.0..=1.0).contains(&self.hotspot_op_fraction)
+        {
+            return Err("hotspot fractions must be within [0, 1]".into());
+        }
         Ok(())
     }
 
@@ -184,8 +197,28 @@ impl WorkloadSpec {
                 KeyChooser::scrambled_zipfian(self.record_count)
             }
             RequestDistribution::Latest => KeyChooser::latest(self.record_count),
-            RequestDistribution::Hotspot => KeyChooser::hotspot(self.record_count, 0.2, 0.8),
+            RequestDistribution::Hotspot => KeyChooser::hotspot(
+                self.record_count,
+                self.hotspot_hot_fraction,
+                self.hotspot_op_fraction,
+            ),
         }
+    }
+
+    /// A skew sweep variant of this workload: same operation mix, different
+    /// key-popularity distribution (hotspot parameters apply only to
+    /// [`RequestDistribution::Hotspot`]). The name gains a `-<skew>` suffix.
+    pub fn with_distribution(mut self, distribution: RequestDistribution) -> Self {
+        self.request_distribution = distribution;
+        let suffix = match distribution {
+            RequestDistribution::Uniform => "uniform",
+            RequestDistribution::Zipfian => "zipfian",
+            RequestDistribution::ScrambledZipfian => "scrambled",
+            RequestDistribution::Latest => "latest",
+            RequestDistribution::Hotspot => "hotspot",
+        };
+        self.name = format!("{}-{suffix}", self.name);
+        self
     }
 
     /// Draws the next operation kind.
@@ -323,5 +356,32 @@ mod tests {
         assert_eq!(w.key_chooser().item_count(), 123);
         let d = WorkloadSpec::workload_d(77);
         assert_eq!(d.key_chooser().item_count(), 77);
+    }
+
+    #[test]
+    fn hotspot_parameters_flow_into_the_chooser() {
+        let mut w = WorkloadSpec::workload_a(1000).with_distribution(RequestDistribution::Hotspot);
+        w.hotspot_hot_fraction = 0.1;
+        w.hotspot_op_fraction = 0.9;
+        assert!(w.validate().is_ok());
+        assert_eq!(w.name, "workload-a-hotspot");
+        let mut rng = StdRng::seed_from_u64(9);
+        let chooser = w.key_chooser();
+        let hot: u64 = (0..50_000)
+            .filter(|_| chooser.next_index(&mut rng) < 100)
+            .count() as u64;
+        let share = hot as f64 / 50_000.0;
+        assert!(share > 0.85 && share < 0.95, "hot share = {share}");
+        // Out-of-range fractions fail validation.
+        w.hotspot_op_fraction = 1.5;
+        assert!(w.validate().is_err());
+    }
+
+    #[test]
+    fn with_distribution_renames_and_switches() {
+        let u = WorkloadSpec::workload_a(10).with_distribution(RequestDistribution::Uniform);
+        assert_eq!(u.name, "workload-a-uniform");
+        assert_eq!(u.request_distribution, RequestDistribution::Uniform);
+        assert_eq!(u.read_proportion, 0.5);
     }
 }

@@ -66,17 +66,19 @@ pub use harmony_sim::profiles;
 
 /// One-stop imports for the most common experiment workflow.
 pub mod prelude {
-    pub use harmony_adaptive::config::ControllerConfig;
-    pub use harmony_adaptive::controller::AdaptiveController;
+    pub use harmony_adaptive::config::{ControllerConfig, PerKeySplitConfig};
+    pub use harmony_adaptive::controller::{AdaptiveController, HotKeyDecision};
     pub use harmony_adaptive::policy::{
         ConsistencyPolicy, HarmonyPolicy, PolicyContext, StaticPolicy,
     };
     pub use harmony_model::decision::{decide, decide_with_estimate, ConsistencyDecision};
+    pub use harmony_model::perkey::{KeyLoad, PerKeyModel};
     pub use harmony_model::queueing::{
         MG1Queue, QueueingModel, StalenessEstimate, WriteStageObservation,
     };
     pub use harmony_model::staleness::{PropagationModel, StaleReadModel};
-    pub use harmony_monitor::collector::{Monitor, MonitorConfig};
+    pub use harmony_monitor::collector::{HotKeyStat, Monitor, MonitorConfig};
+    pub use harmony_monitor::heavy_hitters::{HotKeyTracker, SpaceSavingSketch};
     pub use harmony_sim::profiles::{ec2, grid5000, ClusterProfile};
     pub use harmony_sim::{Latency, SimTime, Simulation};
     pub use harmony_store::prelude::*;

@@ -26,6 +26,7 @@ fn run_phased(workload: WorkloadSpec, phases: Vec<Phase>) -> ExperimentResult {
         phases,
         seed: 31,
         dual_read_measurement: false,
+        hot_key_prefix: 0,
         max_virtual_secs: 600.0,
     };
     run_experiment(
@@ -211,6 +212,7 @@ fn dual_read_measurement_perturbs_throughput() {
         phases: vec![Phase::new(30, 10_000)],
         seed: 5,
         dual_read_measurement: false,
+        hot_key_prefix: 0,
         max_virtual_secs: 600.0,
     };
     let mut spec_measured = spec_base.clone();

@@ -104,6 +104,7 @@ fn zero_tolerance_harmony_escalates_to_all_replicas() {
         phases: vec![Phase::new(40, 15_000)],
         seed: 11,
         dual_read_measurement: false,
+        hot_key_prefix: 0,
         max_virtual_secs: 600.0,
     };
     let controller = ControllerConfig {

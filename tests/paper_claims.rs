@@ -37,6 +37,7 @@ fn run(policy: Box<dyn ConsistencyPolicy>, threads: usize, ops: u64) -> Experime
         phases: vec![Phase::new(threads, ops)],
         seed: 20120920,
         dual_read_measurement: false,
+        hot_key_prefix: 0,
         max_virtual_secs: 600.0,
     };
     run_experiment(
@@ -233,4 +234,130 @@ fn harmony_actually_adapts_the_level() {
     );
     assert!(result.decisions.iter().any(|d| d.replicas_in_read > 1));
     assert!(result.decisions.iter().any(|d| d.replicas_in_read == 1));
+}
+
+/// The tolerance under which the per-key split is exercised: strict enough
+/// that the *global* controller must escalate to protect the Zipfian head.
+const SPLIT_TOLERANCE: f64 = 0.03;
+
+/// Runs a skewed-workload experiment with the global or the split controller
+/// (same calibrated figure configuration either way). Two phases, YCSB
+/// style: a warmup phase covering the controllers' shared cold start (the
+/// monitor needs a few sweeps before either controller sees the load, and
+/// the sketch needs its warmup sample count), then the measured phase the
+/// claims are asserted on (`phase_results[1]`).
+fn run_skewed(
+    distribution: RequestDistribution,
+    split: bool,
+    threads: usize,
+    ops: u64,
+) -> ExperimentResult {
+    let mut workload = WorkloadSpec::workload_a(2_000).with_distribution(distribution);
+    workload.field_count = 4;
+    workload.field_size = 32;
+    let spec = ExperimentSpec {
+        workload,
+        phases: vec![Phase::new(threads, 8_000), Phase::new(threads, ops)],
+        seed: 20120920,
+        dual_read_measurement: false,
+        // The Zipfian head: for the unscrambled chooser rank == index, so the
+        // 16 lowest record indices are the hottest keys of the run.
+        hot_key_prefix: 16,
+        max_virtual_secs: 600.0,
+    };
+    let controller = if split {
+        harmony_bench::experiments::split_figure_controller_config()
+    } else {
+        harmony_bench::experiments::figure_controller_config()
+    };
+    run_experiment(
+        &profile(),
+        store_config(),
+        controller,
+        Box::new(HarmonyPolicy::new(5, SPLIT_TOLERANCE)),
+        spec,
+    )
+}
+
+/// The per-key claim (ISSUE 3 acceptance): under Zipfian 0.99 the split
+/// controller — heavy-hitter hot set read strong, cold tail at the cheap
+/// default — achieves strictly higher throughput than the global controller
+/// at an equal-or-lower hot-key stale-read rate, and its stale-read rate
+/// *on the hot keys* stays within the tolerance the application asked for.
+#[test]
+fn split_controller_beats_global_on_zipfian_skew() {
+    let threads = 40;
+    let ops = 25_000;
+    let global = run_skewed(RequestDistribution::Zipfian, false, threads, ops);
+    let split = run_skewed(RequestDistribution::Zipfian, true, threads, ops);
+    let split_measured = &split.phase_results[1].stats;
+    let global_measured = &global.phase_results[1].stats;
+
+    assert!(
+        split_measured.throughput_ops_per_sec() > global_measured.throughput_ops_per_sec(),
+        "split controller at {:.0} ops/s must strictly beat the global controller's {:.0} ops/s",
+        split_measured.throughput_ops_per_sec(),
+        global_measured.throughput_ops_per_sec()
+    );
+    assert!(
+        split_measured.hot_reads > 0,
+        "the zipfian head must be read"
+    );
+    let hot_stale = split_measured.hot_stale_fraction();
+    assert!(
+        hot_stale <= SPLIT_TOLERANCE,
+        "hot-key stale rate {:.2}% exceeds the tolerated {:.0}%",
+        hot_stale * 100.0,
+        SPLIT_TOLERANCE * 100.0
+    );
+    assert!(
+        hot_stale <= global_measured.hot_stale_fraction() + 1e-9,
+        "split hot-key stale rate {:.2}% above the global controller's {:.2}%",
+        hot_stale * 100.0,
+        global_measured.hot_stale_fraction() * 100.0
+    );
+    // The gain comes from the split, not from dropping protection: heavy
+    // hitters were actually tracked and individually decided.
+    assert!(
+        split.decisions.iter().any(|d| d.hot_keys > 0),
+        "the split controller never tracked a hot key"
+    );
+    assert!(
+        split.hot_set.iter().any(|h| h.replicas > 1),
+        "no hot key was escalated above ONE: {:?}",
+        split.hot_set
+    );
+    // And the hottest key of the Zipfian head is among them.
+    assert!(
+        split.hot_set.iter().any(|h| h.key == "user0"),
+        "the rank-0 key is missing from the hot set: {:?}",
+        split.hot_set
+    );
+}
+
+/// The uniform regression guard (ISSUE 3 acceptance): with no skew there are
+/// no heavy hitters, the hot set stays empty, and the split controller makes
+/// byte-identical decisions to the global controller — the whole run is
+/// identical, decision record for decision record.
+#[test]
+fn split_controller_degenerates_to_global_under_uniform_load() {
+    let threads = 40;
+    let ops = 15_000;
+    let global = run_skewed(RequestDistribution::Uniform, false, threads, ops);
+    let split = run_skewed(RequestDistribution::Uniform, true, threads, ops);
+
+    assert!(
+        split.hot_set.is_empty(),
+        "uniform load produced a hot set: {:?}",
+        split.hot_set
+    );
+    assert!(split.decisions.iter().all(|d| d.hot_keys == 0));
+    assert_eq!(
+        split.decisions, global.decisions,
+        "split and global controllers must make byte-identical decisions under uniform load"
+    );
+    assert_eq!(split.read_level_histogram, global.read_level_histogram);
+    assert_eq!(split.stats.operations, global.stats.operations);
+    assert_eq!(split.stats.stale_reads, global.stats.stale_reads);
+    assert_eq!(split.cluster_totals, global.cluster_totals);
 }
