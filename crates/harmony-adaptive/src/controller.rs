@@ -15,6 +15,7 @@ use harmony_monitor::collector::Monitor;
 use harmony_monitor::probe::ClusterProbe;
 use harmony_sim::clock::SimTime;
 use harmony_store::consistency::ConsistencyLevel;
+use harmony_store::keys::KeyId;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -53,8 +54,10 @@ pub struct DecisionRecord {
 /// One hot key's individual decision, as recorded by the split controller.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HotKeyDecision {
-    /// The hot key.
+    /// The hot key's human-readable name (reports and tests compare these).
     pub key: String,
+    /// The hot key's interned id (what the read path matches on).
+    pub key_id: KeyId,
     /// Replicas reads of this key must touch.
     pub replicas: usize,
     /// The key's monitored write arrival rate (writes/s).
@@ -73,7 +76,9 @@ pub struct AdaptiveController {
     current_read_level: ConsistencyLevel,
     current_write_level: ConsistencyLevel,
     /// Hot keys currently escalated above the default level (split mode).
-    hot_set: HashMap<String, ConsistencyLevel>,
+    /// Keyed by interned id: the per-read lookup hashes 4 bytes, not a
+    /// string.
+    hot_set: HashMap<KeyId, ConsistencyLevel>,
     /// The same escalations in stable (key-sorted) order, for reporting.
     hot_decisions: Vec<HotKeyDecision>,
     decisions: Vec<DecisionRecord>,
@@ -127,10 +132,11 @@ impl AdaptiveController {
     /// The consistency level a read of `key` should use: the key's escalated
     /// level when it is in the hot set, the default level otherwise. With
     /// per-key splitting disabled (or no hot keys) this is exactly
-    /// [`AdaptiveController::current_read_level`].
-    pub fn read_level_for(&self, key: &str) -> ConsistencyLevel {
+    /// [`AdaptiveController::current_read_level`]. `Copy` id in, no
+    /// allocation, no string hashing — this sits on the per-read hot path.
+    pub fn read_level_for(&self, key: KeyId) -> ConsistencyLevel {
         self.hot_set
-            .get(key)
+            .get(&key)
             .copied()
             .unwrap_or(self.current_read_level)
     }
@@ -256,9 +262,10 @@ impl AdaptiveController {
                     &load,
                 );
                 let level = ConsistencyLevel::from_replica_count(replicas, self.replication_factor);
-                self.hot_set.insert(stat.key.clone(), level);
+                self.hot_set.insert(stat.key, level);
                 self.hot_decisions.push(HotKeyDecision {
-                    key: stat.key.clone(),
+                    key: stat.name.clone(),
+                    key_id: stat.key,
                     replicas,
                     write_rate: stat.write_rate,
                     backlog_ms: stat.backlog_ms,
@@ -458,6 +465,11 @@ mod tests {
             .collect()
     }
 
+    /// Scripts the probe's pending write-key samples from readable names.
+    fn set_batch(probe: &MockProbe, batch: Vec<String>) {
+        probe.set_write_keys(&batch);
+    }
+
     #[test]
     fn split_escalates_the_hot_key_and_keeps_the_tail_cheap() {
         let mut c = split_config(Box::new(HarmonyPolicy::new(5, 0.4)));
@@ -470,7 +482,7 @@ mod tests {
         for tick in 1..=5u64 {
             probe.reads += 240;
             probe.writes += 80;
-            *probe.write_keys.borrow_mut() = skewed_batch(tick);
+            set_batch(&probe, skewed_batch(tick));
             c.tick(SimTime::from_secs(tick), &probe);
         }
         // The default level stays cheap: the cold tail's residual load is
@@ -482,11 +494,15 @@ mod tests {
         assert_eq!(hot[0].key, "hot");
         assert!(hot[0].replicas > 1, "replicas = {}", hot[0].replicas);
         assert!(hot[0].backlog_ms > 0.0);
+        assert_eq!(hot[0].key_id, probe.intern("hot"));
         assert!(
-            c.read_level_for("hot").required_acks(5) > 1,
+            c.read_level_for(probe.intern("hot")).required_acks(5) > 1,
             "hot key must read above ONE"
         );
-        assert_eq!(c.read_level_for("cold7"), ConsistencyLevel::One);
+        assert_eq!(
+            c.read_level_for(probe.intern("cold7")),
+            ConsistencyLevel::One
+        );
         let last = c.decisions().last().unwrap();
         assert_eq!(last.hot_keys, 1);
         assert_eq!(last.replicas_in_read, 1);
@@ -520,9 +536,10 @@ mod tests {
                 probe.reads += 4_000;
                 probe.writes += 3_000;
                 // Uniform stream: no key ever clears the hot thresholds.
-                *probe.write_keys.borrow_mut() = (0..100u64)
+                let batch: Vec<String> = (0..100u64)
                     .map(|i| format!("u{}", (tick * 100 + i) % 400))
                     .collect();
+                set_batch(&probe, batch);
                 c.tick(SimTime::from_secs(tick), &probe);
             }
             assert!(c.hot_set().is_empty());
@@ -547,14 +564,14 @@ mod tests {
         for tick in 1..=5u64 {
             probe.reads += 240;
             probe.writes += 80;
-            *probe.write_keys.borrow_mut() = skewed_batch(tick);
+            set_batch(&probe, skewed_batch(tick));
             c.tick(SimTime::from_secs(tick), &probe);
         }
         assert!(
             c.hot_set().is_empty(),
             "a policy without a tolerance has nothing to escalate against"
         );
-        assert_eq!(c.read_level_for("hot"), ConsistencyLevel::One);
+        assert_eq!(c.read_level_for(probe.intern("hot")), ConsistencyLevel::One);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
 use harmony_store::engine::{EngineConfig, StorageEngine};
+use harmony_store::keys::KeyId;
 use harmony_store::types::{Mutation, Timestamp};
 
 fn loaded_engine(keys: u64, flushed: bool) -> StorageEngine {
@@ -12,7 +13,7 @@ fn loaded_engine(keys: u64, flushed: bool) -> StorageEngine {
     });
     for i in 0..keys {
         engine.apply(
-            &format!("user{i}"),
+            KeyId(i as u32),
             &Mutation::ycsb_row(10, 100),
             Timestamp(i + 1),
         );
@@ -30,7 +31,7 @@ fn bench_apply(c: &mut Criterion) {
         let mut ts = 0u64;
         b.iter(|| {
             ts += 1;
-            engine.apply(black_box("user42"), &mutation, Timestamp(ts));
+            engine.apply(black_box(KeyId(42)), &mutation, Timestamp(ts));
         })
     });
 }
@@ -41,7 +42,7 @@ fn bench_get_memtable(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i = (i + 7) % 10_000;
-            black_box(engine.get(&format!("user{i}")))
+            black_box(engine.get(KeyId(i as u32)))
         })
     });
 }
@@ -52,7 +53,7 @@ fn bench_get_sstable(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i = (i + 7) % 10_000;
-            black_box(engine.get(&format!("user{i}")))
+            black_box(engine.get(KeyId(i as u32)))
         })
     });
 }
@@ -78,7 +79,7 @@ fn bench_compaction(c: &mut Criterion) {
                 for round in 0..4u64 {
                     for i in 0..1_000u64 {
                         engine.apply(
-                            &format!("user{i}"),
+                            KeyId(i as u32),
                             &Mutation::single("field0", vec![b'x'; 100]),
                             Timestamp(round * 10_000 + i),
                         );

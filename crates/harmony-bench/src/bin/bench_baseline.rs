@@ -1,0 +1,256 @@
+//! Wall-clock performance baseline: the headline and Figure 5 saturation
+//! sweeps timed against the real clock, with an allocations-per-operation
+//! estimate from a counting global allocator.
+//!
+//! Every other binary in this crate reports *virtual*-time results — the
+//! discrete-event clock advances however long the simulated cluster needs,
+//! regardless of how fast the simulator itself runs. This binary pins the
+//! complementary number: how many simulated operations per *wall-clock*
+//! second the engine sustains, which is what hot-path optimisations
+//! (key interning, placement caching, shared payloads) actually move.
+//!
+//! The sweeps are the `--quick` variants of `headline` and
+//! `fig5_saturation`, so a run finishes in well under a minute and the
+//! committed baseline is directly comparable with the CI smoke run.
+//!
+//! Usage:
+//!   cargo run --release -p harmony-bench --bin bench_baseline
+//!   cargo run --release -p harmony-bench --bin bench_baseline -- \
+//!       --out BENCH_e2e.json --check BENCH_e2e.json --tolerance 0.2
+//!
+//! Flags:
+//!   `--quick`            accepted for CI symmetry (the sweeps are always the
+//!                        quick variants; the flag changes nothing)
+//!   `--out <path>`       where to write the JSON report (default
+//!                        `BENCH_e2e.json` in the current directory)
+//!   `--check <path>`     compare against a previously committed report and
+//!                        exit non-zero if overall wall-clock ops/sec
+//!                        regressed by more than the tolerance
+//!   `--tolerance <f>`    allowed fractional regression for `--check`
+//!                        (default 0.2, i.e. 20%)
+
+use harmony_bench::experiments::{config_by_name, run_point, ExperimentConfig, PolicySpec};
+use harmony_bench::report::has_flag;
+use serde::{Deserialize, Serialize};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A passthrough allocator that counts allocation calls, so the report can
+/// estimate allocations per simulated operation without external tooling.
+struct CountingAllocator;
+
+static ALLOCATION_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATION_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATION_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocation_calls() -> u64 {
+    ALLOCATION_CALLS.load(Ordering::Relaxed)
+}
+
+/// One timed sweep's aggregate measurements.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SweepBaseline {
+    /// Sweep name (`headline-quick` or `fig5-saturation-quick`).
+    name: String,
+    /// Wall-clock duration of the sweep in seconds.
+    wall_secs: f64,
+    /// Simulated operations completed across all runs of the sweep.
+    operations: u64,
+    /// Simulated operations per wall-clock second — the headline number.
+    ops_per_sec_wall: f64,
+    /// Median simulated read latency across the sweep's runs (ms).
+    read_p50_ms: f64,
+    /// 99th-percentile simulated read latency across the sweep's runs (ms).
+    read_p99_ms: f64,
+    /// Allocator calls (alloc + realloc) during the sweep.
+    allocations: u64,
+    /// Allocator calls per simulated operation.
+    allocations_per_op: f64,
+}
+
+/// The whole report, as committed at the repository root.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BenchBaseline {
+    /// Schema version.
+    version: u32,
+    /// Per-sweep measurements.
+    sweeps: Vec<SweepBaseline>,
+    /// Operations across all sweeps.
+    total_operations: u64,
+    /// Wall-clock seconds across all sweeps.
+    total_wall_secs: f64,
+    /// Overall simulated operations per wall-clock second — the number the
+    /// CI regression gate compares.
+    total_ops_per_sec_wall: f64,
+}
+
+/// The points of one sweep: `(profile, policy, threads)`.
+type SweepPoint = (ExperimentConfig, PolicySpec, usize);
+
+fn quick_scaled(profile: &str, min_operations: u64) -> ExperimentConfig {
+    let mut config = config_by_name(profile).expect("known profile");
+    config.records = 4_000;
+    config.operations_per_thread = 250;
+    config.min_operations = min_operations;
+    config
+}
+
+/// The `headline --quick` points: both platforms, the platform's strict
+/// Harmony setting against the two static baselines at a busy thread count.
+fn headline_points() -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for profile in ["grid5000", "ec2"] {
+        let config = quick_scaled(profile, 8_000);
+        let strict = config.profile.harmony_settings[0];
+        for policy in [
+            PolicySpec::Harmony(strict),
+            PolicySpec::Eventual,
+            PolicySpec::Strong,
+        ] {
+            points.push((config.clone(), policy, 40));
+        }
+    }
+    points
+}
+
+/// The `fig5_saturation --quick` points: Harmony's relaxed setting against
+/// the static baselines across the quick thread sweep.
+fn fig5_points() -> Vec<SweepPoint> {
+    let config = quick_scaled("grid5000", 6_000);
+    let relaxed = config.profile.harmony_settings[1];
+    let mut points = Vec::new();
+    for policy in [
+        PolicySpec::Harmony(relaxed),
+        PolicySpec::Eventual,
+        PolicySpec::Strong,
+    ] {
+        for threads in [5usize, 20, 40] {
+            points.push((config.clone(), policy, threads));
+        }
+    }
+    points
+}
+
+fn run_sweep(name: &str, points: &[SweepPoint]) -> SweepBaseline {
+    let mut read_latency = harmony_ycsb::stats::LatencyHistogram::new();
+    let mut operations = 0u64;
+    let allocs_before = allocation_calls();
+    let started = Instant::now();
+    for (config, policy, threads) in points {
+        let result = run_point(config, policy, *threads, false);
+        operations += result.stats.operations;
+        read_latency.merge(&result.stats.read_latency);
+    }
+    let wall_secs = started.elapsed().as_secs_f64();
+    let allocations = allocation_calls().saturating_sub(allocs_before);
+    SweepBaseline {
+        name: name.to_string(),
+        wall_secs,
+        operations,
+        ops_per_sec_wall: operations as f64 / wall_secs.max(1e-9),
+        read_p50_ms: read_latency.percentile_ms(0.50),
+        read_p99_ms: read_latency.percentile_ms(0.99),
+        allocations,
+        allocations_per_op: allocations as f64 / operations.max(1) as f64,
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.windows(2).find(|w| w[0] == flag).map(|w| w[1].clone())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // The sweeps *are* the quick variants; the flag exists so CI can invoke
+    // this binary uniformly with the other sweep smokes.
+    let _ = has_flag(&args, "--quick");
+    let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_e2e.json".to_string());
+    let check = flag_value(&args, "--check");
+    let tolerance: f64 = flag_value(&args, "--tolerance")
+        .map(|t| t.parse().expect("--tolerance takes a fraction"))
+        .unwrap_or(0.2);
+
+    println!("Wall-clock baseline — headline + fig5 saturation (quick sweeps)\n");
+    let sweeps = vec![
+        run_sweep("headline-quick", &headline_points()),
+        run_sweep("fig5-saturation-quick", &fig5_points()),
+    ];
+
+    let total_operations: u64 = sweeps.iter().map(|s| s.operations).sum();
+    let total_wall_secs: f64 = sweeps.iter().map(|s| s.wall_secs).sum();
+    let report = BenchBaseline {
+        version: 1,
+        total_operations,
+        total_wall_secs,
+        total_ops_per_sec_wall: total_operations as f64 / total_wall_secs.max(1e-9),
+        sweeps,
+    };
+
+    let mut table = harmony_bench::report::Table::new(vec![
+        "sweep",
+        "wall s",
+        "ops",
+        "ops/s (wall)",
+        "p50 ms",
+        "p99 ms",
+        "allocs/op",
+    ]);
+    for s in &report.sweeps {
+        table.add_row(vec![
+            s.name.clone(),
+            format!("{:.2}", s.wall_secs),
+            s.operations.to_string(),
+            format!("{:.0}", s.ops_per_sec_wall),
+            format!("{:.2}", s.read_p50_ms),
+            format!("{:.2}", s.read_p99_ms),
+            format!("{:.1}", s.allocations_per_op),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "Overall: {} operations in {:.2} s wall = {:.0} ops/s",
+        report.total_operations, report.total_wall_secs, report.total_ops_per_sec_wall
+    );
+
+    harmony_bench::report::write_json(std::path::Path::new(&out), &report).expect("write json");
+    println!("JSON written to {out}");
+
+    if let Some(baseline_path) = check {
+        let text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+        let baseline: BenchBaseline =
+            serde_json::from_str(&text).expect("parse committed baseline");
+        let floor = baseline.total_ops_per_sec_wall * (1.0 - tolerance);
+        println!(
+            "Regression check against {baseline_path}: measured {:.0} ops/s vs \
+             committed {:.0} ops/s (floor {:.0}, tolerance {:.0}%)",
+            report.total_ops_per_sec_wall,
+            baseline.total_ops_per_sec_wall,
+            floor,
+            tolerance * 100.0
+        );
+        if report.total_ops_per_sec_wall < floor {
+            eprintln!("FAIL: wall-clock throughput regressed beyond the tolerance");
+            std::process::exit(1);
+        }
+        println!("OK: within tolerance");
+    }
+}

@@ -11,6 +11,7 @@
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use harmony_store::cluster::WRITE_KEY_SAMPLE_CAP;
 use harmony_store::consistency::ConsistencyLevel;
+use harmony_store::keys::{KeyId, KeyTable};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -62,20 +63,25 @@ pub struct LiveCounters {
 
 enum NodeMsg {
     Write {
-        key: String,
-        value: Vec<u8>,
+        key: KeyId,
+        /// Shared across the replica fan-out: each copy is a refcount bump,
+        /// not a payload clone.
+        value: Arc<Vec<u8>>,
         version: u64,
         ack: Sender<()>,
     },
     Read {
-        key: String,
-        reply: Sender<Option<(Vec<u8>, u64)>>,
+        key: KeyId,
+        reply: Sender<Option<VersionedValue>>,
     },
     Shutdown,
 }
 
+/// A stored version: the shared payload plus its version number.
+type VersionedValue = (Arc<Vec<u8>>, u64);
+
 struct NodeState {
-    data: Mutex<HashMap<String, (Vec<u8>, u64)>>,
+    data: Mutex<HashMap<KeyId, VersionedValue>>,
     /// Writes accepted by a coordinator but not yet applied on this replica
     /// (in-flight in the delayed "network" or queued on the channel) — the
     /// live analogue of a pending-MutationStage count.
@@ -104,7 +110,7 @@ fn node_loop(state: Arc<NodeState>, rx: Receiver<NodeMsg>) {
             } => {
                 {
                     let mut data = state.data.lock();
-                    let entry = data.entry(key).or_insert_with(|| (Vec::new(), 0));
+                    let entry = data.entry(key).or_insert_with(|| (Arc::new(Vec::new()), 0));
                     if version > entry.1 {
                         *entry = (value, version);
                     }
@@ -141,10 +147,14 @@ pub struct LiveCluster {
     /// dynamic snitch picking different "closest" replicas over time.
     read_rotation: AtomicU64,
     /// Newest acknowledged version per key, for ground-truth staleness checks.
-    acked: Mutex<HashMap<String, u64>>,
+    acked: Mutex<HashMap<KeyId, u64>>,
     /// Keys of client writes since the last monitoring drain — the sample
     /// stream for the monitor's heavy-hitter sketch (bounded).
-    write_key_samples: Mutex<Vec<String>>,
+    write_key_samples: Mutex<Vec<KeyId>>,
+    /// The key interner shared by every client handle; replica messages and
+    /// per-node maps move 4-byte ids instead of cloning key strings RF times
+    /// per operation.
+    key_table: Mutex<KeyTable>,
 }
 
 impl LiveCluster {
@@ -188,13 +198,34 @@ impl LiveCluster {
             read_rotation: AtomicU64::new(0),
             acked: Mutex::new(HashMap::new()),
             write_key_samples: Mutex::new(Vec::new()),
+            key_table: Mutex::new(KeyTable::new()),
         }
     }
 
     /// Drains the buffered keys of client writes since the previous call —
     /// the observation stream of the monitor's heavy-hitter sketch.
-    pub fn drain_write_key_samples(&self) -> Vec<String> {
+    pub fn drain_write_key_samples(&self) -> Vec<KeyId> {
         std::mem::take(&mut *self.write_key_samples.lock())
+    }
+
+    /// Interns a key name (idempotent).
+    pub fn intern_key(&self, name: &str) -> KeyId {
+        self.key_table.lock().intern(name)
+    }
+
+    /// The id of an already-interned key name, if any.
+    pub fn key_id(&self, name: &str) -> Option<KeyId> {
+        self.key_table.lock().get(name)
+    }
+
+    /// The name behind an interned key id (positional fallback for ids this
+    /// cluster never produced).
+    pub fn key_name(&self, id: KeyId) -> String {
+        self.key_table
+            .lock()
+            .try_resolve(id)
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("key#{}", id.0))
     }
 
     /// The cluster configuration.
@@ -274,14 +305,16 @@ impl LiveCluster {
     /// situation of the paper's Figure 2.
     pub fn write(&self, key: &str, value: Vec<u8>, level: ConsistencyLevel) -> u64 {
         let version = self.next_version.fetch_add(1, Ordering::SeqCst);
+        let id = self.intern_key(key);
         {
             let mut samples = self.write_key_samples.lock();
             if samples.len() < WRITE_KEY_SAMPLE_CAP {
-                samples.push(key.to_string());
+                samples.push(id);
             }
         }
         let replicas = self.replicas_for(key);
         let required = level.required_acks(replicas.len());
+        let shared_value = Arc::new(value);
         let (ack_tx, ack_rx) = bounded(replicas.len());
         for (i, &r) in replicas.iter().enumerate() {
             self.states[r]
@@ -291,8 +324,8 @@ impl LiveCluster {
                 .accepted_writes
                 .fetch_add(1, Ordering::Relaxed);
             let sender = self.senders[r].clone();
-            let msg_key = key.to_string();
-            let msg_value = value.clone();
+            let msg_key = id;
+            let msg_value = Arc::clone(&shared_value);
             let ack = ack_tx.clone();
             let mut rng =
                 StdRng::seed_from_u64(self.config.seed ^ version.wrapping_mul(31) ^ i as u64);
@@ -317,7 +350,7 @@ impl LiveCluster {
         }
         {
             let mut acked = self.acked.lock();
-            let entry = acked.entry(key.to_string()).or_insert(0);
+            let entry = acked.entry(id).or_insert(0);
             if version > *entry {
                 *entry = version;
             }
@@ -334,21 +367,29 @@ impl LiveCluster {
     /// dynamic snitch), so consecutive reads of the same key do not always
     /// hit the same — possibly freshest — replica.
     pub fn read(&self, key: &str, level: ConsistencyLevel) -> Option<(Vec<u8>, u64)> {
-        let expected = self.acked.lock().get(key).copied().unwrap_or(0);
+        // A never-written key has no id; no replica can hold it either.
+        let id = self.key_id(key);
+        let expected = id
+            .and_then(|id| self.acked.lock().get(&id).copied())
+            .unwrap_or(0);
         let replicas = self.replicas_for(key);
         let required = level.required_acks(replicas.len());
         let offset = self.read_rotation.fetch_add(1, Ordering::Relaxed) as usize;
         let (reply_tx, reply_rx) = bounded(replicas.len());
-        for i in 0..required {
-            let r = replicas[(offset + i) % replicas.len()];
-            let _ = self.senders[r].send(NodeMsg::Read {
-                key: key.to_string(),
-                reply: reply_tx.clone(),
-            });
+        // An unknown key exists on no replica: contact none, expect nothing.
+        let expected_replies = if id.is_some() { required } else { 0 };
+        if let Some(id) = id {
+            for i in 0..expected_replies {
+                let r = replicas[(offset + i) % replicas.len()];
+                let _ = self.senders[r].send(NodeMsg::Read {
+                    key: id,
+                    reply: reply_tx.clone(),
+                });
+            }
         }
         drop(reply_tx);
-        let mut best: Option<(Vec<u8>, u64)> = None;
-        for _ in 0..required {
+        let mut best: Option<VersionedValue> = None;
+        for _ in 0..expected_replies {
             if let Ok(Some((value, version))) = reply_rx.recv() {
                 if best.as_ref().map(|(_, v)| version > *v).unwrap_or(true) {
                     best = Some((value, version));
@@ -360,7 +401,7 @@ impl LiveCluster {
         if returned_version < expected {
             self.counters.stale_reads.fetch_add(1, Ordering::Relaxed);
         }
-        best
+        best.map(|(value, version)| (value.as_ref().clone(), version))
     }
 
     /// Stops every node thread and waits for them to exit.

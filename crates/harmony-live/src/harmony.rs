@@ -43,8 +43,11 @@ impl ClusterProbe for LiveProbe<'_> {
     fn write_stage_telemetry(&self) -> Vec<harmony_store::node::WriteStageTelemetry> {
         self.cluster.write_stage_telemetry()
     }
-    fn drain_write_key_samples(&self) -> Vec<String> {
+    fn drain_write_key_samples(&self) -> Vec<harmony_store::keys::KeyId> {
         self.cluster.drain_write_key_samples()
+    }
+    fn key_name(&self, key: harmony_store::keys::KeyId) -> String {
+        self.cluster.key_name(key)
     }
 }
 
@@ -107,9 +110,16 @@ impl LiveHarmony {
 
     /// Reads through the adaptive level, consulting the controller's hot set
     /// per operation: an escalated hot key reads at its own (stronger) level,
-    /// everything else at the cheap default.
+    /// everything else at the cheap default. A key that has never been
+    /// written has no interned id and cannot be hot, so it reads at the
+    /// default level.
     pub fn read(&self, key: &str) -> Option<(Vec<u8>, u64)> {
-        let level = self.controller.lock().read_level_for(key);
+        let controller = self.controller.lock();
+        let level = match self.cluster.key_id(key) {
+            Some(id) => controller.read_level_for(id),
+            None => controller.current_read_level(),
+        };
+        drop(controller);
         self.cluster.read(key, level)
     }
 
@@ -200,7 +210,8 @@ mod tests {
              (default level {default_level})"
         );
         // The cold tail still reads at the cheap default.
-        let cold_level = h.controller.lock().read_level_for("cold1");
+        let cold_id = h.cluster().key_id("cold1").unwrap();
+        let cold_level = h.controller.lock().read_level_for(cold_id);
         assert_eq!(cold_level, default_level);
         h.shutdown();
     }

@@ -11,6 +11,7 @@ use crate::heavy_hitters::HotKeyTracker;
 use crate::probe::ClusterProbe;
 use harmony_model::rates::{EwmaRate, RateEstimate, RateEstimator, SlidingWindowRate};
 use harmony_sim::clock::SimTime;
+use harmony_store::keys::KeyId;
 use serde::{Deserialize, Serialize};
 
 /// Which rate estimator the monitor feeds its counter deltas into.
@@ -104,8 +105,10 @@ pub struct MonitorSample {
 /// split controller specialises the staleness model with.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HotKeyStat {
-    /// The key.
-    pub key: String,
+    /// The interned key (what the read path's hot-set lookup matches on).
+    pub key: KeyId,
+    /// The key's human-readable name, resolved once per sweep for reports.
+    pub name: String,
     /// Smoothed per-key write arrival rate (writes/second).
     pub write_rate: f64,
     /// Guaranteed share of all observed writes going to this key.
@@ -318,12 +321,13 @@ impl Monitor {
         self.hot_stats = if hot.is_empty() {
             Vec::new()
         } else {
-            let keys: Vec<String> = hot.iter().map(|h| h.key.clone()).collect();
+            let keys: Vec<KeyId> = hot.iter().map(|h| h.key).collect();
             let backlogs = probe.per_key_backlog_ms(&keys);
             hot.into_iter()
                 .enumerate()
                 .map(|(i, h)| HotKeyStat {
                     key: h.key,
+                    name: probe.key_name(h.key),
                     write_rate: h.rate,
                     share: h.share,
                     backlog_ms: backlogs.get(i).copied().unwrap_or(0.0).max(0.0),
@@ -775,12 +779,13 @@ mod tests {
                     batch.push(format!("user{}", 1 + (sweep * 100 + i) % 40));
                 }
             }
-            *probe.write_keys.borrow_mut() = batch;
+            probe.set_write_keys(&batch);
             m.sweep(SimTime::from_secs(sweep), &probe);
         }
         let stats = m.hot_key_stats();
         assert!(!stats.is_empty(), "hot key should surface");
-        assert_eq!(stats[0].key, "user0");
+        assert_eq!(stats[0].key, probe.intern("user0"));
+        assert_eq!(stats[0].name, "user0");
         assert!(stats[0].share > 0.5, "share = {}", stats[0].share);
         assert!(
             (stats[0].write_rate - 60.0).abs() < 10.0,
@@ -806,7 +811,7 @@ mod tests {
             let batch: Vec<String> = (0..100u64)
                 .map(|i| format!("user{}", (sweep * 100 + i * 13) % 400))
                 .collect();
-            *probe.write_keys.borrow_mut() = batch;
+            probe.set_write_keys(&batch);
             m.sweep(SimTime::from_secs(sweep), &probe);
         }
         assert!(m.hot_key_stats().is_empty());

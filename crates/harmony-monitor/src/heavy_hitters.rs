@@ -8,6 +8,10 @@
 //! fast each one is being written — in constant memory, because the keyspace
 //! is unbounded.
 //!
+//! Keys enter the sketch as interned [`KeyId`]s (4 bytes, `Copy`), so an
+//! observation is a small-integer hash — no `String` hashing or cloning
+//! anywhere in the tracking path.
+//!
 //! [`SpaceSavingSketch`] is the classic space-saving algorithm (Metwally,
 //! Agrawal, El Abbadi 2005): at most `capacity` counters; a miss at capacity
 //! evicts the minimum counter and charges its value to the newcomer as
@@ -25,13 +29,14 @@
 //! randomness, stable iteration order, stable tie-breaking — so two runs
 //! with the same seed produce identical hot sets.
 
+use harmony_store::keys::KeyId;
 use std::collections::HashMap;
 
 /// One tracked key of a [`SpaceSavingSketch`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SketchEntry {
     /// The tracked key.
-    pub key: String,
+    pub key: KeyId,
     /// Estimated occurrence count (an over-approximation of the true count).
     pub count: u64,
     /// Maximum possible over-estimation: the evicted counter value this entry
@@ -56,7 +61,7 @@ pub struct SpaceSavingSketch {
     /// Entries in insertion order (stable across runs — the stream order is
     /// deterministic under a fixed seed, so this is too).
     entries: Vec<SketchEntry>,
-    index: HashMap<String, usize>,
+    index: HashMap<KeyId, usize>,
 }
 
 impl SpaceSavingSketch {
@@ -98,13 +103,13 @@ impl SpaceSavingSketch {
 
     /// The estimated count for `key`, if tracked. The estimate
     /// over-approximates the true count by at most the minimum counter.
-    pub fn estimate(&self, key: &str) -> Option<u64> {
-        self.index.get(key).map(|&i| self.entries[i].count)
+    pub fn estimate(&self, key: KeyId) -> Option<u64> {
+        self.index.get(&key).map(|&i| self.entries[i].count)
     }
 
     /// The full entry for `key`, if tracked.
-    pub fn entry(&self, key: &str) -> Option<&SketchEntry> {
-        self.index.get(key).map(|&i| &self.entries[i])
+    pub fn entry(&self, key: KeyId) -> Option<&SketchEntry> {
+        self.index.get(&key).map(|&i| &self.entries[i])
     }
 
     /// The smallest counter value (0 for an empty sketch). Bounds both the
@@ -124,16 +129,16 @@ impl SpaceSavingSketch {
     /// swept, so `observe` never sees the full buffer. Swap in the classic
     /// stream-summary bucket structure if capacities ever grow by orders of
     /// magnitude.
-    pub fn observe(&mut self, key: &str) {
+    pub fn observe(&mut self, key: KeyId) {
         self.total += 1;
-        if let Some(&i) = self.index.get(key) {
+        if let Some(&i) = self.index.get(&key) {
             self.entries[i].count += 1;
             return;
         }
         if self.entries.len() < self.capacity {
-            self.index.insert(key.to_string(), self.entries.len());
+            self.index.insert(key, self.entries.len());
             self.entries.push(SketchEntry {
-                key: key.to_string(),
+                key,
                 count: 1,
                 error: 0,
             });
@@ -151,16 +156,16 @@ impl SpaceSavingSketch {
         self.index.remove(&entry.key);
         entry.error = entry.count;
         entry.count += 1;
-        entry.key = key.to_string();
-        self.index.insert(key.to_string(), victim);
+        entry.key = key;
+        self.index.insert(key, victim);
     }
 }
 
 /// A key the tracker currently considers hot, with its smoothed write rate.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HotKey {
     /// The key.
-    pub key: String,
+    pub key: KeyId,
     /// Guaranteed occurrence count (`count - error`, a certain lower bound).
     pub guaranteed_count: u64,
     /// Guaranteed share of all observations (`guaranteed_count / total`).
@@ -186,9 +191,9 @@ pub struct HotKeyTracker {
     /// Minimum guaranteed share for a key to count as hot.
     min_share: f64,
     /// Counter values at the previous sweep, for delta-based rates.
-    prev_counts: HashMap<String, u64>,
+    prev_counts: HashMap<KeyId, u64>,
     /// Smoothed per-key arrival rates.
-    rates: HashMap<String, f64>,
+    rates: HashMap<KeyId, f64>,
 }
 
 impl HotKeyTracker {
@@ -210,8 +215,8 @@ impl HotKeyTracker {
 
     /// Feeds one monitoring sweep's batch of observed write keys and updates
     /// the per-key rate estimates over the sweep's `elapsed_secs`.
-    pub fn observe_sweep(&mut self, keys: &[String], elapsed_secs: f64) {
-        for key in keys {
+    pub fn observe_sweep(&mut self, keys: &[KeyId], elapsed_secs: f64) {
+        for &key in keys {
             self.sketch.observe(key);
         }
         if elapsed_secs <= 0.0 {
@@ -233,19 +238,15 @@ impl HotKeyTracker {
                 Some(prev) => RATE_ALPHA * instantaneous + (1.0 - RATE_ALPHA) * prev,
                 None => instantaneous,
             };
-            self.rates.insert(entry.key.clone(), rate);
-            self.prev_counts.insert(entry.key.clone(), entry.count);
+            self.rates.insert(entry.key, rate);
+            self.prev_counts.insert(entry.key, entry.count);
         }
         // Evicted keys must not leak memory (or stale rates back) if the key
         // re-enters the sketch later.
-        let tracked: std::collections::HashSet<&str> = self
-            .sketch
-            .entries()
-            .iter()
-            .map(|e| e.key.as_str())
-            .collect();
-        self.prev_counts.retain(|k, _| tracked.contains(k.as_str()));
-        self.rates.retain(|k, _| tracked.contains(k.as_str()));
+        let tracked: std::collections::HashSet<KeyId> =
+            self.sketch.entries().iter().map(|e| e.key).collect();
+        self.prev_counts.retain(|k, _| tracked.contains(k));
+        self.rates.retain(|k, _| tracked.contains(k));
     }
 
     /// Whether `entry` clears the hot thresholds: enough total observations
@@ -264,7 +265,7 @@ impl HotKeyTracker {
     /// The current hot set: tracked keys whose *guaranteed* share exceeds
     /// both the configured threshold and the `total / capacity` noise floor,
     /// once enough observations have accumulated. Sorted by descending
-    /// guaranteed count (key as the deterministic tie-break).
+    /// guaranteed count (key id as the deterministic tie-break).
     pub fn hot_keys(&self) -> Vec<HotKey> {
         let total = self.sketch.total();
         let mut hot: Vec<HotKey> = self
@@ -273,7 +274,7 @@ impl HotKeyTracker {
             .iter()
             .filter(|e| self.is_hot(e))
             .map(|e| HotKey {
-                key: e.key.clone(),
+                key: e.key,
                 guaranteed_count: e.guaranteed(),
                 share: e.guaranteed() as f64 / total as f64,
                 rate: self.rates.get(&e.key).copied().unwrap_or(0.0),
@@ -320,46 +321,55 @@ impl HotKeyTracker {
 mod tests {
     use super::*;
 
+    const A: KeyId = KeyId(0);
+    const B: KeyId = KeyId(1);
+    const C: KeyId = KeyId(2);
+    const HOT: KeyId = KeyId(500_000);
+
+    fn cold(i: u64) -> KeyId {
+        KeyId(1_000 + i as u32)
+    }
+
     #[test]
     fn counts_exactly_below_capacity() {
         let mut s = SpaceSavingSketch::new(8);
         for _ in 0..5 {
-            s.observe("a");
+            s.observe(A);
         }
         for _ in 0..3 {
-            s.observe("b");
+            s.observe(B);
         }
-        assert_eq!(s.estimate("a"), Some(5));
-        assert_eq!(s.estimate("b"), Some(3));
-        assert_eq!(s.estimate("c"), None);
+        assert_eq!(s.estimate(A), Some(5));
+        assert_eq!(s.estimate(B), Some(3));
+        assert_eq!(s.estimate(C), None);
         assert_eq!(s.total(), 8);
-        assert_eq!(s.entry("a").unwrap().error, 0);
-        assert_eq!(s.entry("a").unwrap().guaranteed(), 5);
+        assert_eq!(s.entry(A).unwrap().error, 0);
+        assert_eq!(s.entry(A).unwrap().guaranteed(), 5);
     }
 
     #[test]
     fn capacity_is_never_exceeded_and_eviction_charges_error() {
         let mut s = SpaceSavingSketch::new(2);
-        s.observe("a");
-        s.observe("a");
-        s.observe("b");
-        // "c" evicts the minimum ("b" with count 1) and inherits its count.
-        s.observe("c");
+        s.observe(A);
+        s.observe(A);
+        s.observe(B);
+        // C evicts the minimum (B with count 1) and inherits its count.
+        s.observe(C);
         assert_eq!(s.len(), 2);
-        assert_eq!(s.estimate("b"), None);
-        let c = s.entry("c").unwrap();
+        assert_eq!(s.estimate(B), None);
+        let c = s.entry(C).unwrap();
         assert_eq!(c.count, 2);
         assert_eq!(c.error, 1);
         assert_eq!(c.guaranteed(), 1);
         // The heavy key is untouched.
-        assert_eq!(s.estimate("a"), Some(2));
+        assert_eq!(s.estimate(A), Some(2));
     }
 
     #[test]
     fn eviction_tie_break_is_deterministic() {
         let build = || {
             let mut s = SpaceSavingSketch::new(3);
-            for k in ["a", "b", "c", "d", "e", "d"] {
+            for k in [KeyId(0), KeyId(1), KeyId(2), KeyId(3), KeyId(4), KeyId(3)] {
                 s.observe(k);
             }
             s.entries().to_vec()
@@ -371,21 +381,21 @@ mod tests {
     fn heavy_key_survives_a_long_tail() {
         let mut s = SpaceSavingSketch::new(10);
         for i in 0..1000 {
-            s.observe("hot");
-            s.observe(&format!("cold{i}"));
+            s.observe(HOT);
+            s.observe(cold(i));
         }
         // True frequency 1000/2000 = 50% >> total/capacity: must be tracked,
         // with an estimate at least its true count.
-        assert!(s.estimate("hot").unwrap() >= 1000);
-        assert!(s.entry("hot").unwrap().guaranteed() <= 1000 + 1);
+        assert!(s.estimate(HOT).unwrap() >= 1000);
+        assert!(s.entry(HOT).unwrap().guaranteed() <= 1000 + 1);
         assert_eq!(s.len(), 10);
     }
 
     #[test]
     fn zero_capacity_clamps_to_one() {
         let mut s = SpaceSavingSketch::new(0);
-        s.observe("a");
-        s.observe("b");
+        s.observe(A);
+        s.observe(B);
         assert_eq!(s.capacity(), 1);
         assert_eq!(s.len(), 1);
     }
@@ -393,27 +403,24 @@ mod tests {
     #[test]
     fn tracker_warmup_produces_no_hot_keys() {
         let mut t = HotKeyTracker::new(4, 0.02);
-        t.observe_sweep(&["a".into(), "a".into(), "b".into()], 1.0);
+        t.observe_sweep(&[A, A, B], 1.0);
         assert!(t.hot_keys().is_empty(), "warmup must suppress hot keys");
     }
 
     #[test]
     fn tracker_finds_the_hot_key_and_its_rate() {
         let mut t = HotKeyTracker::new(4, 0.02);
-        // 10 sweeps of 1 s: 60 writes to "hot", 40 spread over a cold tail.
+        // 10 sweeps of 1 s: 60 writes to HOT, 40 spread over a cold tail.
         for sweep in 0..10 {
-            let mut batch: Vec<String> = Vec::new();
-            for _ in 0..60 {
-                batch.push("hot".into());
-            }
+            let mut batch: Vec<KeyId> = vec![HOT; 60];
             for i in 0..40 {
-                batch.push(format!("cold{}", (sweep * 40 + i) % 16));
+                batch.push(cold((sweep * 40 + i) % 16));
             }
             t.observe_sweep(&batch, 1.0);
         }
         let hot = t.hot_keys();
         assert_eq!(hot.len(), 1, "hot set: {hot:?}");
-        assert_eq!(hot[0].key, "hot");
+        assert_eq!(hot[0].key, HOT);
         assert!(hot[0].share > 0.5, "share = {}", hot[0].share);
         // The smoothed rate converges to the true 60 writes/s.
         assert!((hot[0].rate - 60.0).abs() < 5.0, "rate = {}", hot[0].rate);
@@ -423,8 +430,8 @@ mod tests {
     fn tracker_under_uniform_load_stays_empty() {
         let mut t = HotKeyTracker::new(8, 0.02);
         for sweep in 0..30u64 {
-            let batch: Vec<String> = (0..100u64)
-                .map(|i| format!("k{}", (sweep * 100 + i * 37) % 500))
+            let batch: Vec<KeyId> = (0..100u64)
+                .map(|i| cold((sweep * 100 + i * 37) % 500))
                 .collect();
             t.observe_sweep(&batch, 1.0);
         }
@@ -437,18 +444,20 @@ mod tests {
 
     #[test]
     fn tracker_is_deterministic() {
+        let hot_a = KeyId(900_000);
+        let hot_b = KeyId(900_001);
         let run = || {
             let mut t = HotKeyTracker::new(6, 0.01);
             for sweep in 0..12u64 {
-                let batch: Vec<String> = (0..80u64)
+                let batch: Vec<KeyId> = (0..80u64)
                     .map(|i| {
                         let x = (sweep * 80 + i) * 2654435761 % 100;
                         if x < 40 {
-                            "hot-a".to_string()
+                            hot_a
                         } else if x < 60 {
-                            "hot-b".to_string()
+                            hot_b
                         } else {
-                            format!("cold{}", x % 23)
+                            cold(x % 23)
                         }
                     })
                     .collect();
@@ -459,8 +468,8 @@ mod tests {
         let a = run();
         assert_eq!(a, run());
         assert!(a.len() >= 2);
-        assert_eq!(a[0].key, "hot-a");
-        assert_eq!(a[1].key, "hot-b");
+        assert_eq!(a[0].key, hot_a);
+        assert_eq!(a[1].key, hot_b);
     }
 
     #[test]
@@ -469,9 +478,9 @@ mod tests {
         // No observations: everything is possible.
         assert_eq!(t.cold_share_bound(), 1.0);
         for sweep in 0..10u64 {
-            let mut batch: Vec<String> = (0..60).map(|_| "hot".to_string()).collect();
+            let mut batch: Vec<KeyId> = (0..60).map(|_| HOT).collect();
             for i in 0..40u64 {
-                batch.push(format!("cold{}", (sweep * 40 + i) % 16));
+                batch.push(cold((sweep * 40 + i) % 16));
             }
             t.observe_sweep(&batch, 1.0);
         }
@@ -488,7 +497,7 @@ mod tests {
     #[test]
     fn rates_decay_when_a_key_cools_down() {
         let mut t = HotKeyTracker::new(4, 0.0);
-        let hot_batch: Vec<String> = (0..100).map(|_| "k".to_string()).collect();
+        let hot_batch: Vec<KeyId> = (0..100).map(|_| A).collect();
         for _ in 0..10 {
             t.observe_sweep(&hot_batch, 1.0);
         }

@@ -4,8 +4,14 @@
 //! of pairwise network latency. Both the discrete-event [`Cluster`] and any
 //! other backend (the real-threaded live cluster, or a mock in tests) expose
 //! them through [`ClusterProbe`].
+//!
+//! Per-key signals travel as interned [`KeyId`]s: the write-key sample
+//! stream and the per-key backlog probe move 4-byte `Copy` ids, and
+//! [`ClusterProbe::key_name`] resolves an id back to its human-readable name
+//! only where a report needs one (hot-set decisions, sweep tables).
 
 use harmony_store::cluster::Cluster;
+use harmony_store::keys::KeyId;
 use harmony_store::node::WriteStageTelemetry;
 
 /// A source of monitoring signals.
@@ -56,15 +62,21 @@ pub trait ClusterProbe {
     /// the sample stream feeding the monitor's heavy-hitter sketch. Backends
     /// that cannot observe per-key writes report an empty batch and the
     /// per-key staleness layer degrades to the global model.
-    fn drain_write_key_samples(&self) -> Vec<String> {
+    fn drain_write_key_samples(&self) -> Vec<KeyId> {
         Vec::new()
     }
     /// Per-key mutation backlog (milliseconds) for the given keys: the
     /// deepest per-replica pending-mutation backlog of each key, i.e. how far
     /// the laggard replica of that key is behind. Must return one entry per
     /// requested key; backends without the signal report zeros.
-    fn per_key_backlog_ms(&self, keys: &[String]) -> Vec<f64> {
+    fn per_key_backlog_ms(&self, keys: &[KeyId]) -> Vec<f64> {
         vec![0.0; keys.len()]
+    }
+    /// The human-readable name behind an interned key id, for reports and
+    /// hot-set decisions. Backends without a key table fall back to a
+    /// positional name.
+    fn key_name(&self, key: KeyId) -> String {
+        format!("key#{}", key.0)
     }
 }
 
@@ -105,16 +117,22 @@ impl ClusterProbe for Cluster {
         self.config().node_concurrency
     }
 
-    fn drain_write_key_samples(&self) -> Vec<String> {
+    fn drain_write_key_samples(&self) -> Vec<KeyId> {
         Cluster::drain_write_key_samples(self)
     }
 
-    fn per_key_backlog_ms(&self, keys: &[String]) -> Vec<f64> {
+    fn per_key_backlog_ms(&self, keys: &[KeyId]) -> Vec<f64> {
         Cluster::per_key_backlog_ms(self, keys)
+    }
+
+    fn key_name(&self, key: KeyId) -> String {
+        Cluster::key_name(self, key).to_string()
     }
 }
 
-/// A scripted probe for unit tests and offline model exploration.
+/// A scripted probe for unit tests and offline model exploration. Carries
+/// its own key interner so tests keep scripting with readable names while
+/// the probe surface speaks [`KeyId`].
 #[derive(Debug, Clone, Default)]
 pub struct MockProbe {
     /// Cumulative reads to report.
@@ -134,9 +152,24 @@ pub struct MockProbe {
     /// Write-stage concurrency to report (0 is treated as 1).
     pub write_concurrency: usize,
     /// Write-key samples handed out (and cleared) by the next drain call.
-    pub write_keys: std::cell::RefCell<Vec<String>>,
-    /// Scripted per-key backlogs (ms); keys not present report zero.
+    pub write_keys: std::cell::RefCell<Vec<KeyId>>,
+    /// Scripted per-key backlogs (ms), by key name; absent keys report zero.
     pub key_backlogs: std::collections::HashMap<String, f64>,
+    /// The interner backing the scripted key names.
+    pub table: std::cell::RefCell<harmony_store::keys::KeyTable>,
+}
+
+impl MockProbe {
+    /// Interns a scripted key name (idempotent), returning its id.
+    pub fn intern(&self, name: &str) -> KeyId {
+        self.table.borrow_mut().intern(name)
+    }
+
+    /// Replaces the pending write-key samples with the given names.
+    pub fn set_write_keys<S: AsRef<str>>(&self, names: &[S]) {
+        let ids: Vec<KeyId> = names.iter().map(|n| self.intern(n.as_ref())).collect();
+        *self.write_keys.borrow_mut() = ids;
+    }
 }
 
 impl ClusterProbe for MockProbe {
@@ -164,13 +197,26 @@ impl ClusterProbe for MockProbe {
     fn write_stage_concurrency(&self) -> usize {
         self.write_concurrency.max(1)
     }
-    fn drain_write_key_samples(&self) -> Vec<String> {
+    fn drain_write_key_samples(&self) -> Vec<KeyId> {
         std::mem::take(&mut *self.write_keys.borrow_mut())
     }
-    fn per_key_backlog_ms(&self, keys: &[String]) -> Vec<f64> {
+    fn per_key_backlog_ms(&self, keys: &[KeyId]) -> Vec<f64> {
+        let table = self.table.borrow();
         keys.iter()
-            .map(|k| self.key_backlogs.get(k).copied().unwrap_or(0.0))
+            .map(|k| {
+                table
+                    .try_resolve(*k)
+                    .and_then(|name| self.key_backlogs.get(name).copied())
+                    .unwrap_or(0.0)
+            })
             .collect()
+    }
+    fn key_name(&self, key: KeyId) -> String {
+        self.table
+            .borrow()
+            .try_resolve(key)
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("key#{}", key.0))
     }
 }
 
@@ -196,6 +242,25 @@ mod tests {
         assert_eq!(p.total_writes(), 20);
         assert_eq!(p.probe_latency_ms(), 1.5);
         assert_eq!(p.node_count(), 4);
+    }
+
+    #[test]
+    fn mock_probe_interns_and_resolves_names() {
+        let p = MockProbe::default();
+        p.set_write_keys(&["a", "b", "a"]);
+        let drained = p.drain_write_key_samples();
+        assert_eq!(drained.len(), 3);
+        assert_eq!(drained[0], drained[2]);
+        assert_eq!(p.key_name(drained[0]), "a");
+        assert_eq!(p.key_name(drained[1]), "b");
+        // Foreign ids fall back to a positional name.
+        assert_eq!(p.key_name(KeyId(77)), "key#77");
+        // Scripted backlogs resolve through the interner.
+        let mut p = p;
+        p.key_backlogs.insert("a".to_string(), 4.5);
+        let a = p.intern("a");
+        let b = p.intern("b");
+        assert_eq!(p.per_key_backlog_ms(&[a, b]), vec![4.5, 0.0]);
     }
 
     #[test]

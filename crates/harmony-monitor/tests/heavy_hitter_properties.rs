@@ -13,22 +13,24 @@
 //! its seed from the property name), so a failure reproduces exactly.
 
 use harmony_monitor::heavy_hitters::SpaceSavingSketch;
+use harmony_store::keys::KeyId;
 use proptest::prelude::*;
 use std::collections::HashMap;
 
-/// Builds the sketch and the exact key histogram for one stream.
-fn run_stream(capacity: usize, stream: &[u64]) -> (SpaceSavingSketch, HashMap<String, u64>) {
+/// Builds the sketch and the exact key histogram for one stream. Raw draws
+/// are skewed so streams contain genuine heavy hitters next to a long tail:
+/// half the alphabet collapses onto 4 hot keys (ids 0-3), the rest spreads
+/// over a cold tail (ids 10+).
+fn run_stream(capacity: usize, stream: &[u64]) -> (SpaceSavingSketch, HashMap<KeyId, u64>) {
     let mut sketch = SpaceSavingSketch::new(capacity);
-    let mut exact: HashMap<String, u64> = HashMap::new();
+    let mut exact: HashMap<KeyId, u64> = HashMap::new();
     for &raw in stream {
-        // Skew the raw draws so streams contain genuine heavy hitters next
-        // to a long tail: half the alphabet collapses onto 4 hot keys.
         let key = if raw % 2 == 0 {
-            format!("hot{}", raw % 4)
+            KeyId((raw % 4) as u32)
         } else {
-            format!("cold{raw}")
+            KeyId(10 + raw as u32)
         };
-        sketch.observe(&key);
+        sketch.observe(key);
         *exact.entry(key).or_insert(0) += 1;
     }
     (sketch, exact)
@@ -110,7 +112,7 @@ proptest! {
         for (key, &true_count) in &exact {
             if true_count > total / capacity as u64 {
                 prop_assert!(
-                    sketch.estimate(key).is_some(),
+                    sketch.estimate(*key).is_some(),
                     "key {} with true frequency {}/{} (> 1/{}) was lost",
                     key,
                     true_count,
@@ -128,7 +130,7 @@ proptest! {
     ) {
         let (sketch, exact) = run_stream(capacity, &stream);
         for (key, &true_count) in &exact {
-            if sketch.estimate(key).is_none() {
+            if sketch.estimate(*key).is_none() {
                 prop_assert!(
                     true_count <= sketch.min_count(),
                     "untracked key {} has true count {} > min counter {}",

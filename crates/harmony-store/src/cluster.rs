@@ -10,13 +10,23 @@
 //! acknowledged to the client after the required count — the remaining
 //! replicas converge asynchronously, which is exactly the propagation window
 //! during which partial-quorum reads can return stale data.
+//!
+//! The per-operation path is allocation-free: keys are interned
+//! ([`KeyId`], 4 bytes, `Copy`) so no `String` is ever cloned on the op
+//! path; replica placement is memoised per key in a flat table
+//! ([`PlacementCache`]) so steady-state lookups are an array index instead
+//! of a ring walk; and mutation/repair payloads are `Arc`-shared across the
+//! replica fan-out so an RF = 3 write bumps a refcount three times instead
+//! of deep-cloning a `BTreeMap` three times.
 
 use crate::config::StoreConfig;
 use crate::consistency::ConsistencyLevel;
 use crate::hashring::HashRing;
+use crate::keys::{KeyId, KeyTable};
 use crate::messages::{Message, OpId, OpKind, StoreEvent};
 use crate::node::{NodeCounters, Stage, StorageNode, WriteStageTelemetry};
-use crate::types::{Key, Mutation, Row, Timestamp};
+use crate::placement::{PlacementCache, ReplicaSet, MAX_RF};
+use crate::types::{Mutation, Row, Timestamp};
 use harmony_sim::clock::SimTime;
 use harmony_sim::engine::Simulation;
 use harmony_sim::rng::RngFactory;
@@ -26,6 +36,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A finished client operation, reported when its reply reaches the client.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -34,8 +45,8 @@ pub struct Completion {
     pub op: OpId,
     /// Read or write.
     pub kind: OpKind,
-    /// The key the operation touched.
-    pub key: Key,
+    /// The (interned) key the operation touched.
+    pub key: KeyId,
     /// When the client submitted the operation.
     pub submitted_at: SimTime,
     /// When the reply reached the client.
@@ -44,8 +55,9 @@ pub struct Completion {
     pub consistency: ConsistencyLevel,
     /// How many replicas participated synchronously.
     pub replicas_contacted: usize,
-    /// For reads: the reconciled row returned to the client.
-    pub result: Option<Row>,
+    /// For reads: the reconciled row returned to the client (shared with
+    /// any repair traffic of the same read, never deep-copied per replica).
+    pub result: Option<Arc<Row>>,
     /// For reads: the newest timestamp in the returned row.
     pub returned_timestamp: Timestamp,
     /// For reads: the newest timestamp acknowledged to any client *before*
@@ -79,23 +91,63 @@ pub struct ClusterTotals {
     pub repairs_issued: u64,
 }
 
+/// Replica read responses collected inline (no per-read heap allocation):
+/// at most [`MAX_RF`] `(replica, row)` pairs.
+#[derive(Debug)]
+struct ResponseSet {
+    nodes: [NodeId; MAX_RF],
+    rows: [Option<Arc<Row>>; MAX_RF],
+    len: u8,
+}
+
+impl Default for ResponseSet {
+    fn default() -> Self {
+        ResponseSet {
+            nodes: [NodeId(0); MAX_RF],
+            rows: Default::default(),
+            len: 0,
+        }
+    }
+}
+
+impl ResponseSet {
+    fn push(&mut self, node: NodeId, row: Option<Arc<Row>>) {
+        let i = self.len as usize;
+        debug_assert!(i < MAX_RF, "more responses than replicas");
+        self.nodes[i] = node;
+        self.rows[i] = row;
+        self.len += 1;
+    }
+
+    fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (NodeId, Option<&Arc<Row>>)> {
+        self.nodes[..self.len as usize]
+            .iter()
+            .zip(self.rows[..self.len as usize].iter())
+            .map(|(n, r)| (*n, r.as_ref()))
+    }
+}
+
 #[derive(Debug)]
 struct PendingRead {
-    key: Key,
+    key: KeyId,
     coordinator: NodeId,
     submitted_at: SimTime,
     consistency: ConsistencyLevel,
     required: usize,
-    contacted: Vec<NodeId>,
-    replica_set: Vec<NodeId>,
-    responses: Vec<(NodeId, Option<Row>)>,
+    contacted: ReplicaSet,
+    replica_set: ReplicaSet,
+    responses: ResponseSet,
     expected_ts: Timestamp,
     replied: bool,
 }
 
 #[derive(Debug)]
 struct PendingWrite {
-    key: Key,
+    key: KeyId,
     submitted_at: SimTime,
     consistency: ConsistencyLevel,
     required: usize,
@@ -118,10 +170,16 @@ pub struct Cluster {
     rng: StdRng,
     next_op: u64,
     last_timestamp: u64,
+    /// The key interner: names in, 4-byte `Copy` ids out.
+    key_table: KeyTable,
+    /// Memoised per-key replica sets (flat, indexed by `KeyId`).
+    placement: PlacementCache,
     pending_reads: HashMap<OpId, PendingRead>,
     pending_writes: HashMap<OpId, PendingWrite>,
     staged_completions: HashMap<OpId, Completion>,
-    latest_acked: HashMap<Key, Timestamp>,
+    /// Newest acknowledged timestamp per key, indexed by `KeyId` (dense ids
+    /// make this a flat array instead of a string-keyed map).
+    latest_acked: Vec<Timestamp>,
     next_coordinator: usize,
     totals: ClusterTotals,
     probe_seed: u64,
@@ -129,7 +187,7 @@ pub struct Cluster {
     /// Keys of client writes since the last monitoring drain — the sample
     /// stream feeding the monitor's heavy-hitter sketch. Bounded so an
     /// unmonitored cluster cannot grow it without limit.
-    write_key_samples: std::cell::RefCell<Vec<Key>>,
+    write_key_samples: std::cell::RefCell<Vec<KeyId>>,
 }
 
 /// Upper bound on buffered write-key samples between monitoring sweeps.
@@ -174,10 +232,12 @@ impl Cluster {
             write_service,
             next_op: 0,
             last_timestamp: 0,
+            key_table: KeyTable::new(),
+            placement: PlacementCache::new(),
             pending_reads: HashMap::new(),
             pending_writes: HashMap::new(),
             staged_completions: HashMap::new(),
-            latest_acked: HashMap::new(),
+            latest_acked: Vec::new(),
             next_coordinator: 0,
             totals: ClusterTotals::default(),
             probe_seed: harmony_sim::rng::mix(rng_factory.seed(), 0x70726f6265), // "probe"
@@ -209,6 +269,32 @@ impl Cluster {
     /// Cumulative totals (reads, writes, stale reads, repairs).
     pub fn totals(&self) -> ClusterTotals {
         self.totals
+    }
+
+    /// Interns a key name, returning its compact id. Idempotent; the id is
+    /// stable for the cluster's lifetime. Workloads intern their record
+    /// population up front and move only ids afterwards.
+    pub fn intern_key(&mut self, name: &str) -> KeyId {
+        let id = self.key_table.intern(name);
+        if self.latest_acked.len() <= id.index() {
+            self.latest_acked.resize(id.index() + 1, Timestamp::ZERO);
+        }
+        id
+    }
+
+    /// The id of an already-interned key name, if any.
+    pub fn key_id(&self, name: &str) -> Option<KeyId> {
+        self.key_table.get(name)
+    }
+
+    /// The name behind an interned key id.
+    pub fn key_name(&self, id: KeyId) -> &str {
+        self.key_table.resolve(id)
+    }
+
+    /// Number of distinct keys interned so far.
+    pub fn key_count(&self) -> usize {
+        self.key_table.len()
     }
 
     /// Per-node counters, indexed by node id — what the monitoring module
@@ -300,7 +386,7 @@ impl Cluster {
     /// the observation stream of the monitor's heavy-hitter sketch. The
     /// buffer is bounded ([`WRITE_KEY_SAMPLE_CAP`]); under an absent or
     /// stalled monitor the overflow is dropped rather than accumulated.
-    pub fn drain_write_key_samples(&self) -> Vec<Key> {
+    pub fn drain_write_key_samples(&self) -> Vec<KeyId> {
         std::mem::take(&mut *self.write_key_samples.borrow_mut())
     }
 
@@ -309,25 +395,30 @@ impl Cluster {
     /// the expected extra delay before the laggard replica of that key has
     /// applied everything queued for it. The laggard is what a partial read
     /// can hit, so it — not the mean — bounds the key's staleness window.
-    /// One pass over each node's queue (`O(nodes · queue + keys)`), so a
+    /// One pass over each node's queue with direct `KeyId` indexing into a
+    /// flat slot table (`O(nodes · queue + keys)`, no hashing), so a
     /// monitoring sweep stays cheap even with deep saturated queues and a
     /// large tracked set.
-    pub fn per_key_backlog_ms(&self, keys: &[Key]) -> Vec<f64> {
+    pub fn per_key_backlog_ms(&self, keys: &[KeyId]) -> Vec<f64> {
         let concurrency = self.config.node_concurrency.max(1) as f64;
-        let index: HashMap<&str, usize> = keys
-            .iter()
-            .enumerate()
-            .map(|(i, k)| (k.as_str(), i))
-            .collect();
+        // Flat KeyId -> requested-slot mapping; `u32::MAX` = not requested.
+        let mut slot = vec![u32::MAX; self.key_table.len()];
+        for (i, k) in keys.iter().enumerate() {
+            if k.index() < slot.len() {
+                slot[k.index()] = i as u32;
+            }
+        }
         let mut deepest = vec![0.0f64; keys.len()];
         let mut counts = vec![0usize; keys.len()];
         for node in &self.nodes {
-            for slot in counts.iter_mut() {
-                *slot = 0;
+            for c in counts.iter_mut() {
+                *c = 0;
             }
             for key in node.queued_write_keys() {
-                if let Some(&i) = index.get(key) {
-                    counts[i] += 1;
+                if let Some(&s) = slot.get(key.index()) {
+                    if s != u32::MAX {
+                        counts[s as usize] += 1;
+                    }
                 }
             }
             let mean_ms = self.write_service.mean_ms_for(node.id);
@@ -339,7 +430,9 @@ impl Cluster {
     }
 
     /// The replica set (primary first) for a key under the configured
-    /// placement strategy.
+    /// placement strategy — the *uncached* reference walk. The op path uses
+    /// [`Cluster::replicas_for_id`]; this entry point exists for tests,
+    /// tools and cache-consistency checks.
     pub fn replicas_for(&self, key: &str) -> Vec<NodeId> {
         self.config.strategy.replicas_for(
             &self.ring,
@@ -347,6 +440,27 @@ impl Cluster {
             key,
             self.config.replication_factor,
         )
+    }
+
+    /// The memoised replica set for an interned key: an array lookup in
+    /// steady state, one ring walk on a key's first operation.
+    pub fn replicas_for_id(&mut self, key: KeyId) -> ReplicaSet {
+        self.placement.replicas_for(
+            key,
+            self.key_table.resolve(key),
+            self.config.strategy,
+            &self.ring,
+            &self.topology,
+            self.config.replication_factor,
+        )
+    }
+
+    /// Drops every memoised replica set. Must be called by anything that
+    /// mutates the ring or the topology (elastic membership is future work;
+    /// the hook exists so the cache can never serve placements computed for
+    /// a previous topology).
+    pub fn invalidate_placement(&mut self) {
+        self.placement.invalidate();
     }
 
     /// Direct access to a node (tests and tools).
@@ -358,12 +472,14 @@ impl Cluster {
     /// layer. Used for the workload load phase, mirroring a YCSB `load` run
     /// that completes before the measured transaction phase starts.
     pub fn load_direct(&mut self, key: &str, mutation: &Mutation, timestamp: Timestamp) {
-        for node in self.replicas_for(key) {
+        let id = self.intern_key(key);
+        let replicas = self.replicas_for_id(id);
+        for node in replicas.as_slice() {
             self.nodes[node.index()]
                 .engine_mut()
-                .apply(key, mutation, timestamp);
+                .apply(id, mutation, timestamp);
         }
-        let entry = self.latest_acked.entry(key.to_string()).or_default();
+        let entry = &mut self.latest_acked[id.index()];
         if timestamp > *entry {
             *entry = timestamp;
         }
@@ -416,34 +532,50 @@ impl Cluster {
         service
     }
 
-    /// Submits a client read at the given consistency level. The completion
-    /// is returned by [`Cluster::handle`] when the corresponding
-    /// [`StoreEvent::ClientReply`] fires.
+    /// Submits a client read by key name, interning the key if it has never
+    /// been seen. The completion is returned by [`Cluster::handle`] when the
+    /// corresponding [`StoreEvent::ClientReply`] fires.
     pub fn submit_read<E: From<StoreEvent>>(
         &mut self,
         key: &str,
         consistency: ConsistencyLevel,
         sim: &mut Simulation<E>,
     ) -> OpId {
+        let id = self.intern_key(key);
+        self.submit_read_id(id, consistency, sim)
+    }
+
+    /// Submits a client read for an already-interned key — the
+    /// allocation-free hot path.
+    pub fn submit_read_id<E: From<StoreEvent>>(
+        &mut self,
+        key: KeyId,
+        consistency: ConsistencyLevel,
+        sim: &mut Simulation<E>,
+    ) -> OpId {
+        assert!(
+            key.index() < self.key_table.len(),
+            "{key} was not interned through this cluster"
+        );
         let op = self.alloc_op();
         let coordinator = self.pick_coordinator();
         let expected_ts = self
             .latest_acked
-            .get(key)
+            .get(key.index())
             .copied()
             .unwrap_or(Timestamp::ZERO);
         self.totals.reads_submitted += 1;
         self.pending_reads.insert(
             op,
             PendingRead {
-                key: key.to_string(),
+                key,
                 coordinator,
                 submitted_at: sim.now(),
                 consistency,
                 required: consistency.required_acks(self.config.replication_factor),
-                contacted: Vec::new(),
-                replica_set: Vec::new(),
-                responses: Vec::new(),
+                contacted: ReplicaSet::EMPTY,
+                replica_set: ReplicaSet::EMPTY,
+                responses: ResponseSet::default(),
                 expected_ts,
                 replied: false,
             },
@@ -455,7 +587,7 @@ impl Cluster {
                 dest: coordinator,
                 message: Message::ClientRead {
                     op,
-                    key: key.to_string(),
+                    key,
                     consistency,
                 },
             }
@@ -464,21 +596,42 @@ impl Cluster {
         op
     }
 
-    /// Submits a client write at the given consistency level.
+    /// Submits a client write by key name at the given consistency level.
+    /// The mutation payload is `Arc`-shared across the replica fan-out;
+    /// plain `Mutation` values are accepted and wrapped once.
     pub fn submit_write<E: From<StoreEvent>>(
         &mut self,
         key: &str,
-        mutation: Mutation,
+        mutation: impl Into<Arc<Mutation>>,
         consistency: ConsistencyLevel,
         sim: &mut Simulation<E>,
     ) -> OpId {
+        let id = self.intern_key(key);
+        self.submit_write_id(id, mutation.into(), consistency, sim)
+    }
+
+    /// Submits a client write for an already-interned key — the
+    /// allocation-free hot path.
+    pub fn submit_write_id<E: From<StoreEvent>>(
+        &mut self,
+        key: KeyId,
+        mutation: Arc<Mutation>,
+        consistency: ConsistencyLevel,
+        sim: &mut Simulation<E>,
+    ) -> OpId {
+        // Fail fast on a foreign id: the alternative is an out-of-bounds
+        // panic at ClientReply time, far from the erroneous call.
+        assert!(
+            key.index() < self.key_table.len(),
+            "{key} was not interned through this cluster"
+        );
         let op = self.alloc_op();
         let coordinator = self.pick_coordinator();
         self.totals.writes_submitted += 1;
         self.pending_writes.insert(
             op,
             PendingWrite {
-                key: key.to_string(),
+                key,
                 submitted_at: sim.now(),
                 consistency,
                 required: consistency.required_acks(self.config.replication_factor),
@@ -495,7 +648,7 @@ impl Cluster {
                 dest: coordinator,
                 message: Message::ClientWrite {
                     op,
-                    key: key.to_string(),
+                    key,
                     mutation,
                     consistency,
                 },
@@ -552,13 +705,13 @@ impl Cluster {
                 op,
                 key,
                 consistency,
-            } => self.coordinate_read(dest, op, &key, consistency, sim),
+            } => self.coordinate_read(dest, op, key, consistency, sim),
             Message::ClientWrite {
                 op,
                 key,
                 mutation,
                 consistency,
-            } => self.coordinate_write(dest, op, &key, mutation, consistency, sim),
+            } => self.coordinate_write(dest, op, key, mutation, consistency, sim),
             Message::ReplicaReadResponse { op, from, row } => {
                 self.on_read_response(op, from, row, sim)
             }
@@ -574,29 +727,44 @@ impl Cluster {
         &mut self,
         coordinator: NodeId,
         op: OpId,
-        key: &str,
+        key: KeyId,
         _consistency: ConsistencyLevel,
         sim: &mut Simulation<E>,
     ) {
-        let replica_set = self.replicas_for(key);
+        let replica_set = self.replicas_for_id(key);
         let required = match self.pending_reads.get(&op) {
             Some(p) => p.required.min(replica_set.len()),
             None => return,
         };
         // Contact the `required` replicas closest to the coordinator (snitch
         // behaviour); the rest may receive background read repair afterwards.
-        let mut by_distance = replica_set.clone();
-        by_distance.sort_by(|a, b| {
-            let da = self.network.mean_ms(&self.topology, coordinator, *a);
-            let db = self.network.mean_ms(&self.topology, coordinator, *b);
-            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
-        });
-        let contacted: Vec<NodeId> = by_distance.into_iter().take(required).collect();
+        // Sorted on the stack (stable insertion sort — ties keep ring order),
+        // no allocation.
+        let mut by_distance = [NodeId(0); MAX_RF];
+        by_distance[..replica_set.len()].copy_from_slice(replica_set.as_slice());
+        let slice = &mut by_distance[..replica_set.len()];
+        for i in 1..slice.len() {
+            let mut j = i;
+            while j > 0 {
+                let dj = self.network.mean_ms(&self.topology, coordinator, slice[j]);
+                let dprev = self
+                    .network
+                    .mean_ms(&self.topology, coordinator, slice[j - 1]);
+                if dj < dprev {
+                    slice.swap(j - 1, j);
+                    j -= 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        let contacted = ReplicaSet::from_slice(&by_distance[..required.min(replica_set.len())]);
         if let Some(p) = self.pending_reads.get_mut(&op) {
             p.replica_set = replica_set;
-            p.contacted = contacted.clone();
+            p.contacted = contacted;
         }
-        for replica in contacted {
+        for i in 0..contacted.len() {
+            let replica = contacted.as_slice()[i];
             let latency = self.link_latency(coordinator, replica);
             sim.schedule_in(
                 latency,
@@ -604,7 +772,7 @@ impl Cluster {
                     dest: replica,
                     message: Message::ReplicaRead {
                         op,
-                        key: key.to_string(),
+                        key,
                         coordinator,
                     },
                 }
@@ -617,12 +785,12 @@ impl Cluster {
         &mut self,
         coordinator: NodeId,
         op: OpId,
-        key: &str,
-        mutation: Mutation,
+        key: KeyId,
+        mutation: Arc<Mutation>,
         _consistency: ConsistencyLevel,
         sim: &mut Simulation<E>,
     ) {
-        let replica_set = self.replicas_for(key);
+        let replica_set = self.replicas_for_id(key);
         let timestamp = self.alloc_timestamp(sim.now());
         {
             // Feed the monitor's heavy-hitter stream: one sample per client
@@ -630,7 +798,7 @@ impl Cluster {
             // write distribution.
             let mut samples = self.write_key_samples.borrow_mut();
             if samples.len() < WRITE_KEY_SAMPLE_CAP {
-                samples.push(key.to_string());
+                samples.push(key);
             }
         }
         if let Some(p) = self.pending_writes.get_mut(&op) {
@@ -641,8 +809,10 @@ impl Cluster {
             return;
         }
         // Writes always go to every replica; the consistency level only
-        // decides how many acknowledgements the client waits for.
-        for replica in replica_set {
+        // decides how many acknowledgements the client waits for. The
+        // payload is shared: each fan-out copy is a refcount bump.
+        for i in 0..replica_set.len() {
+            let replica = replica_set.as_slice()[i];
             let latency = self.link_latency(coordinator, replica);
             sim.schedule_in(
                 latency,
@@ -650,8 +820,8 @@ impl Cluster {
                     dest: replica,
                     message: Message::ReplicaWrite {
                         op,
-                        key: key.to_string(),
-                        mutation: mutation.clone(),
+                        key,
+                        mutation: Arc::clone(&mutation),
                         timestamp,
                         coordinator,
                     },
@@ -674,7 +844,7 @@ impl Cluster {
                 key,
                 coordinator,
             } => {
-                let row = self.nodes[node.index()].serve_read(&key);
+                let row = self.nodes[node.index()].serve_read(key);
                 let latency = self.link_latency(node, coordinator);
                 sim.schedule_in(
                     latency,
@@ -696,7 +866,7 @@ impl Cluster {
                 timestamp,
                 coordinator,
             } => {
-                self.nodes[node.index()].apply_write(&key, &mutation, timestamp);
+                self.nodes[node.index()].apply_write(key, &mutation, timestamp);
                 let latency = self.link_latency(node, coordinator);
                 sim.schedule_in(
                     latency,
@@ -708,7 +878,7 @@ impl Cluster {
                 );
             }
             Message::RepairWrite { key, row } => {
-                self.nodes[node.index()].apply_repair(&key, &row);
+                self.nodes[node.index()].apply_repair(key, row.as_ref());
             }
             other => unreachable!("non replica-work message processed: {other:?}"),
         }
@@ -730,13 +900,13 @@ impl Cluster {
         &mut self,
         op: OpId,
         from: NodeId,
-        row: Option<Row>,
+        row: Option<Arc<Row>>,
         sim: &mut Simulation<E>,
     ) {
         let Some(pending) = self.pending_reads.get_mut(&op) else {
             return;
         };
-        pending.responses.push((from, row));
+        pending.responses.push(from, row);
         if pending.replied || pending.responses.len() < pending.required {
             // Either still waiting, or this was a straggler; nothing to do
             // until all contacted replicas answered (handled below).
@@ -746,26 +916,23 @@ impl Cluster {
             return;
         }
         // Enough replies: reconcile by timestamp (newest column values win).
-        let mut winner = Row::new();
-        for (_, r) in pending
-            .responses
-            .iter()
-            .flat_map(|(n, r)| r.as_ref().map(|r| (n, r)))
-        {
-            winner.merge_from(r);
-        }
+        // With a single responding row — the common eventual-consistency
+        // case — the replica's shared row IS the winner (no copy at all);
+        // only disagreeing responses build one fresh merged row.
+        let winner: Arc<Row> = Row::merge_shared(pending.responses.iter().filter_map(|(_, r)| r))
+            .unwrap_or_else(|| Arc::new(Row::new()));
         let returned_ts = winner.latest_timestamp();
         let result = if winner.is_empty() {
             None
         } else {
-            Some(winner.clone())
+            Some(Arc::clone(&winner))
         };
         pending.replied = true;
 
         let completion = Completion {
             op,
             kind: OpKind::Read,
-            key: pending.key.clone(),
+            key: pending.key,
             submitted_at: pending.submitted_at,
             completed_at: SimTime::ZERO, // filled at ClientReply time
             consistency: pending.consistency,
@@ -776,26 +943,22 @@ impl Cluster {
             stale: false, // decided at ClientReply time
         };
         let coordinator = pending.coordinator;
-        let key = pending.key.clone();
+        let key = pending.key;
         // Read repair towards contacted replicas that returned older data.
-        let stale_responders: Vec<NodeId> = pending
-            .responses
-            .iter()
-            .filter(|(_, r)| {
-                r.as_ref()
-                    .map(|r| r.latest_timestamp())
-                    .unwrap_or(Timestamp::ZERO)
-                    < returned_ts
-            })
-            .map(|(n, _)| *n)
-            .collect();
+        let mut stale_responders = ReplicaSet::EMPTY;
+        for (n, r) in pending.responses.iter() {
+            let ts = r.map(|r| r.latest_timestamp()).unwrap_or(Timestamp::ZERO);
+            if ts < returned_ts {
+                stale_responders.push(n);
+            }
+        }
         // Background read repair towards replicas that were not contacted.
-        let uncontacted: Vec<NodeId> = pending
-            .replica_set
-            .iter()
-            .filter(|n| !pending.contacted.contains(n))
-            .copied()
-            .collect();
+        let mut uncontacted = ReplicaSet::EMPTY;
+        for &n in pending.replica_set.as_slice() {
+            if !pending.contacted.as_slice().contains(&n) {
+                uncontacted.push(n);
+            }
+        }
         let fully_answered = pending.responses.len() == pending.contacted.len();
         let reads_all_replicas = pending.required >= pending.replica_set.len();
 
@@ -808,10 +971,10 @@ impl Cluster {
         // grows.
         if reads_all_replicas && !stale_responders.is_empty() {
             let mut repair_wait = SimTime::ZERO;
-            for target in &stale_responders {
+            for &target in stale_responders.as_slice() {
                 let rtt = self
-                    .link_latency(coordinator, *target)
-                    .saturating_add(self.link_latency(*target, coordinator))
+                    .link_latency(coordinator, target)
+                    .saturating_add(self.link_latency(target, coordinator))
                     .saturating_add(SimTime::from_millis_f64(self.config.write_service_ms));
                 repair_wait = repair_wait.max(rtt);
             }
@@ -819,28 +982,11 @@ impl Cluster {
         }
         sim.schedule_in(client_delay, StoreEvent::ClientReply { op }.into());
 
-        if returned_ts > Timestamp::ZERO && !winner.is_empty() {
-            for target in stale_responders {
-                let latency = self.link_latency(coordinator, target);
-                self.totals.repairs_issued += 1;
-                sim.schedule_in(
-                    latency,
-                    StoreEvent::Deliver {
-                        dest: target,
-                        message: Message::RepairWrite {
-                            key: key.clone(),
-                            row: winner.clone(),
-                        },
-                    }
-                    .into(),
-                );
-            }
-            if !uncontacted.is_empty()
-                && self
-                    .rng
-                    .gen_bool(self.config.background_read_repair_chance.clamp(0.0, 1.0))
-            {
-                for target in uncontacted {
+        if returned_ts > Timestamp::ZERO {
+            // One shared repair payload for every target of this read.
+            let repair_row = winner;
+            if !repair_row.is_empty() {
+                for &target in stale_responders.as_slice() {
                     let latency = self.link_latency(coordinator, target);
                     self.totals.repairs_issued += 1;
                     sim.schedule_in(
@@ -848,12 +994,33 @@ impl Cluster {
                         StoreEvent::Deliver {
                             dest: target,
                             message: Message::RepairWrite {
-                                key: key.clone(),
-                                row: winner.clone(),
+                                key,
+                                row: Arc::clone(&repair_row),
                             },
                         }
                         .into(),
                     );
+                }
+                if !uncontacted.is_empty()
+                    && self
+                        .rng
+                        .gen_bool(self.config.background_read_repair_chance.clamp(0.0, 1.0))
+                {
+                    for &target in uncontacted.as_slice() {
+                        let latency = self.link_latency(coordinator, target);
+                        self.totals.repairs_issued += 1;
+                        sim.schedule_in(
+                            latency,
+                            StoreEvent::Deliver {
+                                dest: target,
+                                message: Message::RepairWrite {
+                                    key,
+                                    row: Arc::clone(&repair_row),
+                                },
+                            }
+                            .into(),
+                        );
+                    }
                 }
             }
         }
@@ -878,7 +1045,7 @@ impl Cluster {
             let completion = Completion {
                 op,
                 kind: OpKind::Write,
-                key: pending.key.clone(),
+                key: pending.key,
                 submitted_at: pending.submitted_at,
                 completed_at: SimTime::ZERO,
                 consistency: pending.consistency,
@@ -909,7 +1076,7 @@ impl Cluster {
             }
             OpKind::Write => {
                 self.totals.writes_completed += 1;
-                let entry = self.latest_acked.entry(completion.key.clone()).or_default();
+                let entry = &mut self.latest_acked[completion.key.index()];
                 if completion.returned_timestamp > *entry {
                     *entry = completion.returned_timestamp;
                 }
@@ -987,6 +1154,9 @@ mod tests {
         assert_eq!(read.kind, OpKind::Read);
         assert!(read.result.is_some());
         assert!(!read.stale, "write at ALL then read cannot be stale");
+        // Both operations interned the same key once.
+        assert_eq!(cluster.key_count(), 1);
+        assert_eq!(cluster.key_name(read.key), "user1");
     }
 
     #[test]
@@ -1236,7 +1406,8 @@ mod tests {
         let _ = drain(&mut cluster, &mut sim);
         let samples = cluster.drain_write_key_samples();
         assert_eq!(samples.len(), 12);
-        assert_eq!(samples.iter().filter(|k| *k == "k0").count(), 4);
+        let k0 = cluster.key_id("k0").unwrap();
+        assert_eq!(samples.iter().filter(|k| **k == k0).count(), 4);
         // Draining empties the buffer.
         assert!(cluster.drain_write_key_samples().is_empty());
     }
@@ -1266,7 +1437,9 @@ mod tests {
                 &mut sim,
             );
         }
-        let keys = vec!["hot".to_string(), "cold".to_string()];
+        let hot = cluster.key_id("hot").unwrap();
+        let cold = cluster.intern_key("cold");
+        let keys = vec![hot, cold];
         let mut peak_hot = 0.0f64;
         for _ in 0..1_500 {
             let Some((_, ev)) = sim.next() else { break };
@@ -1287,22 +1460,40 @@ mod tests {
 
     #[test]
     fn replica_sets_are_stable_and_sized() {
-        let (cluster, _) = test_cluster(0.2);
+        let (mut cluster, _) = test_cluster(0.2);
         for i in 0..50 {
             let key = format!("user{i}");
             let reps = cluster.replicas_for(&key);
             assert_eq!(reps.len(), 3);
             assert_eq!(reps, cluster.replicas_for(&key));
+            // The cached lookup agrees with the fresh ring walk.
+            let id = cluster.intern_key(&key);
+            assert_eq!(cluster.replicas_for_id(id).as_slice(), reps.as_slice());
         }
+    }
+
+    #[test]
+    fn placement_cache_survives_and_invalidates() {
+        let (mut cluster, _) = test_cluster(0.2);
+        let id = cluster.intern_key("user1");
+        let first = cluster.replicas_for_id(id);
+        // Cached second lookup is identical.
+        assert_eq!(cluster.replicas_for_id(id), first);
+        let generation = cluster.placement.generation();
+        cluster.invalidate_placement();
+        assert_eq!(cluster.placement.generation(), generation + 1);
+        // Recomputed from the (unchanged) ring: same placement.
+        assert_eq!(cluster.replicas_for_id(id), first);
     }
 
     #[test]
     fn load_direct_populates_all_replicas() {
         let (mut cluster, mut sim) = test_cluster(0.2);
         cluster.load_direct("k", &Mutation::single("f", b"v".to_vec()), Timestamp(5));
+        let id = cluster.key_id("k").unwrap();
         for node in cluster.replicas_for("k") {
             assert_eq!(
-                cluster.node(node).engine().digest("k"),
+                cluster.node(node).engine().digest(id),
                 Some(Timestamp(5)),
                 "replica {node} not loaded"
             );
@@ -1331,9 +1522,10 @@ mod tests {
         let m = Mutation::single("f", b"fresh".to_vec());
         cluster.submit_write("k", m, ConsistencyLevel::All, &mut sim);
         let _ = drain(&mut cluster, &mut sim);
+        let id = cluster.key_id("k").unwrap();
         // Manually age the third replica by checking digest equality first.
-        let ts = cluster.node(replicas[0]).engine().digest("k").unwrap();
-        assert_eq!(cluster.node(stale_node).engine().digest("k"), Some(ts));
+        let ts = cluster.node(replicas[0]).engine().digest(id).unwrap();
+        assert_eq!(cluster.node(stale_node).engine().digest(id), Some(ts));
 
         // Now write at ONE so propagation is asynchronous, then read at QUORUM
         // repeatedly: read repair plus background repair must converge every
@@ -1351,12 +1543,12 @@ mod tests {
         let newest = cluster
             .replicas_for("k")
             .iter()
-            .filter_map(|n| cluster.node(*n).engine().digest("k"))
+            .filter_map(|n| cluster.node(*n).engine().digest(id))
             .max()
             .unwrap();
         for node in cluster.replicas_for("k") {
             assert_eq!(
-                cluster.node(node).engine().digest("k"),
+                cluster.node(node).engine().digest(id),
                 Some(newest),
                 "replica {node} still stale after read repair"
             );

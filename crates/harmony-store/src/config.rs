@@ -70,6 +70,12 @@ impl StoreConfig {
         if self.replication_factor == 0 {
             return Err("replication_factor must be at least 1".into());
         }
+        if self.replication_factor > crate::placement::MAX_RF {
+            return Err(format!(
+                "replication_factor must be at most {} (the inline replica-set bound)",
+                crate::placement::MAX_RF
+            ));
+        }
         if self.vnodes_per_node == 0 {
             return Err("vnodes_per_node must be at least 1".into());
         }

@@ -6,17 +6,19 @@
 //! sorted tables (SSTables); reads merge the memtable and all SSTables using
 //! per-column last-write-wins reconciliation.
 
-use crate::types::{Cell, Key, Mutation, Row, Timestamp};
+use crate::keys::KeyId;
+use crate::types::{Cell, Mutation, Row, Timestamp};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// One durable commit-log record.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CommitLogEntry {
-    /// The row key written.
-    pub key: Key,
-    /// The columns written.
-    pub columns: Vec<String>,
+    /// The (interned) row key written.
+    pub key: KeyId,
+    /// How many columns the mutation touched.
+    pub columns: usize,
     /// The timestamp of the mutation.
     pub timestamp: Timestamp,
     /// Payload size in bytes.
@@ -68,21 +70,24 @@ impl CommitLog {
 /// An immutable, sorted on-"disk" table produced by flushing a memtable.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SsTable {
-    rows: Vec<(Key, Row)>,
+    rows: Vec<(KeyId, Arc<Row>)>,
     bytes: usize,
 }
 
 impl SsTable {
     /// Builds an SSTable from already-sorted `(key, row)` pairs.
-    fn from_sorted(rows: Vec<(Key, Row)>) -> Self {
-        let bytes = rows.iter().map(|(k, r)| k.len() + r.size_bytes()).sum();
+    fn from_sorted(rows: Vec<(KeyId, Arc<Row>)>) -> Self {
+        let bytes = rows
+            .iter()
+            .map(|(_, r)| std::mem::size_of::<KeyId>() + r.size_bytes())
+            .sum();
         SsTable { rows, bytes }
     }
 
     /// Point lookup by key.
-    pub fn get(&self, key: &str) -> Option<&Row> {
+    pub fn get(&self, key: KeyId) -> Option<&Arc<Row>> {
         self.rows
-            .binary_search_by(|(k, _)| k.as_str().cmp(key))
+            .binary_search_by(|(k, _)| k.cmp(&key))
             .ok()
             .map(|i| &self.rows[i].1)
     }
@@ -139,7 +144,7 @@ pub struct EngineStats {
 pub struct StorageEngine {
     config: EngineConfig,
     commit_log: CommitLog,
-    memtable: BTreeMap<Key, Row>,
+    memtable: BTreeMap<KeyId, Arc<Row>>,
     sstables: Vec<SsTable>,
     stats: EngineStats,
 }
@@ -163,15 +168,17 @@ impl StorageEngine {
 
     /// Applies a mutation at `timestamp`: commit-log append plus memtable
     /// upsert with per-column last-write-wins.
-    pub fn apply(&mut self, key: &str, mutation: &Mutation, timestamp: Timestamp) {
+    pub fn apply(&mut self, key: KeyId, mutation: &Mutation, timestamp: Timestamp) {
         self.stats.writes += 1;
         self.commit_log.append(CommitLogEntry {
-            key: key.to_string(),
-            columns: mutation.columns.keys().cloned().collect(),
+            key,
+            columns: mutation.columns.len(),
             timestamp,
             size_bytes: mutation.size_bytes(),
         });
-        let entry = self.memtable.entry(key.to_string()).or_default();
+        // `make_mut` clones only if a read response still shares this row —
+        // rare, and exactly the copy-on-write a shared store needs.
+        let entry = Arc::make_mut(self.memtable.entry(key).or_default());
         for (name, value) in &mutation.columns {
             match entry.columns.get(name) {
                 Some(existing) if existing.timestamp >= timestamp => {}
@@ -189,18 +196,18 @@ impl StorageEngine {
 
     /// Applies an already-reconciled row (used by read repair and replica
     /// synchronisation): every column merges by timestamp.
-    pub fn apply_row(&mut self, key: &str, row: &Row) {
+    pub fn apply_row(&mut self, key: KeyId, row: &Row) {
         if row.is_empty() {
             return;
         }
         self.stats.writes += 1;
         self.commit_log.append(CommitLogEntry {
-            key: key.to_string(),
-            columns: row.columns.keys().cloned().collect(),
+            key,
+            columns: row.columns.len(),
             timestamp: row.latest_timestamp(),
             size_bytes: row.size_bytes(),
         });
-        let entry = self.memtable.entry(key.to_string()).or_default();
+        let entry = Arc::make_mut(self.memtable.entry(key).or_default());
         entry.merge_from(row);
         if self.memtable.len() >= self.config.memtable_flush_rows {
             self.flush();
@@ -209,37 +216,29 @@ impl StorageEngine {
 
     /// Reads a row, merging the memtable and every SSTable (newest data wins
     /// per column). Returns `None` if the key has never been written on this
-    /// replica.
-    pub fn get(&mut self, key: &str) -> Option<Row> {
+    /// replica. When a single source holds the key — the common case — the
+    /// stored row is *shared* (`Arc` clone), not deep-copied; a merge across
+    /// sources builds one fresh row.
+    pub fn get(&mut self, key: KeyId) -> Option<Arc<Row>> {
         self.stats.reads += 1;
-        let mut result: Option<Row> = None;
-        for table in &self.sstables {
-            if let Some(row) = table.get(key) {
-                match &mut result {
-                    None => result = Some(row.clone()),
-                    Some(acc) => acc.merge_from(row),
-                }
-            }
-        }
-        if let Some(row) = self.memtable.get(key) {
-            match &mut result {
-                None => result = Some(row.clone()),
-                Some(acc) => acc.merge_from(row),
-            }
-        }
-        result
+        Row::merge_shared(
+            self.sstables
+                .iter()
+                .filter_map(|table| table.get(key))
+                .chain(self.memtable.get(&key)),
+        )
     }
 
     /// The newest timestamp stored for a key, without counting as a data read
     /// (digest reads).
-    pub fn digest(&self, key: &str) -> Option<Timestamp> {
+    pub fn digest(&self, key: KeyId) -> Option<Timestamp> {
         let mut latest: Option<Timestamp> = None;
         for table in &self.sstables {
             if let Some(row) = table.get(key) {
                 latest = latest.max(Some(row.latest_timestamp()));
             }
         }
-        if let Some(row) = self.memtable.get(key) {
+        if let Some(row) = self.memtable.get(&key) {
             latest = latest.max(Some(row.latest_timestamp()));
         }
         latest
@@ -250,7 +249,7 @@ impl StorageEngine {
         if self.memtable.is_empty() {
             return;
         }
-        let rows: Vec<(Key, Row)> = std::mem::take(&mut self.memtable).into_iter().collect();
+        let rows: Vec<(KeyId, Arc<Row>)> = std::mem::take(&mut self.memtable).into_iter().collect();
         self.sstables.push(SsTable::from_sorted(rows));
         self.commit_log.truncate();
         self.stats.flushes += 1;
@@ -264,10 +263,10 @@ impl StorageEngine {
         if self.sstables.len() <= 1 {
             return;
         }
-        let mut merged: BTreeMap<Key, Row> = BTreeMap::new();
+        let mut merged: BTreeMap<KeyId, Arc<Row>> = BTreeMap::new();
         for table in self.sstables.drain(..) {
             for (key, row) in table.rows {
-                merged.entry(key).or_default().merge_from(&row);
+                Arc::make_mut(merged.entry(key).or_default()).merge_from(&row);
             }
         }
         self.sstables
@@ -319,41 +318,41 @@ mod tests {
     #[test]
     fn write_then_read_round_trip() {
         let mut e = StorageEngine::with_defaults();
-        e.apply("user1", &mutation("field0", "hello"), Timestamp(1));
-        let row = e.get("user1").unwrap();
+        e.apply(KeyId(1), &mutation("field0", "hello"), Timestamp(1));
+        let row = e.get(KeyId(1)).unwrap();
         assert_eq!(value_of(&row, "field0"), "hello");
         assert_eq!(row.latest_timestamp(), Timestamp(1));
-        assert!(e.get("user2").is_none());
+        assert!(e.get(KeyId(2)).is_none());
     }
 
     #[test]
     fn newer_timestamp_wins_regardless_of_apply_order() {
         let mut e = StorageEngine::with_defaults();
-        e.apply("k", &mutation("f", "new"), Timestamp(10));
-        e.apply("k", &mutation("f", "old"), Timestamp(5));
-        assert_eq!(value_of(&e.get("k").unwrap(), "f"), "new");
+        e.apply(KeyId(0), &mutation("f", "new"), Timestamp(10));
+        e.apply(KeyId(0), &mutation("f", "old"), Timestamp(5));
+        assert_eq!(value_of(&e.get(KeyId(0)).unwrap(), "f"), "new");
 
         let mut e2 = StorageEngine::with_defaults();
-        e2.apply("k", &mutation("f", "old"), Timestamp(5));
-        e2.apply("k", &mutation("f", "new"), Timestamp(10));
-        assert_eq!(value_of(&e2.get("k").unwrap(), "f"), "new");
+        e2.apply(KeyId(0), &mutation("f", "old"), Timestamp(5));
+        e2.apply(KeyId(0), &mutation("f", "new"), Timestamp(10));
+        assert_eq!(value_of(&e2.get(KeyId(0)).unwrap(), "f"), "new");
     }
 
     #[test]
     fn equal_timestamps_keep_first_applied() {
         let mut e = StorageEngine::with_defaults();
-        e.apply("k", &mutation("f", "first"), Timestamp(5));
-        e.apply("k", &mutation("f", "second"), Timestamp(5));
-        assert_eq!(value_of(&e.get("k").unwrap(), "f"), "first");
+        e.apply(KeyId(0), &mutation("f", "first"), Timestamp(5));
+        e.apply(KeyId(0), &mutation("f", "second"), Timestamp(5));
+        assert_eq!(value_of(&e.get(KeyId(0)).unwrap(), "f"), "first");
     }
 
     #[test]
     fn columns_merge_independently() {
         let mut e = StorageEngine::with_defaults();
-        e.apply("k", &mutation("a", "a1"), Timestamp(1));
-        e.apply("k", &mutation("b", "b2"), Timestamp(2));
-        e.apply("k", &mutation("a", "a3"), Timestamp(3));
-        let row = e.get("k").unwrap();
+        e.apply(KeyId(0), &mutation("a", "a1"), Timestamp(1));
+        e.apply(KeyId(0), &mutation("b", "b2"), Timestamp(2));
+        e.apply(KeyId(0), &mutation("a", "a3"), Timestamp(3));
+        let row = e.get(KeyId(0)).unwrap();
         assert_eq!(value_of(&row, "a"), "a3");
         assert_eq!(value_of(&row, "b"), "b2");
         assert_eq!(row.latest_timestamp(), Timestamp(3));
@@ -366,7 +365,7 @@ mod tests {
             compaction_threshold: 100,
         });
         for i in 0..10 {
-            e.apply(&format!("k{i}"), &mutation("f", "v"), Timestamp(i));
+            e.apply(KeyId(i as u32), &mutation("f", "v"), Timestamp(i));
         }
         assert_eq!(e.commit_log().len(), 10);
         assert!(e.commit_log().bytes() > 0);
@@ -379,10 +378,10 @@ mod tests {
     #[test]
     fn reads_merge_memtable_and_sstables() {
         let mut e = StorageEngine::with_defaults();
-        e.apply("k", &mutation("a", "flushed"), Timestamp(1));
+        e.apply(KeyId(0), &mutation("a", "flushed"), Timestamp(1));
         e.flush();
-        e.apply("k", &mutation("b", "fresh"), Timestamp(2));
-        let row = e.get("k").unwrap();
+        e.apply(KeyId(0), &mutation("b", "fresh"), Timestamp(2));
+        let row = e.get(KeyId(0)).unwrap();
         assert_eq!(value_of(&row, "a"), "flushed");
         assert_eq!(value_of(&row, "b"), "fresh");
     }
@@ -390,11 +389,11 @@ mod tests {
     #[test]
     fn newer_sstable_data_beats_older_memtable_data() {
         let mut e = StorageEngine::with_defaults();
-        e.apply("k", &mutation("f", "newer"), Timestamp(10));
+        e.apply(KeyId(0), &mutation("f", "newer"), Timestamp(10));
         e.flush();
         // A late-arriving replica write with an older timestamp lands in the memtable.
-        e.apply("k", &mutation("f", "older"), Timestamp(3));
-        assert_eq!(value_of(&e.get("k").unwrap(), "f"), "newer");
+        e.apply(KeyId(0), &mutation("f", "older"), Timestamp(3));
+        assert_eq!(value_of(&e.get(KeyId(0)).unwrap(), "f"), "newer");
     }
 
     #[test]
@@ -404,14 +403,14 @@ mod tests {
             compaction_threshold: 100,
         });
         for i in 0..12 {
-            e.apply(&format!("k{i}"), &mutation("f", "v"), Timestamp(i));
+            e.apply(KeyId(i as u32), &mutation("f", "v"), Timestamp(i));
         }
         assert!(e.sstable_count() >= 2);
         assert!(e.memtable_rows() < 5);
         assert!(e.stats().flushes >= 2);
         // All keys still readable.
         for i in 0..12 {
-            assert!(e.get(&format!("k{i}")).is_some(), "k{i} missing");
+            assert!(e.get(KeyId(i as u32)).is_some(), "k{i} missing");
         }
     }
 
@@ -424,7 +423,7 @@ mod tests {
         for round in 0..6u64 {
             for k in 0..2 {
                 e.apply(
-                    &format!("k{k}"),
+                    KeyId(k as u32),
                     &mutation("f", &format!("v{round}")),
                     Timestamp(round * 10 + k),
                 );
@@ -432,45 +431,45 @@ mod tests {
         }
         assert!(e.stats().compactions >= 1);
         for k in 0..2 {
-            assert_eq!(value_of(&e.get(&format!("k{k}")).unwrap(), "f"), "v5");
+            assert_eq!(value_of(&e.get(KeyId(k)).unwrap(), "f"), "v5");
         }
     }
 
     #[test]
     fn digest_returns_latest_timestamp_without_counting_a_read() {
         let mut e = StorageEngine::with_defaults();
-        e.apply("k", &mutation("a", "x"), Timestamp(3));
+        e.apply(KeyId(0), &mutation("a", "x"), Timestamp(3));
         e.flush();
-        e.apply("k", &mutation("b", "y"), Timestamp(7));
+        e.apply(KeyId(0), &mutation("b", "y"), Timestamp(7));
         let reads_before = e.stats().reads;
-        assert_eq!(e.digest("k"), Some(Timestamp(7)));
-        assert_eq!(e.digest("missing"), None);
+        assert_eq!(e.digest(KeyId(0)), Some(Timestamp(7)));
+        assert_eq!(e.digest(KeyId(9)), None);
         assert_eq!(e.stats().reads, reads_before);
     }
 
     #[test]
     fn apply_row_merges_for_read_repair() {
         let mut e = StorageEngine::with_defaults();
-        e.apply("k", &mutation("f", "local"), Timestamp(1));
+        e.apply(KeyId(0), &mutation("f", "local"), Timestamp(1));
         let mut repair = Row::new();
         repair
             .columns
             .insert("f".into(), Cell::new(b"repaired".to_vec(), Timestamp(9)));
-        e.apply_row("k", &repair);
-        assert_eq!(value_of(&e.get("k").unwrap(), "f"), "repaired");
+        e.apply_row(KeyId(0), &repair);
+        assert_eq!(value_of(&e.get(KeyId(0)).unwrap(), "f"), "repaired");
         // Empty repair rows are ignored entirely.
         let writes = e.stats().writes;
-        e.apply_row("k", &Row::new());
+        e.apply_row(KeyId(0), &Row::new());
         assert_eq!(e.stats().writes, writes);
     }
 
     #[test]
     fn stats_count_operations() {
         let mut e = StorageEngine::with_defaults();
-        e.apply("a", &mutation("f", "1"), Timestamp(1));
-        e.apply("b", &mutation("f", "2"), Timestamp(2));
-        e.get("a");
-        e.get("missing");
+        e.apply(KeyId(0), &mutation("f", "1"), Timestamp(1));
+        e.apply(KeyId(1), &mutation("f", "2"), Timestamp(2));
+        e.get(KeyId(0));
+        e.get(KeyId(7));
         let s = e.stats();
         assert_eq!(s.writes, 2);
         assert_eq!(s.reads, 2);
@@ -480,18 +479,18 @@ mod tests {
     fn sstable_lookup_is_exact() {
         let rows = vec![
             (
-                "a".to_string(),
-                Mutation::single("f", vec![1]).into_row(Timestamp(1)),
+                KeyId(0),
+                Arc::new(Mutation::single("f", vec![1]).into_row(Timestamp(1))),
             ),
             (
-                "c".to_string(),
-                Mutation::single("f", vec![2]).into_row(Timestamp(2)),
+                KeyId(2),
+                Arc::new(Mutation::single("f", vec![2]).into_row(Timestamp(2))),
             ),
         ];
         let t = SsTable::from_sorted(rows);
-        assert!(t.get("a").is_some());
-        assert!(t.get("b").is_none());
-        assert!(t.get("c").is_some());
+        assert!(t.get(KeyId(0)).is_some());
+        assert!(t.get(KeyId(1)).is_none());
+        assert!(t.get(KeyId(2)).is_some());
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());
         assert!(t.bytes() > 0);

@@ -54,6 +54,7 @@ pub mod config;
 pub mod consistency;
 pub mod engine;
 pub mod hashring;
+pub mod keys;
 pub mod messages;
 pub mod node;
 pub mod placement;
@@ -64,13 +65,15 @@ pub mod prelude {
     pub use crate::cluster::{Cluster, ClusterTotals, Completion};
     pub use crate::config::StoreConfig;
     pub use crate::consistency::ConsistencyLevel;
+    pub use crate::keys::{KeyId, KeyTable};
     pub use crate::messages::{Message, OpId, OpKind, StoreEvent};
-    pub use crate::placement::ReplicationStrategy;
+    pub use crate::placement::{PlacementCache, ReplicaSet, ReplicationStrategy, MAX_RF};
     pub use crate::types::{Cell, Key, Mutation, Row, Timestamp};
 }
 
 pub use cluster::{Cluster, Completion};
 pub use config::StoreConfig;
 pub use consistency::ConsistencyLevel;
+pub use keys::{KeyId, KeyTable};
 pub use messages::{OpId, OpKind, StoreEvent};
 pub use types::{Mutation, Row, Timestamp};

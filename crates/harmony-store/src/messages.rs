@@ -8,9 +8,11 @@
 //! asynchronous repair writes to out-of-date replicas.
 
 use crate::consistency::ConsistencyLevel;
-use crate::types::{Key, Mutation, Row, Timestamp};
+use crate::keys::KeyId;
+use crate::types::{Mutation, Row, Timestamp};
 use harmony_sim::topology::NodeId;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Unique identifier of a client operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -32,8 +34,8 @@ pub enum Message {
     ClientRead {
         /// Operation id.
         op: OpId,
-        /// Row key.
-        key: Key,
+        /// Interned row key.
+        key: KeyId,
         /// Consistency level requested for this read.
         consistency: ConsistencyLevel,
     },
@@ -41,10 +43,11 @@ pub enum Message {
     ClientWrite {
         /// Operation id.
         op: OpId,
-        /// Row key.
-        key: Key,
-        /// Columns to write.
-        mutation: Mutation,
+        /// Interned row key.
+        key: KeyId,
+        /// Columns to write, shared (not deep-cloned) across the replica
+        /// fan-out.
+        mutation: Arc<Mutation>,
         /// Consistency level requested for this write.
         consistency: ConsistencyLevel,
     },
@@ -52,8 +55,8 @@ pub enum Message {
     ReplicaRead {
         /// Operation id.
         op: OpId,
-        /// Row key.
-        key: Key,
+        /// Interned row key.
+        key: KeyId,
         /// The coordinator to answer to.
         coordinator: NodeId,
     },
@@ -63,17 +66,20 @@ pub enum Message {
         op: OpId,
         /// The replica that answered.
         from: NodeId,
-        /// Its local copy of the row (None if it has never seen the key).
-        row: Option<Row>,
+        /// Its local copy of the row, shared with the replica's store (None
+        /// if it has never seen the key).
+        row: Option<Arc<Row>>,
     },
     /// Coordinator asking a replica to apply a mutation.
     ReplicaWrite {
         /// Operation id.
         op: OpId,
-        /// Row key.
-        key: Key,
-        /// Columns to write.
-        mutation: Mutation,
+        /// Interned row key.
+        key: KeyId,
+        /// Columns to write: one shared payload for all replicas — an RF = 3
+        /// fan-out bumps a refcount three times instead of deep-cloning a
+        /// `BTreeMap` three times.
+        mutation: Arc<Mutation>,
         /// Timestamp assigned by the coordinator.
         timestamp: Timestamp,
         /// The coordinator to acknowledge to.
@@ -90,10 +96,11 @@ pub enum Message {
     /// to a replica that answered with stale (or missing) data, or — for
     /// background read repair — to replicas that were not contacted at all.
     RepairWrite {
-        /// Row key.
-        key: Key,
-        /// The reconciled row to merge into the replica.
-        row: Row,
+        /// Interned row key.
+        key: KeyId,
+        /// The reconciled row to merge into the replica, shared across every
+        /// repair target of the same read.
+        row: Arc<Row>,
     },
 }
 
@@ -158,7 +165,7 @@ mod tests {
     fn replica_work_classification() {
         let read = Message::ReplicaRead {
             op: OpId(1),
-            key: "k".into(),
+            key: KeyId(0),
             coordinator: NodeId(0),
         };
         let resp = Message::ReplicaReadResponse {
@@ -167,8 +174,8 @@ mod tests {
             row: None,
         };
         let repair = Message::RepairWrite {
-            key: "k".into(),
-            row: Row::new(),
+            key: KeyId(0),
+            row: Arc::new(Row::new()),
         };
         assert!(read.is_replica_work());
         assert!(!resp.is_replica_work());
@@ -179,14 +186,14 @@ mod tests {
     fn op_id_extraction() {
         let w = Message::ClientWrite {
             op: OpId(7),
-            key: "k".into(),
-            mutation: Mutation::single("f", vec![1]),
+            key: KeyId(3),
+            mutation: Arc::new(Mutation::single("f", vec![1])),
             consistency: ConsistencyLevel::One,
         };
         assert_eq!(w.op_id(), Some(OpId(7)));
         let repair = Message::RepairWrite {
-            key: "k".into(),
-            row: Row::new(),
+            key: KeyId(3),
+            row: Arc::new(Row::new()),
         };
         assert_eq!(repair.op_id(), None);
     }

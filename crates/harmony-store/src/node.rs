@@ -7,6 +7,7 @@
 //! and 5(d) of the paper.
 
 use crate::engine::{EngineConfig, StorageEngine};
+use crate::keys::KeyId;
 use crate::messages::Message;
 use crate::types::{Mutation, Row, Timestamp};
 use harmony_sim::topology::NodeId;
@@ -145,11 +146,9 @@ impl StorageNode {
     /// analogue of the aggregate mutation backlog, since a deep per-key queue
     /// means reads of that key observe stale data until it drains; callers
     /// count occurrences in one pass instead of rescanning the queue per key.
-    pub fn queued_write_keys(&self) -> impl Iterator<Item = &str> {
+    pub fn queued_write_keys(&self) -> impl Iterator<Item = KeyId> + '_ {
         self.write_stage.queue.iter().filter_map(|m| match m {
-            Message::ReplicaWrite { key, .. } | Message::RepairWrite { key, .. } => {
-                Some(key.as_str())
-            }
+            Message::ReplicaWrite { key, .. } | Message::RepairWrite { key, .. } => Some(*key),
             _ => None,
         })
     }
@@ -225,26 +224,27 @@ impl StorageNode {
         }
     }
 
-    /// Serves a replica read: returns this node's local copy of the row.
-    pub fn serve_read(&mut self, key: &str) -> Option<Row> {
+    /// Serves a replica read: returns this node's local copy of the row,
+    /// shared (`Arc`) rather than deep-copied.
+    pub fn serve_read(&mut self, key: KeyId) -> Option<std::sync::Arc<Row>> {
         self.counters.reads += 1;
         self.engine.get(key)
     }
 
     /// Applies a replica write.
-    pub fn apply_write(&mut self, key: &str, mutation: &Mutation, timestamp: Timestamp) {
+    pub fn apply_write(&mut self, key: KeyId, mutation: &Mutation, timestamp: Timestamp) {
         self.counters.writes += 1;
         self.engine.apply(key, mutation, timestamp);
     }
 
     /// Applies a repair row (read repair / async propagation).
-    pub fn apply_repair(&mut self, key: &str, row: &Row) {
+    pub fn apply_repair(&mut self, key: KeyId, row: &Row) {
         self.counters.repairs += 1;
         self.engine.apply_row(key, row);
     }
 
     /// The newest timestamp this node stores for a key (digest read).
-    pub fn digest(&self, key: &str) -> Option<Timestamp> {
+    pub fn digest(&self, key: KeyId) -> Option<Timestamp> {
         self.engine.digest(key)
     }
 }
@@ -254,10 +254,12 @@ mod tests {
     use super::*;
     use crate::messages::OpId;
 
+    const K: KeyId = KeyId(0);
+
     fn dummy_read(op: u64) -> Message {
         Message::ReplicaRead {
             op: OpId(op),
-            key: "k".into(),
+            key: K,
             coordinator: NodeId(0),
         }
     }
@@ -265,8 +267,8 @@ mod tests {
     fn dummy_write(op: u64) -> Message {
         Message::ReplicaWrite {
             op: OpId(op),
-            key: "k".into(),
-            mutation: Mutation::single("f", b"v".to_vec()),
+            key: K,
+            mutation: std::sync::Arc::new(Mutation::single("f", b"v".to_vec())),
             timestamp: Timestamp(op),
             coordinator: NodeId(0),
         }
@@ -275,9 +277,9 @@ mod tests {
     #[test]
     fn read_write_and_counters() {
         let mut n = StorageNode::new(NodeId(3), EngineConfig::default(), 2);
-        assert!(n.serve_read("k").is_none());
-        n.apply_write("k", &Mutation::single("f", b"v".to_vec()), Timestamp(1));
-        let row = n.serve_read("k").unwrap();
+        assert!(n.serve_read(K).is_none());
+        n.apply_write(K, &Mutation::single("f", b"v".to_vec()), Timestamp(1));
+        let row = n.serve_read(K).unwrap();
         assert_eq!(row.latest_timestamp(), Timestamp(1));
         let c = n.counters();
         assert_eq!(c.reads, 2);
@@ -288,10 +290,10 @@ mod tests {
     #[test]
     fn repair_merges_and_counts_separately() {
         let mut n = StorageNode::new(NodeId(0), EngineConfig::default(), 1);
-        n.apply_write("k", &Mutation::single("f", b"old".to_vec()), Timestamp(1));
+        n.apply_write(K, &Mutation::single("f", b"old".to_vec()), Timestamp(1));
         let repair = Mutation::single("f", b"new".to_vec()).into_row(Timestamp(5));
-        n.apply_repair("k", &repair);
-        assert_eq!(n.serve_read("k").unwrap().latest_timestamp(), Timestamp(5));
+        n.apply_repair(K, &repair);
+        assert_eq!(n.serve_read(K).unwrap().latest_timestamp(), Timestamp(5));
         assert_eq!(n.counters().repairs, 1);
         assert_eq!(n.counters().writes, 1);
     }
@@ -343,8 +345,8 @@ mod tests {
         assert_eq!(Stage::of(&dummy_write(1)), Some(Stage::Write));
         assert_eq!(
             Stage::of(&Message::RepairWrite {
-                key: "k".into(),
-                row: Row::new()
+                key: K,
+                row: std::sync::Arc::new(Row::new())
             }),
             Some(Stage::Write)
         );
@@ -411,8 +413,8 @@ mod tests {
     #[test]
     fn digest_reflects_latest_write() {
         let mut n = StorageNode::new(NodeId(0), EngineConfig::default(), 1);
-        assert_eq!(n.digest("k"), None);
-        n.apply_write("k", &Mutation::single("f", b"v".to_vec()), Timestamp(9));
-        assert_eq!(n.digest("k"), Some(Timestamp(9)));
+        assert_eq!(n.digest(K), None);
+        n.apply_write(K, &Mutation::single("f", b"v".to_vec()), Timestamp(9));
+        assert_eq!(n.digest(K), Some(Timestamp(9)));
     }
 }

@@ -12,9 +12,142 @@
 //!   the rack/DC spreading of the paper's configuration.
 
 use crate::hashring::HashRing;
+use crate::keys::KeyId;
 use harmony_sim::topology::{NodeId, Topology};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
+
+/// Upper bound on the replication factor the inline replica-set cache
+/// supports. The paper's deployments use RF = 5; the bound leaves headroom
+/// without bloating the per-key cache entry (8 × 4 bytes + length).
+pub const MAX_RF: usize = 8;
+
+/// A replica set stored inline (no heap allocation): up to [`MAX_RF`] node
+/// ids plus a length. This is what the placement cache hands out on the hot
+/// path instead of a freshly allocated `Vec<NodeId>` per operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaSet {
+    nodes: [NodeId; MAX_RF],
+    len: u8,
+}
+
+impl ReplicaSet {
+    /// An empty replica set (also the cache's "not yet computed" sentinel).
+    pub const EMPTY: ReplicaSet = ReplicaSet {
+        nodes: [NodeId(0); MAX_RF],
+        len: 0,
+    };
+
+    /// Builds a set from a freshly computed replica list.
+    ///
+    /// # Panics
+    /// Panics if the list exceeds [`MAX_RF`] nodes (prevented upstream by
+    /// `StoreConfig::validate`).
+    pub fn from_slice(nodes: &[NodeId]) -> Self {
+        assert!(
+            nodes.len() <= MAX_RF,
+            "replica set of {} exceeds MAX_RF = {MAX_RF}",
+            nodes.len()
+        );
+        let mut set = ReplicaSet::EMPTY;
+        set.nodes[..nodes.len()].copy_from_slice(nodes);
+        set.len = nodes.len() as u8;
+        set
+    }
+
+    /// The replicas, primary first.
+    #[inline]
+    pub fn as_slice(&self) -> &[NodeId] {
+        &self.nodes[..self.len as usize]
+    }
+
+    /// Number of replicas.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True if the set holds no replicas.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends one node.
+    ///
+    /// # Panics
+    /// Panics (debug) past [`MAX_RF`] nodes.
+    #[inline]
+    pub fn push(&mut self, node: NodeId) {
+        debug_assert!((self.len as usize) < MAX_RF, "replica set full");
+        self.nodes[self.len as usize] = node;
+        self.len += 1;
+    }
+}
+
+/// A memoised `replicas_for` table indexed by [`KeyId`]: steady-state
+/// placement lookups are one array index instead of a token-ring walk plus a
+/// `Vec` allocation. Entries are computed lazily on first use and the whole
+/// table is dropped by [`PlacementCache::invalidate`] whenever the ring or
+/// the topology changes (node joins/departures, vnode reshuffles).
+#[derive(Debug, Default, Clone)]
+pub struct PlacementCache {
+    sets: Vec<ReplicaSet>,
+    /// Bumped on every invalidation; lets callers cheaply detect that cached
+    /// data from a previous topology must not be reused.
+    generation: u64,
+}
+
+impl PlacementCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PlacementCache::default()
+    }
+
+    /// How many topology changes this cache has survived.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of keys with a cached (computed) replica set.
+    pub fn cached_len(&self) -> usize {
+        self.sets.iter().filter(|s| !s.is_empty()).count()
+    }
+
+    /// Drops every cached entry. Must be called whenever the ring, the
+    /// topology or the placement strategy changes.
+    pub fn invalidate(&mut self) {
+        self.sets.clear();
+        self.generation += 1;
+    }
+
+    /// The cached replica set for `key`, computing (and caching) it from the
+    /// ring walk on first use. A cluster-size or RF of zero is the caller's
+    /// bug; an empty computed set is cached as-is and recomputed next time,
+    /// which cannot happen for a non-empty topology.
+    #[inline]
+    pub fn replicas_for(
+        &mut self,
+        key: KeyId,
+        name: &str,
+        strategy: ReplicationStrategy,
+        ring: &HashRing,
+        topology: &Topology,
+        rf: usize,
+    ) -> ReplicaSet {
+        let index = key.index();
+        if index >= self.sets.len() {
+            self.sets.resize(index + 1, ReplicaSet::EMPTY);
+        }
+        let cached = self.sets[index];
+        if !cached.is_empty() {
+            return cached;
+        }
+        let fresh = ReplicaSet::from_slice(&strategy.replicas_for(ring, topology, name, rf));
+        self.sets[index] = fresh;
+        fresh
+    }
+}
 
 /// How the store maps a key to its `RF` replica nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]

@@ -10,7 +10,9 @@
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
-/// A row key. YCSB-style workloads use keys like `"user4382"`.
+/// A row key *name*. YCSB-style workloads use keys like `"user4382"`. On
+/// the operation hot path keys travel as interned [`crate::keys::KeyId`]s;
+/// the `String` form exists at the API boundary (workload setup, reports).
 pub type Key = String;
 
 /// A logical timestamp attached to every written cell (nanosecond-scale,
@@ -70,6 +72,35 @@ impl Row {
                 }
             }
         }
+    }
+
+    /// Reconciles a sequence of shared rows by timestamp (last-write-wins
+    /// per column, earlier rows win ties), *without copying in the common
+    /// case*: a single source row is returned as an `Arc` clone; only
+    /// disagreeing sources build one fresh merged row. `None` for an empty
+    /// sequence. Shared by the storage engine's read path and the
+    /// coordinator's response reconciliation so the copy-on-write state
+    /// machine cannot drift between them.
+    pub fn merge_shared<'a>(
+        rows: impl Iterator<Item = &'a std::sync::Arc<Row>>,
+    ) -> Option<std::sync::Arc<Row>> {
+        let mut merged: Option<Row> = None;
+        let mut single: Option<&std::sync::Arc<Row>> = None;
+        for row in rows {
+            match (&mut merged, single) {
+                (Some(acc), _) => acc.merge_from(row),
+                (None, None) => single = Some(row),
+                (None, Some(first)) => {
+                    let mut acc = Row::clone(first);
+                    acc.merge_from(row);
+                    merged = Some(acc);
+                    single = None;
+                }
+            }
+        }
+        merged
+            .map(std::sync::Arc::new)
+            .or_else(|| single.map(std::sync::Arc::clone))
     }
 
     /// The newest timestamp among all columns, or [`Timestamp::ZERO`] for an

@@ -20,12 +20,14 @@ use harmony_sim::rng::RngFactory;
 use harmony_store::cluster::{Cluster, ClusterTotals, Completion};
 use harmony_store::config::StoreConfig;
 use harmony_store::consistency::ConsistencyLevel;
+use harmony_store::keys::KeyId;
 use harmony_store::messages::{OpId, OpKind, StoreEvent};
 use harmony_store::types::{Mutation, Timestamp};
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
 
 /// The runner's simulation event type.
 #[derive(Debug, Clone, PartialEq)]
@@ -204,8 +206,15 @@ pub struct Runner {
     key_chooser: KeyChooser,
     workload_rng: StdRng,
     in_flight: HashMap<OpId, OpMeta>,
+    /// Record index -> interned key id: the per-operation key lookup is a
+    /// plain array index, no string formatting or hashing.
+    record_ids: Vec<KeyId>,
+    /// One shared mutation template per field index: every update writes the
+    /// same filler payload, so issuing a write is an `Arc` refcount bump
+    /// instead of a fresh `BTreeMap` + `String` + `Vec` per operation.
+    field_mutations: Vec<Arc<Mutation>>,
     /// The designated hot keys whose reads are tallied separately.
-    hot_report_keys: HashSet<String>,
+    hot_report_keys: HashSet<KeyId>,
     session_active: Vec<bool>,
     current_phase: usize,
     phase_completed_ops: u64,
@@ -236,10 +245,27 @@ impl Runner {
             factory,
         );
         // Load phase (YCSB "load"): populate every record on all its replicas.
+        // Interning happens here, in record order, so record `i` gets the
+        // dense id `KeyId(i)` and the transaction phase never touches a key
+        // string again.
         let row_template = Mutation::ycsb_row(spec.workload.field_count, spec.workload.field_size);
+        let mut record_ids = Vec::with_capacity(spec.workload.record_count as usize);
         for i in 0..spec.workload.record_count {
-            cluster.load_direct(&record_key(i), &row_template, Timestamp(i + 1));
+            let name = record_key(i);
+            cluster.load_direct(&name, &row_template, Timestamp(i + 1));
+            record_ids.push(cluster.key_id(&name).expect("just loaded"));
         }
+        let hot_report_keys = (0..spec.hot_key_prefix)
+            .map(|i| cluster.intern_key(&record_key(i)))
+            .collect();
+        let field_mutations = (0..spec.workload.field_count)
+            .map(|f| {
+                Arc::new(Mutation::single(
+                    format!("field{f}"),
+                    vec![b'u'; spec.workload.field_size],
+                ))
+            })
+            .collect();
         let max_threads = spec.phases.iter().map(|p| p.threads).max().unwrap_or(1);
         let key_chooser = spec.workload.key_chooser();
         Runner {
@@ -250,7 +276,9 @@ impl Runner {
             key_chooser,
             profile_name: profile.name.clone(),
             in_flight: HashMap::new(),
-            hot_report_keys: (0..spec.hot_key_prefix).map(record_key).collect(),
+            record_ids,
+            field_mutations,
+            hot_report_keys,
             session_active: vec![false; max_threads],
             current_phase: 0,
             phase_completed_ops: 0,
@@ -276,11 +304,11 @@ impl Runner {
         let op_kind = self.spec.workload.next_operation(&mut self.workload_rng);
         match op_kind {
             Operation::Read => {
-                let key = record_key(self.key_chooser.next_index(&mut self.workload_rng));
+                let key = self.chosen_key();
                 // Per-operation consultation of the hot set: an escalated key
                 // reads at its own level, everything else at the cheap default.
-                let level = self.controller.read_level_for(&key);
-                let op = self.cluster.submit_read(&key, level, &mut self.sim);
+                let level = self.controller.read_level_for(key);
+                let op = self.cluster.submit_read_id(key, level, &mut self.sim);
                 self.in_flight.insert(
                     op,
                     OpMeta {
@@ -290,18 +318,19 @@ impl Runner {
                 );
             }
             Operation::Update => {
-                let key = record_key(self.key_chooser.next_index(&mut self.workload_rng));
-                self.issue_write(session, &key, Purpose::Normal);
+                let key = self.chosen_key();
+                self.issue_write(session, key, Purpose::Normal);
             }
             Operation::Insert => {
-                let key = record_key(self.spec.workload.record_count + self.insert_counter);
+                let name = record_key(self.spec.workload.record_count + self.insert_counter);
                 self.insert_counter += 1;
-                self.issue_write(session, &key, Purpose::Normal);
+                let key = self.cluster.intern_key(&name);
+                self.issue_write(session, key, Purpose::Normal);
             }
             Operation::ReadModifyWrite => {
-                let key = record_key(self.key_chooser.next_index(&mut self.workload_rng));
-                let level = self.controller.read_level_for(&key);
-                let op = self.cluster.submit_read(&key, level, &mut self.sim);
+                let key = self.chosen_key();
+                let level = self.controller.read_level_for(key);
+                let op = self.cluster.submit_read_id(key, level, &mut self.sim);
                 self.in_flight.insert(
                     op,
                     OpMeta {
@@ -313,18 +342,22 @@ impl Runner {
         }
     }
 
-    fn issue_write(&mut self, session: usize, key: &str, purpose: Purpose) {
+    /// Draws the next record index and maps it to its interned id — the
+    /// allocation-free replacement for `record_key(index)` on the op path.
+    fn chosen_key(&mut self) -> KeyId {
+        let index = self.key_chooser.next_index(&mut self.workload_rng);
+        self.record_ids[index as usize]
+    }
+
+    fn issue_write(&mut self, session: usize, key: KeyId, purpose: Purpose) {
         let field = self
             .workload_rng
             .gen_range(0..self.spec.workload.field_count);
-        let mutation = Mutation::single(
-            format!("field{field}"),
-            vec![b'u'; self.spec.workload.field_size],
-        );
+        let mutation = Arc::clone(&self.field_mutations[field]);
         let level = self.controller.current_write_level();
         let op = self
             .cluster
-            .submit_write(key, mutation, level, &mut self.sim);
+            .submit_write_id(key, mutation, level, &mut self.sim);
         self.in_flight.insert(op, OpMeta { session, purpose });
     }
 
@@ -388,17 +421,18 @@ impl Runner {
         // Decide what the session does next.
         match meta.purpose {
             Purpose::RmwRead => {
-                // Write back the same key.
-                let key = completion.key.clone();
-                self.issue_write(meta.session, &key, Purpose::Normal);
+                // Write back the same key (`KeyId` is `Copy` — no clone).
+                self.issue_write(meta.session, completion.key, Purpose::Normal);
             }
             Purpose::Normal
                 if completion.kind == OpKind::Read && self.spec.dual_read_measurement =>
             {
                 // Paper §V.F: verify with a second read at the strongest level.
-                let op =
-                    self.cluster
-                        .submit_read(&completion.key, ConsistencyLevel::All, &mut self.sim);
+                let op = self.cluster.submit_read_id(
+                    completion.key,
+                    ConsistencyLevel::All,
+                    &mut self.sim,
+                );
                 self.in_flight.insert(
                     op,
                     OpMeta {

@@ -67,6 +67,100 @@ fn same_seed_reproduces_hot_sets_backlogs_and_decisions() {
     assert_eq!(a.cluster_totals, b.cluster_totals);
 }
 
+/// Golden-stats pin across the allocation-free refactor: the fixed seed must
+/// keep producing *these exact* run stats, decision timeline and hot set.
+///
+/// The goldens were captured from the pre-interning implementation (string
+/// keys, per-replica payload clones, uncached ring walks) and re-verified
+/// byte-identical after key interning, the placement cache and the
+/// `Arc`-shared payloads landed — so any future drift here means a change in
+/// *behaviour*, not just in performance. If a deliberate semantic change
+/// moves these numbers, re-pin them in the same commit and say why.
+#[test]
+fn golden_stats_pin_for_seed_20120920() {
+    let r = run_split(20120920);
+
+    // Aggregate run stats.
+    assert_eq!(r.stats.operations, 12_000);
+    assert_eq!(r.stats.reads, 5_876);
+    assert_eq!(r.stats.writes, 6_124);
+    assert_eq!(r.stats.stale_reads, 238);
+    assert_eq!(r.stats.hot_reads, 2_200);
+    assert_eq!(r.stats.hot_stale_reads, 84);
+
+    // The store's own ground-truth totals.
+    assert_eq!(r.cluster_totals.reads_submitted, 5_893);
+    assert_eq!(r.cluster_totals.writes_submitted, 6_130);
+    assert_eq!(r.cluster_totals.reads_completed, 5_876);
+    assert_eq!(r.cluster_totals.writes_completed, 6_124);
+    assert_eq!(r.cluster_totals.stale_reads, 238);
+    assert_eq!(r.cluster_totals.repairs_issued, 12_298);
+
+    // The control timeline: tick count, summed hot-key and replica columns,
+    // and the final tick's monitored rates (f64-exact: same inputs, same
+    // arithmetic, same order).
+    assert_eq!(r.decisions.len(), 21);
+    assert_eq!(
+        r.decisions.iter().map(|d| d.hot_keys as u64).sum::<u64>(),
+        103
+    );
+    assert_eq!(
+        r.decisions
+            .iter()
+            .map(|d| d.replicas_in_read as u64)
+            .sum::<u64>(),
+        83
+    );
+    let last = r.decisions.last().unwrap();
+    assert_eq!(last.read_rate, 5663.366336633663);
+    assert_eq!(last.write_rate, 5579.207920792079);
+    assert_eq!(last.tp_secs, 9.358319320258281e-5);
+    assert_eq!(last.estimate, Some(0.0032931815225742756));
+    assert_eq!(last.hot_keys, 34);
+    assert_eq!(last.replicas_in_read, 1);
+
+    // Read-level histogram: how many reads ran at each replica count.
+    let histogram: Vec<(usize, u64)> = r
+        .read_level_histogram
+        .iter()
+        .map(|(k, v)| (*k, *v))
+        .collect();
+    assert_eq!(
+        histogram,
+        vec![(1, 686), (2, 305), (3, 275), (4, 311), (5, 4_299)]
+    );
+
+    // The final hot set, key for key (name-sorted, as reported).
+    let hot: Vec<(&str, usize)> = r
+        .hot_set
+        .iter()
+        .map(|h| (h.key.as_str(), h.replicas))
+        .collect();
+    assert_eq!(hot.len(), 34);
+    assert_eq!(hot[0], ("user0", 5));
+    assert_eq!(hot[1], ("user1", 5));
+    assert_eq!(hot[2], ("user10", 5));
+    // The two keys decided below ALL sit exactly where they did pre-refactor.
+    assert_eq!(hot.iter().filter(|(_, replicas)| *replicas == 4).count(), 2);
+    assert_eq!(hot[21], ("user28", 4));
+    assert_eq!(hot[27], ("user33", 4));
+    assert!(hot.iter().all(|(_, replicas)| (4..=5).contains(replicas)));
+
+    // Latency percentiles through the log-bucketed histogram.
+    assert_eq!(
+        (r.stats.read_latency.percentile_ms(0.5) * 1000.0).round(),
+        2_240.0
+    );
+    assert_eq!(
+        (r.stats.read_latency.percentile_ms(0.99) * 1000.0).round(),
+        3_520.0
+    );
+    assert_eq!(
+        (r.stats.write_latency.percentile_ms(0.99) * 1000.0).round(),
+        9_088.0
+    );
+}
+
 #[test]
 fn different_seed_changes_the_run_but_not_the_hot_head() {
     let a = run_split(1);
