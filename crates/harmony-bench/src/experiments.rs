@@ -9,9 +9,12 @@
 
 use harmony_adaptive::config::{ControllerConfig, PerKeySplitConfig};
 use harmony_adaptive::policy::{ConsistencyPolicy, HarmonyPolicy, StaticPolicy};
+use harmony_chaos::FaultSchedule;
 use harmony_sim::profiles::{self, ClusterProfile};
 use harmony_store::config::StoreConfig;
-use harmony_ycsb::runner::{run_experiment, ExperimentResult, ExperimentSpec, Phase};
+use harmony_ycsb::runner::{
+    run_experiment, run_experiment_with_faults, ExperimentResult, ExperimentSpec, Phase,
+};
 use harmony_ycsb::workloads::WorkloadSpec;
 use serde::{Deserialize, Serialize};
 
@@ -316,6 +319,29 @@ pub fn run_workload_point(
     hot_key_prefix: u64,
     split: bool,
 ) -> ExperimentResult {
+    run_workload_point_with_faults(
+        config,
+        workload,
+        policy,
+        threads,
+        hot_key_prefix,
+        split,
+        FaultSchedule::empty(),
+    )
+}
+
+/// [`run_workload_point`] with a fault schedule replayed during the run —
+/// the entry point of the `fault_sweep` scenarios. An empty schedule is
+/// byte-identical to the fault-free form.
+pub fn run_workload_point_with_faults(
+    config: &ExperimentConfig,
+    workload: WorkloadSpec,
+    policy: &PolicySpec,
+    threads: usize,
+    hot_key_prefix: u64,
+    split: bool,
+    faults: FaultSchedule,
+) -> ExperimentResult {
     let spec = ExperimentSpec {
         workload,
         phases: vec![Phase::new(threads, config.operations_for(threads))],
@@ -329,12 +355,13 @@ pub fn run_workload_point(
     } else {
         config.controller
     };
-    run_experiment(
+    run_experiment_with_faults(
         &config.profile,
         config.store.clone(),
         controller,
         policy.build(config.store.replication_factor),
         spec,
+        faults,
     )
 }
 

@@ -1,0 +1,31 @@
+//! Deterministic fault injection and elasticity for Harmony.
+//!
+//! The paper's evaluation runs on a permanently healthy cluster, but failures
+//! are precisely where eventual consistency bites hardest: a crashed replica
+//! turns into a pile of hinted mutations that flood its write stage on
+//! restart, a partition freezes propagation across the cut, and node churn
+//! (join/decommission) moves key ownership under live traffic. This crate
+//! provides the two halves needed to reproduce those regimes *without giving
+//! up determinism*:
+//!
+//! * [`schedule`] — a typed fault-event DSL ([`FaultEvent`]) plus a
+//!   seed-reproducible schedule ([`FaultSchedule`]): explicit events at
+//!   simulated timestamps, and random generators over them parameterised by
+//!   rate and seed. The schedule is pure data; the sim engine consumes it as
+//!   a first-class event source, so the same seed replays the same faults
+//!   event for event.
+//! * [`state`] — the cluster-side bookkeeping ([`FaultState`]): per-node
+//!   liveness, partition masks, service slow-down factors and membership
+//!   (decommissioned nodes leave the ring but keep their slot so `NodeId`s
+//!   stay stable), with counters for reporting.
+//!
+//! An **empty schedule is free**: every mask check degenerates to a constant
+//! `true`/`1.0` and no extra events, RNG draws or allocations happen, so a
+//! run with `FaultSchedule::empty()` is byte-identical to a run without the
+//! chaos layer at all (pinned by `golden_stats_pin_for_seed_20120920`).
+
+pub mod schedule;
+pub mod state;
+
+pub use schedule::{FaultEvent, FaultSchedule, RandomFaultConfig, ScheduledFault};
+pub use state::{FaultCounters, FaultState};

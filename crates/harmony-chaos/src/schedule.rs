@@ -1,0 +1,496 @@
+//! The fault-event DSL and the deterministic schedule over it.
+//!
+//! A [`FaultSchedule`] is a time-sorted list of [`FaultEvent`]s, each at an
+//! absolute simulated timestamp. Schedules are built either explicitly (the
+//! builder methods — `crash_at`, `partition_at`, …) or by the seeded random
+//! generators ([`FaultSchedule::random`]), which draw Poisson fault arrivals
+//! from their own RNG stream so the *workload's* randomness is untouched.
+//! Either way the schedule is pure data: replaying the same schedule against
+//! the same seed reproduces the same run, fault for fault.
+
+use harmony_sim::clock::SimTime;
+use harmony_sim::topology::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One typed fault (or elasticity) event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// Fail-stop crash: the node stops serving reads and coordinating;
+    /// mutations addressed to it are stored as hints and drain on restart.
+    /// Work already *in service* completes (the power fails after the
+    /// in-flight disk write, not during it); queued reads are answered with
+    /// a miss by the failure detector so coordinators make progress.
+    CrashNode {
+        /// The node to crash.
+        node: NodeId,
+    },
+    /// Recovery of a crashed node: it rejoins with its data intact and the
+    /// hinted mutations accumulated while it was down are replayed into its
+    /// write stage — the backlog spike the controller must ride out.
+    RestartNode {
+        /// The node to bring back.
+        node: NodeId,
+    },
+    /// Network partition: nodes can only exchange messages within their own
+    /// group. Nodes not listed in any group form an implicit extra group.
+    /// Client locality differs by runtime: the simulator's clients are
+    /// multi-homed and keep reaching live coordinators on every side, while
+    /// the threaded live cluster has no server-side coordinators (the client
+    /// handle plays that role) and pins its clients to `groups[0]` — list
+    /// the side the clients should stay with first.
+    Partition {
+        /// The connectivity groups (each a list of node ids).
+        groups: Vec<Vec<NodeId>>,
+    },
+    /// Heals the active partition (no-op when none is active); hinted
+    /// mutations stranded by the cut are replayed.
+    HealPartition,
+    /// Degrades (or restores) a node's service speed: every service time on
+    /// the node is multiplied by `service_factor`. `1.0` restores nominal
+    /// speed; `4.0` models a node whose disks or CPU are four times slower —
+    /// the straggler whose mutation queue diverges first.
+    SlowNode {
+        /// The node to slow down or restore.
+        node: NodeId,
+        /// Multiplier on the node's service times (clamped to be positive).
+        service_factor: f64,
+    },
+    /// Elastic scale-out: a brand-new node joins at the given location, takes
+    /// its ring tokens, and is bootstrapped with the data it now owns before
+    /// serving reads (Cassandra-style bootstrap-then-serve).
+    JoinNode {
+        /// Datacenter the new node lands in.
+        dc: u16,
+        /// Rack within the datacenter.
+        rack: u16,
+    },
+    /// Graceful scale-in: the node streams its data to the new owners, leaves
+    /// the ring and stops serving. Its `NodeId` slot remains (ids are stable)
+    /// but it never serves or coordinates again.
+    DecommissionNode {
+        /// The node to retire.
+        node: NodeId,
+    },
+}
+
+impl FaultEvent {
+    /// A short label for reports and sweep tables.
+    pub fn label(&self) -> String {
+        match self {
+            FaultEvent::CrashNode { node } => format!("crash({node})"),
+            FaultEvent::RestartNode { node } => format!("restart({node})"),
+            FaultEvent::Partition { groups } => format!("partition({} groups)", groups.len()),
+            FaultEvent::HealPartition => "heal".to_string(),
+            FaultEvent::SlowNode {
+                node,
+                service_factor,
+            } => format!("slow({node}, x{service_factor})"),
+            FaultEvent::JoinNode { dc, rack } => format!("join(dc{dc}/rack{rack})"),
+            FaultEvent::DecommissionNode { node } => format!("decommission({node})"),
+        }
+    }
+}
+
+/// A fault event bound to an absolute simulated timestamp.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledFault {
+    /// When the fault fires (virtual time).
+    pub at: SimTime,
+    /// What happens.
+    pub fault: FaultEvent,
+}
+
+/// Parameters of the seeded random fault generator: independent Poisson
+/// processes for crashes, slow-downs and partitions over a bounded horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomFaultConfig {
+    /// Crash arrivals per virtual second (0 disables crashes).
+    pub crash_rate_per_sec: f64,
+    /// Mean downtime before the matching restart (exponential).
+    pub mean_downtime_secs: f64,
+    /// Slow-down arrivals per virtual second (0 disables).
+    pub slow_rate_per_sec: f64,
+    /// Slow-down factor range (uniform draw); the node is restored to 1.0
+    /// after an exponential hold with `mean_downtime_secs`.
+    pub slow_factor_range: (f64, f64),
+    /// Partition arrivals per virtual second (0 disables); partitions never
+    /// overlap — an arrival while one is active is skipped.
+    pub partition_rate_per_sec: f64,
+    /// Mean partition duration before the heal (exponential).
+    pub mean_partition_secs: f64,
+}
+
+impl Default for RandomFaultConfig {
+    fn default() -> Self {
+        RandomFaultConfig {
+            crash_rate_per_sec: 0.1,
+            mean_downtime_secs: 1.0,
+            slow_rate_per_sec: 0.0,
+            slow_factor_range: (2.0, 6.0),
+            partition_rate_per_sec: 0.0,
+            mean_partition_secs: 1.0,
+        }
+    }
+}
+
+/// A deterministic, time-sorted fault schedule.
+///
+/// Events at equal timestamps fire in insertion order (the sim kernel's FIFO
+/// tie-break), so a schedule is replayed identically however it was built.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    events: Vec<ScheduledFault>,
+}
+
+impl FaultSchedule {
+    /// The empty schedule: a run with it is byte-identical to a run without
+    /// the chaos layer (no events, no RNG draws, no mask lookups that
+    /// matter).
+    pub fn empty() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// True if no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The events in firing order (time-sorted, stable for equal times).
+    pub fn events(&self) -> &[ScheduledFault] {
+        &self.events
+    }
+
+    /// Schedules `fault` at `at_secs` virtual seconds. Returns `self` so
+    /// schedules read as a sentence:
+    /// `FaultSchedule::empty().crash_at(1.0, NodeId(3)).restart_at(2.5, NodeId(3))`.
+    pub fn then_at(mut self, at_secs: f64, fault: FaultEvent) -> Self {
+        self.push(at_secs, fault);
+        self
+    }
+
+    /// In-place form of [`FaultSchedule::then_at`].
+    pub fn push(&mut self, at_secs: f64, fault: FaultEvent) {
+        let at = SimTime::from_secs_f64(at_secs.max(0.0));
+        // Stable insertion keeps equal-time events in push order.
+        let pos = self.events.partition_point(|e| e.at <= at);
+        self.events.insert(pos, ScheduledFault { at, fault });
+    }
+
+    /// Crash `node` at `at_secs`.
+    pub fn crash_at(self, at_secs: f64, node: NodeId) -> Self {
+        self.then_at(at_secs, FaultEvent::CrashNode { node })
+    }
+
+    /// Restart `node` at `at_secs`.
+    pub fn restart_at(self, at_secs: f64, node: NodeId) -> Self {
+        self.then_at(at_secs, FaultEvent::RestartNode { node })
+    }
+
+    /// Partition the cluster into `groups` at `at_secs`.
+    pub fn partition_at(self, at_secs: f64, groups: Vec<Vec<NodeId>>) -> Self {
+        self.then_at(at_secs, FaultEvent::Partition { groups })
+    }
+
+    /// Heal the active partition at `at_secs`.
+    pub fn heal_at(self, at_secs: f64) -> Self {
+        self.then_at(at_secs, FaultEvent::HealPartition)
+    }
+
+    /// Slow `node` down by `service_factor` at `at_secs` (1.0 restores).
+    pub fn slow_at(self, at_secs: f64, node: NodeId, service_factor: f64) -> Self {
+        self.then_at(
+            at_secs,
+            FaultEvent::SlowNode {
+                node,
+                service_factor,
+            },
+        )
+    }
+
+    /// Join a new node at `dc`/`rack` at `at_secs`.
+    pub fn join_at(self, at_secs: f64, dc: u16, rack: u16) -> Self {
+        self.then_at(at_secs, FaultEvent::JoinNode { dc, rack })
+    }
+
+    /// Decommission `node` at `at_secs`.
+    pub fn decommission_at(self, at_secs: f64, node: NodeId) -> Self {
+        self.then_at(at_secs, FaultEvent::DecommissionNode { node })
+    }
+
+    /// Generates a random schedule over `[0, horizon_secs)` for a cluster of
+    /// `nodes` nodes: independent seeded Poisson processes per fault class
+    /// (see [`RandomFaultConfig`]). Crashes always get a matching restart and
+    /// never stack on an already-down node; partitions never overlap and
+    /// always heal; every slow-down is restored. The generator draws from its
+    /// own `StdRng` stream, so attaching the schedule perturbs nothing else.
+    pub fn random(seed: u64, horizon_secs: f64, nodes: usize, config: &RandomFaultConfig) -> Self {
+        let mut schedule = FaultSchedule::empty();
+        if nodes == 0 || horizon_secs <= 0.0 {
+            return schedule;
+        }
+        let exp = |rng: &mut StdRng, rate: f64| -> f64 {
+            let u: f64 = rng.gen();
+            -(1.0 - u).ln() / rate
+        };
+
+        // Crashes: pick a node that is up at arrival time, hold it down for
+        // an exponential downtime, restart within the horizon.
+        if config.crash_rate_per_sec > 0.0 {
+            let mut rng = StdRng::seed_from_u64(harmony_sim::rng::mix(seed, 0x63726173)); // "cras"
+            let mut down_until = vec![0.0f64; nodes];
+            let mut t = exp(&mut rng, config.crash_rate_per_sec);
+            while t < horizon_secs {
+                let candidate = rng.gen_range(0..nodes);
+                if down_until[candidate] <= t {
+                    let downtime = exp(&mut rng, 1.0 / config.mean_downtime_secs.max(1e-6));
+                    let up_at = (t + downtime).min(horizon_secs);
+                    down_until[candidate] = up_at;
+                    let node = NodeId(candidate as u32);
+                    schedule.push(t, FaultEvent::CrashNode { node });
+                    schedule.push(up_at, FaultEvent::RestartNode { node });
+                }
+                t += exp(&mut rng, config.crash_rate_per_sec);
+            }
+        }
+
+        // Slow-downs: degrade a random node, restore it after the hold.
+        // Like crashes, windows never stack on one node — an arrival whose
+        // target is already degraded is skipped, so a restore can never
+        // truncate a later window the sweep believes it applied.
+        if config.slow_rate_per_sec > 0.0 {
+            let mut rng = StdRng::seed_from_u64(harmony_sim::rng::mix(seed, 0x736c6f77)); // "slow"
+            let (lo, hi) = config.slow_factor_range;
+            let (lo, hi) = (lo.max(1.0), hi.max(lo.max(1.0)));
+            let mut slowed_until = vec![0.0f64; nodes];
+            let mut t = exp(&mut rng, config.slow_rate_per_sec);
+            while t < horizon_secs {
+                let candidate = rng.gen_range(0..nodes);
+                if slowed_until[candidate] <= t {
+                    let node = NodeId(candidate as u32);
+                    let factor = lo + (hi - lo) * rng.gen::<f64>();
+                    let hold = exp(&mut rng, 1.0 / config.mean_downtime_secs.max(1e-6));
+                    let restore_at = (t + hold).min(horizon_secs);
+                    slowed_until[candidate] = restore_at;
+                    schedule.push(
+                        t,
+                        FaultEvent::SlowNode {
+                            node,
+                            service_factor: factor,
+                        },
+                    );
+                    schedule.push(
+                        restore_at,
+                        FaultEvent::SlowNode {
+                            node,
+                            service_factor: 1.0,
+                        },
+                    );
+                }
+                t += exp(&mut rng, config.slow_rate_per_sec);
+            }
+        }
+
+        // Partitions: split the nodes in two random groups, heal later;
+        // arrivals during an active partition are skipped (no overlap).
+        if config.partition_rate_per_sec > 0.0 && nodes >= 2 {
+            let mut rng = StdRng::seed_from_u64(harmony_sim::rng::mix(seed, 0x70617274)); // "part"
+            let mut healed_at = 0.0f64;
+            let mut t = exp(&mut rng, config.partition_rate_per_sec);
+            while t < horizon_secs {
+                if t >= healed_at {
+                    let cut = 1 + rng.gen_range(0..nodes - 1);
+                    let mut ids: Vec<NodeId> = (0..nodes as u32).map(NodeId).collect();
+                    // Fisher-Yates with the schedule's own RNG.
+                    for i in (1..ids.len()).rev() {
+                        let j = rng.gen_range(0..i + 1);
+                        ids.swap(i, j);
+                    }
+                    let minority = ids.split_off(cut.min(ids.len() - 1).max(1));
+                    let duration = exp(&mut rng, 1.0 / config.mean_partition_secs.max(1e-6));
+                    healed_at = (t + duration).min(horizon_secs);
+                    schedule.push(
+                        t,
+                        FaultEvent::Partition {
+                            groups: vec![ids, minority],
+                        },
+                    );
+                    schedule.push(healed_at, FaultEvent::HealPartition);
+                }
+                t += exp(&mut rng, config.partition_rate_per_sec);
+            }
+        }
+        schedule
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_keeps_events_time_sorted_and_stable() {
+        let s = FaultSchedule::empty()
+            .restart_at(2.0, NodeId(1))
+            .crash_at(1.0, NodeId(1))
+            .heal_at(1.0)
+            .slow_at(3.0, NodeId(0), 4.0);
+        let times: Vec<f64> = s.events().iter().map(|e| e.at.as_secs_f64()).collect();
+        assert_eq!(times, vec![1.0, 1.0, 2.0, 3.0]);
+        // Equal-time events keep push order: crash was pushed before heal.
+        assert!(matches!(s.events()[0].fault, FaultEvent::CrashNode { .. }));
+        assert!(matches!(s.events()[1].fault, FaultEvent::HealPartition));
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn empty_schedule_is_empty() {
+        let s = FaultSchedule::empty();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s, FaultSchedule::default());
+    }
+
+    #[test]
+    fn random_schedules_are_seed_reproducible() {
+        let config = RandomFaultConfig {
+            crash_rate_per_sec: 0.5,
+            slow_rate_per_sec: 0.3,
+            partition_rate_per_sec: 0.2,
+            ..RandomFaultConfig::default()
+        };
+        let a = FaultSchedule::random(7, 30.0, 8, &config);
+        let b = FaultSchedule::random(7, 30.0, 8, &config);
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "30 s at these rates must produce faults");
+        let c = FaultSchedule::random(8, 30.0, 8, &config);
+        assert_ne!(a, c, "a different seed draws a different schedule");
+    }
+
+    #[test]
+    fn random_crashes_pair_with_restarts_and_never_stack() {
+        let config = RandomFaultConfig {
+            crash_rate_per_sec: 1.0,
+            mean_downtime_secs: 2.0,
+            ..RandomFaultConfig::default()
+        };
+        let s = FaultSchedule::random(42, 60.0, 4, &config);
+        let mut down = std::collections::HashSet::new();
+        let mut crashes = 0;
+        let mut restarts = 0;
+        for e in s.events() {
+            match &e.fault {
+                FaultEvent::CrashNode { node } => {
+                    assert!(down.insert(*node), "{node} crashed while already down");
+                    crashes += 1;
+                }
+                FaultEvent::RestartNode { node } => {
+                    assert!(down.remove(node), "{node} restarted while up");
+                    restarts += 1;
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        assert_eq!(crashes, restarts, "every crash pairs with a restart");
+        assert!(down.is_empty(), "every node is back up by the horizon");
+        assert!(crashes > 10, "60 s at 1/s must crash often (got {crashes})");
+    }
+
+    #[test]
+    fn random_slowdowns_never_overlap_per_node() {
+        let config = RandomFaultConfig {
+            crash_rate_per_sec: 0.0,
+            slow_rate_per_sec: 2.0,
+            mean_downtime_secs: 2.0,
+            ..RandomFaultConfig::default()
+        };
+        let s = FaultSchedule::random(5, 60.0, 3, &config);
+        let mut active = std::collections::HashSet::new();
+        let mut windows = 0;
+        for e in s.events() {
+            match &e.fault {
+                FaultEvent::SlowNode {
+                    node,
+                    service_factor,
+                } if *service_factor > 1.0 => {
+                    assert!(active.insert(*node), "{node} slowed while already slow");
+                    windows += 1;
+                }
+                FaultEvent::SlowNode { node, .. } => {
+                    assert!(active.remove(node), "{node} restored while nominal");
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        assert!(active.is_empty(), "every slow-down is restored");
+        assert!(
+            windows > 5,
+            "60 s at 2/s must degrade often (got {windows})"
+        );
+    }
+
+    #[test]
+    fn random_partitions_never_overlap_and_always_heal() {
+        let config = RandomFaultConfig {
+            crash_rate_per_sec: 0.0,
+            partition_rate_per_sec: 0.8,
+            mean_partition_secs: 1.5,
+            ..RandomFaultConfig::default()
+        };
+        let s = FaultSchedule::random(11, 40.0, 6, &config);
+        let mut active = false;
+        let mut partitions = 0;
+        for e in s.events() {
+            match &e.fault {
+                FaultEvent::Partition { groups } => {
+                    assert!(!active, "partition while one is active");
+                    active = true;
+                    partitions += 1;
+                    let total: usize = groups.iter().map(|g| g.len()).sum();
+                    assert_eq!(total, 6, "groups must cover every node: {groups:?}");
+                    assert!(groups.iter().all(|g| !g.is_empty()));
+                }
+                FaultEvent::HealPartition => {
+                    assert!(active, "heal without a partition");
+                    active = false;
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        assert!(!active, "the last partition must heal within the horizon");
+        assert!(partitions > 3);
+    }
+
+    #[test]
+    fn schedules_serialize_round_trip() {
+        let s = FaultSchedule::empty()
+            .crash_at(0.5, NodeId(2))
+            .partition_at(1.0, vec![vec![NodeId(0)], vec![NodeId(1), NodeId(2)]])
+            .heal_at(2.0)
+            .join_at(3.0, 0, 1)
+            .decommission_at(4.0, NodeId(0));
+        let json = serde_json::to_string(&s).unwrap();
+        let back: FaultSchedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn labels_are_human_readable() {
+        assert_eq!(
+            FaultEvent::CrashNode { node: NodeId(3) }.label(),
+            "crash(node3)"
+        );
+        assert_eq!(FaultEvent::HealPartition.label(), "heal");
+        assert_eq!(
+            FaultEvent::JoinNode { dc: 1, rack: 2 }.label(),
+            "join(dc1/rack2)"
+        );
+    }
+}

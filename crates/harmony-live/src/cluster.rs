@@ -9,10 +9,12 @@
 //! the newest version.
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use harmony_chaos::{FaultEvent, FaultState};
+use harmony_sim::topology::NodeId;
 use harmony_store::cluster::WRITE_KEY_SAMPLE_CAP;
 use harmony_store::consistency::ConsistencyLevel;
 use harmony_store::keys::{KeyId, KeyTable};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -80,6 +82,9 @@ enum NodeMsg {
 /// A stored version: the shared payload plus its version number.
 type VersionedValue = (Arc<Vec<u8>>, u64);
 
+/// A hinted mutation awaiting its destination: key, shared payload, version.
+type HintedWrite = (KeyId, Arc<Vec<u8>>, u64);
+
 struct NodeState {
     data: Mutex<HashMap<KeyId, VersionedValue>>,
     /// Writes accepted by a coordinator but not yet applied on this replica
@@ -136,11 +141,16 @@ fn jittered(delay: Duration, jitter: f64, rng: &mut StdRng) -> Duration {
 }
 
 /// A running real-threaded cluster.
+///
+/// Node membership is elastic: [`LiveCluster::apply_fault`] can crash,
+/// restart, slow, partition, join or decommission nodes at run time, so the
+/// node vectors live behind an `RwLock` (reads on the op path take the
+/// uncontended read lock; only join extends them).
 pub struct LiveCluster {
     config: LiveConfig,
-    senders: Vec<Sender<NodeMsg>>,
-    states: Vec<Arc<NodeState>>,
-    handles: Vec<JoinHandle<()>>,
+    senders: RwLock<Vec<Sender<NodeMsg>>>,
+    states: RwLock<Vec<Arc<NodeState>>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
     counters: Arc<LiveCounters>,
     next_version: AtomicU64,
     /// Rotates which replica a partial read contacts first, standing in for a
@@ -155,6 +165,22 @@ pub struct LiveCluster {
     /// per-node maps move 4-byte ids instead of cloning key strings RF times
     /// per operation.
     key_table: Mutex<KeyTable>,
+    /// Liveness, partition, slow-down and membership state — the same
+    /// bookkeeping the simulated cluster runs. Node-level semantics (crash,
+    /// restart, hints, slow-down, churn) match the simulator; partitions
+    /// necessarily differ in one respect: this cluster has no server-side
+    /// coordinators (the client handle plays that role), so its clients are
+    /// pinned to partition group 0 — the first group listed in the event —
+    /// and nodes on any other side of a cut are unreachable from the client
+    /// (their writes become hints), whereas the simulator's multi-homed
+    /// clients keep reaching coordinators on every side.
+    faults: Mutex<FaultState>,
+    /// Hinted handoff per destination node: `(key, value, version)` triples
+    /// replayed into the node's channel on restart/heal.
+    hints: Mutex<Vec<Vec<HintedWrite>>>,
+    /// Join + decommission count when the active partition was installed;
+    /// the heal re-streams only churn that happened during the cut.
+    partition_churn_baseline: AtomicU64,
 }
 
 impl LiveCluster {
@@ -188,17 +214,261 @@ impl LiveCluster {
             );
             senders.push(tx);
         }
+        let nodes = config.nodes;
         LiveCluster {
             config,
-            senders,
-            states,
-            handles,
+            senders: RwLock::new(senders),
+            states: RwLock::new(states),
+            handles: Mutex::new(handles),
             counters: Arc::new(LiveCounters::default()),
             next_version: AtomicU64::new(1),
             read_rotation: AtomicU64::new(0),
             acked: Mutex::new(HashMap::new()),
             write_key_samples: Mutex::new(Vec::new()),
             key_table: Mutex::new(KeyTable::new()),
+            faults: Mutex::new(FaultState::new(nodes)),
+            hints: Mutex::new(vec![Vec::new(); nodes]),
+            partition_churn_baseline: AtomicU64::new(0),
+        }
+    }
+
+    /// Current number of node slots (including crashed and decommissioned).
+    pub fn node_count(&self) -> usize {
+        self.states.read().len()
+    }
+
+    /// Number of nodes currently serving traffic.
+    pub fn live_node_count(&self) -> usize {
+        self.faults.lock().serving_count()
+    }
+
+    /// A snapshot of the fault/membership state.
+    pub fn fault_state(&self) -> FaultState {
+        self.faults.lock().clone()
+    }
+
+    /// Number of hinted mutations waiting for `node`.
+    pub fn hinted_mutations(&self, node: usize) -> usize {
+        self.hints.lock().get(node).map(Vec::len).unwrap_or(0)
+    }
+
+    /// True if the client handle can currently reach `node`: the node serves
+    /// and sits on the client's side of any active partition (clients are
+    /// pinned to partition group 0 — the first group listed in the event).
+    fn client_reachable(faults: &FaultState, node: usize) -> bool {
+        let id = NodeId(node as u32);
+        faults.is_serving(id) && faults.partition_group(id).is_none_or(|g| g == 0)
+    }
+
+    /// Applies one fault event to the running cluster — the same schedule
+    /// the simulated cluster consumes drives the threaded one.
+    pub fn apply_fault(&self, fault: &FaultEvent) {
+        match fault {
+            FaultEvent::CrashNode { node } => {
+                self.faults.lock().crash(*node);
+            }
+            FaultEvent::RestartNode { node } => {
+                let (restarted, reachable) = {
+                    let mut faults = self.faults.lock();
+                    let restarted = faults.restart(*node);
+                    (restarted, Self::client_reachable(&faults, node.index()))
+                };
+                // A node restarting on the far side of an active cut keeps
+                // its hints until the heal — replaying now would smuggle the
+                // client's mutations across the partition.
+                if restarted && reachable {
+                    self.drain_hints_for(node.index());
+                }
+            }
+            FaultEvent::SlowNode {
+                node,
+                service_factor,
+            } => {
+                self.faults.lock().set_slow(*node, *service_factor);
+            }
+            FaultEvent::Partition { groups } => {
+                let mut faults = self.faults.lock();
+                faults.partition(groups);
+                let c = faults.counters();
+                self.partition_churn_baseline
+                    .store(c.joins + c.decommissions, Ordering::Relaxed);
+            }
+            FaultEvent::HealPartition => {
+                let (healed, churned) = {
+                    let mut faults = self.faults.lock();
+                    let healed = faults.heal();
+                    let c = faults.counters();
+                    (
+                        healed,
+                        c.joins + c.decommissions
+                            > self.partition_churn_baseline.load(Ordering::Relaxed),
+                    )
+                };
+                if healed {
+                    let nodes = self.node_count();
+                    for node in 0..nodes {
+                        let serving = {
+                            let faults = self.faults.lock();
+                            Self::client_reachable(&faults, node)
+                        };
+                        if serving {
+                            self.drain_hints_for(node);
+                        }
+                    }
+                    // Streams that could not cross the cut (mid-partition
+                    // joins/decommissions) are retried once connectivity is
+                    // whole again.
+                    if churned {
+                        self.rebalance();
+                    }
+                }
+            }
+            FaultEvent::JoinNode { .. } => {
+                self.join_node();
+            }
+            FaultEvent::DecommissionNode { node } => {
+                self.decommission_node(node.index());
+            }
+        }
+    }
+
+    /// Replays every hint stored for `node` into its write channel; the
+    /// replayed mutations queue behind live traffic exactly like the
+    /// simulator's hint drain.
+    fn drain_hints_for(&self, node: usize) {
+        let drained = {
+            let mut hints = self.hints.lock();
+            match hints.get_mut(node) {
+                Some(h) => std::mem::take(h),
+                None => return,
+            }
+        };
+        if drained.is_empty() {
+            return;
+        }
+        let senders = self.senders.read();
+        let states = self.states.read();
+        for (key, value, version) in drained {
+            states[node].pending_writes.fetch_add(1, Ordering::Relaxed);
+            states[node].accepted_writes.fetch_add(1, Ordering::Relaxed);
+            let (ack_tx, _ack_rx) = bounded(1);
+            let _ = senders[node].send(NodeMsg::Write {
+                key,
+                value,
+                version,
+                ack: ack_tx,
+            });
+        }
+    }
+
+    /// Elastic scale-out: spawns a new node thread, registers it with the
+    /// membership, and bootstraps it with the freshest copy of every key it
+    /// now owns before it serves reads. Returns the new node's index.
+    ///
+    /// Publication order matters: the hint slot and the fault/membership
+    /// slot are grown *before* the node appears in `states`/`senders`, so a
+    /// concurrent write that observes the new node count always finds its
+    /// hint vector and liveness entry already in place (node_count() — the
+    /// placement input — derives from `states`, published last).
+    pub fn join_node(&self) -> usize {
+        let (tx, rx) = unbounded();
+        let state = Arc::new(NodeState {
+            data: Mutex::new(HashMap::new()),
+            pending_writes: AtomicU64::new(0),
+            accepted_writes: AtomicU64::new(0),
+            applied_writes: AtomicU64::new(0),
+        });
+        self.hints.lock().push(Vec::new());
+        let id = self.faults.lock().add_node();
+        let index = {
+            let mut states = self.states.write();
+            let mut senders = self.senders.write();
+            states.push(Arc::clone(&state));
+            senders.push(tx);
+            states.len() - 1
+        };
+        debug_assert_eq!(id.index(), index);
+        self.handles.lock().push(
+            std::thread::Builder::new()
+                .name(format!("harmony-live-node-{index}"))
+                .spawn(move || node_loop(state, rx))
+                .expect("spawn node thread"),
+        );
+        self.rebalance();
+        index
+    }
+
+    /// Graceful scale-in: the node's data is streamed to the new owners and
+    /// it leaves the membership for good (its thread idles; `shutdown` joins
+    /// it with the rest).
+    pub fn decommission_node(&self, node: usize) {
+        {
+            let mut faults = self.faults.lock();
+            if faults.members().len() <= 1 || !faults.is_member(NodeId(node as u32)) {
+                return;
+            }
+            faults.decommission(NodeId(node as u32));
+        }
+        self.hints.lock().get_mut(node).map(std::mem::take);
+        self.rebalance();
+    }
+
+    /// One anti-entropy pass after a membership change: every key moves its
+    /// freshest alive copy onto the serving members of its (new) replica
+    /// set. Applied directly to the node maps — the live analogue of
+    /// bootstrap/decommission streaming finishing before traffic resumes.
+    fn rebalance(&self) {
+        let keys: Vec<(KeyId, String)> = {
+            let table = self.key_table.lock();
+            self.acked
+                .lock()
+                .keys()
+                .filter_map(|k| table.try_resolve(*k).map(|n| (*k, n.to_string())))
+                .collect()
+        };
+        // Lock-order discipline: `faults` before `states`, matching every
+        // probe-side path (`replica_backlog_ms` and friends); the inverse
+        // order could deadlock against a concurrent join's `states.write()`
+        // under a writer-fair RwLock.
+        let faults = self.faults.lock();
+        let states = self.states.read();
+        for (key, name) in keys {
+            for &target in &Self::replicas_over_members(
+                &faults,
+                states.len(),
+                &name,
+                self.config.replication_factor,
+            ) {
+                let target_id = NodeId(target as u32);
+                if !faults.is_serving(target_id) {
+                    continue;
+                }
+                // Streaming is node-to-node traffic: a target only pulls
+                // from live sources on its own side of any active cut.
+                let mut newest: Option<(Arc<Vec<u8>>, u64)> = None;
+                for (i, state) in states.iter().enumerate() {
+                    let source_id = NodeId(i as u32);
+                    if i == target
+                        || !faults.is_alive(source_id)
+                        || faults.partition_group(source_id) != faults.partition_group(target_id)
+                    {
+                        continue;
+                    }
+                    if let Some((value, version)) = state.data.lock().get(&key) {
+                        if newest.as_ref().map(|(_, v)| *version > *v).unwrap_or(true) {
+                            newest = Some((Arc::clone(value), *version));
+                        }
+                    }
+                }
+                let Some((value, version)) = newest else {
+                    continue;
+                };
+                let mut data = states[target].data.lock();
+                let entry = data.entry(key).or_insert_with(|| (Arc::new(Vec::new()), 0));
+                if version > entry.1 {
+                    *entry = (value, version);
+                }
+            }
         }
     }
 
@@ -244,10 +514,11 @@ impl LiveCluster {
     /// blind to write saturation on this backend either. Only mutations are
     /// counted; queued reads do not inflate the figure.
     pub fn mutation_backlog_ms(&self) -> f64 {
-        if self.states.is_empty() {
+        let backlogs = self.replica_backlog_ms();
+        if backlogs.is_empty() {
             return 0.0;
         }
-        self.replica_backlog_ms().iter().sum::<f64>() / self.states.len() as f64
+        backlogs.iter().sum::<f64>() / backlogs.len() as f64
     }
 
     /// Per-node accepted-but-not-yet-applied write backlog in milliseconds,
@@ -256,9 +527,13 @@ impl LiveCluster {
     /// live backend feeds the same saturation-awareness path as the
     /// simulator.
     pub fn replica_backlog_ms(&self) -> Vec<f64> {
+        let faults = self.faults.lock();
         self.states
+            .read()
             .iter()
-            .map(|s| s.pending_writes.load(Ordering::Relaxed) as f64 * APPLY_COST_MS)
+            .enumerate()
+            .filter(|(i, _)| faults.is_serving(NodeId(*i as u32)))
+            .map(|(_, s)| s.pending_writes.load(Ordering::Relaxed) as f64 * APPLY_COST_MS)
             .collect()
     }
 
@@ -269,6 +544,7 @@ impl LiveCluster {
     /// would keep the divergence detector permanently disarmed.
     pub fn write_stage_telemetry(&self) -> Vec<harmony_store::node::WriteStageTelemetry> {
         self.states
+            .read()
             .iter()
             .map(|s| {
                 let completed = s.applied_writes.load(Ordering::Relaxed);
@@ -284,13 +560,44 @@ impl LiveCluster {
             .collect()
     }
 
-    /// The replica node indices for a key (first `replication_factor` nodes
-    /// starting at the key's hash position).
+    /// The replica node indices for a key: the first `replication_factor`
+    /// ring *members* starting at the key's hash position. Decommissioned
+    /// nodes are skipped (membership-aware placement); with every node a
+    /// member this is the modular walk it always was.
     pub fn replicas_for(&self, key: &str) -> Vec<usize> {
-        let n = self.config.nodes;
-        let rf = self.config.replication_factor.min(n);
-        let start = (harmony_sim_hash(key) % n as u64) as usize;
-        (0..rf).map(|i| (start + i) % n).collect()
+        let total = self.node_count();
+        let faults = self.faults.lock();
+        Self::replicas_over_members(&faults, total, key, self.config.replication_factor)
+    }
+
+    fn replicas_over_members(
+        faults: &FaultState,
+        total: usize,
+        key: &str,
+        rf: usize,
+    ) -> Vec<usize> {
+        if total == 0 {
+            return Vec::new();
+        }
+        // Dense membership — the steady state until a decommission actually
+        // happens — keeps the original modular walk: no membership scan and
+        // no intermediate allocation on the per-operation path.
+        if !faults.any_decommissioned() {
+            let rf = rf.min(total);
+            let start = (harmony_sim_hash(key) % total as u64) as usize;
+            return (0..rf).map(|i| (start + i) % total).collect();
+        }
+        let members: Vec<usize> = (0..total)
+            .filter(|i| faults.is_member(NodeId(*i as u32)))
+            .collect();
+        if members.is_empty() {
+            return Vec::new();
+        }
+        let rf = rf.min(members.len());
+        let start = (harmony_sim_hash(key) % members.len() as u64) as usize;
+        (0..rf)
+            .map(|i| members[(start + i) % members.len()])
+            .collect()
     }
 
     /// Writes `value` under `key`, waiting for as many replica
@@ -313,49 +620,75 @@ impl LiveCluster {
             }
         }
         let replicas = self.replicas_for(key);
-        let required = level.required_acks(replicas.len());
         let shared_value = Arc::new(value);
-        let (ack_tx, ack_rx) = bounded(replicas.len());
-        for (i, &r) in replicas.iter().enumerate() {
-            self.states[r]
-                .pending_writes
-                .fetch_add(1, Ordering::Relaxed);
-            self.states[r]
-                .accepted_writes
-                .fetch_add(1, Ordering::Relaxed);
-            let sender = self.senders[r].clone();
-            let msg_key = id;
-            let msg_value = Arc::clone(&shared_value);
-            let ack = ack_tx.clone();
-            let mut rng =
-                StdRng::seed_from_u64(self.config.seed ^ version.wrapping_mul(31) ^ i as u64);
-            let delay = jittered(self.config.propagation_delay, self.config.jitter, &mut rng);
-            // Deliver through the "network": an independent delayed send per
-            // replica, so copies arrive out of order with respect to reads.
-            std::thread::spawn(move || {
-                if !delay.is_zero() {
-                    std::thread::sleep(delay);
+        // Replicas the client cannot reach (crashed, or across the cut) get
+        // a durable hint instead of a delayed send; they cannot acknowledge.
+        let mut sendable: Vec<(usize, usize, f64)> = Vec::with_capacity(replicas.len());
+        {
+            let mut hints = self.hints.lock();
+            let faults = self.faults.lock();
+            for (i, &r) in replicas.iter().enumerate() {
+                if Self::client_reachable(&faults, r) {
+                    sendable.push((i, r, faults.service_factor(NodeId(r as u32))));
+                } else {
+                    hints[r].push((id, Arc::clone(&shared_value), version));
                 }
-                let _ = sender.send(NodeMsg::Write {
-                    key: msg_key,
-                    value: msg_value,
-                    version,
-                    ack,
+            }
+        }
+        let required = level.required_acks(replicas.len()).min(sendable.len());
+        let (ack_tx, ack_rx) = bounded(replicas.len().max(1));
+        {
+            let senders = self.senders.read();
+            let states = self.states.read();
+            for &(i, r, factor) in &sendable {
+                states[r].pending_writes.fetch_add(1, Ordering::Relaxed);
+                states[r].accepted_writes.fetch_add(1, Ordering::Relaxed);
+                let sender = senders[r].clone();
+                let msg_key = id;
+                let msg_value = Arc::clone(&shared_value);
+                let ack = ack_tx.clone();
+                let mut rng =
+                    StdRng::seed_from_u64(self.config.seed ^ version.wrapping_mul(31) ^ i as u64);
+                let mut delay =
+                    jittered(self.config.propagation_delay, self.config.jitter, &mut rng);
+                if factor != 1.0 {
+                    // A slowed node's "apply path" stretches by its factor.
+                    delay = Duration::from_nanos((delay.as_nanos() as f64 * factor) as u64);
+                }
+                // Deliver through the "network": an independent delayed send
+                // per replica, so copies arrive out of order w.r.t. reads.
+                std::thread::spawn(move || {
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                    let _ = sender.send(NodeMsg::Write {
+                        key: msg_key,
+                        value: msg_value,
+                        version,
+                        ack,
+                    });
                 });
-            });
+            }
         }
         drop(ack_tx);
         for _ in 0..required {
             let _ = ack_rx.recv();
         }
-        {
-            let mut acked = self.acked.lock();
-            let entry = acked.entry(id).or_insert(0);
-            if version > *entry {
-                *entry = version;
+        // A write no reachable replica received is a failure, not a success:
+        // it must not advance the acked ground truth (later reads would be
+        // charged stale against a version only hints hold) and it does not
+        // count as a completed write — mirroring the simulated cluster,
+        // which aborts the operation in this situation.
+        if !sendable.is_empty() {
+            {
+                let mut acked = self.acked.lock();
+                let entry = acked.entry(id).or_insert(0);
+                if version > *entry {
+                    *entry = version;
+                }
             }
+            self.counters.writes.fetch_add(1, Ordering::Relaxed);
         }
-        self.counters.writes.fetch_add(1, Ordering::Relaxed);
         version
     }
 
@@ -373,15 +706,26 @@ impl LiveCluster {
             .and_then(|id| self.acked.lock().get(&id).copied())
             .unwrap_or(0);
         let replicas = self.replicas_for(key);
-        let required = level.required_acks(replicas.len());
+        // Only replicas the client can reach may answer; the consistency
+        // level's ack count is clamped to what is actually available.
+        let reachable: Vec<usize> = {
+            let faults = self.faults.lock();
+            replicas
+                .iter()
+                .copied()
+                .filter(|r| Self::client_reachable(&faults, *r))
+                .collect()
+        };
+        let required = level.required_acks(replicas.len()).min(reachable.len());
         let offset = self.read_rotation.fetch_add(1, Ordering::Relaxed) as usize;
-        let (reply_tx, reply_rx) = bounded(replicas.len());
+        let (reply_tx, reply_rx) = bounded(replicas.len().max(1));
         // An unknown key exists on no replica: contact none, expect nothing.
         let expected_replies = if id.is_some() { required } else { 0 };
         if let Some(id) = id {
+            let senders = self.senders.read();
             for i in 0..expected_replies {
-                let r = replicas[(offset + i) % replicas.len()];
-                let _ = self.senders[r].send(NodeMsg::Read {
+                let r = reachable[(offset + i) % reachable.len()];
+                let _ = senders[r].send(NodeMsg::Read {
                     key: id,
                     reply: reply_tx.clone(),
                 });
@@ -396,31 +740,33 @@ impl LiveCluster {
                 }
             }
         }
-        self.counters.reads.fetch_add(1, Ordering::Relaxed);
+        // An unavailable read (the key exists but no replica is reachable)
+        // is a failure: it is neither a completed read nor a stale
+        // observation — mirroring the simulated cluster, which aborts the
+        // operation. A miss on a never-written key is still a normal read.
+        let unavailable = id.is_some() && reachable.is_empty();
+        if !unavailable {
+            self.counters.reads.fetch_add(1, Ordering::Relaxed);
+        }
         let returned_version = best.as_ref().map(|(_, v)| *v).unwrap_or(0);
-        if returned_version < expected {
+        if expected_replies > 0 && returned_version < expected {
             self.counters.stale_reads.fetch_add(1, Ordering::Relaxed);
         }
         best.map(|(value, version)| (value.as_ref().clone(), version))
     }
 
     /// Stops every node thread and waits for them to exit.
-    pub fn shutdown(mut self) {
-        for tx in &self.senders {
-            let _ = tx.send(NodeMsg::Shutdown);
-        }
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
-        }
+    pub fn shutdown(self) {
+        drop(self); // Drop joins the threads.
     }
 }
 
 impl Drop for LiveCluster {
     fn drop(&mut self) {
-        for tx in &self.senders {
+        for tx in self.senders.read().iter() {
             let _ = tx.send(NodeMsg::Shutdown);
         }
-        for handle in self.handles.drain(..) {
+        for handle in self.handles.lock().drain(..) {
             let _ = handle.join();
         }
     }
@@ -606,6 +952,147 @@ mod tests {
         let counters = cluster.counters();
         assert_eq!(counters.writes.load(Ordering::Relaxed), 150);
         assert_eq!(counters.reads.load(Ordering::Relaxed), 150);
+    }
+
+    #[test]
+    fn crashed_replica_gets_hints_and_converges_on_restart() {
+        let cluster = LiveCluster::start(quick_config());
+        cluster.write("k", b"v0".to_vec(), ConsistencyLevel::All);
+        let victim = cluster.replicas_for("k")[0];
+        cluster.apply_fault(&FaultEvent::CrashNode {
+            node: NodeId(victim as u32),
+        });
+        assert_eq!(cluster.live_node_count(), 3);
+        // Writes at ALL keep completing on the surviving replicas; the
+        // crashed one accumulates hints.
+        for i in 0..20u64 {
+            cluster.write("k", format!("v{i}").into_bytes(), ConsistencyLevel::All);
+        }
+        assert!(cluster.hinted_mutations(victim) > 0);
+        // Reads avoid the dead replica and stay fresh at QUORUM.
+        let (_, version) = cluster.read("k", ConsistencyLevel::Quorum).unwrap();
+        assert!(version >= 20);
+        // Restart: hints drain and the replica converges.
+        cluster.apply_fault(&FaultEvent::RestartNode {
+            node: NodeId(victim as u32),
+        });
+        assert_eq!(cluster.hinted_mutations(victim), 0);
+        // Wait for the channel to drain (hint replay is asynchronous).
+        for _ in 0..200 {
+            if cluster.replica_backlog_ms()[victim] == 0.0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let id = cluster.key_id("k").unwrap();
+        let states = cluster.states.read();
+        let newest = states[victim].data.lock().get(&id).map(|(_, v)| *v);
+        assert!(
+            newest.unwrap_or(0) >= 20,
+            "restarted replica behind: {newest:?}"
+        );
+        drop(states);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn partitioned_minority_is_hinted_and_heals() {
+        let cluster = LiveCluster::start(quick_config());
+        cluster.write("k", b"v0".to_vec(), ConsistencyLevel::All);
+        let replicas = cluster.replicas_for("k");
+        let minority = replicas[2];
+        let majority: Vec<NodeId> = (0..cluster.node_count())
+            .filter(|i| *i != minority)
+            .map(|i| NodeId(i as u32))
+            .collect();
+        cluster.apply_fault(&FaultEvent::Partition {
+            groups: vec![majority, vec![NodeId(minority as u32)]],
+        });
+        cluster.write("k", b"v1".to_vec(), ConsistencyLevel::Quorum);
+        assert!(cluster.hinted_mutations(minority) > 0);
+        cluster.apply_fault(&FaultEvent::HealPartition);
+        assert_eq!(cluster.hinted_mutations(minority), 0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn unreachable_write_does_not_advance_the_acked_ground_truth() {
+        // Crash every replica of a key: the write is hinted everywhere and
+        // must NOT count as acknowledged — otherwise every later read would
+        // be charged stale against a version no serving replica holds.
+        let cluster = LiveCluster::start(quick_config());
+        cluster.write("k", b"v0".to_vec(), ConsistencyLevel::All);
+        let writes_before = cluster.counters().writes.load(Ordering::Relaxed);
+        for r in cluster.replicas_for("k") {
+            cluster.apply_fault(&FaultEvent::CrashNode {
+                node: NodeId(r as u32),
+            });
+        }
+        let v = cluster.write("k", b"v1".to_vec(), ConsistencyLevel::One);
+        assert!(v > 0, "a version is still allocated");
+        assert_eq!(
+            cluster.counters().writes.load(Ordering::Relaxed),
+            writes_before,
+            "an unreachable write is not a completed write"
+        );
+        // The failed write left hints but no replica data; a read after the
+        // restart is served from the hint replay without a phantom stale.
+        let stale_before = cluster.counters().stale_reads.load(Ordering::Relaxed);
+        for r in cluster.replicas_for("k") {
+            cluster.apply_fault(&FaultEvent::RestartNode {
+                node: NodeId(r as u32),
+            });
+        }
+        for _ in 0..200 {
+            if cluster.mutation_backlog_ms() == 0.0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let (_, version) = cluster.read("k", ConsistencyLevel::All).unwrap();
+        assert!(version >= 1);
+        assert_eq!(
+            cluster.counters().stale_reads.load(Ordering::Relaxed),
+            stale_before,
+            "no stale read may be charged against the failed write's version"
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn join_and_decommission_rebalance_the_live_data() {
+        let cluster = LiveCluster::start(quick_config());
+        for i in 0..30 {
+            cluster.write(&format!("user{i}"), vec![i as u8], ConsistencyLevel::All);
+        }
+        // Scale out: the new node owns some keys and holds their data.
+        let joined = cluster.join_node();
+        assert_eq!(cluster.node_count(), 5);
+        assert_eq!(cluster.live_node_count(), 5);
+        let mut owned = 0;
+        for i in 0..30 {
+            let name = format!("user{i}");
+            if cluster.replicas_for(&name).contains(&joined) {
+                owned += 1;
+                let id = cluster.key_id(&name).unwrap();
+                let states = cluster.states.read();
+                assert!(
+                    states[joined].data.lock().get(&id).is_some(),
+                    "{name} not bootstrapped onto the joiner"
+                );
+            }
+        }
+        assert!(owned > 0, "the joiner must own some keys");
+        // Scale in: the leaver's keys move and reads stay correct.
+        cluster.apply_fault(&FaultEvent::DecommissionNode { node: NodeId(0) });
+        assert_eq!(cluster.live_node_count(), 4);
+        for i in 0..30 {
+            let name = format!("user{i}");
+            assert!(!cluster.replicas_for(&name).contains(&0));
+            let (value, _) = cluster.read(&name, ConsistencyLevel::Quorum).unwrap();
+            assert_eq!(value, vec![i as u8]);
+        }
+        cluster.shutdown();
     }
 
     #[test]

@@ -32,7 +32,10 @@ impl ClusterProbe for LiveProbe<'_> {
         self.cluster.config().propagation_delay.as_secs_f64() * 1e3
     }
     fn node_count(&self) -> usize {
-        self.cluster.config().nodes
+        self.cluster.node_count()
+    }
+    fn live_node_count(&self) -> usize {
+        self.cluster.live_node_count()
     }
     fn mutation_backlog_ms(&self) -> f64 {
         self.cluster.mutation_backlog_ms()
@@ -106,6 +109,12 @@ impl LiveHarmony {
     /// The hot keys currently escalated above the default level (split mode).
     pub fn hot_set(&self) -> Vec<harmony_adaptive::controller::HotKeyDecision> {
         self.controller.lock().hot_set().to_vec()
+    }
+
+    /// Applies one fault event to the underlying cluster (the same typed
+    /// schedule the simulated cluster consumes drives the threaded one).
+    pub fn apply_fault(&self, fault: &harmony_chaos::FaultEvent) {
+        self.cluster.apply_fault(fault);
     }
 
     /// Reads through the adaptive level, consulting the controller's hot set

@@ -365,7 +365,12 @@ impl Monitor {
         self.last_latency_ms = latency_ms;
 
         let est = self.estimator.estimate();
-        let nodes = probe.node_count().max(1) as f64;
+        // Per-replica normalisation over the nodes that actually produced
+        // telemetry this sweep: a crashed replica contributes no arrivals,
+        // and dividing by the full node count would read its silence as a
+        // lower per-replica rate — dragging the utilisation estimate down
+        // exactly when replicas are lost.
+        let nodes = probe.live_node_count().max(1) as f64;
         let sample = MonitorSample {
             at: now,
             elapsed_secs,
@@ -738,6 +743,63 @@ mod tests {
             "mean={}",
             s.write_service_mean_ms
         );
+    }
+
+    #[test]
+    fn silent_node_does_not_drag_the_cluster_estimate_down() {
+        // Regression: a replica with zero samples in a tick (crashed, cut
+        // off, or simply not probed) must read as "no telemetry", not as a
+        // 0.0 rate or a 0.0 backlog averaged into the cluster estimate.
+        use harmony_store::node::WriteStageTelemetry;
+        let mut m = Monitor::new(MonitorConfig {
+            estimator: EstimatorKind::Ewma(1.0),
+            probe_cost_per_node_ms: 0.0,
+            ..MonitorConfig::default()
+        });
+        let telemetry = |completed: u64| WriteStageTelemetry {
+            arrivals: completed,
+            completed,
+            service_ms_total: completed as f64 * 0.5,
+            service_ms_sq_total: completed as f64 * 0.25,
+            queued: 0,
+            busy: 0,
+        };
+        let mut probe = MockProbe {
+            nodes: 4,
+            live_nodes: Some(4),
+            latency_ms: 0.3,
+            write_concurrency: 1,
+            write_telemetry: vec![telemetry(0); 4],
+            replica_backlogs: vec![8.0, 8.0, 8.0, 8.0],
+            ..MockProbe::default()
+        };
+        m.sweep(SimTime::from_secs(1), &probe);
+
+        // One node dies: its counters freeze, its backlog entry disappears,
+        // and only three nodes produce telemetry. 300 arrivals over 3 live
+        // nodes is 100 jobs/s per replica — dividing by the full node count
+        // would report 75 and understate the write-stage utilisation by 25%
+        // exactly when a replica was lost.
+        probe.live_nodes = Some(3);
+        probe.write_telemetry = vec![telemetry(100), telemetry(100), telemetry(100), telemetry(0)];
+        probe.replica_backlogs = vec![8.0, 8.0, 8.0];
+        let s = m.sweep(SimTime::from_secs(2), &probe);
+        assert!(
+            (s.write_arrival_rate_per_replica - 100.0).abs() < 1.0,
+            "per-replica rate must be normalised over live nodes, got {}",
+            s.write_arrival_rate_per_replica
+        );
+        // The dead node's missing backlog entry is skipped, not read as 0:
+        // the mean stays at the live replicas' 8 ms and the dispersion stays
+        // zero (a phantom 0 would report mean 6 and a wide spread).
+        assert!((s.backlog_ms - 8.0).abs() < 1e-12, "mean={}", s.backlog_ms);
+        assert_eq!(s.backlog_spread_ms, 0.0);
+        // The frozen counters produce no service-time delta and the measured
+        // mean survives instead of collapsing; no NaN anywhere.
+        assert!((s.write_service_mean_ms - 0.5).abs() < 1e-9);
+        assert!(s.write_service_scv.is_finite());
+        assert!(s.read_rate.is_finite() && s.write_rate.is_finite());
+        assert!(s.backlog_trend_ms_per_s.is_finite());
     }
 
     #[test]

@@ -28,6 +28,15 @@ pub trait ClusterProbe {
     fn probe_latency_ms(&self) -> f64;
     /// Number of storage nodes (used to account for sweep duration).
     fn node_count(&self) -> usize;
+    /// Number of nodes currently *serving* traffic. Dead or decommissioned
+    /// replicas produce no telemetry, and "no telemetry" must not read as "a
+    /// 0.0 rate": per-replica normalisations divide by this count, not by
+    /// [`ClusterProbe::node_count`], so a silent node cannot drag the
+    /// cluster estimate down. Backends without a liveness signal report the
+    /// full node count.
+    fn live_node_count(&self) -> usize {
+        self.node_count()
+    }
     /// Mean mutation-stage backlog per node, expressed as the expected extra
     /// milliseconds a replica write waits before being applied (the
     /// `nodetool tpstats` pending-MutationStage analogue). Near saturation
@@ -101,6 +110,10 @@ impl ClusterProbe for Cluster {
         Cluster::node_count(self)
     }
 
+    fn live_node_count(&self) -> usize {
+        Cluster::live_node_count(self)
+    }
+
     fn mutation_backlog_ms(&self) -> f64 {
         Cluster::mutation_backlog_ms(self)
     }
@@ -143,6 +156,8 @@ pub struct MockProbe {
     pub latency_ms: f64,
     /// Node count to report.
     pub nodes: usize,
+    /// Serving-node count to report; `None` means every node is live.
+    pub live_nodes: Option<usize>,
     /// Mutation backlog to report (ms).
     pub backlog_ms: f64,
     /// Per-node backlogs to report (ms); empty = not measured.
@@ -184,6 +199,9 @@ impl ClusterProbe for MockProbe {
     }
     fn node_count(&self) -> usize {
         self.nodes
+    }
+    fn live_node_count(&self) -> usize {
+        self.live_nodes.unwrap_or(self.nodes)
     }
     fn mutation_backlog_ms(&self) -> f64 {
         self.backlog_ms

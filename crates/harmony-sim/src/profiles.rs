@@ -106,12 +106,47 @@ pub fn ec2_with_nodes(nodes: usize) -> ClusterProfile {
     }
 }
 
-/// Looks up a profile by name (`"grid5000"`, `"grid5000-full"` or `"ec2"`).
+/// A geo-replicated profile: two datacenters of two racks each, with WAN
+/// latency between them. This is the profile that actually exercises
+/// [`Topology::multi_dc`] and the [`crate::topology::Proximity::CrossDc`]
+/// class of the network model — in-rack and in-DC latencies match the
+/// Grid'5000 LAN, while the inter-DC links sit at tens of milliseconds with
+/// jitter (a metro/regional WAN), so cross-DC propagation dominates the
+/// staleness window the controller watches.
+pub fn multi_dc() -> ClusterProfile {
+    multi_dc_with(2, 2, 5)
+}
+
+/// [`multi_dc`] with explicit shape: `dcs` datacenters × `racks_per_dc`
+/// racks × `nodes_per_rack` nodes.
+pub fn multi_dc_with(dcs: u16, racks_per_dc: u16, nodes_per_rack: u16) -> ClusterProfile {
+    let topology = Topology::multi_dc(dcs.max(1), racks_per_dc.max(1), nodes_per_rack.max(1));
+    let network = NetworkModel {
+        same_node: Latency::constant_ms(0.02),
+        same_rack: Latency::normal_ms(0.15, 0.03),
+        same_dc: Latency::normal_ms(0.35, 0.07),
+        // Regional WAN: ~12 ms one way with visible jitter.
+        cross_dc: Latency::normal_ms(12.0, 2.0),
+    };
+    ClusterProfile {
+        name: "multi-dc".to_string(),
+        topology,
+        network,
+        replication_factor: 5,
+        // Cross-DC windows are long; the paper-style tolerances for a
+        // high-latency platform (the EC2 settings) apply.
+        harmony_settings: [0.40, 0.60],
+    }
+}
+
+/// Looks up a profile by name (`"grid5000"`, `"grid5000-full"`, `"ec2"` or
+/// `"multi-dc"`).
 pub fn by_name(name: &str) -> Option<ClusterProfile> {
     match name {
         "grid5000" => Some(grid5000()),
         "grid5000-full" => Some(grid5000_full()),
         "ec2" => Some(ec2()),
+        "multi-dc" => Some(multi_dc()),
         _ => None,
     }
 }
@@ -155,7 +190,26 @@ mod tests {
         assert!(by_name("grid5000").is_some());
         assert!(by_name("grid5000-full").is_some());
         assert!(by_name("ec2").is_some());
+        assert!(by_name("multi-dc").is_some());
         assert!(by_name("azure").is_none());
+    }
+
+    #[test]
+    fn multi_dc_profile_exercises_cross_dc_proximity() {
+        use crate::topology::{NodeId, Proximity};
+        let p = multi_dc();
+        assert_eq!(p.node_count(), 20);
+        assert_eq!(p.topology.datacenters(), vec![0, 1]);
+        assert_eq!(p.topology.racks().len(), 4);
+        // Node 0 (dc0) and node 10 (dc1) are CrossDc and see WAN latency.
+        let far = NodeId(10);
+        assert_eq!(p.topology.proximity(NodeId(0), far), Proximity::CrossDc);
+        let wan = p.network.mean_ms(&p.topology, NodeId(0), far);
+        let lan = p.network.mean_ms(&p.topology, NodeId(0), NodeId(1));
+        assert!(wan > 20.0 * lan, "wan {wan} ms vs lan {lan} ms");
+        // The pairwise mean is dominated by the cross-DC links.
+        assert!(p.mean_latency_ms() > 5.0);
+        assert_eq!(multi_dc_with(3, 1, 2).node_count(), 6);
     }
 
     #[test]

@@ -94,6 +94,16 @@ impl Topology {
         self.locations.len()
     }
 
+    /// Appends a node at `location`, returning its [`NodeId`]. Existing ids
+    /// are stable — elastic membership only ever grows the id space (a
+    /// decommissioned node keeps its slot), so per-node vectors indexed by
+    /// `NodeId` stay valid across joins.
+    pub fn push(&mut self, location: Location) -> NodeId {
+        let id = NodeId(self.locations.len() as u32);
+        self.locations.push(location);
+        id
+    }
+
     /// True if the topology has no nodes.
     pub fn is_empty(&self) -> bool {
         self.locations.is_empty()

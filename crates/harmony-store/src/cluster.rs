@@ -27,11 +27,12 @@ use crate::messages::{Message, OpId, OpKind, StoreEvent};
 use crate::node::{NodeCounters, Stage, StorageNode, WriteStageTelemetry};
 use crate::placement::{PlacementCache, ReplicaSet, MAX_RF};
 use crate::types::{Mutation, Row, Timestamp};
+use harmony_chaos::{FaultEvent, FaultState};
 use harmony_sim::clock::SimTime;
 use harmony_sim::engine::Simulation;
 use harmony_sim::rng::RngFactory;
 use harmony_sim::service::ServiceModel;
-use harmony_sim::topology::{NetworkModel, NodeId, Topology};
+use harmony_sim::topology::{Location, NetworkModel, NodeId, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -65,6 +66,11 @@ pub struct Completion {
     pub expected_timestamp: Timestamp,
     /// For reads: ground-truth staleness (`returned < expected`).
     pub stale: bool,
+    /// True if the operation failed instead of completing: no reachable
+    /// replica (unavailable), its coordinator crashed, or it stalled past the
+    /// chaos-mode timeout. Aborted completions carry no data and are counted
+    /// separately from reads/writes. Always false on a healthy cluster.
+    pub aborted: bool,
 }
 
 impl Completion {
@@ -89,6 +95,9 @@ pub struct ClusterTotals {
     pub stale_reads: u64,
     /// Repair messages issued (read repair + background repair).
     pub repairs_issued: u64,
+    /// Operations aborted by faults (unavailable replica sets, coordinator
+    /// crashes, chaos-mode stall timeouts). Zero on a healthy cluster.
+    pub ops_aborted: u64,
 }
 
 /// Replica read responses collected inline (no per-read heap allocation):
@@ -148,6 +157,7 @@ struct PendingRead {
 #[derive(Debug)]
 struct PendingWrite {
     key: KeyId,
+    coordinator: NodeId,
     submitted_at: SimTime,
     consistency: ConsistencyLevel,
     required: usize,
@@ -188,6 +198,25 @@ pub struct Cluster {
     /// stream feeding the monitor's heavy-hitter sketch. Bounded so an
     /// unmonitored cluster cannot grow it without limit.
     write_key_samples: std::cell::RefCell<Vec<KeyId>>,
+    /// Liveness, partition, slow-down and membership state driven by the
+    /// fault schedule. A fresh state answers "healthy" everywhere, so a run
+    /// that never applies a fault behaves byte-identically to one built
+    /// before the chaos layer existed.
+    faults: FaultState,
+    /// Hinted handoff: mutations addressed to a node that was down or
+    /// unreachable, stored per destination as `(origin, message)` and
+    /// replayed into its write stage on restart or after a partition heals —
+    /// but never *across* an active cut (a hint whose origin sits on the
+    /// other side stays stored until the heal, like the coordinator-held
+    /// hints it models).
+    hints: Vec<Vec<(NodeId, Message)>>,
+    /// Join + decommission count at the moment the active partition was
+    /// installed. The heal re-runs anti-entropy only when churn happened
+    /// *during* the cut (streams that could not cross it); churn that
+    /// completed before the partition already converged and must not be
+    /// re-streamed at heal time — that would erase the post-heal staleness
+    /// dynamics the partition scenarios measure.
+    partition_churn_baseline: u64,
 }
 
 /// Upper bound on buffered write-key samples between monitoring sweeps.
@@ -221,6 +250,7 @@ impl Cluster {
         let write_service =
             ServiceModel::erlang_ms(config.write_service_ms, config.write_service_shape)
                 .with_node_factors(config.node_service_factors.clone());
+        let node_count = topology.len();
         Cluster {
             rng: rng_factory.stream("store-cluster"),
             config,
@@ -228,6 +258,9 @@ impl Cluster {
             network,
             ring,
             nodes,
+            faults: FaultState::new(node_count),
+            hints: vec![Vec::new(); node_count],
+            partition_churn_baseline: 0,
             read_service,
             write_service,
             next_op: 0,
@@ -269,6 +302,22 @@ impl Cluster {
     /// Cumulative totals (reads, writes, stale reads, repairs).
     pub fn totals(&self) -> ClusterTotals {
         self.totals
+    }
+
+    /// The current fault/membership state (liveness, partitions, slow
+    /// factors, join/decommission counters).
+    pub fn fault_state(&self) -> &FaultState {
+        &self.faults
+    }
+
+    /// Number of nodes currently serving traffic (alive ring members).
+    pub fn live_node_count(&self) -> usize {
+        self.faults.serving_count()
+    }
+
+    /// Number of hinted mutations waiting for `node` to come back.
+    pub fn hinted_mutations(&self, node: NodeId) -> usize {
+        self.hints.get(node.index()).map(Vec::len).unwrap_or(0)
     }
 
     /// Interns a key name, returning its compact id. Idempotent; the id is
@@ -343,15 +392,20 @@ impl Cluster {
     /// Per-node mutation-stage backlog: the expected extra delay
     /// (milliseconds) a newly arriving replica write waits on each node before
     /// being applied — the `nodetool tpstats` "pending MutationStage tasks"
-    /// analogue, one entry per node. The *dispersion* of these values across
-    /// replicas is what widens the staleness window under saturation (the
-    /// queueing-aware model's key signal); their mean is the absolute backlog.
+    /// analogue, one entry per *serving* node. Crashed and decommissioned
+    /// nodes are skipped entirely (no telemetry is not a 0 ms backlog: a
+    /// dead replica's zero would drag the mean and the dispersion down and
+    /// blind the controller exactly when replicas are lost); the *dispersion*
+    /// of the surviving values across replicas is what widens the staleness
+    /// window under saturation.
     pub fn replica_backlog_ms(&self) -> Vec<f64> {
         let concurrency = self.config.node_concurrency.max(1) as f64;
         self.nodes
             .iter()
+            .filter(|n| self.faults.is_serving(n.id))
             .map(|n| {
-                let mean_ms = self.write_service.mean_ms_for(n.id);
+                let mean_ms =
+                    self.write_service.mean_ms_for(n.id) * self.faults.service_factor(n.id);
                 if mean_ms <= 0.0 {
                     0.0
                 } else {
@@ -361,13 +415,14 @@ impl Cluster {
             .collect()
     }
 
-    /// Mean per-node mutation-stage backlog (milliseconds); see
-    /// [`Cluster::replica_backlog_ms`].
+    /// Mean per-node mutation-stage backlog (milliseconds) over the serving
+    /// nodes; see [`Cluster::replica_backlog_ms`].
     pub fn mutation_backlog_ms(&self) -> f64 {
-        if self.nodes.is_empty() {
+        let backlogs = self.replica_backlog_ms();
+        if backlogs.is_empty() {
             return 0.0;
         }
-        self.replica_backlog_ms().iter().sum::<f64>() / self.nodes.len() as f64
+        backlogs.iter().sum::<f64>() / backlogs.len() as f64
     }
 
     /// Cumulative write-stage telemetry per node: arrival and completion
@@ -411,6 +466,11 @@ impl Cluster {
         let mut deepest = vec![0.0f64; keys.len()];
         let mut counts = vec![0usize; keys.len()];
         for node in &self.nodes {
+            // A dead replica's queue moved to hints and cannot be read from
+            // anyway — only serving replicas bound a key's staleness window.
+            if !self.faults.is_serving(node.id) {
+                continue;
+            }
             for c in counts.iter_mut() {
                 *c = 0;
             }
@@ -421,7 +481,8 @@ impl Cluster {
                     }
                 }
             }
-            let mean_ms = self.write_service.mean_ms_for(node.id);
+            let mean_ms =
+                self.write_service.mean_ms_for(node.id) * self.faults.service_factor(node.id);
             for (i, &count) in counts.iter().enumerate() {
                 deepest[i] = deepest[i].max(count as f64 * mean_ms / concurrency);
             }
@@ -455,12 +516,17 @@ impl Cluster {
         )
     }
 
-    /// Drops every memoised replica set. Must be called by anything that
-    /// mutates the ring or the topology (elastic membership is future work;
-    /// the hook exists so the cache can never serve placements computed for
-    /// a previous topology).
+    /// Drops every memoised replica set. Called automatically by the elastic
+    /// membership paths (join/decommission rebuild the ring and invalidate);
+    /// public so tools mutating ring parameters out of band can do the same.
     pub fn invalidate_placement(&mut self) {
         self.placement.invalidate();
+    }
+
+    /// How many times the placement cache has been invalidated — exactly
+    /// once per topology change (see the churn property tests).
+    pub fn placement_invalidations(&self) -> u64 {
+        self.placement.invalidations()
     }
 
     /// Direct access to a node (tests and tools).
@@ -499,9 +565,19 @@ impl Cluster {
     }
 
     fn pick_coordinator(&mut self) -> NodeId {
-        let id = NodeId((self.next_coordinator % self.nodes.len()) as u32);
-        self.next_coordinator += 1;
-        id
+        // Clients connect to serving nodes only (their drivers track node
+        // health); on a healthy cluster this is the round-robin it always
+        // was. With every node down, any node is as good as any other — the
+        // operation will be aborted as unavailable.
+        let n = self.nodes.len();
+        for _ in 0..n {
+            let id = NodeId((self.next_coordinator % n) as u32);
+            self.next_coordinator += 1;
+            if self.faults.is_serving(id) {
+                return id;
+            }
+        }
+        NodeId((self.next_coordinator % n) as u32)
     }
 
     fn client_latency(&self) -> SimTime {
@@ -527,9 +603,44 @@ impl Cluster {
         // No zero-mean short-circuit: `sample` returns ZERO itself while
         // still drawing its RNG inputs, keeping the event trace aligned
         // across configurations that differ only in a zeroed service time.
-        let service = model.sample(node, &mut self.rng);
+        let mut service = model.sample(node, &mut self.rng);
+        let factor = self.faults.service_factor(node);
+        if factor != 1.0 {
+            service = service.scale(factor);
+        }
         self.nodes[node.index()].note_service_time(stage, service.as_millis_f64());
         service
+    }
+
+    /// Sends replica work across the node network, or stores it as a hint
+    /// when the destination is down or unreachable from `from` — the single
+    /// choke point that keeps mutations durable across crashes and
+    /// partitions. Returns true if the message was actually sent (false =
+    /// hinted), so callers count live deliveries without re-deriving the
+    /// reachability predicate.
+    fn send_replica_work<E: From<StoreEvent>>(
+        &mut self,
+        from: NodeId,
+        dest: NodeId,
+        message: Message,
+        sim: &mut Simulation<E>,
+    ) -> bool {
+        if self.faults.reachable(from, dest) {
+            let latency = self.link_latency(from, dest);
+            sim.schedule_in(latency, StoreEvent::Deliver { dest, message }.into());
+            true
+        } else {
+            self.hints[dest.index()].push((from, message));
+            false
+        }
+    }
+
+    /// True if a hint stored by `origin` may replay to `dest` right now:
+    /// always outside a partition, and only within one connectivity group
+    /// during one. Liveness of the origin is irrelevant — the hint is
+    /// durable data, not a live message.
+    fn hint_replayable(&self, origin: NodeId, dest: NodeId) -> bool {
+        self.faults.partition_group(origin) == self.faults.partition_group(dest)
     }
 
     /// Submits a client read by key name, interning the key if it has never
@@ -632,6 +743,7 @@ impl Cluster {
             op,
             PendingWrite {
                 key,
+                coordinator,
                 submitted_at: sim.now(),
                 consistency,
                 required: consistency.required_acks(self.config.replication_factor),
@@ -684,6 +796,62 @@ impl Cluster {
         message: Message,
         sim: &mut Simulation<E>,
     ) {
+        if !self.faults.is_serving(dest) {
+            // The destination died (or left) while this message was in
+            // flight — the race the schedule-time reachability checks cannot
+            // close. Mutations become hints; reads are answered with a miss
+            // by the failure detector so the coordinator makes progress;
+            // client operations reaching a dead coordinator abort (the
+            // client driver's connection error — this also covers the
+            // all-nodes-down case, where any coordinator pick is dead);
+            // other coordination traffic is simply lost (its pending
+            // operations were aborted when the coordinator crashed).
+            match message {
+                m @ Message::ReplicaWrite { .. } => {
+                    let origin = match &m {
+                        Message::ReplicaWrite { coordinator, .. } => *coordinator,
+                        _ => unreachable!(),
+                    };
+                    self.hints[dest.index()].push((origin, m));
+                }
+                // An in-flight repair row to a node that just died is simply
+                // lost: repair traffic is redundant by construction (the
+                // next read of a divergent key issues a fresh one), and a
+                // repair carries no sender to gate its replay against an
+                // active partition — hinting it under the destination's own
+                // name would let it smuggle data across a later cut.
+                Message::RepairWrite { .. } => {}
+                // The failure-detector miss is local information: it reaches
+                // the coordinator only on its own side of any active cut (a
+                // replica that is merely partitioned away strands the read
+                // instead, and the chaos reaper aborts it).
+                Message::ReplicaRead {
+                    op, coordinator, ..
+                } if self.faults.is_serving(coordinator)
+                    && self.faults.partition_group(dest)
+                        == self.faults.partition_group(coordinator) =>
+                {
+                    let latency = self.link_latency(dest, coordinator);
+                    sim.schedule_in(
+                        latency,
+                        StoreEvent::Deliver {
+                            dest: coordinator,
+                            message: Message::ReplicaReadResponse {
+                                op,
+                                from: dest,
+                                row: None,
+                            },
+                        }
+                        .into(),
+                    );
+                }
+                Message::ClientRead { op, .. } | Message::ClientWrite { op, .. } => {
+                    self.stage_abort(op, sim);
+                }
+                _ => {}
+            }
+            return;
+        }
         if message.is_replica_work() {
             // Replica-side work competes for the node's service slots.
             let start_now = self.nodes[dest.index()].try_start_work(message);
@@ -732,8 +900,22 @@ impl Cluster {
         sim: &mut Simulation<E>,
     ) {
         let replica_set = self.replicas_for_id(key);
+        // Fault-aware availability: only replicas the coordinator can reach
+        // may be contacted (on a healthy cluster this is the full set, in
+        // ring order). An empty intersection fails the read fast instead of
+        // waiting on replies that can never arrive.
+        let mut available = ReplicaSet::EMPTY;
+        for &r in replica_set.as_slice() {
+            if self.faults.reachable(coordinator, r) {
+                available.push(r);
+            }
+        }
+        if available.is_empty() {
+            self.stage_abort(op, sim);
+            return;
+        }
         let required = match self.pending_reads.get(&op) {
-            Some(p) => p.required.min(replica_set.len()),
+            Some(p) => p.required.min(available.len()),
             None => return,
         };
         // Contact the `required` replicas closest to the coordinator (snitch
@@ -741,8 +923,8 @@ impl Cluster {
         // Sorted on the stack (stable insertion sort — ties keep ring order),
         // no allocation.
         let mut by_distance = [NodeId(0); MAX_RF];
-        by_distance[..replica_set.len()].copy_from_slice(replica_set.as_slice());
-        let slice = &mut by_distance[..replica_set.len()];
+        by_distance[..available.len()].copy_from_slice(available.as_slice());
+        let slice = &mut by_distance[..available.len()];
         for i in 1..slice.len() {
             let mut j = i;
             while j > 0 {
@@ -758,10 +940,11 @@ impl Cluster {
                 }
             }
         }
-        let contacted = ReplicaSet::from_slice(&by_distance[..required.min(replica_set.len())]);
+        let contacted = ReplicaSet::from_slice(&by_distance[..required.min(available.len())]);
         if let Some(p) = self.pending_reads.get_mut(&op) {
             p.replica_set = replica_set;
             p.contacted = contacted;
+            p.required = required;
         }
         for i in 0..contacted.len() {
             let replica = contacted.as_slice()[i];
@@ -801,33 +984,40 @@ impl Cluster {
                 samples.push(key);
             }
         }
-        if let Some(p) = self.pending_writes.get_mut(&op) {
-            p.replica_count = replica_set.len();
-            p.required = p.required.min(replica_set.len());
-            p.timestamp = timestamp;
-        } else {
+        if !self.pending_writes.contains_key(&op) {
             return;
         }
         // Writes always go to every replica; the consistency level only
         // decides how many acknowledgements the client waits for. The
-        // payload is shared: each fan-out copy is a refcount bump.
+        // payload is shared: each fan-out copy is a refcount bump. Replicas
+        // the coordinator cannot reach get a durable hint instead — the
+        // hinted-handoff mutation replays into their write stage on
+        // restart/heal, so a crash never loses queued propagation.
+        let mut sent = 0usize;
         for i in 0..replica_set.len() {
             let replica = replica_set.as_slice()[i];
-            let latency = self.link_latency(coordinator, replica);
-            sim.schedule_in(
-                latency,
-                StoreEvent::Deliver {
-                    dest: replica,
-                    message: Message::ReplicaWrite {
-                        op,
-                        key,
-                        mutation: Arc::clone(&mutation),
-                        timestamp,
-                        coordinator,
-                    },
-                }
-                .into(),
-            );
+            let message = Message::ReplicaWrite {
+                op,
+                key,
+                mutation: Arc::clone(&mutation),
+                timestamp,
+                coordinator,
+            };
+            if self.send_replica_work(coordinator, replica, message, sim) {
+                sent += 1;
+            }
+        }
+        if let Some(p) = self.pending_writes.get_mut(&op) {
+            // Only live sends can acknowledge; hinted copies apply later,
+            // long after the client stopped waiting.
+            p.replica_count = sent;
+            p.required = p.required.min(sent.max(1));
+            p.timestamp = timestamp;
+        }
+        if sent == 0 {
+            // Every replica is down or cut off: the write is hinted
+            // everywhere but the client sees an unavailability failure.
+            self.stage_abort(op, sim);
         }
     }
 
@@ -845,19 +1035,24 @@ impl Cluster {
                 coordinator,
             } => {
                 let row = self.nodes[node.index()].serve_read(key);
-                let latency = self.link_latency(node, coordinator);
-                sim.schedule_in(
-                    latency,
-                    StoreEvent::Deliver {
-                        dest: coordinator,
-                        message: Message::ReplicaReadResponse {
-                            op,
-                            from: node,
-                            row,
-                        },
-                    }
-                    .into(),
-                );
+                // Work in service when a node crashes still completes (the
+                // power fails after the in-flight operation, not during it)
+                // but a dead or cut-off node sends nothing back.
+                if self.faults.reachable(node, coordinator) {
+                    let latency = self.link_latency(node, coordinator);
+                    sim.schedule_in(
+                        latency,
+                        StoreEvent::Deliver {
+                            dest: coordinator,
+                            message: Message::ReplicaReadResponse {
+                                op,
+                                from: node,
+                                row,
+                            },
+                        }
+                        .into(),
+                    );
+                }
             }
             Message::ReplicaWrite {
                 op,
@@ -867,15 +1062,17 @@ impl Cluster {
                 coordinator,
             } => {
                 self.nodes[node.index()].apply_write(key, &mutation, timestamp);
-                let latency = self.link_latency(node, coordinator);
-                sim.schedule_in(
-                    latency,
-                    StoreEvent::Deliver {
-                        dest: coordinator,
-                        message: Message::ReplicaWriteAck { op, from: node },
-                    }
-                    .into(),
-                );
+                if self.faults.reachable(node, coordinator) {
+                    let latency = self.link_latency(node, coordinator);
+                    sim.schedule_in(
+                        latency,
+                        StoreEvent::Deliver {
+                            dest: coordinator,
+                            message: Message::ReplicaWriteAck { op, from: node },
+                        }
+                        .into(),
+                    );
+                }
             }
             Message::RepairWrite { key, row } => {
                 self.nodes[node.index()].apply_repair(key, row.as_ref());
@@ -941,6 +1138,7 @@ impl Cluster {
             returned_timestamp: returned_ts,
             expected_timestamp: pending.expected_ts,
             stale: false, // decided at ClientReply time
+            aborted: false,
         };
         let coordinator = pending.coordinator;
         let key = pending.key;
@@ -987,18 +1185,15 @@ impl Cluster {
             let repair_row = winner;
             if !repair_row.is_empty() {
                 for &target in stale_responders.as_slice() {
-                    let latency = self.link_latency(coordinator, target);
                     self.totals.repairs_issued += 1;
-                    sim.schedule_in(
-                        latency,
-                        StoreEvent::Deliver {
-                            dest: target,
-                            message: Message::RepairWrite {
-                                key,
-                                row: Arc::clone(&repair_row),
-                            },
-                        }
-                        .into(),
+                    self.send_replica_work(
+                        coordinator,
+                        target,
+                        Message::RepairWrite {
+                            key,
+                            row: Arc::clone(&repair_row),
+                        },
+                        sim,
                     );
                 }
                 if !uncontacted.is_empty()
@@ -1007,18 +1202,15 @@ impl Cluster {
                         .gen_bool(self.config.background_read_repair_chance.clamp(0.0, 1.0))
                 {
                     for &target in uncontacted.as_slice() {
-                        let latency = self.link_latency(coordinator, target);
                         self.totals.repairs_issued += 1;
-                        sim.schedule_in(
-                            latency,
-                            StoreEvent::Deliver {
-                                dest: target,
-                                message: Message::RepairWrite {
-                                    key,
-                                    row: Arc::clone(&repair_row),
-                                },
-                            }
-                            .into(),
+                        self.send_replica_work(
+                            coordinator,
+                            target,
+                            Message::RepairWrite {
+                                key,
+                                row: Arc::clone(&repair_row),
+                            },
+                            sim,
                         );
                     }
                 }
@@ -1054,6 +1246,7 @@ impl Cluster {
                 returned_timestamp: pending.timestamp,
                 expected_timestamp: pending.timestamp,
                 stale: false,
+                aborted: false,
             };
             self.staged_completions.insert(op, completion);
             sim.schedule_in(client_delay, StoreEvent::ClientReply { op }.into());
@@ -1066,6 +1259,12 @@ impl Cluster {
     fn on_client_reply(&mut self, op: OpId, now: SimTime) -> Option<Completion> {
         let mut completion = self.staged_completions.remove(&op)?;
         completion.completed_at = now;
+        if completion.aborted {
+            // A failed operation is neither a completed read nor a completed
+            // write; it only bumps the abort tally.
+            self.totals.ops_aborted += 1;
+            return Some(completion);
+        }
         match completion.kind {
             OpKind::Read => {
                 completion.stale = completion.returned_timestamp < completion.expected_timestamp;
@@ -1083,6 +1282,370 @@ impl Cluster {
             }
         }
         Some(completion)
+    }
+
+    // ---- fault injection and elasticity -----------------------------------
+    //
+    // Everything below is driven by a `harmony-chaos` fault schedule. None of
+    // it runs — no events, no RNG draws, no state changes — unless a fault is
+    // actually applied, which is what keeps an empty schedule byte-identical
+    // to a run without the chaos layer (`golden_stats_pin_for_seed_20120920`).
+
+    /// Applies one fault event at the current virtual time. Aborted
+    /// operations (a crashed coordinator's in-flight work) surface as
+    /// `aborted` completions through the normal `ClientReply` flow.
+    pub fn apply_fault<E: From<StoreEvent>>(
+        &mut self,
+        fault: &FaultEvent,
+        sim: &mut Simulation<E>,
+    ) {
+        match fault {
+            FaultEvent::CrashNode { node } => self.crash_node(*node, sim),
+            FaultEvent::RestartNode { node } => self.restart_node(*node, sim),
+            FaultEvent::SlowNode {
+                node,
+                service_factor,
+            } => {
+                self.faults.set_slow(*node, *service_factor);
+            }
+            FaultEvent::Partition { groups } => {
+                self.faults.partition(groups);
+                let counters = self.faults.counters();
+                self.partition_churn_baseline = counters.joins + counters.decommissions;
+            }
+            FaultEvent::HealPartition => {
+                if self.faults.heal() {
+                    self.drain_hints_after_heal(sim);
+                    // Membership changes *during* the cut could not stream
+                    // across it (a mid-partition joiner bootstraps nothing,
+                    // a leaver cannot reach new owners on the far side);
+                    // the heal retries the anti-entropy pass so ownership
+                    // and data converge. Churn that finished before the
+                    // partition already converged and is not re-streamed.
+                    let counters = self.faults.counters();
+                    if counters.joins + counters.decommissions > self.partition_churn_baseline {
+                        self.rebalance_all_keys();
+                    }
+                }
+            }
+            FaultEvent::JoinNode { dc, rack } => {
+                self.join_node(Location {
+                    dc: *dc,
+                    rack: *rack,
+                });
+            }
+            FaultEvent::DecommissionNode { node } => self.decommission_node(*node, sim),
+        }
+    }
+
+    /// Fail-stop crash. Queued mutations survive as hints and replay on
+    /// restart (hinted handoff); queued reads are answered with a miss by the
+    /// failure detector; work already in service completes silently; and the
+    /// operations this node was coordinating are aborted so no client session
+    /// waits on a reply that can never come.
+    fn crash_node<E: From<StoreEvent>>(&mut self, node: NodeId, sim: &mut Simulation<E>) {
+        if !self.faults.crash(node) {
+            return;
+        }
+        let (writes, reads) = self.nodes[node.index()].drain_queues();
+        // Queued mutations were already delivered to this node, so the node
+        // itself is their origin: they replay as soon as it serves again.
+        self.hints[node.index()].extend(writes.into_iter().map(|m| (node, m)));
+        for message in reads {
+            if let Message::ReplicaRead {
+                op, coordinator, ..
+            } = message
+            {
+                // Same cut discipline as the in-flight path: the miss only
+                // reaches coordinators on this node's side of a partition.
+                if self.faults.is_serving(coordinator)
+                    && self.faults.partition_group(node) == self.faults.partition_group(coordinator)
+                {
+                    let latency = self.link_latency(node, coordinator);
+                    sim.schedule_in(
+                        latency,
+                        StoreEvent::Deliver {
+                            dest: coordinator,
+                            message: Message::ReplicaReadResponse {
+                                op,
+                                from: node,
+                                row: None,
+                            },
+                        }
+                        .into(),
+                    );
+                }
+            }
+        }
+        self.abort_ops_coordinated_by(node, sim);
+    }
+
+    /// Recovery: the node rejoins with its data intact and its hinted
+    /// mutations replay into the write stage — the backlog spike the
+    /// controller has to ride out after every crash.
+    fn restart_node<E: From<StoreEvent>>(&mut self, node: NodeId, sim: &mut Simulation<E>) {
+        if !self.faults.restart(node) {
+            return;
+        }
+        self.drain_hints_for(node, sim);
+    }
+
+    /// Replays the hints stored for `node` into its delivery path. The
+    /// replayed mutations queue behind live traffic in the node's write
+    /// stage, so a long outage surfaces as a deep (and visible) backlog.
+    /// Hints whose origin sits across an active partition stay stored — a
+    /// restart inside a partition window must not smuggle data over the cut;
+    /// the heal replays them.
+    fn drain_hints_for<E: From<StoreEvent>>(&mut self, node: NodeId, sim: &mut Simulation<E>) {
+        let hints = std::mem::take(&mut self.hints[node.index()]);
+        let mut retained = Vec::new();
+        for (origin, message) in hints {
+            if self.hint_replayable(origin, node) {
+                sim.schedule_in(
+                    SimTime::ZERO,
+                    StoreEvent::Deliver {
+                        dest: node,
+                        message,
+                    }
+                    .into(),
+                );
+            } else {
+                retained.push((origin, message));
+            }
+        }
+        self.hints[node.index()] = retained;
+    }
+
+    /// After a heal, every serving node's stranded hints replay (they were
+    /// stored because the coordinator could not cross the cut).
+    fn drain_hints_after_heal<E: From<StoreEvent>>(&mut self, sim: &mut Simulation<E>) {
+        for i in 0..self.hints.len() {
+            let node = NodeId(i as u32);
+            if self.faults.is_serving(node) && !self.hints[i].is_empty() {
+                self.drain_hints_for(node, sim);
+            }
+        }
+    }
+
+    /// Elastic scale-out: a new node joins at `location`, takes its tokens on
+    /// the ring, and is bootstrapped with the freshest copy of every key it
+    /// now owns before serving reads (Cassandra's bootstrap-then-serve).
+    /// Returns the new node's id.
+    pub fn join_node(&mut self, location: Location) -> NodeId {
+        let id = self.topology.push(location);
+        let state_id = self.faults.add_node();
+        debug_assert_eq!(id, state_id, "topology and fault state must agree");
+        self.nodes.push(StorageNode::new(
+            id,
+            self.config.engine,
+            self.config.node_concurrency,
+        ));
+        self.hints.push(Vec::new());
+        self.rebuild_ring();
+        self.rebalance_all_keys();
+        id
+    }
+
+    /// Graceful scale-in: the node streams the freshest copy of its data to
+    /// the new owners, leaves the ring and never serves again. Operations it
+    /// was coordinating are aborted; hints addressed to it are dropped (the
+    /// mutations they carried live on the replicas that acknowledged, and
+    /// the rebalance below re-spreads the freshest rows).
+    fn decommission_node<E: From<StoreEvent>>(&mut self, node: NodeId, sim: &mut Simulation<E>) {
+        if !self.faults.is_member(node) || self.faults.members().len() <= 1 {
+            return;
+        }
+        self.abort_ops_coordinated_by(node, sim);
+        self.hints[node.index()].clear();
+        self.faults.decommission(node);
+        self.rebuild_ring();
+        self.rebalance_all_keys();
+    }
+
+    /// Rebuilds the token ring over the current membership and drops every
+    /// memoised placement — the cache must never serve replica sets computed
+    /// for a previous topology.
+    fn rebuild_ring(&mut self) {
+        let members = self.faults.members();
+        self.ring = HashRing::with_members(&members, self.config.vnodes_per_node);
+        self.placement.invalidate();
+    }
+
+    /// One anti-entropy pass after a membership change: every serving member
+    /// of each key's (new) replica set receives the freshest row held by any
+    /// live node *it can stream from* — streaming is node-to-node traffic
+    /// and cannot cross an active partition, so a target only sees sources
+    /// in its own connectivity group (a node that joined mid-partition
+    /// bootstraps nothing until the heal). This is the streaming phase of
+    /// bootstrap/decommission, run to completion before the next event —
+    /// the paper-scale analogue is a node that only starts serving once its
+    /// streams finish. `O(keys × nodes)` digests, paid once per membership
+    /// change, never on the op path.
+    fn rebalance_all_keys(&mut self) {
+        for index in 0..self.key_table.len() {
+            let key = KeyId(index as u32);
+            let set = self.replicas_for_id(key);
+            for i in 0..set.len() {
+                let target = set.as_slice()[i];
+                if !self.faults.is_serving(target) {
+                    continue;
+                }
+                // Freshest copy among live nodes on the target's side of
+                // any active cut.
+                let mut newest: Option<(Timestamp, NodeId)> = None;
+                for node in 0..self.nodes.len() as u32 {
+                    let node = NodeId(node);
+                    if node == target
+                        || !self.faults.is_alive(node)
+                        || self.faults.partition_group(node) != self.faults.partition_group(target)
+                    {
+                        continue;
+                    }
+                    if let Some(ts) = self.nodes[node.index()].digest(key) {
+                        if newest.map(|(t, _)| ts > t).unwrap_or(true) {
+                            newest = Some((ts, node));
+                        }
+                    }
+                }
+                let Some((ts, source)) = newest else { continue };
+                let behind = self.nodes[target.index()]
+                    .digest(key)
+                    .map(|t| t < ts)
+                    .unwrap_or(true);
+                if !behind {
+                    continue;
+                }
+                let Some(row) = self.nodes[source.index()].engine_mut().get(key) else {
+                    continue;
+                };
+                self.nodes[target.index()].engine_mut().apply_row(key, &row);
+            }
+        }
+    }
+
+    /// Fails an in-flight operation: the client gets an `aborted` completion
+    /// through the normal `ClientReply` flow and the session can move on.
+    fn stage_abort<E: From<StoreEvent>>(&mut self, op: OpId, sim: &mut Simulation<E>) {
+        let client_delay = self.client_latency();
+        if let Some(p) = self.pending_reads.get_mut(&op) {
+            if p.replied {
+                return;
+            }
+            p.replied = true;
+            let completion = Completion {
+                op,
+                kind: OpKind::Read,
+                key: p.key,
+                submitted_at: p.submitted_at,
+                completed_at: SimTime::ZERO,
+                consistency: p.consistency,
+                replicas_contacted: 0,
+                result: None,
+                returned_timestamp: Timestamp::ZERO,
+                expected_timestamp: p.expected_ts,
+                stale: false,
+                aborted: true,
+            };
+            // Keep the entry only if straggler responses may still arrive.
+            let done = p.contacted.is_empty() || p.responses.len() == p.contacted.len();
+            self.staged_completions.insert(op, completion);
+            sim.schedule_in(client_delay, StoreEvent::ClientReply { op }.into());
+            if done {
+                self.pending_reads.remove(&op);
+            }
+            return;
+        }
+        if let Some(p) = self.pending_writes.get_mut(&op) {
+            if p.replied {
+                return;
+            }
+            p.replied = true;
+            let completion = Completion {
+                op,
+                kind: OpKind::Write,
+                key: p.key,
+                submitted_at: p.submitted_at,
+                completed_at: SimTime::ZERO,
+                consistency: p.consistency,
+                replicas_contacted: 0,
+                result: None,
+                returned_timestamp: Timestamp::ZERO,
+                expected_timestamp: Timestamp::ZERO,
+                stale: false,
+                aborted: true,
+            };
+            self.staged_completions.insert(op, completion);
+            sim.schedule_in(client_delay, StoreEvent::ClientReply { op }.into());
+            if p.acks >= p.replica_count {
+                self.pending_writes.remove(&op);
+            }
+        }
+    }
+
+    /// Aborts every unanswered operation the given (crashed or leaving) node
+    /// was coordinating, in deterministic (`OpId`) order.
+    fn abort_ops_coordinated_by<E: From<StoreEvent>>(
+        &mut self,
+        node: NodeId,
+        sim: &mut Simulation<E>,
+    ) {
+        let mut stalled: Vec<OpId> = self
+            .pending_reads
+            .iter()
+            .filter(|(_, p)| p.coordinator == node && !p.replied)
+            .map(|(op, _)| *op)
+            .collect();
+        stalled.extend(
+            self.pending_writes
+                .iter()
+                .filter(|(_, p)| p.coordinator == node && !p.replied)
+                .map(|(op, _)| *op),
+        );
+        stalled.sort_unstable();
+        for op in stalled {
+            self.stage_abort(op, sim);
+        }
+    }
+
+    /// Chaos-mode safety net: aborts every operation that has been pending
+    /// longer than `timeout` (a partition installed mid-flight can strand
+    /// responses no schedule-time check can predict), and purges replied
+    /// entries whose stragglers were lost the same way. Returns the number
+    /// of operations aborted. Call it periodically — the experiment runner
+    /// does so on its monitoring tick — but only when a fault schedule is
+    /// active: a healthy run must not pay (or perturb) anything.
+    pub fn expire_stalled_ops<E: From<StoreEvent>>(
+        &mut self,
+        timeout: SimTime,
+        sim: &mut Simulation<E>,
+    ) -> usize {
+        let now = sim.now();
+        if timeout.is_zero() || now <= timeout {
+            return 0;
+        }
+        let cutoff = now.saturating_sub(timeout);
+        let mut stalled: Vec<OpId> = self
+            .pending_reads
+            .iter()
+            .filter(|(_, p)| !p.replied && p.submitted_at <= cutoff)
+            .map(|(op, _)| *op)
+            .collect();
+        stalled.extend(
+            self.pending_writes
+                .iter()
+                .filter(|(_, p)| !p.replied && p.submitted_at <= cutoff)
+                .map(|(op, _)| *op),
+        );
+        stalled.sort_unstable();
+        let aborted = stalled.len();
+        for op in stalled {
+            self.stage_abort(op, sim);
+        }
+        self.pending_reads
+            .retain(|_, p| !(p.replied && p.submitted_at <= cutoff));
+        self.pending_writes
+            .retain(|_, p| !(p.replied && p.submitted_at <= cutoff));
+        aborted
     }
 }
 
@@ -1554,6 +2117,440 @@ mod tests {
             );
         }
         assert!(cluster.totals().repairs_issued > 0);
+    }
+
+    #[test]
+    fn crash_hints_mutations_and_restart_drains_them() {
+        // Single service slot + slow writes so mutations pile up in the
+        // victim's queue, then crash it: the queue must survive as hints and
+        // replay on restart, converging the replica.
+        let topology = Topology::single_dc(1, 3);
+        let network = NetworkModel::uniform(Latency::constant_ms(0.1));
+        let config = StoreConfig {
+            replication_factor: 3,
+            node_concurrency: 1,
+            write_service_ms: 0.4,
+            background_read_repair_chance: 0.0,
+            ..StoreConfig::default()
+        };
+        let mut cluster = Cluster::new(config, topology, network, RngFactory::new(9));
+        let mut sim: Simulation<StoreEvent> = Simulation::new(9);
+        let victim = cluster.replicas_for("hot")[2];
+        for _ in 0..50 {
+            cluster.submit_write(
+                "hot",
+                Mutation::single("f", b"v".to_vec()),
+                ConsistencyLevel::One,
+                &mut sim,
+            );
+        }
+        // Let some deliveries land so the victim's queue is non-empty.
+        for _ in 0..120 {
+            let Some((_, ev)) = sim.next() else { break };
+            cluster.handle(ev, &mut sim);
+        }
+        cluster.apply_fault(&FaultEvent::CrashNode { node: victim }, &mut sim);
+        assert!(!cluster.fault_state().is_serving(victim));
+        assert_eq!(cluster.live_node_count(), 2);
+        let _ = drain(&mut cluster, &mut sim);
+        let hinted = cluster.hinted_mutations(victim);
+        assert!(hinted > 0, "expected hinted mutations for the crashed node");
+        let id = cluster.key_id("hot").unwrap();
+        let live_newest = cluster
+            .replicas_for("hot")
+            .iter()
+            .filter(|n| cluster.fault_state().is_serving(**n))
+            .filter_map(|n| cluster.node(*n).digest(id))
+            .max()
+            .unwrap();
+        assert!(
+            cluster.node(victim).digest(id).unwrap_or(Timestamp::ZERO) < live_newest,
+            "the crashed node must be behind while down"
+        );
+        // Restart: the hints replay and the node converges.
+        cluster.apply_fault(&FaultEvent::RestartNode { node: victim }, &mut sim);
+        assert_eq!(cluster.hinted_mutations(victim), 0);
+        let _ = drain(&mut cluster, &mut sim);
+        assert_eq!(
+            cluster.node(victim).digest(id),
+            Some(live_newest),
+            "hint replay must converge the restarted replica"
+        );
+    }
+
+    #[test]
+    fn reads_avoid_crashed_replicas_and_writes_still_ack() {
+        let (mut cluster, mut sim) = test_cluster(0.3);
+        cluster.load_direct("k", &Mutation::single("f", b"v".to_vec()), Timestamp(1));
+        let victim = cluster.replicas_for("k")[0];
+        cluster.apply_fault(&FaultEvent::CrashNode { node: victim }, &mut sim);
+        // Quorum reads and ONE writes keep completing on the surviving pair.
+        for _ in 0..10 {
+            cluster.submit_write(
+                "k",
+                Mutation::single("f", b"w".to_vec()),
+                ConsistencyLevel::One,
+                &mut sim,
+            );
+            cluster.submit_read("k", ConsistencyLevel::Quorum, &mut sim);
+        }
+        let comps = drain(&mut cluster, &mut sim);
+        let reads: Vec<_> = comps.iter().filter(|c| c.kind == OpKind::Read).collect();
+        assert_eq!(reads.len(), 10);
+        assert!(reads.iter().all(|c| !c.aborted));
+        assert_eq!(
+            comps
+                .iter()
+                .filter(|c| c.kind == OpKind::Write && !c.aborted)
+                .count(),
+            10
+        );
+        assert_eq!(cluster.totals().ops_aborted, 0);
+    }
+
+    #[test]
+    fn all_replicas_down_aborts_instead_of_stalling() {
+        let (mut cluster, mut sim) = test_cluster(0.3);
+        cluster.load_direct("k", &Mutation::single("f", b"v".to_vec()), Timestamp(1));
+        for node in cluster.replicas_for("k") {
+            cluster.apply_fault(&FaultEvent::CrashNode { node }, &mut sim);
+        }
+        cluster.submit_read("k", ConsistencyLevel::One, &mut sim);
+        cluster.submit_write(
+            "k",
+            Mutation::single("f", b"w".to_vec()),
+            ConsistencyLevel::One,
+            &mut sim,
+        );
+        let comps = drain(&mut cluster, &mut sim);
+        assert_eq!(comps.len(), 2);
+        assert!(comps.iter().all(|c| c.aborted));
+        assert_eq!(cluster.totals().ops_aborted, 2);
+        // The write still left hints for the whole (down) replica set.
+        assert!(cluster
+            .replicas_for("k")
+            .iter()
+            .any(|n| cluster.hinted_mutations(*n) > 0));
+    }
+
+    #[test]
+    fn every_node_down_aborts_client_ops_instead_of_losing_them() {
+        // With the whole cluster dead, any coordinator pick is dead too: the
+        // client operation must come back aborted (connection error), never
+        // silently vanish.
+        let (mut cluster, mut sim) = test_cluster(0.3);
+        cluster.load_direct("k", &Mutation::single("f", b"v".to_vec()), Timestamp(1));
+        for node in cluster.topology().nodes().collect::<Vec<_>>() {
+            cluster.apply_fault(&FaultEvent::CrashNode { node }, &mut sim);
+        }
+        assert_eq!(cluster.live_node_count(), 0);
+        cluster.submit_read("k", ConsistencyLevel::One, &mut sim);
+        cluster.submit_write(
+            "k",
+            Mutation::single("f", b"w".to_vec()),
+            ConsistencyLevel::One,
+            &mut sim,
+        );
+        let comps = drain(&mut cluster, &mut sim);
+        assert_eq!(comps.len(), 2, "both operations must surface");
+        assert!(comps.iter().all(|c| c.aborted));
+        assert_eq!(cluster.totals().ops_aborted, 2);
+    }
+
+    #[test]
+    fn restart_inside_a_partition_does_not_replay_hints_across_the_cut() {
+        // Node crashes, accumulates hints from the majority side, then a
+        // partition isolates it *before* it restarts: the replay must wait
+        // for the heal — a restart must not smuggle data over the cut.
+        let (mut cluster, mut sim) = test_cluster(0.3);
+        cluster.load_direct("k", &Mutation::single("f", b"v0".to_vec()), Timestamp(1));
+        let victim = cluster.replicas_for("k")[2];
+        cluster.apply_fault(&FaultEvent::CrashNode { node: victim }, &mut sim);
+        cluster.submit_write(
+            "k",
+            Mutation::single("f", b"v1".to_vec()),
+            ConsistencyLevel::Quorum,
+            &mut sim,
+        );
+        let _ = drain(&mut cluster, &mut sim);
+        assert!(cluster.hinted_mutations(victim) > 0);
+        let hinted = cluster.hinted_mutations(victim);
+        // Partition the victim away, then restart it inside the window.
+        let rest: Vec<NodeId> = cluster
+            .topology()
+            .nodes()
+            .filter(|n| *n != victim)
+            .collect();
+        cluster.apply_fault(
+            &FaultEvent::Partition {
+                groups: vec![rest, vec![victim]],
+            },
+            &mut sim,
+        );
+        cluster.apply_fault(&FaultEvent::RestartNode { node: victim }, &mut sim);
+        let _ = drain(&mut cluster, &mut sim);
+        assert_eq!(
+            cluster.hinted_mutations(victim),
+            hinted,
+            "hints must stay stored while the cut isolates their origin"
+        );
+        let id = cluster.key_id("k").unwrap();
+        assert_eq!(
+            cluster.node(victim).digest(id),
+            Some(Timestamp(1)),
+            "the isolated replica must not see the majority's write yet"
+        );
+        // Heal: now the hints replay and the replica converges.
+        cluster.apply_fault(&FaultEvent::HealPartition, &mut sim);
+        let _ = drain(&mut cluster, &mut sim);
+        assert_eq!(cluster.hinted_mutations(victim), 0);
+        assert!(cluster.node(victim).digest(id).unwrap() > Timestamp(1));
+    }
+
+    #[test]
+    fn partition_hints_across_the_cut_and_heal_converges() {
+        let (mut cluster, mut sim) = test_cluster(0.3);
+        cluster.load_direct("k", &Mutation::single("f", b"v0".to_vec()), Timestamp(1));
+        let replicas = cluster.replicas_for("k");
+        let id = cluster.key_id("k").unwrap();
+        // Cut the third replica off from everyone else.
+        let minority = replicas[2];
+        let majority: Vec<NodeId> = cluster
+            .topology()
+            .nodes()
+            .filter(|n| *n != minority)
+            .collect();
+        cluster.apply_fault(
+            &FaultEvent::Partition {
+                groups: vec![majority, vec![minority]],
+            },
+            &mut sim,
+        );
+        cluster.submit_write(
+            "k",
+            Mutation::single("f", b"v1".to_vec()),
+            ConsistencyLevel::Quorum,
+            &mut sim,
+        );
+        let comps = drain(&mut cluster, &mut sim);
+        assert!(comps.iter().all(|c| !c.aborted), "quorum survives the cut");
+        let newest = cluster.node(replicas[0]).digest(id).unwrap();
+        assert!(
+            cluster.node(minority).digest(id).unwrap() < newest,
+            "the cut-off replica must not see the write"
+        );
+        assert!(cluster.hinted_mutations(minority) > 0);
+        // Heal: the hint replays and the minority converges.
+        cluster.apply_fault(&FaultEvent::HealPartition, &mut sim);
+        let _ = drain(&mut cluster, &mut sim);
+        assert_eq!(cluster.node(minority).digest(id), Some(newest));
+        assert_eq!(cluster.fault_state().counters().heals, 1);
+    }
+
+    #[test]
+    fn slow_node_stretches_its_service_times() {
+        let (mut cluster, mut sim) = test_cluster(0.1);
+        let victim = NodeId(0);
+        cluster.apply_fault(
+            &FaultEvent::SlowNode {
+                node: victim,
+                service_factor: 50.0,
+            },
+            &mut sim,
+        );
+        assert_eq!(cluster.fault_state().service_factor(victim), 50.0);
+        for i in 0..40 {
+            cluster.submit_write(
+                &format!("k{i}"),
+                Mutation::single("f", b"v".to_vec()),
+                ConsistencyLevel::All,
+                &mut sim,
+            );
+        }
+        let _ = drain(&mut cluster, &mut sim);
+        let telemetry = cluster.write_stage_telemetry();
+        let mean = |n: NodeId| {
+            let t = &telemetry[n.index()];
+            t.service_ms_total / t.completed.max(1) as f64
+        };
+        assert!(
+            mean(victim) > 5.0 * mean(NodeId(1)),
+            "slowed node mean {} vs peer {}",
+            mean(victim),
+            mean(NodeId(1))
+        );
+        // Restore to nominal speed.
+        cluster.apply_fault(
+            &FaultEvent::SlowNode {
+                node: victim,
+                service_factor: 1.0,
+            },
+            &mut sim,
+        );
+        assert!(!cluster.fault_state().any_active());
+    }
+
+    #[test]
+    fn join_rebuilds_the_ring_and_bootstraps_the_new_node() {
+        let (mut cluster, mut sim) = test_cluster(0.2);
+        for i in 0..40 {
+            cluster.load_direct(
+                &format!("k{i}"),
+                &Mutation::single("f", b"v".to_vec()),
+                Timestamp(i + 1),
+            );
+        }
+        let generation = cluster.placement.generation();
+        cluster.apply_fault(&FaultEvent::JoinNode { dc: 0, rack: 0 }, &mut sim);
+        let joined = NodeId(6);
+        assert_eq!(cluster.node_count(), 7);
+        assert_eq!(cluster.placement.generation(), generation + 1);
+        assert!(cluster.fault_state().is_serving(joined));
+        // The new node owns some keys, and holds the freshest copy of each
+        // (bootstrap streaming finished before it serves).
+        let mut owned = 0;
+        for i in 0..40 {
+            let name = format!("k{i}");
+            let id = cluster.key_id(&name).unwrap();
+            let reps = cluster.replicas_for(&name);
+            assert_eq!(reps, {
+                let cached = cluster.replicas_for_id(id);
+                cached.as_slice().to_vec()
+            });
+            if reps.contains(&joined) {
+                owned += 1;
+                assert_eq!(cluster.node(joined).digest(id), Some(Timestamp(i + 1)));
+            }
+        }
+        assert!(owned > 0, "7 nodes x 16 vnodes must hand the joiner keys");
+        // Reads served by the joiner are fresh.
+        for i in 0..40 {
+            cluster.submit_read(&format!("k{i}"), ConsistencyLevel::One, &mut sim);
+        }
+        let comps = drain(&mut cluster, &mut sim);
+        assert!(comps.iter().all(|c| !c.stale && !c.aborted));
+    }
+
+    #[test]
+    fn mid_partition_joiner_bootstraps_at_the_heal() {
+        // A node joining during an active partition is isolated: it owns
+        // ring ranges immediately but can stream from nobody. The heal must
+        // retry the anti-entropy pass so the joiner converges.
+        let (mut cluster, mut sim) = test_cluster(0.2);
+        for i in 0..40 {
+            cluster.load_direct(
+                &format!("k{i}"),
+                &Mutation::single("f", b"v".to_vec()),
+                Timestamp(i + 1),
+            );
+        }
+        let everyone: Vec<NodeId> = cluster.topology().nodes().collect();
+        cluster.apply_fault(
+            &FaultEvent::Partition {
+                groups: vec![everyone],
+            },
+            &mut sim,
+        );
+        cluster.apply_fault(&FaultEvent::JoinNode { dc: 0, rack: 0 }, &mut sim);
+        let joined = NodeId(6);
+        let owned: Vec<String> = (0..40)
+            .map(|i| format!("k{i}"))
+            .filter(|name| cluster.replicas_for(name).contains(&joined))
+            .collect();
+        assert!(!owned.is_empty(), "the joiner must own some keys");
+        for name in &owned {
+            let id = cluster.key_id(name).unwrap();
+            assert_eq!(
+                cluster.node(joined).digest(id),
+                None,
+                "{name}: nothing can stream across the cut"
+            );
+        }
+        // Heal: streams are retried and the joiner converges.
+        cluster.apply_fault(&FaultEvent::HealPartition, &mut sim);
+        for name in &owned {
+            let id = cluster.key_id(name).unwrap();
+            assert!(
+                cluster.node(joined).digest(id).is_some(),
+                "{name} still missing on the joiner after the heal"
+            );
+        }
+    }
+
+    #[test]
+    fn decommission_streams_data_out_and_leaves_the_ring() {
+        let (mut cluster, mut sim) = test_cluster(0.2);
+        for i in 0..40 {
+            cluster.load_direct(
+                &format!("k{i}"),
+                &Mutation::single("f", b"v".to_vec()),
+                Timestamp(i + 1),
+            );
+        }
+        let leaving = NodeId(0);
+        cluster.apply_fault(&FaultEvent::DecommissionNode { node: leaving }, &mut sim);
+        assert!(!cluster.fault_state().is_serving(leaving));
+        assert!(!cluster.fault_state().is_member(leaving));
+        assert_eq!(cluster.live_node_count(), 5);
+        // No replica set references the leaver, and every remaining replica
+        // holds the freshest copy of every key.
+        for i in 0..40 {
+            let name = format!("k{i}");
+            let id = cluster.key_id(&name).unwrap();
+            let reps = cluster.replicas_for(&name);
+            assert!(!reps.contains(&leaving), "{name} still placed on leaver");
+            for node in reps {
+                assert_eq!(cluster.node(node).digest(id), Some(Timestamp(i + 1)));
+            }
+        }
+        // Reads after the decommission stay fresh and never touch the leaver.
+        for i in 0..40 {
+            cluster.submit_read(&format!("k{i}"), ConsistencyLevel::One, &mut sim);
+        }
+        let comps = drain(&mut cluster, &mut sim);
+        assert!(comps.iter().all(|c| !c.stale && !c.aborted));
+        assert_eq!(cluster.fault_state().counters().decommissions, 1);
+    }
+
+    #[test]
+    fn expire_stalled_ops_frees_operations_stranded_by_a_cut() {
+        // Construct the strand deterministically: the read is coordinated
+        // and fanned out, then the coordinator is isolated before any
+        // response can reach it. An ALL read needs every replica's answer
+        // and at most one replica (the coordinator itself) can still
+        // respond, so the operation can never complete — only the reaper
+        // can free it.
+        let (mut cluster, mut sim) = test_cluster(0.3);
+        cluster.load_direct("k", &Mutation::single("f", b"v".to_vec()), Timestamp(1));
+        cluster.submit_read("k", ConsistencyLevel::All, &mut sim);
+        // Process exactly the client→coordinator delivery: round-robin makes
+        // node 0 the coordinator, and handling this event schedules the
+        // replica-read fan-out.
+        let (_, ev) = sim.next().unwrap();
+        cluster.handle(ev, &mut sim);
+        // Cut the coordinator (node 0) off from everyone else.
+        let a: Vec<NodeId> = vec![NodeId(0)];
+        let b: Vec<NodeId> = cluster.topology().nodes().skip(1).collect();
+        cluster.apply_fault(&FaultEvent::Partition { groups: vec![a, b] }, &mut sim);
+        // Everything that can run, runs: replica reads are served, but their
+        // responses are dropped at the cut, so the read never completes.
+        let comps = drain(&mut cluster, &mut sim);
+        assert!(
+            comps.is_empty(),
+            "the stranded ALL read must not complete across the cut: {comps:?}"
+        );
+        // Reap: the stranded op aborts instead of hanging the client.
+        sim.schedule_in(
+            SimTime::from_secs(2),
+            StoreEvent::ClientReply { op: OpId(u64::MAX) },
+        );
+        let _ = sim.next(); // advance virtual time past the timeout
+        let aborted = cluster.expire_stalled_ops(SimTime::from_secs(1), &mut sim);
+        assert_eq!(aborted, 1);
+        let comps = drain(&mut cluster, &mut sim);
+        assert_eq!(comps.len(), 1);
+        assert!(comps[0].aborted);
+        assert_eq!(cluster.totals().ops_aborted, 1);
     }
 
     #[test]

@@ -40,22 +40,33 @@ impl HashRing {
     /// Panics if `node_count` or `vnodes_per_node` is zero.
     pub fn new(node_count: usize, vnodes_per_node: usize) -> Self {
         assert!(node_count > 0, "ring needs at least one node");
+        let members: Vec<NodeId> = (0..node_count as u32).map(NodeId).collect();
+        HashRing::with_members(&members, vnodes_per_node)
+    }
+
+    /// Builds a ring over an explicit membership set — the elastic form of
+    /// [`HashRing::new`]. Each member keeps the tokens its id has always
+    /// hashed to, so adding or removing a member only moves the key ranges
+    /// adjacent to its tokens (the consistent-hashing property node churn
+    /// relies on); `new(n, v)` is exactly `with_members(&[0..n], v)`.
+    ///
+    /// # Panics
+    /// Panics if `members` is empty or `vnodes_per_node` is zero.
+    pub fn with_members(members: &[NodeId], vnodes_per_node: usize) -> Self {
+        assert!(!members.is_empty(), "ring needs at least one node");
         assert!(vnodes_per_node > 0, "each node needs at least one token");
-        let mut entries = Vec::with_capacity(node_count * vnodes_per_node);
-        for n in 0..node_count {
+        let mut entries = Vec::with_capacity(members.len() * vnodes_per_node);
+        for &node in members {
             for v in 0..vnodes_per_node {
-                let token = mix(fnv1a(format!("node{n}").as_bytes()), v as u64 + 1);
-                entries.push(TokenEntry {
-                    token,
-                    node: NodeId(n as u32),
-                });
+                let token = mix(fnv1a(format!("node{}", node.0).as_bytes()), v as u64 + 1);
+                entries.push(TokenEntry { token, node });
             }
         }
         entries.sort_by_key(|e| (e.token, e.node.0));
         entries.dedup_by_key(|e| e.token);
         HashRing {
             entries,
-            nodes: node_count,
+            nodes: members.len(),
             vnodes_per_node,
         }
     }
@@ -120,9 +131,18 @@ impl HashRing {
     }
 
     /// The fraction of the token space owned by each node (useful for
-    /// checking balance); indexed by node id.
+    /// checking balance); indexed by node id. Rings built over an elastic
+    /// membership can have non-contiguous ids (a decommissioned slot leaves
+    /// a hole), so the vector is sized to the highest member id and the
+    /// holes simply own zero.
     pub fn ownership(&self) -> Vec<f64> {
-        let mut owned = vec![0.0f64; self.nodes];
+        let slots = self
+            .entries
+            .iter()
+            .map(|e| e.node.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut owned = vec![0.0f64; slots];
         let len = self.entries.len();
         for i in 0..len {
             let cur = self.entries[i];
@@ -212,6 +232,36 @@ mod tests {
         assert!((total - 1.0).abs() < 1e-9);
         for (i, o) in own.iter().enumerate() {
             assert!(*o > 0.02 && *o < 0.25, "node {i} owns {o}");
+        }
+    }
+
+    #[test]
+    fn membership_rings_keep_surviving_tokens_and_report_ownership() {
+        // Removing a member only moves its ranges: surviving nodes keep
+        // their token positions, and ownership() handles the id hole left
+        // by the departed node instead of indexing out of bounds.
+        let full = HashRing::new(4, 16);
+        let shrunk = HashRing::with_members(&[NodeId(1), NodeId(2), NodeId(3)], 16);
+        assert_eq!(shrunk.node_count(), 3);
+        for k in 0..200 {
+            let key = format!("user{k}");
+            let primary = shrunk.primary_for_key(&key);
+            assert_ne!(primary, NodeId(0));
+            // A key whose full-ring primary survives keeps that primary.
+            if full.primary_for_key(&key) != NodeId(0) {
+                assert_eq!(primary, full.primary_for_key(&key), "{key} moved");
+            }
+        }
+        let own = shrunk.ownership();
+        assert_eq!(own.len(), 4, "sized to the highest member id");
+        assert_eq!(own[0], 0.0, "the departed slot owns nothing");
+        assert!((own.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // new(n, v) is exactly with_members(0..n, v).
+        let a = HashRing::new(4, 16);
+        let b = HashRing::with_members(&[NodeId(0), NodeId(1), NodeId(2), NodeId(3)], 16);
+        for k in 0..50 {
+            let key = format!("u{k}");
+            assert_eq!(a.primary_for_key(&key), b.primary_for_key(&key));
         }
     }
 

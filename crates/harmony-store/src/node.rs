@@ -207,6 +207,19 @@ impl StorageNode {
         }
     }
 
+    /// Drains both stage queues without touching the busy slots — the crash
+    /// path: queued (not yet started) work is returned as
+    /// `(write stage, read stage)` so the cluster can hint the mutations and
+    /// fail the reads, while work already *in service* is left to complete
+    /// (its `Process` event is in flight and will release the slot through
+    /// [`StorageNode::finish_work`] as usual).
+    pub fn drain_queues(&mut self) -> (Vec<Message>, Vec<Message>) {
+        (
+            self.write_stage.queue.drain(..).collect(),
+            self.read_stage.queue.drain(..).collect(),
+        )
+    }
+
     /// Called when a unit of replica work of `stage` finishes service.
     /// Returns the next queued message of that stage to start (the freed slot
     /// is immediately reused), if any.

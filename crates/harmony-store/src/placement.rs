@@ -109,6 +109,13 @@ impl PlacementCache {
         self.generation
     }
 
+    /// Number of invalidations performed — the churn property tests assert
+    /// this increments exactly once per topology change. (Alias of
+    /// [`PlacementCache::generation`], named for what it counts.)
+    pub fn invalidations(&self) -> u64 {
+        self.generation
+    }
+
     /// Number of keys with a cached (computed) replica set.
     pub fn cached_len(&self) -> usize {
         self.sets.iter().filter(|s| !s.is_empty()).count()

@@ -6,10 +6,18 @@
 //! Sampling is deterministic per property (the mini-proptest shim derives
 //! its seed from the property name), so a failure reproduces exactly.
 
-use harmony_sim::topology::Topology;
+use harmony_chaos::FaultEvent;
+use harmony_sim::engine::Simulation;
+use harmony_sim::latency::Latency;
+use harmony_sim::rng::RngFactory;
+use harmony_sim::topology::{NetworkModel, Topology};
+use harmony_store::cluster::Cluster;
+use harmony_store::config::StoreConfig;
 use harmony_store::hashring::HashRing;
 use harmony_store::keys::{KeyId, KeyTable};
+use harmony_store::messages::StoreEvent;
 use harmony_store::placement::{PlacementCache, ReplicationStrategy, MAX_RF};
+use harmony_store::types::{Mutation, Timestamp};
 use proptest::prelude::*;
 
 fn strategies() -> [ReplicationStrategy; 2] {
@@ -111,6 +119,86 @@ proptest! {
                 old_nodes + grown_by,
                 keys.len()
             );
+        }
+    }
+
+    /// Elastic churn through the real cluster path: a random mid-run
+    /// sequence of joins and decommissions (driven by `FaultEvent`s, the way
+    /// a chaos schedule drives them) must keep the memoised placement table
+    /// indistinguishable from fresh ring walks, and must invalidate it
+    /// exactly once per topology change — no more (cache thrash), no less
+    /// (stale placements from a previous ring).
+    #[test]
+    fn cache_tracks_fresh_walks_under_join_decommission_churn(
+        seed in 0u64..1_000,
+        churn in prop::collection::vec(0u8..2, 1..6),
+        key_indices in prop::collection::vec(0u64..200, 5..40),
+    ) {
+        let config = StoreConfig {
+            replication_factor: 3,
+            ..StoreConfig::default()
+        };
+        let mut cluster = Cluster::new(
+            config,
+            Topology::single_dc(2, 3),
+            NetworkModel::uniform(Latency::constant_ms(0.2)),
+            RngFactory::new(seed),
+        );
+        let mut sim: Simulation<StoreEvent> = Simulation::new(seed);
+        let keys: Vec<(KeyId, String)> = key_indices
+            .iter()
+            .map(|i| {
+                let name = format!("user{i}");
+                let id = cluster.intern_key(&name);
+                (id, name)
+            })
+            .collect();
+        for (i, (_, name)) in keys.iter().enumerate() {
+            cluster.load_direct(name, &Mutation::single("f", b"v".to_vec()), Timestamp(i as u64 + 1));
+        }
+
+        for (step, kind) in churn.iter().enumerate() {
+            let invalidations_before = cluster.placement_invalidations();
+            let members = cluster.fault_state().members();
+            // Decommission the lowest-numbered member, unless that would
+            // shrink the membership too far — then grow instead.
+            if *kind == 1 || members.len() <= 3 {
+                cluster.apply_fault(
+                    &FaultEvent::JoinNode {
+                        dc: 0,
+                        rack: step as u16 % 2,
+                    },
+                    &mut sim,
+                );
+            } else {
+                cluster.apply_fault(
+                    &FaultEvent::DecommissionNode { node: members[0] },
+                    &mut sim,
+                );
+            }
+            // Exactly one invalidation per topology change.
+            prop_assert_eq!(
+                cluster.placement_invalidations(),
+                invalidations_before + 1,
+                "churn step {} must invalidate exactly once",
+                step
+            );
+            // Every cached lookup equals a fresh ring walk on the new ring,
+            // and no placement references a non-member.
+            for (id, name) in &keys {
+                let fresh = cluster.replicas_for(name);
+                let cached = cluster.replicas_for_id(*id);
+                prop_assert_eq!(cached.as_slice(), fresh.as_slice(), "key {}", name);
+                for node in cached.as_slice() {
+                    prop_assert!(cluster.fault_state().is_member(*node));
+                }
+            }
+            // Second pass: the memoised entries (now warm) still agree.
+            for (id, name) in &keys {
+                let fresh = cluster.replicas_for(name);
+                let warm = cluster.replicas_for_id(*id);
+                prop_assert_eq!(warm.as_slice(), fresh.as_slice());
+            }
         }
     }
 

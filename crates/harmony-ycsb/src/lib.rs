@@ -47,10 +47,14 @@ pub mod workloads;
 pub mod prelude {
     pub use crate::distributions::{record_key, KeyChooser};
     pub use crate::runner::{
-        run_experiment, ExperimentResult, ExperimentSpec, Phase, PhaseResult, Runner, RunnerEvent,
+        run_experiment, run_experiment_with_faults, ExperimentResult, ExperimentSpec, Phase,
+        PhaseResult, Runner, RunnerEvent, CHAOS_OP_TIMEOUT,
     };
     pub use crate::stats::{LatencyHistogram, LatencySummary, RunStats};
     pub use crate::workloads::{Operation, RequestDistribution, WorkloadSpec};
+    pub use harmony_chaos::{
+        FaultCounters, FaultEvent, FaultSchedule, FaultState, RandomFaultConfig, ScheduledFault,
+    };
 }
 
 pub use prelude::*;

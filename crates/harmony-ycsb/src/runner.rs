@@ -13,6 +13,7 @@ use crate::stats::RunStats;
 use crate::workloads::{Operation, WorkloadSpec};
 use harmony_adaptive::controller::{AdaptiveController, DecisionRecord, HotKeyDecision};
 use harmony_adaptive::policy::ConsistencyPolicy;
+use harmony_chaos::{FaultCounters, FaultEvent, FaultSchedule};
 use harmony_sim::clock::SimTime;
 use harmony_sim::engine::Simulation;
 use harmony_sim::profiles::ClusterProfile;
@@ -36,7 +37,18 @@ pub enum RunnerEvent {
     Store(StoreEvent),
     /// A periodic monitoring/adaptation tick.
     MonitorTick,
+    /// A scheduled fault fires (chaos mode only: an empty fault schedule
+    /// never enqueues one of these, keeping fault-free runs byte-identical).
+    Fault(FaultEvent),
 }
+
+/// How long an operation may stay unanswered under an active fault schedule
+/// before the chaos-mode reaper aborts it (virtual time). A partition or a
+/// crash landing between fan-out and reply can strand an operation no
+/// schedule-time reachability check can predict; one virtual second is two
+/// orders of magnitude above the worst saturated op latency in the scaled
+/// runs, so the reaper only ever fires on truly stranded work.
+pub const CHAOS_OP_TIMEOUT: SimTime = SimTime::from_secs(1);
 
 impl From<StoreEvent> for RunnerEvent {
     fn from(e: StoreEvent) -> Self {
@@ -158,6 +170,9 @@ pub struct ExperimentResult {
     /// keys were escalated above the default level, and how far. Empty for
     /// global (non-split) controllers and unskewed workloads.
     pub hot_set: Vec<HotKeyDecision>,
+    /// How many faults of each kind the run actually applied (all zero for
+    /// an empty fault schedule).
+    pub fault_counters: FaultCounters,
 }
 
 impl ExperimentResult {
@@ -202,6 +217,8 @@ pub struct Runner {
     sim: Simulation<RunnerEvent>,
     controller: AdaptiveController,
     spec: ExperimentSpec,
+    /// The fault schedule to replay (empty = no chaos layer at all).
+    faults: FaultSchedule,
     profile_name: String,
     key_chooser: KeyChooser,
     workload_rng: StdRng,
@@ -272,6 +289,7 @@ impl Runner {
             cluster,
             sim: Simulation::new(spec.seed),
             controller,
+            faults: FaultSchedule::empty(),
             workload_rng: factory.stream("workload"),
             key_chooser,
             profile_name: profile.name.clone(),
@@ -289,6 +307,14 @@ impl Runner {
             read_level_histogram: BTreeMap::new(),
             spec,
         }
+    }
+
+    /// Attaches a fault schedule to replay during the run. An empty schedule
+    /// is exactly equivalent to never calling this: no events are enqueued
+    /// and no chaos-mode machinery (reaper, masks) perturbs the run.
+    pub fn with_faults(mut self, faults: FaultSchedule) -> Self {
+        self.faults = faults;
+        self
     }
 
     fn phase(&self) -> Phase {
@@ -363,6 +389,14 @@ impl Runner {
 
     fn record_completion(&mut self, completion: &Completion, meta: OpMeta) -> bool {
         // Returns true if this completion counts towards the phase's target.
+        if completion.aborted {
+            // A fault killed the operation: it is neither a read nor a write
+            // and does not advance the phase — the session simply retries
+            // with its next operation, like a client driver timing out.
+            self.stats.aborted_ops += 1;
+            self.phase_stats.aborted_ops += 1;
+            return false;
+        }
         match meta.purpose {
             Purpose::Verification(original_ts) => {
                 if completion.returned_timestamp != original_ts {
@@ -418,14 +452,17 @@ impl Runner {
         if counted {
             self.phase_completed_ops += 1;
         }
-        // Decide what the session does next.
+        // Decide what the session does next. An aborted operation never
+        // chains follow-up work (no write-back, no verification read).
         match meta.purpose {
-            Purpose::RmwRead => {
+            Purpose::RmwRead if !completion.aborted => {
                 // Write back the same key (`KeyId` is `Copy` — no clone).
                 self.issue_write(meta.session, completion.key, Purpose::Normal);
             }
             Purpose::Normal
-                if completion.kind == OpKind::Read && self.spec.dual_read_measurement =>
+                if !completion.aborted
+                    && completion.kind == OpKind::Read
+                    && self.spec.dual_read_measurement =>
             {
                 // Paper §V.F: verify with a second read at the strongest level.
                 let op = self.cluster.submit_read_id(
@@ -490,6 +527,18 @@ impl Runner {
         let interval = self.controller.interval();
         self.sim.schedule_in(interval, RunnerEvent::MonitorTick);
 
+        // Chaos mode: enqueue the fault schedule as first-class events. An
+        // empty schedule enqueues nothing and disarms the reaper, so the
+        // event sequence of a fault-free run is untouched.
+        let chaos = !self.faults.is_empty();
+        if chaos {
+            let scheduled: Vec<_> = self.faults.events().to_vec();
+            for fault in scheduled {
+                self.sim
+                    .schedule_at(fault.at, RunnerEvent::Fault(fault.fault));
+            }
+        }
+
         // Start the first phase's sessions.
         for s in 0..self.phase().threads.min(self.session_active.len()) {
             self.issue_next_op(s);
@@ -503,6 +552,16 @@ impl Runner {
                 RunnerEvent::MonitorTick => {
                     self.controller.tick(self.sim.now(), &self.cluster);
                     self.sim.schedule_in(interval, RunnerEvent::MonitorTick);
+                    if chaos {
+                        // Reap operations stranded by races no schedule-time
+                        // check can close (e.g. a partition installed while
+                        // replies were in flight); their sessions move on.
+                        self.cluster
+                            .expire_stalled_ops(CHAOS_OP_TIMEOUT, &mut self.sim);
+                    }
+                }
+                RunnerEvent::Fault(fault) => {
+                    self.cluster.apply_fault(&fault, &mut self.sim);
                 }
                 RunnerEvent::Store(store_event) => {
                     if let Some(completion) = self.cluster.handle(store_event, &mut self.sim) {
@@ -523,6 +582,7 @@ impl Runner {
             read_level_histogram: self.read_level_histogram,
             cluster_totals: self.cluster.totals(),
             hot_set: self.controller.hot_set().to_vec(),
+            fault_counters: self.cluster.fault_state().counters(),
         }
     }
 }
@@ -536,9 +596,31 @@ pub fn run_experiment(
     policy: Box<dyn ConsistencyPolicy>,
     spec: ExperimentSpec,
 ) -> ExperimentResult {
+    run_experiment_with_faults(
+        profile,
+        store_config,
+        controller_config,
+        policy,
+        spec,
+        FaultSchedule::empty(),
+    )
+}
+
+/// [`run_experiment`] with a fault schedule replayed during the transaction
+/// phases. An empty schedule is byte-identical to [`run_experiment`].
+pub fn run_experiment_with_faults(
+    profile: &ClusterProfile,
+    store_config: StoreConfig,
+    controller_config: harmony_adaptive::config::ControllerConfig,
+    policy: Box<dyn ConsistencyPolicy>,
+    spec: ExperimentSpec,
+    faults: FaultSchedule,
+) -> ExperimentResult {
     let controller =
         AdaptiveController::new(controller_config, store_config.replication_factor, policy);
-    Runner::new(profile, store_config, controller, spec).run()
+    Runner::new(profile, store_config, controller, spec)
+        .with_faults(faults)
+        .run()
 }
 
 #[cfg(test)]
@@ -748,6 +830,58 @@ mod tests {
         // Escalations actually reached the read path: some reads ran above ONE
         // even though the default level stayed cheap on most ticks.
         assert!(result.read_level_histogram.len() > 1);
+    }
+
+    #[test]
+    fn crash_schedule_completes_the_run_and_counts_faults() {
+        use harmony_sim::topology::NodeId;
+        let spec = small_spec(8, 4_000);
+        let profile = profiles::grid5000_with_nodes(6);
+        // Crash one node early, restart it later; the closed-loop sessions
+        // must keep completing operations throughout.
+        let faults = FaultSchedule::empty()
+            .crash_at(0.05, NodeId(1))
+            .restart_at(0.4, NodeId(1));
+        let result = run_experiment_with_faults(
+            &profile,
+            small_store_config(),
+            ControllerConfig::default(),
+            Box::new(StaticPolicy::Eventual),
+            spec,
+            faults,
+        );
+        assert!(result.stats.operations >= 4_000);
+        assert_eq!(result.fault_counters.crashes, 1);
+        assert_eq!(result.fault_counters.restarts, 1);
+        assert!(result.stats.duration_secs() > 0.4, "run spans the schedule");
+    }
+
+    #[test]
+    fn empty_fault_schedule_is_byte_identical_to_run_experiment() {
+        let spec = small_spec(8, 2_000);
+        let profile = profiles::grid5000_with_nodes(6);
+        let plain = run_experiment(
+            &profile,
+            small_store_config(),
+            ControllerConfig::default(),
+            Box::new(HarmonyPolicy::new(3, 0.2)),
+            spec.clone(),
+        );
+        let chaos_empty = run_experiment_with_faults(
+            &profile,
+            small_store_config(),
+            ControllerConfig::default(),
+            Box::new(HarmonyPolicy::new(3, 0.2)),
+            spec,
+            FaultSchedule::empty(),
+        );
+        assert_eq!(plain.decisions, chaos_empty.decisions);
+        assert_eq!(plain.read_level_histogram, chaos_empty.read_level_histogram);
+        assert_eq!(plain.stats.operations, chaos_empty.stats.operations);
+        assert_eq!(plain.stats.stale_reads, chaos_empty.stats.stale_reads);
+        assert_eq!(plain.cluster_totals, chaos_empty.cluster_totals);
+        assert_eq!(chaos_empty.fault_counters.total(), 0);
+        assert_eq!(chaos_empty.stats.aborted_ops, 0);
     }
 
     #[test]

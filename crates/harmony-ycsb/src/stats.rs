@@ -186,6 +186,9 @@ pub struct RunStats {
     pub hot_reads: u64,
     /// Stale reads among the hot-key reads (ground truth).
     pub hot_stale_reads: u64,
+    /// Operations aborted by injected faults (unavailable replica sets,
+    /// coordinator crashes, stall timeouts). Zero on fault-free runs.
+    pub aborted_ops: u64,
     /// Virtual time at which the measured phase started.
     pub started_at: SimTime,
     /// Virtual time at which the measured phase ended.

@@ -18,7 +18,8 @@
 //! | Crate | Role |
 //! |-------|------|
 //! | [`harmony_model`] | the stale-read probability model (Eq. 1-8) and rate estimators |
-//! | [`harmony_sim`] | deterministic discrete-event kernel, latency models, Grid'5000/EC2 profiles |
+//! | [`harmony_sim`] | deterministic discrete-event kernel, latency models, Grid'5000/EC2/multi-DC profiles |
+//! | [`harmony_chaos`] | deterministic fault injection and elasticity: typed fault schedules (crashes, partitions, slow replicas, node churn) and the cluster-side fault state |
 //! | [`harmony_store`] | a Cassandra-like quorum-replicated key-value store (ring, placement, commit log/memtable/SSTables, coordinator, read repair) |
 //! | [`harmony_monitor`] | the monitoring module (counter/latency collection, rate smoothing) |
 //! | [`harmony_adaptive`] | the adaptive controller plus the static baselines (eventual, strong, quorum) |
@@ -54,6 +55,7 @@
 //! ```
 
 pub use harmony_adaptive as adaptive;
+pub use harmony_chaos as chaos;
 pub use harmony_live as live;
 pub use harmony_model as model;
 pub use harmony_monitor as monitor;

@@ -31,12 +31,17 @@ fn run_split(seed: u64) -> ExperimentResult {
         client_latency_ms: 0.15,
         ..StoreConfig::default()
     };
-    run_experiment(
+    // Routed through the fault-aware entry point with an explicitly *empty*
+    // schedule: the golden pin below is therefore also the guard that the
+    // whole chaos layer (fault masks, hint plumbing, membership checks) is
+    // byte-for-byte free when no fault fires.
+    run_experiment_with_faults(
         &harmony::profiles::grid5000_with_nodes(8),
         store,
         harmony_bench::experiments::split_figure_controller_config(),
         Box::new(HarmonyPolicy::new(5, 0.05)),
         spec,
+        FaultSchedule::empty(),
     )
 }
 
