@@ -1,7 +1,7 @@
 //! Configuration of the adaptive-consistency controller.
 
 use harmony_model::perkey::PerKeyModel;
-use harmony_model::queueing::QueueingModel;
+use harmony_model::queueing::{ProactiveConfig, QueueingModel};
 use harmony_model::staleness::PropagationModel;
 use harmony_monitor::collector::MonitorConfig;
 use serde::{Deserialize, Serialize};
@@ -40,6 +40,11 @@ pub struct ControllerConfig {
     pub queueing: QueueingModel,
     /// Per-key split decisions for skewed workloads (hot set + cheap default).
     pub per_key: PerKeySplitConfig,
+    /// Proactive (predicted-wait) control: blend the M/G/1 predicted wait
+    /// dispersion into the staleness window and escalate on predicted
+    /// divergence. Disabled by default; disabled, the controller is
+    /// byte-identical to the reactive one.
+    pub proactive: ProactiveConfig,
     /// Average write payload size in bytes, fed to the propagation model
     /// (the paper's `avg_w`).
     pub avg_write_size_bytes: f64,
@@ -52,6 +57,7 @@ impl Default for ControllerConfig {
             propagation: PropagationModel::default(),
             queueing: QueueingModel::default(),
             per_key: PerKeySplitConfig::default(),
+            proactive: ProactiveConfig::default(),
             avg_write_size_bytes: 1024.0,
         }
     }
@@ -68,6 +74,7 @@ impl ControllerConfig {
         }
         self.queueing.validate()?;
         self.per_key.model.validate()?;
+        self.proactive.validate()?;
         Ok(())
     }
 }
@@ -105,5 +112,13 @@ mod tests {
     #[test]
     fn per_key_split_is_off_by_default() {
         assert!(!ControllerConfig::default().per_key.enabled);
+    }
+
+    #[test]
+    fn proactive_control_is_off_by_default_and_validated() {
+        assert!(!ControllerConfig::default().proactive.enabled);
+        let mut c = ControllerConfig::default();
+        c.proactive.prediction_weight = 2.0;
+        assert!(c.validate().is_err());
     }
 }

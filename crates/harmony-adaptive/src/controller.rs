@@ -42,6 +42,10 @@ pub struct DecisionRecord {
     /// Mean propagation time fed to the model (seconds): network transfer
     /// plus the queue-wait spread mean.
     pub tp_secs: f64,
+    /// M/G/1 predicted mean queue wait for the sweep (ms, saturated to the
+    /// trend window — always finite). Informational when proactive control is
+    /// disabled; the escalation input when enabled.
+    pub predicted_wait_ms: f64,
     /// The policy's stale-read estimate, if it computes one.
     pub estimate: Option<f64>,
     /// Number of replicas the chosen (default) level will involve in reads.
@@ -183,11 +187,15 @@ impl AdaptiveController {
             backlog_mean_ms: sample.backlog_ms,
             backlog_variance_ms2: sample.backlog_spread_ms * sample.backlog_spread_ms,
             backlog_trend_ms_per_s: sample.backlog_trend_ms_per_s,
+            predicted_wait_ms: sample.predicted_wait_ms,
+            predicted_wait_trend_ms_per_s: sample.predicted_wait_trend_ms_per_s,
         };
-        let staleness =
-            self.config
-                .queueing
-                .estimate(&observation, tp_network_secs, self.replication_factor);
+        let staleness = self.config.queueing.estimate_with_prediction(
+            &observation,
+            tp_network_secs,
+            self.replication_factor,
+            &self.config.proactive,
+        );
         let tp_secs = staleness.tp_mean_secs();
 
         // Per-key split. The paper's closed form is a single-object race
@@ -284,6 +292,7 @@ impl AdaptiveController {
             utilization: staleness.utilization,
             diverging: staleness.diverging,
             tp_secs,
+            predicted_wait_ms: sample.predicted_wait_ms,
             estimate: self.policy.last_estimate(),
             replicas_in_read: self
                 .current_read_level
@@ -572,6 +581,114 @@ mod tests {
             "a policy without a tolerance has nothing to escalate against"
         );
         assert_eq!(c.read_level_for(probe.intern("hot")), ConsistencyLevel::One);
+    }
+
+    /// Drives a controller through an arrival ramp into write-stage
+    /// saturation while the *measured* backlog dispersion stays flat, and
+    /// returns the tick index of the first above-ONE decision (None if it
+    /// never escalates).
+    fn first_escalation_under_arrival_ramp(
+        proactive: harmony_model::queueing::ProactiveConfig,
+    ) -> Option<usize> {
+        use harmony_store::node::WriteStageTelemetry;
+        let mut c = AdaptiveController::new(
+            ControllerConfig {
+                monitor: harmony_monitor::collector::MonitorConfig {
+                    estimator: harmony_monitor::collector::EstimatorKind::Ewma(1.0),
+                    ..Default::default()
+                },
+                proactive,
+                ..Default::default()
+            },
+            5,
+            Box::new(HarmonyPolicy::new(5, 0.2)),
+        );
+        let mut probe = MockProbe {
+            nodes: 1,
+            latency_ms: 0.05,
+            write_concurrency: 1,
+            replica_backlogs: vec![1.0],
+            ..MockProbe::default()
+        };
+        // Mutation arrivals ramp to ρ > 1 (1 ms deterministic service) while
+        // the probed backlog and its dispersion stay put — the measured
+        // signals lag the arrivals by design of the scenario.
+        let mut cumulative = 0u64;
+        let mut first = None;
+        for (i, rate) in [100u64, 400, 800, 1100, 1300, 1300].iter().enumerate() {
+            cumulative += rate;
+            probe.write_telemetry = vec![WriteStageTelemetry {
+                arrivals: cumulative,
+                completed: cumulative,
+                service_ms_total: cumulative as f64,
+                service_ms_sq_total: cumulative as f64,
+                queued: 0,
+                busy: 0,
+            }];
+            probe.reads += 50;
+            probe.writes += 50;
+            let level = c.tick(SimTime::from_secs(i as u64 + 1), &probe);
+            if first.is_none() && level.required_acks(5) > 1 {
+                first = Some(i);
+            }
+        }
+        for d in c.decisions() {
+            assert!(d.predicted_wait_ms.is_finite());
+            assert!(d.utilization.is_finite());
+        }
+        first
+    }
+
+    #[test]
+    fn proactive_controller_escalates_before_the_reactive_one() {
+        let reactive = first_escalation_under_arrival_ramp(
+            harmony_model::queueing::ProactiveConfig::default(),
+        );
+        let proactive = first_escalation_under_arrival_ramp(
+            harmony_model::queueing::ProactiveConfig::enabled(),
+        );
+        let p = proactive.expect("the proactive controller must escalate on the ramp");
+        match reactive {
+            // The reactive controller never sees a reason to escalate (the
+            // measured dispersion never moves) — the proactive one does.
+            None => {}
+            Some(r) => assert!(p < r, "proactive tick {p} must precede reactive tick {r}"),
+        }
+    }
+
+    #[test]
+    fn disabled_proactive_controller_is_byte_identical() {
+        let run = |proactive: harmony_model::queueing::ProactiveConfig| {
+            let mut c = AdaptiveController::new(
+                ControllerConfig {
+                    proactive,
+                    ..Default::default()
+                },
+                5,
+                Box::new(HarmonyPolicy::new(5, 0.2)),
+            );
+            let mut probe = MockProbe {
+                nodes: 10,
+                latency_ms: 1.0,
+                replica_backlogs: vec![1.0, 2.0, 5.0, 0.5, 3.0, 1.0, 2.0, 4.0, 0.0, 2.5],
+                ..MockProbe::default()
+            };
+            for tick in 1..=8u64 {
+                probe.reads += 4_000;
+                probe.writes += 3_000;
+                c.tick(SimTime::from_secs(tick), &probe);
+            }
+            c.decisions().to_vec()
+        };
+        let default_run = run(harmony_model::queueing::ProactiveConfig::default());
+        // Tuned knobs must be inert while the master switch is off.
+        let tuned_but_off = run(harmony_model::queueing::ProactiveConfig {
+            enabled: false,
+            prediction_weight: 1.0,
+            min_utilization: 0.0,
+            horizon_secs: 9.0,
+        });
+        assert_eq!(default_run, tuned_but_off);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use harmony_adaptive::config::{ControllerConfig, PerKeySplitConfig};
 use harmony_adaptive::policy::{ConsistencyPolicy, HarmonyPolicy, StaticPolicy};
 use harmony_chaos::FaultSchedule;
+use harmony_model::queueing::ProactiveConfig;
 use harmony_sim::profiles::{self, ClusterProfile};
 use harmony_store::config::StoreConfig;
 use harmony_ycsb::runner::{
@@ -136,8 +137,28 @@ pub fn figure_controller_config() -> ControllerConfig {
             ..QueueingModel::differential(1e-4)
         },
         per_key: PerKeySplitConfig::default(),
+        proactive: ProactiveConfig::default(),
         avg_write_size_bytes: 100.0,
     }
+}
+
+/// [`figure_controller_config`] with proactive (predicted-wait) control
+/// switched on: the configuration the `proactive_sweep` comparison and the
+/// proactive paper-claim tests run against the reactive baseline. Everything
+/// else is identical, so any divergence between the two controllers is the
+/// prediction term and nothing else.
+pub fn proactive_figure_controller_config() -> ControllerConfig {
+    enable_proactive(figure_controller_config())
+}
+
+/// Turns any controller configuration into its proactive counterpart:
+/// predicted-wait blending and predicted-divergence escalation on, every
+/// other knob untouched. The sweep binary and the step-response tests share
+/// this transformation so the published comparison and the locked-in claims
+/// move together.
+pub fn enable_proactive(mut config: ControllerConfig) -> ControllerConfig {
+    config.proactive = ProactiveConfig::enabled();
+    config
 }
 
 /// [`figure_controller_config`] with per-key split decisions enabled: the

@@ -52,6 +52,9 @@ impl ClusterProbe for LiveProbe<'_> {
     fn key_name(&self, key: harmony_store::keys::KeyId) -> String {
         self.cluster.key_name(key)
     }
+    fn fault_epoch(&self) -> u64 {
+        self.cluster.fault_state().counters().total()
+    }
 }
 
 /// A live cluster with the Harmony control loop attached.

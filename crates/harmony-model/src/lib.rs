@@ -61,6 +61,8 @@ pub mod staleness;
 
 pub use decision::{decide, decide_with_estimate, ConsistencyDecision};
 pub use perkey::{KeyLoad, PerKeyModel};
-pub use queueing::{MG1Queue, QueueingModel, StalenessEstimate, WriteStageObservation};
+pub use queueing::{
+    MG1Queue, ProactiveConfig, QueueingModel, StalenessEstimate, WriteStageObservation,
+};
 pub use rates::{EwmaRate, RateEstimate, SlidingWindowRate};
 pub use staleness::{PropagationModel, StaleReadModel};

@@ -147,6 +147,7 @@ mod tests {
             spread_variance_secs2: 0.0002f64.powi(2) / 2.0,
             utilization: 0.6,
             diverging: false,
+            predicted_wait_secs: 0.0,
         }
     }
 

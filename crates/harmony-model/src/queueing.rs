@@ -116,6 +116,34 @@ impl MG1Queue {
         let second_moment = 2.0 * wq * wq + self.arrival_rate * s3 / (3.0 * (1.0 - rho));
         (second_moment - wq * wq).max(0.0)
     }
+
+    /// [`MG1Queue::mean_wait_secs`] clamped to `cap_secs` — the propagation-
+    /// window worst case the caller is prepared to reason about. An unstable
+    /// queue (`ρ ≥ 1`) reports the cap instead of `f64::INFINITY`: within any
+    /// finite observation window the backlog a diverging queue can build is
+    /// bounded by the window itself, and a finite value keeps EWMAs, trend
+    /// slopes and decision inputs free of `inf - inf = NaN`.
+    pub fn mean_wait_secs_saturating(&self, cap_secs: f64) -> f64 {
+        let cap = cap_secs.max(0.0);
+        let w = self.mean_wait_secs();
+        if w.is_finite() {
+            w.min(cap)
+        } else {
+            cap
+        }
+    }
+
+    /// Standard deviation of the waiting time, clamped to `cap_secs` (see
+    /// [`MG1Queue::mean_wait_secs_saturating`] for the saturation rationale).
+    pub fn wait_std_secs_saturating(&self, cap_secs: f64) -> f64 {
+        let cap = cap_secs.max(0.0);
+        let v = self.wait_variance_secs2();
+        if v.is_finite() {
+            v.sqrt().min(cap)
+        } else {
+            cap
+        }
+    }
 }
 
 /// One monitoring sweep's view of the write stage, aggregated over replicas.
@@ -140,6 +168,93 @@ pub struct WriteStageObservation {
     /// time). A sustained positive trend at high utilization means the queue
     /// is diverging rather than merely full.
     pub backlog_trend_ms_per_s: f64,
+    /// M/G/1 *predicted* mean queue wait (milliseconds), derived by the
+    /// monitor from the arrival/service telemetry of the same sweep via the
+    /// saturating accessors — always finite, even at ρ ≥ 1. Zero when the
+    /// backend publishes no prediction.
+    pub predicted_wait_ms: f64,
+    /// Rate of change of the predicted wait (ms per second of run time). The
+    /// prediction moves one monitoring period before the measured backlog, so
+    /// its trend is the earliest divergence signal available.
+    pub predicted_wait_trend_ms_per_s: f64,
+}
+
+/// Configuration of the proactive (predicted-wait) control path.
+///
+/// Disabled by default; with `enabled = false` every estimate is bit-for-bit
+/// identical to the reactive model — the proactive terms are never even
+/// computed, so no `0·∞` arithmetic can leak a NaN into the reactive path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProactiveConfig {
+    /// Master switch. Off ⇒ the reactive estimate, byte-identically.
+    pub enabled: bool,
+    /// Weight `[0, 1]` of the predicted wait dispersion in the blended spread
+    /// once the prediction is fully confident. The effective weight is this
+    /// value scaled by the confidence ramp, so the blend always discounts
+    /// toward the measured (reactive) dispersion when telemetry is thin.
+    pub prediction_weight: f64,
+    /// Utilization below which the prediction carries zero confidence: an
+    /// almost-idle M/G/1 fit says nothing the measured dispersion doesn't.
+    pub min_utilization: f64,
+    /// Saturation cap (seconds) for the predicted wait moments — the
+    /// propagation-window worst case. Caps the P-K wait near ρ = 1 and
+    /// replaces the infinite wait at ρ ≥ 1 (see
+    /// [`MG1Queue::mean_wait_secs_saturating`]).
+    pub horizon_secs: f64,
+}
+
+impl Default for ProactiveConfig {
+    fn default() -> Self {
+        ProactiveConfig {
+            enabled: false,
+            prediction_weight: 0.5,
+            min_utilization: 0.3,
+            horizon_secs: 1.0,
+        }
+    }
+}
+
+impl ProactiveConfig {
+    /// The default knobs with the master switch on.
+    pub fn enabled() -> Self {
+        ProactiveConfig {
+            enabled: true,
+            ..ProactiveConfig::default()
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.prediction_weight) {
+            return Err("prediction_weight must be within [0, 1]".into());
+        }
+        if !(0.0..1.0).contains(&self.min_utilization) {
+            return Err("min_utilization must be within [0, 1)".into());
+        }
+        if self.horizon_secs <= 0.0 {
+            return Err("horizon_secs must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// Confidence `[0, 1]` of the M/G/1 prediction for the given queue fit.
+    ///
+    /// Zero when the telemetry is sparse (no arrivals or no measured service
+    /// time), when the fit is below `min_utilization`, or at ρ ≥ 1 — there
+    /// the P-K formulas no longer describe a steady state, so the magnitude
+    /// discounts fully toward the reactive estimate (the *divergence flag*
+    /// still fires; only the blended spread falls back). In between the
+    /// confidence ramps linearly from `min_utilization` to 1.
+    pub fn confidence(&self, queue: &MG1Queue) -> f64 {
+        if queue.arrival_rate <= 0.0 || queue.service_mean_secs <= 0.0 {
+            return 0.0;
+        }
+        let rho = queue.utilization();
+        if rho >= 1.0 {
+            return 0.0;
+        }
+        ((rho - self.min_utilization) / (1.0 - self.min_utilization)).clamp(0.0, 1.0)
+    }
 }
 
 /// The queueing-aware staleness model configuration.
@@ -227,6 +342,36 @@ impl QueueingModel {
         tp_network_secs: f64,
         replication_factor: usize,
     ) -> StalenessEstimate {
+        self.estimate_with_prediction(
+            obs,
+            tp_network_secs,
+            replication_factor,
+            &ProactiveConfig::default(),
+        )
+    }
+
+    /// [`QueueingModel::estimate`] with the proactive (predicted-wait) path.
+    ///
+    /// With `proactive.enabled = false` this is byte-for-byte the reactive
+    /// estimate (apart from carrying the observation's predicted wait along
+    /// as an informational field). Enabled, it makes two additions:
+    ///
+    /// * the spread standard deviation becomes a confidence-weighted blend of
+    ///   the *measured* cross-replica dispersion and the M/G/1 *predicted*
+    ///   wait dispersion, so the window widens one monitoring period before
+    ///   the backlog materialises — and narrows again as soon as the fit
+    ///   predicts drain, before the measured backlog has fully cleared;
+    /// * divergence additionally fires on predicted signals: ρ ≥ 1 (the fit
+    ///   says the queue cannot reach a steady state at all), or high
+    ///   utilization with the *predicted* wait growing faster than
+    ///   `divergence_growth` times its own magnitude per second.
+    pub fn estimate_with_prediction(
+        &self,
+        obs: &WriteStageObservation,
+        tp_network_secs: f64,
+        replication_factor: usize,
+        proactive: &ProactiveConfig,
+    ) -> StalenessEstimate {
         let service_mean_ms = obs.service_mean_ms.max(0.0);
         let queue = MG1Queue::new(
             obs.arrival_rate_per_replica,
@@ -236,12 +381,55 @@ impl QueueingModel {
         let utilization = queue.utilization();
 
         // Queue-wait dispersion: the monitored cross-replica variance is the
-        // signal (the M/G/1 wait moments are exposed separately for
-        // prediction). A backend that cannot measure per-replica backlogs
+        // reactive signal. A backend that cannot measure per-replica backlogs
         // reports zero variance and degrades to the pure network model.
         let sigma_s = (obs.backlog_variance_ms2.max(0.0) / 1e6).sqrt();
+
+        // Proactive blend: mix in the predicted wait dispersion, discounted
+        // by the prediction confidence. Guarded so the disabled (and the
+        // zero-confidence) path performs *no* extra arithmetic on sigma —
+        // `0.0 · ∞` would be NaN, and the reactive estimate must stay
+        // bit-identical when the prediction contributes nothing.
+        //
+        // The blend is directional. A prediction *above* the measurement is
+        // the fit seeing arrivals whose waits have not materialised yet —
+        // widen ahead of the backlog. A prediction *below* it discounts the
+        // measured dispersion only while the fit says the queue is
+        // *draining* — the predicted wait falling faster than
+        // `divergence_growth` times its own magnitude, the mirror image of
+        // the divergence criterion, so sweep-to-sweep jitter never counts.
+        // In a steady state a small predicted wait is not evidence against
+        // the measured cross-replica spread: the aggregate M/G/1 fit is
+        // blind to a single laggard replica.
+        let mut spread_sigma = sigma_s;
+        let mut predicted_diverging = false;
+        if proactive.enabled {
+            let weight = proactive.prediction_weight.clamp(0.0, 1.0) * proactive.confidence(&queue);
+            if weight > 0.0 {
+                let sigma_pred = queue.wait_std_secs_saturating(proactive.horizon_secs);
+                let drain_floor = obs.predicted_wait_ms.max(service_mean_ms).max(1e-9);
+                let draining =
+                    obs.predicted_wait_trend_ms_per_s < -self.divergence_growth * drain_floor;
+                if sigma_pred >= sigma_s || draining {
+                    spread_sigma = (1.0 - weight) * sigma_s + weight * sigma_pred;
+                }
+            }
+            // Predicted divergence: an unstable fit is diverging by
+            // definition; below that, a predicted wait growing faster than
+            // its own magnitude (floored by one service time) at high
+            // utilization flags the escalation one sweep before the measured
+            // backlog trend can.
+            if utilization >= 1.0 {
+                predicted_diverging = true;
+            } else if utilization >= self.divergence_utilization {
+                let predicted_floor = obs.predicted_wait_ms.max(service_mean_ms).max(1e-9);
+                predicted_diverging =
+                    obs.predicted_wait_trend_ms_per_s > self.divergence_growth * predicted_floor;
+            }
+        }
+
         let kappa = Self::range_coefficient(replication_factor.max(1));
-        let spread_mean_secs = self.spread_fraction.clamp(0.0, 1.0) * kappa * sigma_s;
+        let spread_mean_secs = self.spread_fraction.clamp(0.0, 1.0) * kappa * spread_sigma;
         let spread_variance_secs2 = spread_mean_secs * spread_mean_secs / self.spread_shape;
 
         // Divergence: high utilization plus a backlog growing faster than
@@ -249,7 +437,8 @@ impl QueueingModel {
         // one service time so an empty queue ramping up still registers).
         let growth_floor = obs.backlog_mean_ms.max(service_mean_ms).max(1e-9);
         let growing = obs.backlog_trend_ms_per_s > self.divergence_growth * growth_floor;
-        let diverging = utilization >= self.divergence_utilization && growing;
+        let diverging =
+            (utilization >= self.divergence_utilization && growing) || predicted_diverging;
 
         StalenessEstimate {
             tp_network_secs: tp_network_secs.max(0.0),
@@ -258,6 +447,7 @@ impl QueueingModel {
             spread_variance_secs2,
             utilization,
             diverging,
+            predicted_wait_secs: obs.predicted_wait_ms.max(0.0) / 1e3,
         }
     }
 }
@@ -281,6 +471,11 @@ pub struct StalenessEstimate {
     /// True if the write-stage queue is diverging (unbounded wait): the stale
     /// probability is pinned at its ceiling and the policy should go strong.
     pub diverging: bool,
+    /// M/G/1 predicted mean queue wait (seconds), saturated to the
+    /// propagation-window worst case — informational like
+    /// [`StalenessEstimate::queue_wait_secs`]; the prediction enters the
+    /// window through the blended spread, not through this field.
+    pub predicted_wait_secs: f64,
 }
 
 impl Default for StalenessEstimate {
@@ -301,6 +496,7 @@ impl StalenessEstimate {
             spread_variance_secs2: 0.0,
             utilization: 0.0,
             diverging: false,
+            predicted_wait_secs: 0.0,
         }
     }
 
@@ -459,8 +655,7 @@ mod tests {
             service_mean_ms: 1.0, // ρ = 0.5
             service_scv: 1.0,
             backlog_mean_ms: 50.0,
-            backlog_variance_ms2: 0.0,
-            backlog_trend_ms_per_s: 0.0,
+            ..Default::default()
         };
         let est = QueueingModel::default().estimate(&obs, 0.0001, 5);
         assert_eq!(est.spread_mean_secs, 0.0);
@@ -498,6 +693,7 @@ mod tests {
             backlog_mean_ms: 10.0,
             backlog_variance_ms2: 1.0,
             backlog_trend_ms_per_s: 50.0, // growing by 5x its size per second
+            ..Default::default()
         };
         let model = QueueingModel::default();
         assert!(model.estimate(&obs, 0.0001, 5).diverging);
@@ -525,6 +721,7 @@ mod tests {
             backlog_mean_ms: 2.0,
             backlog_variance_ms2: 0.5,
             backlog_trend_ms_per_s: 40.0,
+            ..Default::default()
         };
         let est = QueueingModel::default().estimate(&obs, 0.0001, 5);
         assert!(est.diverging);
@@ -543,11 +740,10 @@ mod tests {
         // Gamma spread: matches (1 + s/β)^{-k}.
         let est = StalenessEstimate {
             tp_network_secs: 0.0,
-            queue_wait_secs: 0.0,
             spread_mean_secs: 0.001,
             spread_variance_secs2: 0.5e-6, // shape 2
             utilization: 0.5,
-            diverging: false,
+            ..StalenessEstimate::default()
         };
         let s = 1000.0;
         let expected = (1.0f64 + s * 0.5e-6 / 0.001).powf(-2.0);
@@ -561,14 +757,199 @@ mod tests {
     }
 
     #[test]
+    fn saturating_accessors_never_return_inf_or_nan() {
+        let cap = 2.5;
+        for arrivals in [0.0, 100.0, 500.0, 990.0, 1000.0, 1500.0, 1e9] {
+            for scv in [0.0, 1.0, 4.0] {
+                let q = MG1Queue::new(arrivals, 0.001, scv);
+                let w = q.mean_wait_secs_saturating(cap);
+                let s = q.wait_std_secs_saturating(cap);
+                assert!(w.is_finite() && (0.0..=cap).contains(&w), "w={w}");
+                assert!(s.is_finite() && (0.0..=cap).contains(&s), "s={s}");
+                if q.is_stable() && q.mean_wait_secs() <= cap {
+                    assert_eq!(w, q.mean_wait_secs());
+                }
+                if !q.is_stable() {
+                    assert_eq!(w, cap);
+                    assert_eq!(s, cap);
+                }
+            }
+        }
+        // A negative cap clamps to zero rather than going negative.
+        let unstable = MG1Queue::new(2000.0, 0.001, 1.0);
+        assert_eq!(unstable.mean_wait_secs_saturating(-1.0), 0.0);
+    }
+
+    #[test]
+    fn saturated_waits_mix_into_running_statistics_without_nan() {
+        // The regression the saturating accessors exist for: an EWMA and a
+        // difference-based trend fed across the stability boundary must stay
+        // finite (`inf - inf` and `0 · inf` both poison them as NaN).
+        let cap = 5.0;
+        let mut ewma = 0.0;
+        let mut prev = 0.0;
+        for arrivals in [800.0, 950.0, 1000.0, 1200.0, 900.0, 400.0] {
+            let q = MG1Queue::new(arrivals, 0.001, 1.0);
+            let w = q.mean_wait_secs_saturating(cap);
+            ewma = 0.7 * ewma + 0.3 * w;
+            let trend = w - prev;
+            prev = w;
+            assert!(ewma.is_finite());
+            assert!(trend.is_finite());
+        }
+    }
+
+    #[test]
+    fn proactive_config_validation() {
+        assert!(ProactiveConfig::default().validate().is_ok());
+        assert!(ProactiveConfig::enabled().validate().is_ok());
+        assert!(ProactiveConfig::enabled().enabled);
+        let bad = ProactiveConfig {
+            prediction_weight: 1.5,
+            ..ProactiveConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = ProactiveConfig {
+            min_utilization: 1.0,
+            ..ProactiveConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = ProactiveConfig {
+            horizon_secs: 0.0,
+            ..ProactiveConfig::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn prediction_confidence_ramps_and_discounts() {
+        let p = ProactiveConfig::enabled();
+        // Sparse telemetry ⇒ zero confidence.
+        assert_eq!(p.confidence(&MG1Queue::new(0.0, 0.001, 1.0)), 0.0);
+        assert_eq!(p.confidence(&MG1Queue::new(100.0, 0.0, 1.0)), 0.0);
+        // Below min_utilization ⇒ zero; above ⇒ ramps toward 1.
+        assert_eq!(p.confidence(&MG1Queue::new(100.0, 0.001, 1.0)), 0.0); // ρ=0.1
+        let mid = p.confidence(&MG1Queue::new(650.0, 0.001, 1.0)); // ρ=0.65
+        let high = p.confidence(&MG1Queue::new(950.0, 0.001, 1.0)); // ρ=0.95
+        assert!(mid > 0.0 && mid < high && high < 1.0);
+        // At and beyond saturation the magnitude discounts fully.
+        assert_eq!(p.confidence(&MG1Queue::new(1000.0, 0.001, 1.0)), 0.0);
+        assert_eq!(p.confidence(&MG1Queue::new(5000.0, 0.001, 1.0)), 0.0);
+    }
+
+    #[test]
+    fn disabled_proactive_estimate_is_bit_identical_to_reactive() {
+        let model = QueueingModel::differential(0.02);
+        let disabled = ProactiveConfig {
+            enabled: false,
+            prediction_weight: 0.9, // tuned knobs must be inert when disabled
+            min_utilization: 0.0,
+            horizon_secs: 10.0,
+        };
+        for arrivals in [0.0, 100.0, 900.0, 980.0, 1200.0] {
+            let obs = WriteStageObservation {
+                arrival_rate_per_replica: arrivals,
+                service_mean_ms: 1.0,
+                service_scv: 1.3,
+                backlog_mean_ms: 4.0,
+                backlog_variance_ms2: 2.0,
+                backlog_trend_ms_per_s: 6.0,
+                predicted_wait_ms: 42.0,
+                predicted_wait_trend_ms_per_s: 100.0,
+            };
+            let reactive = model.estimate(&obs, 0.0002, 5);
+            let proactive_off = model.estimate_with_prediction(&obs, 0.0002, 5, &disabled);
+            assert_eq!(reactive, proactive_off);
+        }
+    }
+
+    #[test]
+    fn proactive_estimate_widens_before_the_backlog_materialises() {
+        // High utilization, but the measured cross-replica dispersion has not
+        // yet moved: the reactive window stays narrow, the proactive one
+        // already widens from the predicted wait dispersion.
+        let obs = WriteStageObservation {
+            arrival_rate_per_replica: 950.0,
+            service_mean_ms: 1.0, // ρ = 0.95
+            service_scv: 1.0,
+            backlog_mean_ms: 1.0,
+            backlog_variance_ms2: 0.0,
+            ..Default::default()
+        };
+        let model = QueueingModel::default();
+        let reactive = model.estimate(&obs, 0.0001, 5);
+        let proactive =
+            model.estimate_with_prediction(&obs, 0.0001, 5, &ProactiveConfig::enabled());
+        assert_eq!(reactive.spread_mean_secs, 0.0);
+        assert!(proactive.spread_mean_secs > 0.0);
+        assert!(proactive.spread_mean_secs.is_finite());
+        // And as the fit drains (ρ drops below min_utilization), the
+        // proactive window relaxes back to the reactive one immediately.
+        let drained = WriteStageObservation {
+            arrival_rate_per_replica: 100.0,
+            ..obs
+        };
+        let relaxed =
+            model.estimate_with_prediction(&drained, 0.0001, 5, &ProactiveConfig::enabled());
+        assert_eq!(relaxed.spread_mean_secs, 0.0);
+    }
+
+    #[test]
+    fn proactive_estimate_flags_divergence_at_saturation() {
+        // ρ ≥ 1 with no measured backlog trend yet: reactive says stable,
+        // proactive flags divergence — and every field stays finite.
+        let obs = WriteStageObservation {
+            arrival_rate_per_replica: 1200.0,
+            service_mean_ms: 1.0, // ρ = 1.2
+            service_scv: 1.0,
+            backlog_mean_ms: 0.5,
+            ..Default::default()
+        };
+        let model = QueueingModel::default();
+        assert!(!model.estimate(&obs, 0.0001, 5).diverging);
+        let proactive =
+            model.estimate_with_prediction(&obs, 0.0001, 5, &ProactiveConfig::enabled());
+        assert!(proactive.diverging);
+        assert!(proactive.spread_mean_secs.is_finite());
+        assert!(proactive.spread_variance_secs2.is_finite());
+        assert!(proactive.tp_mean_secs().is_finite());
+    }
+
+    #[test]
+    fn proactive_estimate_flags_divergence_on_predicted_growth() {
+        // ρ in the divergence band, measured backlog still flat, but the
+        // *predicted* wait is growing faster than its own magnitude: the
+        // proactive path escalates one sweep before the measured trend can.
+        let obs = WriteStageObservation {
+            arrival_rate_per_replica: 950.0,
+            service_mean_ms: 1.0, // ρ = 0.95
+            service_scv: 1.0,
+            backlog_mean_ms: 10.0,
+            backlog_trend_ms_per_s: 0.0,
+            predicted_wait_ms: 8.0,
+            predicted_wait_trend_ms_per_s: 30.0,
+            ..Default::default()
+        };
+        let model = QueueingModel::default();
+        assert!(!model.estimate(&obs, 0.0001, 5).diverging);
+        let proactive =
+            model.estimate_with_prediction(&obs, 0.0001, 5, &ProactiveConfig::enabled());
+        assert!(proactive.diverging);
+        // A flat prediction at the same utilization does not escalate.
+        let flat = WriteStageObservation {
+            predicted_wait_trend_ms_per_s: 0.0,
+            ..obs
+        };
+        let calm = model.estimate_with_prediction(&flat, 0.0001, 5, &ProactiveConfig::enabled());
+        assert!(!calm.diverging);
+    }
+
+    #[test]
     fn laplace_zero_variance_matches_point_mass() {
         let est = StalenessEstimate {
             tp_network_secs: 0.0005,
-            queue_wait_secs: 0.0,
             spread_mean_secs: 0.0015,
-            spread_variance_secs2: 0.0,
-            utilization: 0.0,
-            diverging: false,
+            ..StalenessEstimate::default()
         };
         assert!(close(est.laplace(700.0), (-700.0f64 * 0.002).exp(), 1e-15));
     }

@@ -12,7 +12,9 @@
 //!   closed form to 1e-9.
 
 use harmony_model::decision::{decide, decide_with_estimate};
-use harmony_model::queueing::{MG1Queue, QueueingModel, StalenessEstimate, WriteStageObservation};
+use harmony_model::queueing::{
+    MG1Queue, ProactiveConfig, QueueingModel, StalenessEstimate, WriteStageObservation,
+};
 use harmony_model::staleness::StaleReadModel;
 use proptest::prelude::*;
 
@@ -31,6 +33,7 @@ fn observation(
         backlog_mean_ms: backlog_ms,
         backlog_variance_ms2: variance_ms2,
         backlog_trend_ms_per_s: trend,
+        ..Default::default()
     }
 }
 
@@ -210,6 +213,76 @@ proptest! {
         prop_assert!(stricter >= x);
     }
 
+    /// The saturating M/G/1 accessors are finite and within `[0, cap]` for
+    /// arbitrary inputs — including ρ ≥ 1, where the raw accessors return
+    /// `f64::INFINITY` — and agree with the raw values whenever those are
+    /// below the cap.
+    #[test]
+    fn saturating_wait_accessors_are_bounded_and_exact(
+        arrival in 0.0f64..50_000.0,
+        service_ms in 0.0f64..10.0,
+        scv in 0.0f64..8.0,
+        cap in 0.0f64..30.0,
+    ) {
+        let q = MG1Queue::new(arrival, service_ms / 1e3, scv);
+        let w = q.mean_wait_secs_saturating(cap);
+        let s = q.wait_std_secs_saturating(cap);
+        prop_assert!(w.is_finite() && (0.0..=cap).contains(&w), "w={w}");
+        prop_assert!(s.is_finite() && (0.0..=cap).contains(&s), "s={s}");
+        let raw = q.mean_wait_secs();
+        if raw.is_finite() && raw <= cap {
+            prop_assert_eq!(w, raw);
+        }
+        let raw_var = q.wait_variance_secs2();
+        if raw_var.is_finite() && raw_var.sqrt() <= cap {
+            prop_assert_eq!(s, raw_var.sqrt());
+        }
+    }
+
+    /// Satellite-1 regression: across arbitrary telemetry — saturated queues
+    /// included — no NaN or infinity ever reaches a `decide()` call through
+    /// the proactive estimate, and the decision stays within `[1, N]`.
+    #[test]
+    fn no_nan_or_inf_ever_reaches_decide(
+        n in 1usize..9,
+        asr in 0.0f64..1.0,
+        read_rate in 0.0f64..20_000.0,
+        write_rate in 0.0f64..20_000.0,
+        tp_net in 0.0f64..0.1,
+        arrival in 0.0f64..50_000.0,
+        service_ms in 0.0f64..10.0,
+        scv in 0.0f64..8.0,
+        backlog_ms in -5.0f64..500.0,
+        variance_ms2 in 0.0f64..1e6,
+        trend in -1e4f64..1e4,
+        predicted_ms in 0.0f64..5e3,
+        predicted_trend in -1e4f64..1e4,
+        weight in 0.0f64..1.0,
+    ) {
+        let m = StaleReadModel::new(n);
+        let model = QueueingModel::default();
+        let proactive = ProactiveConfig {
+            enabled: true,
+            prediction_weight: weight,
+            min_utilization: 0.3,
+            horizon_secs: 5.0,
+        };
+        let mut obs = observation(arrival, service_ms, scv, backlog_ms, variance_ms2, trend);
+        obs.predicted_wait_ms = predicted_ms;
+        obs.predicted_wait_trend_ms_per_s = predicted_trend;
+        let est = model.estimate_with_prediction(&obs, tp_net, n, &proactive);
+        prop_assert!(est.tp_network_secs.is_finite());
+        prop_assert!(est.queue_wait_secs.is_finite());
+        prop_assert!(est.spread_mean_secs.is_finite());
+        prop_assert!(est.spread_variance_secs2.is_finite());
+        prop_assert!(est.utilization.is_finite());
+        prop_assert!(est.predicted_wait_secs.is_finite());
+        let p = m.stale_probability_estimate(read_rate, write_rate, &est);
+        prop_assert!(p.is_finite() && (0.0..=1.0).contains(&p), "p={p}");
+        let decision = decide_with_estimate(&m, asr, read_rate, write_rate, &est);
+        prop_assert!(decision.replicas() >= 1 && decision.replicas() <= n);
+    }
+
     /// The Laplace transform of the spread distribution is a valid transform:
     /// within (0, 1], decreasing in `s`, and increasing in variance at fixed
     /// mean (Jensen).
@@ -222,11 +295,9 @@ proptest! {
     ) {
         let est = StalenessEstimate {
             tp_network_secs: tp_net,
-            queue_wait_secs: 0.0,
             spread_mean_secs: mean,
             spread_variance_secs2: mean * mean / shape,
-            utilization: 0.0,
-            diverging: false,
+            ..StalenessEstimate::default()
         };
         let s_hi = s_lo * 3.0;
         let lo = est.laplace(s_lo);

@@ -9,6 +9,7 @@
 use crate::aggregate::LatencyAggregation;
 use crate::heavy_hitters::HotKeyTracker;
 use crate::probe::ClusterProbe;
+use harmony_model::queueing::MG1Queue;
 use harmony_model::rates::{EwmaRate, RateEstimate, RateEstimator, SlidingWindowRate};
 use harmony_sim::clock::SimTime;
 use harmony_store::keys::KeyId;
@@ -97,6 +98,15 @@ pub struct MonitorSample {
     /// Squared coefficient of variation of the measured mutation service time
     /// (1.0 when nothing has been measured yet — the exponential assumption).
     pub write_service_scv: f64,
+    /// M/G/1 *predicted* mean queue wait (milliseconds): the
+    /// Pollaczek–Khinchine wait of this sweep's smoothed arrival/service fit,
+    /// saturated to the trend window so it stays finite at ρ ≥ 1. Moves one
+    /// monitoring period before the measured backlog does — it reacts to the
+    /// arrival rate, not to the queue the arrivals have yet to build.
+    pub predicted_wait_ms: f64,
+    /// Rate of change of the predicted wait over the recent sweep history
+    /// (milliseconds per second); the earliest divergence signal available.
+    pub predicted_wait_trend_ms_per_s: f64,
     /// How long the sweep itself took (milliseconds).
     pub sweep_duration_ms: f64,
 }
@@ -160,11 +170,27 @@ pub struct Monitor {
     last_latency_ms: f64,
     /// Recent (time, mean backlog) points used for the trend estimate.
     backlog_history: std::collections::VecDeque<(SimTime, f64)>,
+    /// Recent (time, predicted wait) points for the predicted-wait trend.
+    predicted_history: std::collections::VecDeque<(SimTime, f64)>,
+    /// The probe's fault epoch at the previous sweep; any change segments the
+    /// trend histories (a membership change shifts the backlog baseline, so a
+    /// slope spanning it would be spurious).
+    last_fault_epoch: u64,
     /// Heavy-hitter tracking over the probe's write-key sample stream.
     hot_tracker: HotKeyTracker,
     /// Hot-key stats of the most recent sweep (sorted hottest first).
     hot_stats: Vec<HotKeyStat>,
     history: Vec<MonitorSample>,
+}
+
+/// Debug-asserting clamp for backlog telemetry crossing the probe boundary:
+/// a negative backlog is an upstream sign bug (the store's own scans assert
+/// the same invariant at the source), so debug builds fail loudly while
+/// release builds clamp and keep serving — the
+/// `stale_probability_saturating` convention.
+fn non_negative_telemetry(ms: f64) -> f64 {
+    debug_assert!(ms >= 0.0, "negative backlog reported by the probe: {ms} ms");
+    ms.max(0.0)
 }
 
 /// Population mean and standard deviation of a slice; (0, 0) when empty.
@@ -210,6 +236,8 @@ impl Monitor {
             last_service_scv: 1.0,
             last_latency_ms: 0.0,
             backlog_history: std::collections::VecDeque::new(),
+            predicted_history: std::collections::VecDeque::new(),
+            last_fault_epoch: 0,
             history: Vec::new(),
         }
     }
@@ -247,6 +275,20 @@ impl Monitor {
         let reads = probe.total_reads();
         let writes = probe.total_writes();
         let sweep_duration = self.sweep_duration(probe.node_count());
+
+        // Topology change since the previous sweep (crash, heal, join,
+        // decommission, partition): the backlog baseline just shifted, so any
+        // trend slope spanning the change would be spurious — a join draining
+        // load reads as a crash-grade collapse, a decommission as runaway
+        // growth. Segment both trend histories at the epoch boundary; the
+        // first post-change sweep reports a zero trend and the slope rebuilds
+        // from in-epoch points only.
+        let fault_epoch = probe.fault_epoch();
+        if fault_epoch != self.last_fault_epoch {
+            self.last_fault_epoch = fault_epoch;
+            self.backlog_history.clear();
+            self.predicted_history.clear();
+        }
 
         // Latency probe: aggregate whatever single figure the probe reports.
         // (Richer probes may fold several pairwise measurements themselves.)
@@ -330,7 +372,7 @@ impl Monitor {
                     name: probe.key_name(h.key),
                     write_rate: h.rate,
                     share: h.share,
-                    backlog_ms: backlogs.get(i).copied().unwrap_or(0.0).max(0.0),
+                    backlog_ms: non_negative_telemetry(backlogs.get(i).copied().unwrap_or(0.0)),
                     guaranteed_count: h.guaranteed_count,
                 })
                 .collect()
@@ -358,6 +400,48 @@ impl Monitor {
             }
         }
 
+        // Per-replica normalisation over the nodes that actually produced
+        // telemetry this sweep: a crashed replica contributes no arrivals,
+        // and dividing by the full node count would read its silence as a
+        // lower per-replica rate — dragging the utilisation estimate down
+        // exactly when replicas are lost.
+        let nodes = probe.live_node_count().max(1) as f64;
+        let write_arrival_rate_per_replica =
+            self.arrival_estimator.estimate().reads_per_sec / nodes;
+
+        // Predicted queue wait: the Pollaczek–Khinchine wait of this sweep's
+        // smoothed arrival/service fit, through the *saturating* accessor so
+        // a sweep at ρ ≥ 1 reports the trend-window worst case instead of
+        // infinity (an infinite point would poison the trend slope below with
+        // `inf - inf = NaN`). The prediction moves with the arrival rate, one
+        // monitoring period before the backlog those arrivals will build.
+        let predicted_wait_ms = MG1Queue::new(
+            write_arrival_rate_per_replica,
+            write_service_mean_ms / 1e3,
+            write_service_scv,
+        )
+        .mean_wait_secs_saturating(self.trend_window_secs())
+            * 1e3;
+        let predicted_wait_trend_ms_per_s = match self.predicted_history.front() {
+            Some(&(t0, p0)) => {
+                let dt = now.saturating_sub(t0).as_secs_f64();
+                if dt > 0.0 {
+                    (predicted_wait_ms - p0) / dt
+                } else {
+                    0.0
+                }
+            }
+            None => 0.0,
+        };
+        self.predicted_history.push_back((now, predicted_wait_ms));
+        while let Some(&(t0, _)) = self.predicted_history.front() {
+            if now.saturating_sub(t0) > horizon && self.predicted_history.len() > 2 {
+                self.predicted_history.pop_front();
+            } else {
+                break;
+            }
+        }
+
         self.last_sweep_at = Some(now);
         self.last_reads = reads;
         self.last_writes = writes;
@@ -365,12 +449,6 @@ impl Monitor {
         self.last_latency_ms = latency_ms;
 
         let est = self.estimator.estimate();
-        // Per-replica normalisation over the nodes that actually produced
-        // telemetry this sweep: a crashed replica contributes no arrivals,
-        // and dividing by the full node count would read its silence as a
-        // lower per-replica rate — dragging the utilisation estimate down
-        // exactly when replicas are lost.
-        let nodes = probe.live_node_count().max(1) as f64;
         let sample = MonitorSample {
             at: now,
             elapsed_secs,
@@ -382,9 +460,11 @@ impl Monitor {
             backlog_ms,
             backlog_spread_ms,
             backlog_trend_ms_per_s,
-            write_arrival_rate_per_replica: self.arrival_estimator.estimate().reads_per_sec / nodes,
+            write_arrival_rate_per_replica,
             write_service_mean_ms,
             write_service_scv,
+            predicted_wait_ms,
+            predicted_wait_trend_ms_per_s,
             sweep_duration_ms: sweep_duration.as_millis_f64(),
         };
         self.history.push(sample);
@@ -877,6 +957,154 @@ mod tests {
             m.sweep(SimTime::from_secs(sweep), &probe);
         }
         assert!(m.hot_key_stats().is_empty());
+    }
+
+    #[test]
+    fn predicted_wait_matches_the_mg1_fit_and_saturates() {
+        use harmony_store::node::WriteStageTelemetry;
+        let mut m = Monitor::new(MonitorConfig {
+            estimator: EstimatorKind::Ewma(1.0),
+            probe_cost_per_node_ms: 0.0,
+            ..MonitorConfig::default()
+        });
+        let telemetry = |arrivals: u64, per_job_ms: f64| {
+            vec![WriteStageTelemetry {
+                arrivals,
+                completed: arrivals,
+                service_ms_total: arrivals as f64 * per_job_ms,
+                service_ms_sq_total: arrivals as f64 * per_job_ms * per_job_ms,
+                queued: 0,
+                busy: 0,
+            }]
+        };
+        let mut probe = MockProbe {
+            nodes: 1,
+            latency_ms: 0.3,
+            write_concurrency: 1,
+            write_telemetry: telemetry(0, 1.0),
+            ..MockProbe::default()
+        };
+        let s = m.sweep(SimTime::from_secs(1), &probe);
+        assert_eq!(s.predicted_wait_ms, 0.0);
+        // 500 arrivals/s at a deterministic 1 ms service: ρ = 0.5, and the
+        // P-K wait for c² = 0 is ρ/2 · E[S]/(1-ρ) = 0.5 ms.
+        probe.write_telemetry = telemetry(500, 1.0);
+        let s = m.sweep(SimTime::from_secs(2), &probe);
+        let expected_ms = MG1Queue::new(
+            s.write_arrival_rate_per_replica,
+            s.write_service_mean_ms / 1e3,
+            s.write_service_scv,
+        )
+        .mean_wait_secs()
+            * 1e3;
+        assert!(
+            (s.predicted_wait_ms - expected_ms).abs() < 1e-9,
+            "predicted={} expected={}",
+            s.predicted_wait_ms,
+            expected_ms
+        );
+        assert!(s.predicted_wait_ms > 0.0);
+        // Past saturation the raw wait is infinite; the published prediction
+        // saturates at the trend window and every derived figure stays finite.
+        probe.write_telemetry = telemetry(2000, 1.0);
+        let s = m.sweep(SimTime::from_secs(3), &probe);
+        assert!(s.predicted_wait_ms.is_finite());
+        assert!((s.predicted_wait_ms - m.trend_window_secs() * 1e3).abs() < 1e-9);
+        assert!(s.predicted_wait_trend_ms_per_s.is_finite());
+    }
+
+    #[test]
+    fn predicted_wait_trend_tracks_the_arrival_ramp() {
+        use harmony_store::node::WriteStageTelemetry;
+        let mut m = Monitor::new(MonitorConfig {
+            estimator: EstimatorKind::Ewma(1.0),
+            probe_cost_per_node_ms: 0.0,
+            ..MonitorConfig::default()
+        });
+        let telemetry = |cumulative: u64| {
+            vec![WriteStageTelemetry {
+                arrivals: cumulative,
+                completed: cumulative,
+                service_ms_total: cumulative as f64,
+                service_ms_sq_total: cumulative as f64,
+                queued: 0,
+                busy: 0,
+            }]
+        };
+        let mut probe = MockProbe {
+            nodes: 1,
+            latency_ms: 0.3,
+            write_concurrency: 1,
+            ..MockProbe::default()
+        };
+        // Ramp the arrival rate sweep over sweep: the predicted wait grows
+        // although the measured backlog never moves — this is exactly the
+        // lead the proactive controller escalates on.
+        let mut cumulative = 0u64;
+        let mut last_trend = 0.0;
+        for (i, rate) in [100u64, 300, 600, 850].iter().enumerate() {
+            cumulative += rate;
+            probe.write_telemetry = telemetry(cumulative);
+            let s = m.sweep(SimTime::from_secs(i as u64 + 1), &probe);
+            assert_eq!(s.backlog_trend_ms_per_s, 0.0);
+            last_trend = s.predicted_wait_trend_ms_per_s;
+        }
+        assert!(last_trend > 0.0, "trend={last_trend}");
+    }
+
+    #[test]
+    fn topology_change_segments_the_trend_histories() {
+        let mut m = monitor();
+        let mut probe = MockProbe {
+            nodes: 2,
+            latency_ms: 0.3,
+            ..MockProbe::default()
+        };
+        // Growing backlog inside one epoch: the slope is real.
+        for (i, b) in [0.0, 2.0, 4.0].iter().enumerate() {
+            probe.backlog_ms = *b;
+            m.sweep(SimTime::from_secs(i as u64 + 1), &probe);
+        }
+        assert!(m.history().last().unwrap().backlog_trend_ms_per_s > 1.0);
+        // A node joins mid-window and takes over load: the baseline shifts
+        // (here: sharply down). Without segmentation the slope spanning the
+        // join would read as a crash-grade collapse — and the mirror case, a
+        // decommission shifting the baseline up, as runaway growth feeding
+        // the divergence detector.
+        probe.epoch = 1;
+        probe.nodes = 3;
+        probe.backlog_ms = 0.5;
+        let s = m.sweep(SimTime::from_secs(4), &probe);
+        assert_eq!(
+            s.backlog_trend_ms_per_s, 0.0,
+            "the first post-change sweep must not span the rebuild"
+        );
+        assert_eq!(s.predicted_wait_trend_ms_per_s, 0.0);
+        // Within the new epoch the trend rebuilds from in-epoch points only.
+        probe.backlog_ms = 1.5;
+        let s = m.sweep(SimTime::from_secs(5), &probe);
+        assert!(
+            (s.backlog_trend_ms_per_s - 1.0).abs() < 1e-9,
+            "trend={}",
+            s.backlog_trend_ms_per_s
+        );
+        // A stable epoch does not segment (the counter only moves on faults).
+        probe.backlog_ms = 2.5;
+        let s = m.sweep(SimTime::from_secs(6), &probe);
+        assert!(s.backlog_trend_ms_per_s > 0.9);
+    }
+
+    #[test]
+    fn non_negative_telemetry_passes_valid_values_through() {
+        assert_eq!(non_negative_telemetry(0.0), 0.0);
+        assert_eq!(non_negative_telemetry(7.5), 7.5);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "negative backlog reported by the probe")]
+    fn non_negative_telemetry_panics_on_sign_bugs_in_debug() {
+        non_negative_telemetry(-0.25);
     }
 
     #[test]

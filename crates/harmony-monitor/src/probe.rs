@@ -87,6 +87,16 @@ pub trait ClusterProbe {
     fn key_name(&self, key: KeyId) -> String {
         format!("key#{}", key.0)
     }
+    /// A counter that advances whenever the cluster topology or fault state
+    /// changes (crash, restart, partition, heal, slowdown, join,
+    /// decommission). The monitor segments its trend histories on any change:
+    /// a membership event shifts the backlog baseline, so a slope spanning
+    /// the rebuild is spurious and must not feed the divergence detector.
+    /// Backends without a fault layer report a constant and trends are never
+    /// segmented.
+    fn fault_epoch(&self) -> u64 {
+        0
+    }
 }
 
 impl ClusterProbe for Cluster {
@@ -141,6 +151,10 @@ impl ClusterProbe for Cluster {
     fn key_name(&self, key: KeyId) -> String {
         Cluster::key_name(self, key).to_string()
     }
+
+    fn fault_epoch(&self) -> u64 {
+        self.fault_state().counters().total()
+    }
 }
 
 /// A scripted probe for unit tests and offline model exploration. Carries
@@ -170,6 +184,8 @@ pub struct MockProbe {
     pub write_keys: std::cell::RefCell<Vec<KeyId>>,
     /// Scripted per-key backlogs (ms), by key name; absent keys report zero.
     pub key_backlogs: std::collections::HashMap<String, f64>,
+    /// Scripted fault epoch; bump it to simulate a topology change.
+    pub epoch: u64,
     /// The interner backing the scripted key names.
     pub table: std::cell::RefCell<harmony_store::keys::KeyTable>,
 }
@@ -235,6 +251,9 @@ impl ClusterProbe for MockProbe {
             .try_resolve(key)
             .map(str::to_string)
             .unwrap_or_else(|| format!("key#{}", key.0))
+    }
+    fn fault_epoch(&self) -> u64 {
+        self.epoch
     }
 }
 

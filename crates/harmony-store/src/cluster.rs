@@ -39,6 +39,16 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// Guards a backlog value computed by the store's telemetry scans: a negative
+/// backlog is a sign bug upstream (queue length, service mean and fault
+/// factor are all non-negative quantities), so debug builds fail loudly here
+/// — at the source — while release builds clamp and keep serving, matching
+/// the `stale_probability_saturating` convention.
+fn non_negative_backlog(ms: f64) -> f64 {
+    debug_assert!(ms >= 0.0, "negative backlog computed by the store: {ms} ms");
+    ms.max(0.0)
+}
+
 /// A finished client operation, reported when its reply reaches the client.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Completion {
@@ -409,7 +419,7 @@ impl Cluster {
                 if mean_ms <= 0.0 {
                     0.0
                 } else {
-                    n.queue_len(Stage::Write) as f64 / concurrency * mean_ms
+                    non_negative_backlog(n.queue_len(Stage::Write) as f64 / concurrency * mean_ms)
                 }
             })
             .collect()
@@ -484,7 +494,8 @@ impl Cluster {
             let mean_ms =
                 self.write_service.mean_ms_for(node.id) * self.faults.service_factor(node.id);
             for (i, &count) in counts.iter().enumerate() {
-                deepest[i] = deepest[i].max(count as f64 * mean_ms / concurrency);
+                deepest[i] =
+                    deepest[i].max(non_negative_backlog(count as f64 * mean_ms / concurrency));
             }
         }
         deepest
@@ -1653,6 +1664,19 @@ impl Cluster {
 mod tests {
     use super::*;
     use harmony_sim::latency::Latency;
+
+    #[test]
+    fn non_negative_backlog_passes_valid_values_through() {
+        assert_eq!(non_negative_backlog(0.0), 0.0);
+        assert_eq!(non_negative_backlog(3.25), 3.25);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "negative backlog computed by the store")]
+    fn non_negative_backlog_panics_on_sign_bugs_in_debug() {
+        non_negative_backlog(-0.001);
+    }
 
     fn test_cluster(latency_ms: f64) -> (Cluster, Simulation<StoreEvent>) {
         let topology = Topology::single_dc(2, 3);

@@ -76,7 +76,7 @@ pub mod prelude {
     pub use harmony_model::decision::{decide, decide_with_estimate, ConsistencyDecision};
     pub use harmony_model::perkey::{KeyLoad, PerKeyModel};
     pub use harmony_model::queueing::{
-        MG1Queue, QueueingModel, StalenessEstimate, WriteStageObservation,
+        MG1Queue, ProactiveConfig, QueueingModel, StalenessEstimate, WriteStageObservation,
     };
     pub use harmony_model::staleness::{PropagationModel, StaleReadModel};
     pub use harmony_monitor::collector::{HotKeyStat, Monitor, MonitorConfig};

@@ -12,6 +12,16 @@
 use harmony::prelude::*;
 
 fn run_split(seed: u64) -> ExperimentResult {
+    run_split_with_controller(
+        seed,
+        harmony_bench::experiments::split_figure_controller_config(),
+    )
+}
+
+fn run_split_with_controller(
+    seed: u64,
+    controller: harmony_adaptive::config::ControllerConfig,
+) -> ExperimentResult {
     let mut workload = WorkloadSpec::workload_a(1_000);
     workload.field_count = 2;
     workload.field_size = 16;
@@ -38,7 +48,7 @@ fn run_split(seed: u64) -> ExperimentResult {
     run_experiment_with_faults(
         &harmony::profiles::grid5000_with_nodes(8),
         store,
-        harmony_bench::experiments::split_figure_controller_config(),
+        controller,
         Box::new(HarmonyPolicy::new(5, 0.05)),
         spec,
         FaultSchedule::empty(),
@@ -164,6 +174,24 @@ fn golden_stats_pin_for_seed_20120920() {
         (r.stats.write_latency.percentile_ms(0.99) * 1000.0).round(),
         9_088.0
     );
+
+    // The pin doubles as the proactive-degeneration guard: with the switch
+    // off, every proactive knob can be tuned to its most aggressive setting
+    // and the run still reproduces the exact same decision timeline, hot set
+    // and outcome — the disabled path performs no extra arithmetic at all.
+    let mut tuned_but_off = harmony_bench::experiments::split_figure_controller_config();
+    tuned_but_off.proactive = ProactiveConfig {
+        enabled: false,
+        prediction_weight: 1.0,
+        min_utilization: 0.0,
+        horizon_secs: 9.0,
+    };
+    let off = run_split_with_controller(20120920, tuned_but_off);
+    assert_eq!(off.decisions, r.decisions);
+    assert_eq!(off.hot_set, r.hot_set);
+    assert_eq!(off.read_level_histogram, r.read_level_histogram);
+    assert_eq!(off.stats.stale_reads, r.stats.stale_reads);
+    assert_eq!(off.cluster_totals, r.cluster_totals);
 }
 
 #[test]
