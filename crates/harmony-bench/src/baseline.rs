@@ -1,0 +1,219 @@
+//! The committed wall-clock baseline schema (`BENCH_e2e.json`) and the
+//! scaling-sweep workload, shared by the `bench_baseline` and
+//! `scaling_sweep` binaries so the writer and the CI regression gates agree
+//! on every field.
+//!
+//! The local `serde` shim derives field-exact (de)serialisation — there is
+//! no `#[serde(default)]` — so any change to these structs requires
+//! regenerating the committed `BENCH_e2e.json` in the same commit.
+
+use harmony_adaptive::config::ControllerConfig;
+use harmony_adaptive::policy::StaticPolicy;
+use harmony_chaos::FaultSchedule;
+use harmony_sim::profiles;
+use harmony_store::config::StoreConfig;
+use harmony_ycsb::runner::{ExperimentResult, ExperimentSpec, Phase};
+use harmony_ycsb::sharded::run_sharded_experiment;
+use harmony_ycsb::workloads::WorkloadSpec;
+use serde::{Deserialize, Serialize};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A passthrough global allocator tracking allocation calls, bytes in use
+/// and the peak. Both `bench_baseline` and `scaling_sweep` install this
+/// same allocator so their wall-clock numbers carry identical accounting
+/// overhead — the per-shard CI gate compares measurements from one binary
+/// against a baseline written by the other, and a cheaper allocator in
+/// either would read as a phantom speedup or regression.
+pub struct TrackingAllocator;
+
+static ALLOCATION_CALLS: AtomicU64 = AtomicU64::new(0);
+static IN_USE: AtomicU64 = AtomicU64::new(0);
+static PEAK: AtomicU64 = AtomicU64::new(0);
+
+fn note_alloc(bytes: usize) {
+    ALLOCATION_CALLS.fetch_add(1, Ordering::Relaxed);
+    let now = IN_USE.fetch_add(bytes as u64, Ordering::Relaxed) + bytes as u64;
+    PEAK.fetch_max(now, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for TrackingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        note_alloc(layout.size());
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        IN_USE.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        IN_USE.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+        note_alloc(new_size);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Allocator calls (alloc + realloc) so far.
+pub fn allocation_calls() -> u64 {
+    ALLOCATION_CALLS.load(Ordering::Relaxed)
+}
+
+/// Resets the peak to the current in-use level and returns that level, so
+/// a subsequent [`peak_bytes`] reads this measurement window's high-water
+/// mark alone.
+pub fn reset_peak() -> u64 {
+    let now = IN_USE.load(Ordering::Relaxed);
+    PEAK.store(now, Ordering::Relaxed);
+    now
+}
+
+/// The high-water mark of bytes in use since the last [`reset_peak`].
+pub fn peak_bytes() -> u64 {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// One timed sweep's aggregate measurements.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepBaseline {
+    /// Sweep name (`headline-quick` or `fig5-saturation-quick`).
+    pub name: String,
+    /// Wall-clock duration of the sweep in seconds.
+    pub wall_secs: f64,
+    /// Simulated operations completed across all runs of the sweep.
+    pub operations: u64,
+    /// Simulated operations per wall-clock second — the headline number.
+    pub ops_per_sec_wall: f64,
+    /// Median simulated read latency across the sweep's runs (ms).
+    pub read_p50_ms: f64,
+    /// 99th-percentile simulated read latency across the sweep's runs (ms).
+    pub read_p99_ms: f64,
+    /// Allocator calls (alloc + realloc) during the sweep.
+    pub allocations: u64,
+    /// Allocator calls per simulated operation.
+    pub allocations_per_op: f64,
+}
+
+/// One shard count of the scaling sweep: the same total workload pushed
+/// through `run_sharded_experiment` at a fixed shard count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalingPoint {
+    /// Shard count (1 = the classic single-loop runner).
+    pub shards: usize,
+    /// Wall-clock duration of the point in seconds.
+    pub wall_secs: f64,
+    /// Simulated operations completed.
+    pub operations: u64,
+    /// Aggregate simulated operations per wall-clock second.
+    pub ops_per_sec_wall: f64,
+    /// `ops_per_sec_wall / shards` — the per-shard efficiency number the CI
+    /// gate tracks, so a regression hidden by adding shards still fails.
+    pub ops_per_sec_per_shard: f64,
+}
+
+/// The whole report, as committed at the repository root.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchBaseline {
+    /// Schema version (2 = scaling section added).
+    pub version: u32,
+    /// Per-sweep measurements.
+    pub sweeps: Vec<SweepBaseline>,
+    /// The scaling sweep: one point per shard count.
+    pub scaling: Vec<ScalingPoint>,
+    /// Operations across all sweeps (the scaling points excluded, so the
+    /// aggregate gate stays comparable across schema versions).
+    pub total_operations: u64,
+    /// Wall-clock seconds across all sweeps.
+    pub total_wall_secs: f64,
+    /// Overall simulated operations per wall-clock second — the number the
+    /// CI regression gate compares.
+    pub total_ops_per_sec_wall: f64,
+}
+
+impl BenchBaseline {
+    /// The committed scaling point for a shard count, if one exists.
+    pub fn scaling_for(&self, shards: usize) -> Option<&ScalingPoint> {
+        self.scaling.iter().find(|p| p.shards == shards)
+    }
+}
+
+/// Builds a [`ScalingPoint`] from a timed run.
+pub fn scaling_point(shards: usize, operations: u64, wall_secs: f64) -> ScalingPoint {
+    let ops_per_sec_wall = operations as f64 / wall_secs.max(1e-9);
+    ScalingPoint {
+        shards,
+        wall_secs,
+        operations,
+        ops_per_sec_wall,
+        ops_per_sec_per_shard: ops_per_sec_wall / shards.max(1) as f64,
+    }
+}
+
+/// The scaling-sweep workload: deliberately throughput-oriented, because
+/// the sweep measures *engine* throughput (simulated operations per
+/// wall-clock second), not adaptation quality. Read-heavy YCSB-B over a
+/// Zipfian keyspace, RF 3, static eventual consistency (read ONE), and the
+/// default 1 s monitoring cadence — so the per-operation event count is as
+/// small as the protocol allows and the barrier exchange stays off the hot
+/// path. The figure sweeps keep measuring the paper's RF 5 / 50:50 /
+/// adaptive configuration; this one exists to pin how fast the simulator
+/// core moves keys.
+pub fn scaling_spec(operations: u64, records: u64, seed: u64) -> ExperimentSpec {
+    let mut workload = WorkloadSpec::workload_b(records);
+    workload.field_count = 2;
+    workload.field_size = 16;
+    ExperimentSpec {
+        workload,
+        phases: vec![Phase::new(32, operations)],
+        seed,
+        dual_read_measurement: false,
+        hot_key_prefix: 0,
+        max_virtual_secs: 3_600.0,
+    }
+}
+
+/// Runs one scaling point `iters` times and keeps the fastest wall-clock
+/// measurement (best-of-N): the first iteration in a fresh process runs up
+/// to ~40% slow from cold caches and allocator warm-up, which would make a
+/// 20%-tolerance CI gate flap. The simulated stats are identical across
+/// iterations (same seed, deterministic runtime), so only the wall clock
+/// differs.
+pub fn measure_scaling_point(
+    shards: usize,
+    operations: u64,
+    records: u64,
+    iters: usize,
+) -> (ScalingPoint, ExperimentResult) {
+    let mut best: Option<(f64, ExperimentResult)> = None;
+    for _ in 0..iters.max(1) {
+        let started = Instant::now();
+        let result = run_scaling_point(shards, operations, records);
+        let wall = started.elapsed().as_secs_f64();
+        if best.as_ref().is_none_or(|(w, _)| wall < *w) {
+            best = Some((wall, result));
+        }
+    }
+    let (wall, result) = best.expect("at least one iteration");
+    (scaling_point(shards, result.stats.operations, wall), result)
+}
+
+/// Runs one scaling point: the [`scaling_spec`] workload through the
+/// sharded entry point at the given shard count.
+pub fn run_scaling_point(shards: usize, operations: u64, records: u64) -> ExperimentResult {
+    let store = StoreConfig {
+        replication_factor: 3,
+        node_concurrency: 4,
+        ..StoreConfig::default()
+    };
+    run_sharded_experiment(
+        &profiles::grid5000_with_nodes(8),
+        store,
+        ControllerConfig::default(),
+        Box::new(StaticPolicy::Eventual),
+        scaling_spec(operations, records, 20120920),
+        FaultSchedule::empty(),
+        shards,
+    )
+}

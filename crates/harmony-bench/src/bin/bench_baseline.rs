@@ -29,78 +29,18 @@
 //!   `--tolerance <f>`    allowed fractional regression for `--check`
 //!                        (default 0.2, i.e. 20%)
 
+use harmony_bench::baseline::{
+    allocation_calls, measure_scaling_point, BenchBaseline, ScalingPoint, SweepBaseline,
+    TrackingAllocator,
+};
 use harmony_bench::experiments::{config_by_name, run_point, ExperimentConfig, PolicySpec};
 use harmony_bench::report::has_flag;
-use serde::{Deserialize, Serialize};
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-/// A passthrough allocator that counts allocation calls, so the report can
-/// estimate allocations per simulated operation without external tooling.
-struct CountingAllocator;
-
-static ALLOCATION_CALLS: AtomicU64 = AtomicU64::new(0);
-
-unsafe impl GlobalAlloc for CountingAllocator {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATION_CALLS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATION_CALLS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
-    }
-}
-
+// The shared tracking allocator: identical accounting overhead to
+// `scaling_sweep`, so the per-shard gate compares like with like.
 #[global_allocator]
-static ALLOCATOR: CountingAllocator = CountingAllocator;
-
-fn allocation_calls() -> u64 {
-    ALLOCATION_CALLS.load(Ordering::Relaxed)
-}
-
-/// One timed sweep's aggregate measurements.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct SweepBaseline {
-    /// Sweep name (`headline-quick` or `fig5-saturation-quick`).
-    name: String,
-    /// Wall-clock duration of the sweep in seconds.
-    wall_secs: f64,
-    /// Simulated operations completed across all runs of the sweep.
-    operations: u64,
-    /// Simulated operations per wall-clock second — the headline number.
-    ops_per_sec_wall: f64,
-    /// Median simulated read latency across the sweep's runs (ms).
-    read_p50_ms: f64,
-    /// 99th-percentile simulated read latency across the sweep's runs (ms).
-    read_p99_ms: f64,
-    /// Allocator calls (alloc + realloc) during the sweep.
-    allocations: u64,
-    /// Allocator calls per simulated operation.
-    allocations_per_op: f64,
-}
-
-/// The whole report, as committed at the repository root.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct BenchBaseline {
-    /// Schema version.
-    version: u32,
-    /// Per-sweep measurements.
-    sweeps: Vec<SweepBaseline>,
-    /// Operations across all sweeps.
-    total_operations: u64,
-    /// Wall-clock seconds across all sweeps.
-    total_wall_secs: f64,
-    /// Overall simulated operations per wall-clock second — the number the
-    /// CI regression gate compares.
-    total_ops_per_sec_wall: f64,
-}
+static ALLOCATOR: TrackingAllocator = TrackingAllocator;
 
 /// The points of one sweep: `(profile, policy, threads)`.
 type SweepPoint = (ExperimentConfig, PolicySpec, usize);
@@ -194,14 +134,22 @@ fn main() {
         run_sweep("fig5-saturation-quick", &fig5_points()),
     ];
 
+    // The scaling section: the same quick scaling workload `scaling_sweep`
+    // runs, at the shard counts its CI gate checks per-shard.
+    let scaling: Vec<ScalingPoint> = [1usize, 2, 4]
+        .iter()
+        .map(|&shards| measure_scaling_point(shards, 60_000, 4_000, 3).0)
+        .collect();
+
     let total_operations: u64 = sweeps.iter().map(|s| s.operations).sum();
     let total_wall_secs: f64 = sweeps.iter().map(|s| s.wall_secs).sum();
     let report = BenchBaseline {
-        version: 1,
+        version: 2,
         total_operations,
         total_wall_secs,
         total_ops_per_sec_wall: total_operations as f64 / total_wall_secs.max(1e-9),
         sweeps,
+        scaling,
     };
 
     let mut table = harmony_bench::report::Table::new(vec![
@@ -225,6 +173,24 @@ fn main() {
         ]);
     }
     println!("{table}");
+
+    let mut scale_table = harmony_bench::report::Table::new(vec![
+        "shards",
+        "wall s",
+        "ops",
+        "ops/s (wall)",
+        "ops/s/shard",
+    ]);
+    for p in &report.scaling {
+        scale_table.add_row(vec![
+            p.shards.to_string(),
+            format!("{:.2}", p.wall_secs),
+            p.operations.to_string(),
+            format!("{:.0}", p.ops_per_sec_wall),
+            format!("{:.0}", p.ops_per_sec_per_shard),
+        ]);
+    }
+    println!("{scale_table}");
     println!(
         "Overall: {} operations in {:.2} s wall = {:.0} ops/s",
         report.total_operations, report.total_wall_secs, report.total_ops_per_sec_wall

@@ -16,6 +16,7 @@
 //! simulator) — the comparison targets are the *shapes*: which policy wins,
 //! by roughly what factor, and where the curves cross.
 
+pub mod baseline;
 pub mod experiments;
 pub mod report;
 

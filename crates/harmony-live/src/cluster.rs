@@ -159,12 +159,22 @@ pub struct LiveCluster {
     /// Newest acknowledged version per key, for ground-truth staleness checks.
     acked: Mutex<HashMap<KeyId, u64>>,
     /// Keys of client writes since the last monitoring drain — the sample
-    /// stream for the monitor's heavy-hitter sketch (bounded).
-    write_key_samples: Mutex<Vec<KeyId>>,
+    /// stream for the monitor's heavy-hitter sketch. Striped by the key's
+    /// primary replica (one bounded buffer per node slot, grown at join), so
+    /// concurrent client threads writing to different primaries never
+    /// serialize on one global sampling lock; the monitoring sweep drains
+    /// stripe by stripe and concatenates in slot order.
+    write_key_samples: RwLock<Vec<Mutex<Vec<KeyId>>>>,
+    /// Samples discarded because their stripe was at capacity between two
+    /// drains. Each stripe gets the full cap, so one hot primary can no
+    /// longer starve every other node's samples — but when a stripe does
+    /// overflow, the loss is counted instead of silent.
+    sample_drops: AtomicU64,
     /// The key interner shared by every client handle; replica messages and
     /// per-node maps move 4-byte ids instead of cloning key strings RF times
-    /// per operation.
-    key_table: Mutex<KeyTable>,
+    /// per operation. Interning an already-known key — every write after a
+    /// key's first — only takes the read lock.
+    key_table: RwLock<KeyTable>,
     /// Liveness, partition, slow-down and membership state — the same
     /// bookkeeping the simulated cluster runs. Node-level semantics (crash,
     /// restart, hints, slow-down, churn) match the simulator; partitions
@@ -224,8 +234,9 @@ impl LiveCluster {
             next_version: AtomicU64::new(1),
             read_rotation: AtomicU64::new(0),
             acked: Mutex::new(HashMap::new()),
-            write_key_samples: Mutex::new(Vec::new()),
-            key_table: Mutex::new(KeyTable::new()),
+            write_key_samples: RwLock::new((0..nodes).map(|_| Mutex::new(Vec::new())).collect()),
+            sample_drops: AtomicU64::new(0),
+            key_table: RwLock::new(KeyTable::new()),
             faults: Mutex::new(FaultState::new(nodes)),
             hints: Mutex::new(vec![Vec::new(); nodes]),
             partition_churn_baseline: AtomicU64::new(0),
@@ -379,6 +390,7 @@ impl LiveCluster {
             applied_writes: AtomicU64::new(0),
         });
         self.hints.lock().push(Vec::new());
+        self.write_key_samples.write().push(Mutex::new(Vec::new()));
         let id = self.faults.lock().add_node();
         let index = {
             let mut states = self.states.write();
@@ -419,7 +431,7 @@ impl LiveCluster {
     /// bootstrap/decommission streaming finishing before traffic resumes.
     fn rebalance(&self) {
         let keys: Vec<(KeyId, String)> = {
-            let table = self.key_table.lock();
+            let table = self.key_table.read();
             self.acked
                 .lock()
                 .keys()
@@ -473,26 +485,48 @@ impl LiveCluster {
     }
 
     /// Drains the buffered keys of client writes since the previous call —
-    /// the observation stream of the monitor's heavy-hitter sketch.
+    /// the observation stream of the monitor's heavy-hitter sketch. Stripes
+    /// drain one at a time under their own lock and concatenate in slot
+    /// order; a write that lands in an already-drained stripe mid-sweep is
+    /// not lost, it simply waits for the next drain.
     pub fn drain_write_key_samples(&self) -> Vec<KeyId> {
-        std::mem::take(&mut *self.write_key_samples.lock())
+        let stripes = self.write_key_samples.read();
+        let mut all = Vec::new();
+        for stripe in stripes.iter() {
+            all.append(&mut stripe.lock());
+        }
+        all
     }
 
-    /// Interns a key name (idempotent).
+    /// Samples discarded so far because a stripe buffer was full. A non-zero
+    /// value means the monitoring interval is too long (or the cap too
+    /// small) for the write rate — the sketch still sees a uniform prefix of
+    /// each stripe's traffic, but rate estimates lose the overflowed tail.
+    pub fn dropped_write_key_samples(&self) -> u64 {
+        self.sample_drops.load(Ordering::Relaxed)
+    }
+
+    /// Interns a key name (idempotent). Already-known names — every write
+    /// after a key's first — resolve under the shared read lock; only a
+    /// genuinely new key takes the write lock, where the double-checked
+    /// `intern` stays idempotent against a racing first writer.
     pub fn intern_key(&self, name: &str) -> KeyId {
-        self.key_table.lock().intern(name)
+        if let Some(id) = self.key_table.read().get(name) {
+            return id;
+        }
+        self.key_table.write().intern(name)
     }
 
     /// The id of an already-interned key name, if any.
     pub fn key_id(&self, name: &str) -> Option<KeyId> {
-        self.key_table.lock().get(name)
+        self.key_table.read().get(name)
     }
 
     /// The name behind an interned key id (positional fallback for ids this
     /// cluster never produced).
     pub fn key_name(&self, id: KeyId) -> String {
         self.key_table
-            .lock()
+            .read()
             .try_resolve(id)
             .map(str::to_string)
             .unwrap_or_else(|| format!("key#{}", id.0))
@@ -613,13 +647,22 @@ impl LiveCluster {
     pub fn write(&self, key: &str, value: Vec<u8>, level: ConsistencyLevel) -> u64 {
         let version = self.next_version.fetch_add(1, Ordering::SeqCst);
         let id = self.intern_key(key);
+        let replicas = self.replicas_for(key);
+        // Sample under the primary replica's stripe: writers to different
+        // primaries take disjoint locks, so node threads never serialize on
+        // a single global sampling mutex.
         {
-            let mut samples = self.write_key_samples.lock();
-            if samples.len() < WRITE_KEY_SAMPLE_CAP {
-                samples.push(id);
+            let stripe_index = replicas.first().copied().unwrap_or(0);
+            let stripes = self.write_key_samples.read();
+            if let Some(stripe) = stripes.get(stripe_index) {
+                let mut samples = stripe.lock();
+                if samples.len() < WRITE_KEY_SAMPLE_CAP {
+                    samples.push(id);
+                } else {
+                    self.sample_drops.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
-        let replicas = self.replicas_for(key);
         let shared_value = Arc::new(value);
         // Replicas the client cannot reach (crashed, or across the cut) get
         // a durable hint instead of a delayed send; they cannot acknowledge.
@@ -886,6 +929,56 @@ mod tests {
         all.dedup();
         assert_eq!(all.len(), len, "versions must be unique");
         assert_eq!(cluster.counters().writes.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn striped_sampling_loses_nothing_under_concurrency_or_joins() {
+        let cluster = Arc::new(LiveCluster::start(quick_config()));
+        // Concurrent writers to different keys route through different
+        // primary stripes and take disjoint locks; every sample must still
+        // surface in one drain.
+        let mut joins = Vec::new();
+        for t in 0..4u8 {
+            let c = Arc::clone(&cluster);
+            joins.push(std::thread::spawn(move || {
+                for i in 0..25 {
+                    c.write(&format!("s{t}-{i}"), vec![t], ConsistencyLevel::One);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(cluster.drain_write_key_samples().len(), 100);
+        assert_eq!(cluster.dropped_write_key_samples(), 0);
+        // A node joining mid-run grows the stripe vector before placement
+        // can route a primary onto the new slot; sampling keeps working and
+        // a second drain starts empty.
+        cluster.join_node();
+        for i in 0..30 {
+            cluster.write(
+                &format!("post-join-{i}"),
+                b"v".to_vec(),
+                ConsistencyLevel::One,
+            );
+        }
+        assert_eq!(cluster.drain_write_key_samples().len(), 30);
+        assert!(cluster.drain_write_key_samples().is_empty());
+        assert_eq!(cluster.dropped_write_key_samples(), 0);
+    }
+
+    #[test]
+    fn interning_is_idempotent_across_reader_fast_path() {
+        let cluster = LiveCluster::start(quick_config());
+        // First interning takes the write path; every later one must hit
+        // the read fast path and return the same id.
+        let first = cluster.intern_key("alpha");
+        assert_eq!(cluster.intern_key("alpha"), first);
+        assert_eq!(cluster.key_id("alpha"), Some(first));
+        assert_eq!(cluster.key_name(first), "alpha");
+        let second = cluster.intern_key("beta");
+        assert_ne!(first, second);
+        cluster.shutdown();
     }
 
     #[test]

@@ -356,9 +356,25 @@ impl Monitor {
         // Heavy hitters: feed this sweep's write-key samples to the sketch,
         // then snapshot the hot set with its per-key backlogs. Backends
         // without per-key signals produce an empty stream and the snapshot
-        // stays empty — the per-key layer degrades to the global model.
-        let key_samples = probe.drain_write_key_samples();
-        self.hot_tracker.observe_sweep(&key_samples, elapsed_secs);
+        // stays empty — the per-key layer degrades to the global model. A
+        // sharded backend publishes per-shard cumulative sketches instead of
+        // a sample stream; they fold into one cluster sketch here, at the
+        // same point of the sweep, so everything downstream (hot set,
+        // per-key backlogs, split decisions) is shard-count agnostic.
+        match probe.write_key_sketches() {
+            Some(shard_sketches) => {
+                let mut merged =
+                    crate::heavy_hitters::SpaceSavingSketch::new(self.config.hot_key_capacity);
+                for sketch in &shard_sketches {
+                    merged.merge(sketch);
+                }
+                self.hot_tracker.observe_merged(merged, elapsed_secs);
+            }
+            None => {
+                let key_samples = probe.drain_write_key_samples();
+                self.hot_tracker.observe_sweep(&key_samples, elapsed_secs);
+            }
+        }
         let hot = self.hot_tracker.hot_keys();
         self.hot_stats = if hot.is_empty() {
             Vec::new()
@@ -880,6 +896,92 @@ mod tests {
         assert!(s.write_service_scv.is_finite());
         assert!(s.read_rate.is_finite() && s.write_rate.is_finite());
         assert!(s.backlog_trend_ms_per_s.is_finite());
+    }
+
+    #[test]
+    fn sharded_sweep_normalises_by_the_post_change_live_view() {
+        // Sharded extension of the silent-node regression: the probe feeds
+        // the monitor per-shard sketches (the merge path, not the sample
+        // drain) and a node joins *between two shard merges* — so by the
+        // time the monitor sweeps, live_node_count already reports the
+        // post-join membership while the older shard's telemetry still has
+        // the pre-join width. Per-replica normalisation must follow the
+        // fresh live view, and the hot set must come out of the merged
+        // sketches.
+        use crate::heavy_hitters::SpaceSavingSketch;
+        use harmony_store::node::WriteStageTelemetry;
+        let telemetry = |completed: u64| WriteStageTelemetry {
+            arrivals: completed,
+            completed,
+            service_ms_total: completed as f64 * 0.5,
+            service_ms_sq_total: completed as f64 * 0.25,
+            queued: 0,
+            busy: 0,
+        };
+        let mut m = Monitor::new(MonitorConfig {
+            estimator: EstimatorKind::Ewma(1.0),
+            probe_cost_per_node_ms: 0.0,
+            hot_key_capacity: 8,
+            hot_key_min_share: 0.05,
+            ..MonitorConfig::default()
+        });
+        let mut probe = MockProbe {
+            nodes: 4,
+            live_nodes: Some(4),
+            latency_ms: 0.3,
+            write_concurrency: 1,
+            write_telemetry: vec![telemetry(0); 4],
+            ..MockProbe::default()
+        };
+        let hot = probe.intern("user0");
+        let cold = probe.intern("user17");
+        let sketch_pair = |hot_n: u64, cold_n: u64| {
+            let mut a = SpaceSavingSketch::new(8);
+            let mut b = SpaceSavingSketch::new(8);
+            for _ in 0..hot_n {
+                a.observe(hot);
+            }
+            for _ in 0..cold_n {
+                b.observe(cold);
+            }
+            vec![a, b]
+        };
+        // Several steady sweeps with growing *cumulative* sketches — exactly
+        // what the sharded runtime publishes — warm the tracker up.
+        for sweep in 1..=5u64 {
+            probe.sketches = Some(sketch_pair(90 * sweep, 10 * sweep));
+            m.sweep(SimTime::from_secs(sweep), &probe);
+        }
+
+        // The join lands mid-sweep: epoch bumps, the live view is already
+        // the post-join one, and this sweep's telemetry spans the new width.
+        probe.nodes = 5;
+        probe.live_nodes = Some(5);
+        probe.epoch = 1;
+        probe.write_telemetry = vec![
+            telemetry(100),
+            telemetry(100),
+            telemetry(100),
+            telemetry(100),
+            telemetry(100),
+        ];
+        probe.sketches = Some(sketch_pair(90 * 6, 10 * 6));
+        let s = m.sweep(SimTime::from_secs(6), &probe);
+        // 500 arrivals over 5 live nodes = 100 jobs/s per replica; dividing
+        // by the stale 4-node view would claim 125 and overstate pressure
+        // exactly when capacity was just added.
+        assert!(
+            (s.write_arrival_rate_per_replica - 100.0).abs() < 1.0,
+            "per-replica rate must use the post-join live view, got {}",
+            s.write_arrival_rate_per_replica
+        );
+        // The merged sketches reached the hot tracker: the skewed key
+        // surfaces with its cross-shard share, the cold one does not.
+        let stats = m.hot_key_stats();
+        assert!(!stats.is_empty(), "hot key must surface via sketch merge");
+        assert_eq!(stats[0].key, hot);
+        assert!(stats[0].share > 0.5, "share = {}", stats[0].share);
+        assert!(s.read_rate.is_finite() && s.write_rate.is_finite());
     }
 
     #[test]

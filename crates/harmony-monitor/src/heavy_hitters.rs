@@ -159,6 +159,77 @@ impl SpaceSavingSketch {
         entry.key = key;
         self.index.insert(key, victim);
     }
+
+    /// Merges `other` into `self` — the classic mergeable-summaries rule
+    /// (Agarwal et al. 2012) the sharded runtime uses to combine per-shard
+    /// sketches into one cluster view at the monitoring tick.
+    ///
+    /// For a key tracked on both sides, counts and errors add. For a key
+    /// tracked on one side only, the other side may have seen it up to its
+    /// minimum counter times, so that minimum is added to *both* the count
+    /// and the error (keeping the estimate an over-approximation and the
+    /// guaranteed count an under-approximation of the true combined
+    /// frequency). The union is then truncated to `self.capacity`, keeping
+    /// the largest counters with a deterministic `(count desc, key asc)`
+    /// order — which also preserves the untracked-key bound: every kept
+    /// counter is at least `self_min + other_min`, and no dropped or unseen
+    /// key can exceed that.
+    ///
+    /// All sketch guarantees (`estimate >= true`, `guaranteed <= true`,
+    /// `untracked true count <= min_count`) survive the merge; the property
+    /// suite pins them against a single global sketch over the combined
+    /// stream.
+    pub fn merge(&mut self, other: &SpaceSavingSketch) {
+        if other.total == 0 {
+            return;
+        }
+        let self_min = if self.len() >= self.capacity {
+            self.min_count()
+        } else {
+            0
+        };
+        let other_min = if other.len() >= other.capacity {
+            other.min_count()
+        } else {
+            0
+        };
+        let mut combined: Vec<SketchEntry> =
+            Vec::with_capacity(self.entries.len() + other.entries.len());
+        for e in &self.entries {
+            match other.entry(e.key) {
+                Some(o) => combined.push(SketchEntry {
+                    key: e.key,
+                    count: e.count + o.count,
+                    error: e.error + o.error,
+                }),
+                None => combined.push(SketchEntry {
+                    key: e.key,
+                    count: e.count + other_min,
+                    error: e.error + other_min,
+                }),
+            }
+        }
+        for o in &other.entries {
+            if self.index.contains_key(&o.key) {
+                continue;
+            }
+            combined.push(SketchEntry {
+                key: o.key,
+                count: o.count + self_min,
+                error: o.error + self_min,
+            });
+        }
+        combined.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.key.cmp(&b.key)));
+        combined.truncate(self.capacity);
+        self.total += other.total;
+        self.entries = combined;
+        self.index = self
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.key, i))
+            .collect();
+    }
 }
 
 /// A key the tracker currently considers hot, with its smoothed write rate.
@@ -219,6 +290,23 @@ impl HotKeyTracker {
         for &key in keys {
             self.sketch.observe(key);
         }
+        self.update_rates(elapsed_secs);
+    }
+
+    /// Replaces the tracked sketch with an externally merged one (the
+    /// sharded runtime folds per-shard cumulative sketches into a single
+    /// cluster sketch at every monitoring tick) and updates the per-key
+    /// rates from the same sweep-to-sweep count deltas as
+    /// [`HotKeyTracker::observe_sweep`]. Because each shard's counters are
+    /// cumulative and the merge is monotone, the deltas against the
+    /// previous merged sketch are exactly the sweep's new arrivals.
+    pub fn observe_merged(&mut self, merged: SpaceSavingSketch, elapsed_secs: f64) {
+        self.sketch = merged;
+        self.update_rates(elapsed_secs);
+    }
+
+    /// Sweep-to-sweep rate maintenance over the current sketch contents.
+    fn update_rates(&mut self, elapsed_secs: f64) {
         if elapsed_secs <= 0.0 {
             return;
         }

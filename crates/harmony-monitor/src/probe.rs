@@ -74,6 +74,17 @@ pub trait ClusterProbe {
     fn drain_write_key_samples(&self) -> Vec<KeyId> {
         Vec::new()
     }
+    /// Pre-built cumulative heavy-hitter sketches, one per shard, for
+    /// backends that shard the key space across event loops and count write
+    /// keys locally. When this returns `Some`, the monitor folds the shard
+    /// sketches into one cluster sketch (mergeable-summaries rule) instead
+    /// of consuming the raw sample stream; key ids inside the sketches must
+    /// already be in the backend's *global* id space. Single-loop backends
+    /// keep the default `None` and the sample-stream path is used,
+    /// byte-identically to before sharding existed.
+    fn write_key_sketches(&self) -> Option<Vec<crate::heavy_hitters::SpaceSavingSketch>> {
+        None
+    }
     /// Per-key mutation backlog (milliseconds) for the given keys: the
     /// deepest per-replica pending-mutation backlog of each key, i.e. how far
     /// the laggard replica of that key is behind. Must return one entry per
@@ -186,6 +197,9 @@ pub struct MockProbe {
     pub key_backlogs: std::collections::HashMap<String, f64>,
     /// Scripted fault epoch; bump it to simulate a topology change.
     pub epoch: u64,
+    /// Scripted per-shard cumulative sketches; `Some` switches the monitor
+    /// onto the sharded sketch-merge path instead of the sample drain.
+    pub sketches: Option<Vec<crate::heavy_hitters::SpaceSavingSketch>>,
     /// The interner backing the scripted key names.
     pub table: std::cell::RefCell<harmony_store::keys::KeyTable>,
 }
@@ -233,6 +247,9 @@ impl ClusterProbe for MockProbe {
     }
     fn drain_write_key_samples(&self) -> Vec<KeyId> {
         std::mem::take(&mut *self.write_keys.borrow_mut())
+    }
+    fn write_key_sketches(&self) -> Option<Vec<crate::heavy_hitters::SpaceSavingSketch>> {
+        self.sketches.clone()
     }
     fn per_key_backlog_ms(&self, keys: &[KeyId]) -> Vec<f64> {
         let table = self.table.borrow();

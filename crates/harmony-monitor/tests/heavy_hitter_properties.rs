@@ -141,4 +141,83 @@ proptest! {
             }
         }
     }
+
+    // ---- merge: the per-shard sketches the sharded runtime folds into one
+    // ---- cluster view must over-approximate exactly like a single global
+    // ---- sketch over the concatenated stream would.
+
+    #[test]
+    fn merged_shard_sketches_keep_the_space_saving_guarantees(
+        capacity in 2usize..16,
+        left in prop::collection::vec(0u64..200, 1..800),
+        right in prop::collection::vec(0u64..200, 1..800),
+    ) {
+        let (mut merged, exact_left) = run_stream(capacity, &left);
+        let (other, exact_right) = run_stream(capacity, &right);
+        merged.merge(&other);
+        let total = (left.len() + right.len()) as u64;
+        // Totals add exactly.
+        prop_assert_eq!(merged.total(), total);
+        // Memory bound survives the merge.
+        prop_assert!(merged.len() <= capacity);
+        let mut exact = exact_left;
+        for (k, v) in exact_right {
+            *exact.entry(k).or_insert(0) += v;
+        }
+        let min_count = merged.min_count();
+        for entry in merged.entries() {
+            let true_count = exact.get(&entry.key).copied().unwrap_or(0);
+            // Never under-estimates the combined stream...
+            prop_assert!(
+                entry.count >= true_count,
+                "merged key {} estimated {} < true {}",
+                entry.key,
+                entry.count,
+                true_count
+            );
+            // ...the inherited error still bounds the over-estimate...
+            prop_assert!(
+                entry.count - true_count <= entry.error,
+                "merged key {} over-estimate {} exceeds error {}",
+                entry.key,
+                entry.count - true_count,
+                entry.error
+            );
+            // ...and the guaranteed count stays a certain lower bound.
+            prop_assert!(entry.guaranteed() <= true_count);
+        }
+        // Keys the merge dropped (or never tracked) are still bounded by
+        // the merged minimum counter — the same eviction invariant a global
+        // sketch maintains.
+        for (key, &true_count) in &exact {
+            if merged.estimate(*key).is_none() {
+                prop_assert!(
+                    true_count <= min_count,
+                    "untracked merged key {} has true count {} > min counter {}",
+                    key,
+                    true_count,
+                    min_count
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_deterministic_and_identity_on_empty(
+        capacity in 2usize..12,
+        stream in prop::collection::vec(0u64..150, 1..600),
+    ) {
+        let (mut a, _) = run_stream(capacity, &stream);
+        let (mut b, _) = run_stream(capacity, &stream);
+        let (other, _) = run_stream(capacity, &stream[..stream.len() / 2 + 1]);
+        a.merge(&other);
+        b.merge(&other);
+        // Same inputs, same merged state, entry for entry.
+        prop_assert_eq!(a.entries(), b.entries());
+        prop_assert_eq!(a.total(), b.total());
+        // Merging an empty sketch changes nothing.
+        let before: Vec<_> = a.entries().to_vec();
+        a.merge(&SpaceSavingSketch::new(capacity));
+        prop_assert_eq!(a.entries(), &before[..]);
+    }
 }

@@ -1,0 +1,183 @@
+//! Deterministic cross-shard exchange for the multi-core sharded runtime.
+//!
+//! Each shard runs its own discrete-event loop on its own thread; the only
+//! cross-shard information flow is a report/directive exchange at every
+//! monitoring tick. [`ShardBarrier`] packages that exchange over crossbeam
+//! channels so it is (a) lock-free on the shard's op path — a shard touches
+//! the channels only at tick boundaries — and (b) *deterministic*: the
+//! coordinator always collects reports in shard-index order and every worker
+//! blocks until its directive arrives, so thread scheduling can reorder
+//! nothing observable. A shard's behaviour is then a pure function of its
+//! seed and the directive sequence, and the directive sequence is a pure
+//! function of the (ordered) report sequences — run-to-run identical stats
+//! by construction.
+//!
+//! The protocol also handles ragged shutdown: a shard that finishes its
+//! workload mid-run sends one final report and drops out; the coordinator
+//! keeps collecting from the remaining shards and stops once all are done.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// Coordinator side: collects one report per active worker (in shard-index
+/// order) and answers each with a directive.
+pub struct ShardBarrier<R, D> {
+    report_rx: Vec<Receiver<R>>,
+    directive_tx: Vec<Sender<D>>,
+    active: Vec<bool>,
+}
+
+/// Worker side: one shard's handle for the per-tick exchange.
+pub struct ShardWorker<R, D> {
+    index: usize,
+    report_tx: Sender<R>,
+    directive_rx: Receiver<D>,
+}
+
+impl<R, D> ShardBarrier<R, D> {
+    /// A barrier over `shards` workers. Returns the coordinator handle plus
+    /// one worker handle per shard, in shard-index order.
+    pub fn new(shards: usize) -> (Self, Vec<ShardWorker<R, D>>) {
+        assert!(shards > 0, "a barrier needs at least one shard");
+        let mut report_rx = Vec::with_capacity(shards);
+        let mut directive_tx = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for index in 0..shards {
+            let (r_tx, r_rx) = unbounded();
+            let (d_tx, d_rx) = unbounded();
+            report_rx.push(r_rx);
+            directive_tx.push(d_tx);
+            workers.push(ShardWorker {
+                index,
+                report_tx: r_tx,
+                directive_rx: d_rx,
+            });
+        }
+        (
+            ShardBarrier {
+                report_rx,
+                directive_tx,
+                active: vec![true; shards],
+            },
+            workers,
+        )
+    }
+
+    /// Number of workers that have not yet hung up.
+    pub fn active_count(&self) -> usize {
+        self.active.iter().filter(|a| **a).count()
+    }
+
+    /// Collects one report from every still-active worker, **in shard-index
+    /// order**. A worker that hung up (dropped its handle) is marked
+    /// inactive and contributes `None` from then on. Blocks until every
+    /// active worker has reported — this is the deterministic barrier.
+    pub fn collect(&mut self) -> Vec<Option<R>> {
+        let mut out = Vec::with_capacity(self.report_rx.len());
+        for (i, rx) in self.report_rx.iter().enumerate() {
+            if !self.active[i] {
+                out.push(None);
+                continue;
+            }
+            match rx.recv() {
+                Ok(report) => out.push(Some(report)),
+                Err(_) => {
+                    self.active[i] = false;
+                    out.push(None);
+                }
+            }
+        }
+        out
+    }
+
+    /// Sends `directive(shard)` to every still-active worker. A send to a
+    /// worker that hung up between collect and reply just deactivates it.
+    pub fn broadcast_with(&mut self, mut directive: impl FnMut(usize) -> D) {
+        for (i, tx) in self.directive_tx.iter().enumerate() {
+            if !self.active[i] {
+                continue;
+            }
+            if tx.send(directive(i)).is_err() {
+                self.active[i] = false;
+            }
+        }
+    }
+
+    /// Marks a worker as done (it sent a final report and will not exchange
+    /// again) so later rounds neither wait on it nor send to it.
+    pub fn retire(&mut self, index: usize) {
+        self.active[index] = false;
+    }
+}
+
+impl<R, D> ShardWorker<R, D> {
+    /// This worker's shard index.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// One barrier round: publish `report`, block for the directive.
+    /// Returns `None` if the coordinator went away (treat as shutdown).
+    pub fn exchange(&self, report: R) -> Option<D> {
+        self.report_tx.send(report).ok()?;
+        self.directive_rx.recv().ok()
+    }
+
+    /// Publish a final report without waiting for an answer — the shard is
+    /// done and the coordinator will retire it after merging this report.
+    pub fn finish(&self, report: R) {
+        let _ = self.report_tx.send(report);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn exchange_round_trips_in_shard_order() {
+        let (mut barrier, workers) = ShardBarrier::<usize, usize>::new(3);
+        let handles: Vec<_> = workers
+            .into_iter()
+            .map(|w| {
+                thread::spawn(move || {
+                    let d = w.exchange(w.index() * 10).expect("directive");
+                    assert_eq!(d, w.index() * 10 + 1);
+                })
+            })
+            .collect();
+        let reports = barrier.collect();
+        assert_eq!(
+            reports,
+            vec![Some(0), Some(10), Some(20)],
+            "reports arrive in shard-index order regardless of thread timing"
+        );
+        barrier.broadcast_with(|i| i * 10 + 1);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn ragged_shutdown_retires_finished_workers() {
+        let (mut barrier, mut workers) = ShardBarrier::<u32, u32>::new(2);
+        let w1 = workers.pop().unwrap();
+        let w0 = workers.pop().unwrap();
+        // Worker 1 finishes immediately; worker 0 keeps exchanging.
+        w1.finish(99);
+        drop(w1);
+        let t = thread::spawn(move || {
+            assert_eq!(w0.exchange(7), Some(70));
+        });
+        let reports = barrier.collect();
+        assert_eq!(reports, vec![Some(7), Some(99)]);
+        barrier.retire(1);
+        barrier.broadcast_with(|_| 70);
+        assert_eq!(barrier.active_count(), 1);
+        t.join().unwrap();
+        // Next round: only worker 0 is waited on, and it hung up too.
+        let reports = barrier.collect();
+        assert_eq!(reports, vec![None, None]);
+        assert_eq!(barrier.active_count(), 0);
+    }
+}

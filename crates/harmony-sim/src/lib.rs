@@ -39,6 +39,7 @@
 //! assert_eq!(ev, Ev::Ping(7));
 //! ```
 
+pub mod barrier;
 pub mod clock;
 pub mod engine;
 pub mod event;

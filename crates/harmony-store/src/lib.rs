@@ -58,6 +58,7 @@ pub mod keys;
 pub mod messages;
 pub mod node;
 pub mod placement;
+pub mod shard;
 pub mod types;
 
 /// Convenient re-exports of the most used items.
@@ -68,6 +69,7 @@ pub mod prelude {
     pub use crate::keys::{KeyId, KeyTable};
     pub use crate::messages::{Message, OpId, OpKind, StoreEvent};
     pub use crate::placement::{PlacementCache, ReplicaSet, ReplicationStrategy, MAX_RF};
+    pub use crate::shard::ShardPartition;
     pub use crate::types::{Cell, Key, Mutation, Row, Timestamp};
 }
 

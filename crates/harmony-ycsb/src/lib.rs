@@ -40,6 +40,7 @@
 
 pub mod distributions;
 pub mod runner;
+pub mod sharded;
 pub mod stats;
 pub mod workloads;
 
@@ -50,6 +51,7 @@ pub mod prelude {
         run_experiment, run_experiment_with_faults, ExperimentResult, ExperimentSpec, Phase,
         PhaseResult, Runner, RunnerEvent, CHAOS_OP_TIMEOUT,
     };
+    pub use crate::sharded::run_sharded_experiment;
     pub use crate::stats::{LatencyHistogram, LatencySummary, RunStats};
     pub use crate::workloads::{Operation, RequestDistribution, WorkloadSpec};
     pub use harmony_chaos::{

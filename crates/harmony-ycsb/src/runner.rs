@@ -23,6 +23,7 @@ use harmony_store::config::StoreConfig;
 use harmony_store::consistency::ConsistencyLevel;
 use harmony_store::keys::KeyId;
 use harmony_store::messages::{OpId, OpKind, StoreEvent};
+use harmony_store::shard::ShardPartition;
 use harmony_store::types::{Mutation, Timestamp};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -210,15 +211,70 @@ struct OpMeta {
     purpose: Purpose,
 }
 
+/// Sharded-mode state of one [`Runner`]: the keyspace stripe this event loop
+/// owns and the consistency levels the coordinator last broadcast. When
+/// present, issue paths consult this table instead of the (placeholder)
+/// local controller — the real controller lives on the coordinator and sees
+/// the merged cluster view.
+pub(crate) struct ShardContext {
+    /// This event loop's stripe of the global keyspace.
+    pub(crate) partition: ShardPartition,
+    /// Records owned locally during the load phase; local ids below this are
+    /// load-phase keys with purely arithmetic global ids.
+    pub(crate) local_records: usize,
+    /// The first global record index this shard's inserts use; the `k`-th
+    /// insert names global record `insert_base + k * shards`, keeping insert
+    /// names disjoint across shards and owned locally.
+    pub(crate) insert_base: u64,
+    /// Default read level from the last coordinator directive.
+    pub(crate) default_read: ConsistencyLevel,
+    /// Write level from the last coordinator directive.
+    pub(crate) write: ConsistencyLevel,
+    /// Escalated per-key read levels (local ids) from the last directive.
+    pub(crate) hot: HashMap<KeyId, ConsistencyLevel>,
+}
+
+impl ShardContext {
+    /// Translates a *local* interned id to the coordinator's *global* id.
+    pub(crate) fn local_to_global_key(&self, id: KeyId) -> KeyId {
+        let l = id.index();
+        if l < self.local_records {
+            self.partition.local_key_to_global(id)
+        } else {
+            let k = (l - self.local_records) as u64;
+            KeyId((self.insert_base + k * self.partition.shards() as u64) as u32)
+        }
+    }
+
+    /// Translates an owned *global* id back to the local interned id, if the
+    /// key exists on this shard (`key_count` = current interner size).
+    pub(crate) fn global_to_local_key(&self, id: KeyId, key_count: usize) -> Option<KeyId> {
+        let g = id.index();
+        if !self.partition.owns_global(g) {
+            return None;
+        }
+        let l = self.partition.global_to_local(g);
+        let local = if l < self.local_records {
+            l
+        } else if g as u64 >= self.insert_base {
+            let k = ((g as u64 - self.insert_base) / self.partition.shards() as u64) as usize;
+            self.local_records + k
+        } else {
+            return None;
+        };
+        (local < key_count).then_some(KeyId(local as u32))
+    }
+}
+
 /// The experiment runner. Most users call [`run_experiment`] instead of
 /// driving this type directly.
 pub struct Runner {
-    cluster: Cluster,
-    sim: Simulation<RunnerEvent>,
-    controller: AdaptiveController,
-    spec: ExperimentSpec,
+    pub(crate) cluster: Cluster,
+    pub(crate) sim: Simulation<RunnerEvent>,
+    pub(crate) controller: AdaptiveController,
+    pub(crate) spec: ExperimentSpec,
     /// The fault schedule to replay (empty = no chaos layer at all).
-    faults: FaultSchedule,
+    pub(crate) faults: FaultSchedule,
     profile_name: String,
     key_chooser: KeyChooser,
     workload_rng: StdRng,
@@ -232,15 +288,17 @@ pub struct Runner {
     field_mutations: Vec<Arc<Mutation>>,
     /// The designated hot keys whose reads are tallied separately.
     hot_report_keys: HashSet<KeyId>,
-    session_active: Vec<bool>,
-    current_phase: usize,
+    pub(crate) session_active: Vec<bool>,
+    pub(crate) current_phase: usize,
     phase_completed_ops: u64,
     insert_counter: u64,
+    /// Sharded-mode stripe + directive state (`None` = classic single loop).
+    pub(crate) shard: Option<ShardContext>,
     // Accumulated output.
-    stats: RunStats,
-    phase_results: Vec<PhaseResult>,
-    phase_stats: RunStats,
-    read_level_histogram: BTreeMap<usize, u64>,
+    pub(crate) stats: RunStats,
+    pub(crate) phase_results: Vec<PhaseResult>,
+    pub(crate) phase_stats: RunStats,
+    pub(crate) read_level_histogram: BTreeMap<usize, u64>,
 }
 
 impl Runner {
@@ -301,6 +359,89 @@ impl Runner {
             current_phase: 0,
             phase_completed_ops: 0,
             insert_counter: 0,
+            shard: None,
+            stats: RunStats::default(),
+            phase_results: Vec::new(),
+            phase_stats: RunStats::default(),
+            read_level_histogram: BTreeMap::new(),
+            spec,
+        }
+    }
+
+    /// Builds one shard's runner: the same construction as [`Runner::new`]
+    /// but loading only the records of `partition`'s stripe, in ascending
+    /// global order — so local interned ids stay dense and the local↔global
+    /// mapping is pure arithmetic ([`ShardContext`]). The shard's RNG
+    /// streams derive from `mix(seed, stripe)` so shards draw independent
+    /// (but run-to-run identical) workload sequences, and the passed
+    /// `controller` is a placeholder: it fixes the monitoring cadence but
+    /// never decides a level — levels arrive by coordinator directive.
+    pub(crate) fn new_sharded(
+        profile: &ClusterProfile,
+        store_config: StoreConfig,
+        controller: AdaptiveController,
+        spec: ExperimentSpec,
+        partition: ShardPartition,
+    ) -> Self {
+        spec.validate()
+            .unwrap_or_else(|e| panic!("invalid experiment spec: {e}"));
+        let shard_seed = harmony_sim::rng::mix(spec.seed, 0x5348_5244 + partition.index() as u64);
+        let factory = RngFactory::new(shard_seed);
+        let mut cluster = Cluster::new(
+            store_config,
+            profile.topology.clone(),
+            profile.network.clone(),
+            factory,
+        );
+        let row_template = Mutation::ycsb_row(spec.workload.field_count, spec.workload.field_size);
+        let local_records = partition.local_count(spec.workload.record_count as usize);
+        let mut record_ids = Vec::with_capacity(local_records);
+        for local in 0..local_records {
+            let g = partition.local_to_global(local) as u64;
+            let name = record_key(g);
+            cluster.load_direct(&name, &row_template, Timestamp(g + 1));
+            record_ids.push(cluster.key_id(&name).expect("just loaded"));
+        }
+        let hot_report_keys = (0..spec.hot_key_prefix)
+            .filter(|g| partition.owns_global(*g as usize))
+            .map(|g| cluster.intern_key(&record_key(g)))
+            .collect();
+        let field_mutations = (0..spec.workload.field_count)
+            .map(|f| {
+                Arc::new(Mutation::single(
+                    format!("field{f}"),
+                    vec![b'u'; spec.workload.field_size],
+                ))
+            })
+            .collect();
+        let max_threads = spec.phases.iter().map(|p| p.threads).max().unwrap_or(1);
+        let key_chooser = spec.workload.key_chooser();
+        let insert_base =
+            partition.first_owned_at_or_after(spec.workload.record_count as usize) as u64;
+        Runner {
+            cluster,
+            sim: Simulation::new(shard_seed),
+            controller,
+            faults: FaultSchedule::empty(),
+            workload_rng: factory.stream("workload"),
+            key_chooser,
+            profile_name: profile.name.clone(),
+            in_flight: HashMap::new(),
+            record_ids,
+            field_mutations,
+            hot_report_keys,
+            session_active: vec![false; max_threads],
+            current_phase: 0,
+            phase_completed_ops: 0,
+            insert_counter: 0,
+            shard: Some(ShardContext {
+                partition,
+                local_records,
+                insert_base,
+                default_read: ConsistencyLevel::One,
+                write: ConsistencyLevel::One,
+                hot: HashMap::new(),
+            }),
             stats: RunStats::default(),
             phase_results: Vec::new(),
             phase_stats: RunStats::default(),
@@ -317,11 +458,21 @@ impl Runner {
         self
     }
 
-    fn phase(&self) -> Phase {
+    pub(crate) fn phase(&self) -> Phase {
         self.spec.phases[self.current_phase.min(self.spec.phases.len() - 1)]
     }
 
-    fn issue_next_op(&mut self, session: usize) {
+    /// The read level for `key`: the coordinator's last directive in sharded
+    /// mode (hot-table hit or broadcast default), the local controller's hot
+    /// set otherwise.
+    fn read_level(&self, key: KeyId) -> ConsistencyLevel {
+        match &self.shard {
+            Some(ctx) => ctx.hot.get(&key).copied().unwrap_or(ctx.default_read),
+            None => self.controller.read_level_for(key),
+        }
+    }
+
+    pub(crate) fn issue_next_op(&mut self, session: usize) {
         if session >= self.phase().threads || self.current_phase >= self.spec.phases.len() {
             self.session_active[session] = false;
             return;
@@ -333,7 +484,7 @@ impl Runner {
                 let key = self.chosen_key();
                 // Per-operation consultation of the hot set: an escalated key
                 // reads at its own level, everything else at the cheap default.
-                let level = self.controller.read_level_for(key);
+                let level = self.read_level(key);
                 let op = self.cluster.submit_read_id(key, level, &mut self.sim);
                 self.in_flight.insert(
                     op,
@@ -348,14 +499,23 @@ impl Runner {
                 self.issue_write(session, key, Purpose::Normal);
             }
             Operation::Insert => {
-                let name = record_key(self.spec.workload.record_count + self.insert_counter);
+                let global = match &self.shard {
+                    // Sharded inserts stride the global index space from this
+                    // shard's first owned slot past the load population, so
+                    // insert names stay globally unique and locally owned.
+                    Some(ctx) => {
+                        ctx.insert_base + self.insert_counter * ctx.partition.shards() as u64
+                    }
+                    None => self.spec.workload.record_count + self.insert_counter,
+                };
+                let name = record_key(global);
                 self.insert_counter += 1;
                 let key = self.cluster.intern_key(&name);
                 self.issue_write(session, key, Purpose::Normal);
             }
             Operation::ReadModifyWrite => {
                 let key = self.chosen_key();
-                let level = self.controller.read_level_for(key);
+                let level = self.read_level(key);
                 let op = self.cluster.submit_read_id(key, level, &mut self.sim);
                 self.in_flight.insert(
                     op,
@@ -370,9 +530,25 @@ impl Runner {
 
     /// Draws the next record index and maps it to its interned id — the
     /// allocation-free replacement for `record_key(index)` on the op path.
+    ///
+    /// In sharded mode the *global* key distribution is rejection-sampled
+    /// down to this shard's stripe: the chooser keeps its global popularity
+    /// profile (a Zipfian rank-`r` key stays exactly as popular relative to
+    /// its stripe-mates), every shard draws from its own seeded stream, and
+    /// no cross-shard coordination touches the op path.
     fn chosen_key(&mut self) -> KeyId {
-        let index = self.key_chooser.next_index(&mut self.workload_rng);
-        self.record_ids[index as usize]
+        match &self.shard {
+            None => {
+                let index = self.key_chooser.next_index(&mut self.workload_rng);
+                self.record_ids[index as usize]
+            }
+            Some(ctx) => loop {
+                let index = self.key_chooser.next_index(&mut self.workload_rng) as usize;
+                if ctx.partition.owns_global(index) {
+                    break self.record_ids[ctx.partition.global_to_local(index)];
+                }
+            },
+        }
     }
 
     fn issue_write(&mut self, session: usize, key: KeyId, purpose: Purpose) {
@@ -380,7 +556,10 @@ impl Runner {
             .workload_rng
             .gen_range(0..self.spec.workload.field_count);
         let mutation = Arc::clone(&self.field_mutations[field]);
-        let level = self.controller.current_write_level();
+        let level = match &self.shard {
+            Some(ctx) => ctx.write,
+            None => self.controller.current_write_level(),
+        };
         let op = self
             .cluster
             .submit_write_id(key, mutation, level, &mut self.sim);
@@ -444,7 +623,7 @@ impl Runner {
         }
     }
 
-    fn on_completion(&mut self, completion: Completion) {
+    pub(crate) fn on_completion(&mut self, completion: Completion) {
         let Some(meta) = self.in_flight.remove(&completion.op) else {
             return;
         };
@@ -485,7 +664,7 @@ impl Runner {
         }
     }
 
-    fn advance_phase_if_needed(&mut self) {
+    pub(crate) fn advance_phase_if_needed(&mut self) {
         if self.current_phase >= self.spec.phases.len() {
             return;
         }

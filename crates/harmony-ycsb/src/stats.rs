@@ -229,6 +229,26 @@ impl RunStats {
             self.hot_stale_reads as f64 / self.hot_reads as f64
         }
     }
+
+    /// Merges another run's statistics into this one (the sharded runtime
+    /// folds per-shard stats into one cluster result): histograms merge,
+    /// counters add, and the time span becomes the union of both spans — so
+    /// aggregate throughput is total operations over the longest shard's
+    /// virtual duration, exactly what a cluster-wide observer would measure.
+    pub fn absorb(&mut self, other: &RunStats) {
+        self.read_latency.merge(&other.read_latency);
+        self.write_latency.merge(&other.write_latency);
+        self.operations += other.operations;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.stale_reads += other.stale_reads;
+        self.stale_reads_dual_read += other.stale_reads_dual_read;
+        self.hot_reads += other.hot_reads;
+        self.hot_stale_reads += other.hot_stale_reads;
+        self.aborted_ops += other.aborted_ops;
+        self.started_at = self.started_at.min(other.started_at);
+        self.ended_at = self.ended_at.max(other.ended_at);
+    }
 }
 
 #[cfg(test)]
