@@ -1,0 +1,214 @@
+//! `harmony-check` — bounded model checker CLI.
+//!
+//! Exhaustively explores every message delivery order and crash placement of
+//! a registered scenario up to a depth bound (plus an optional seeded
+//! random-walk pass for deeper schedules), checks the quiesced invariants
+//! after every schedule, and reports explored-state counts and wall-clock.
+//!
+//! Exit status: 0 if every explored schedule satisfied every invariant,
+//! 1 if any violation was found, 2 on usage errors.
+//!
+//! ```text
+//! harmony-check --quick                  # CI smoke: depth 12, <60s
+//! harmony-check --depth 14 --walks 500   # nightly: deeper bound + walks
+//! harmony-check --scenario three_node_write_read --depth 10
+//! ```
+
+use harmony_check::{explorer, scenario, ExploreConfig, ExploreStats};
+use serde::Serialize;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// The `--out` JSON report.
+#[derive(Serialize)]
+struct Report {
+    scenario: String,
+    depth: usize,
+    exhaustive: ExploreStats,
+    walks: Option<ExploreStats>,
+}
+
+struct Args {
+    scenario: String,
+    depth: usize,
+    max_states: u64,
+    walks: u64,
+    walk_depth: usize,
+    seed: u64,
+    out: Option<String>,
+}
+
+const USAGE: &str = "\
+usage: harmony-check [options]
+  --quick              CI preset: three_node_two_write at depth 12, no walks
+  --scenario NAME      scenario to check (default three_node_two_write)
+  --depth N            exhaustive exploration depth bound (default 12)
+  --max-states N       safety cap on distinct states (default 2000000)
+  --walks N            random walks to run after the exhaustive pass (default 0)
+  --walk-depth N       depth of each random walk (default 3x --depth)
+  --seed N             random-walk seed (default 20120920)
+  --out PATH           write the full JSON report here
+  --list               list registered scenarios
+  --help               this text";
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut args = Args {
+        scenario: "three_node_two_write".to_string(),
+        depth: 12,
+        max_states: 2_000_000,
+        walks: 0,
+        walk_depth: 0,
+        seed: 20120920,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--quick" => {
+                args.scenario = "three_node_two_write".to_string();
+                args.depth = 12;
+                args.walks = 0;
+            }
+            "--scenario" => args.scenario = value("--scenario")?,
+            "--depth" => args.depth = parse_num(&value("--depth")?)? as usize,
+            "--max-states" => args.max_states = parse_num(&value("--max-states")?)?,
+            "--walks" => args.walks = parse_num(&value("--walks")?)?,
+            "--walk-depth" => args.walk_depth = parse_num(&value("--walk-depth")?)? as usize,
+            "--seed" => args.seed = parse_num(&value("--seed")?)?,
+            "--out" => args.out = Some(value("--out")?),
+            "--list" => {
+                for name in ["three_node_two_write", "three_node_write_read"] {
+                    println!("{name}");
+                }
+                return Ok(None);
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+    if args.walk_depth == 0 {
+        args.walk_depth = args.depth * 3;
+    }
+    Ok(Some(args))
+}
+
+fn parse_num(s: &str) -> Result<u64, String> {
+    s.replace('_', "")
+        .parse()
+        .map_err(|_| format!("not a number: {s:?}"))
+}
+
+fn report_pass(label: &str, stats: &ExploreStats, secs: f64) {
+    println!(
+        "[{label}] states explored: {}  schedules checked: {}  dedup hits: {}  \
+         violations: {}  wall-clock: {secs:.2}s{}",
+        stats.states_explored,
+        stats.schedules_completed,
+        stats.dedup_hits,
+        stats.violation_count,
+        if stats.truncated {
+            "  (TRUNCATED at state cap — bound NOT exhaustive)"
+        } else {
+            ""
+        }
+    );
+    for found in &stats.violations {
+        println!(
+            "[{label}] VIOLATION {}: {}",
+            found.violation.rule, found.violation.detail
+        );
+        println!(
+            "[{label}]   schedule: {}",
+            serde_json::to_string(&found.trace).expect("trace serialises")
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Some(args)) => args,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(scenario) = scenario::by_name(&args.scenario) else {
+        eprintln!("unknown scenario {:?} (try --list)", args.scenario);
+        return ExitCode::from(2);
+    };
+    println!(
+        "scenario {} ({} nodes, RF {}, {} ops, <= {} crash(es)/schedule)",
+        scenario.name,
+        scenario.nodes,
+        scenario.replication_factor,
+        scenario.ops.len(),
+        scenario.max_crashes
+    );
+
+    let config = ExploreConfig {
+        max_depth: args.depth,
+        max_states: args.max_states,
+        ..ExploreConfig::default()
+    };
+    let started = Instant::now();
+    let exhaustive = explorer::explore(&scenario, &config);
+    let exhaustive_secs = started.elapsed().as_secs_f64();
+    report_pass(
+        &format!("exhaustive depth {}", args.depth),
+        &exhaustive,
+        exhaustive_secs,
+    );
+
+    let walk = if args.walks > 0 {
+        let started = Instant::now();
+        let stats =
+            explorer::random_walk(&scenario, args.walks, args.walk_depth, args.seed, &config);
+        let secs = started.elapsed().as_secs_f64();
+        report_pass(
+            &format!(
+                "random-walk {}x depth {} seed {}",
+                args.walks, args.walk_depth, args.seed
+            ),
+            &stats,
+            secs,
+        );
+        Some(stats)
+    } else {
+        None
+    };
+
+    let total_violations =
+        exhaustive.violation_count + walk.as_ref().map_or(0, |w| w.violation_count);
+    if let Some(path) = &args.out {
+        let report = serde_json::to_string_pretty(&Report {
+            scenario: scenario.name.clone(),
+            depth: args.depth,
+            exhaustive: exhaustive.clone(),
+            walks: walk.clone(),
+        })
+        .expect("report serialises");
+        if let Err(err) = std::fs::write(path, report) {
+            eprintln!("cannot write {path:?}: {err}");
+            return ExitCode::from(2);
+        }
+        println!("report written to {path}");
+    }
+
+    if total_violations > 0 {
+        println!("FAIL: {total_violations} violating schedule(s)");
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "OK: no acknowledged write lost, staleness within tolerance on every explored schedule"
+        );
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,385 @@
+//! The bounded schedule explorer: exhaustive DFS over delivery orders and
+//! crash placements, plus a seeded random-walk mode for deeper schedules.
+
+use harmony_chaos::FaultEvent;
+use harmony_sim::clock::SimTime;
+use harmony_sim::context::EventCtx;
+use harmony_sim::topology::NodeId;
+use harmony_store::cluster::fnv1a;
+use harmony_store::machine::{HarmonyMachine, MachineEvent, OnEvent};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::invariants::{self, Violation};
+use crate::scenario::Scenario;
+use crate::trace::{ScheduleTrace, TraceStep};
+
+/// The checker's event context: a plain pending list under a frozen clock.
+///
+/// `emit` discards the delay and appends to `pending`; `now` is always zero.
+/// Delivery order is whatever the explorer picks — the adversarial-network
+/// abstraction where every latency assignment, and therefore every delivery
+/// order, is possible. Freezing the clock makes timestamps dense counters
+/// and submission times all-zero, so structurally equivalent states reached
+/// through different interleavings produce identical fingerprints.
+#[derive(Debug, Clone, Default)]
+pub struct CheckerCtx {
+    /// Events emitted but not yet delivered, in emission order.
+    pub pending: Vec<MachineEvent>,
+}
+
+impl CheckerCtx {
+    /// An empty context.
+    pub fn new() -> Self {
+        CheckerCtx::default()
+    }
+
+    /// Delivers the pending event at `index` to the machine (followups the
+    /// machine emits are appended to `pending`).
+    ///
+    /// # Panics
+    /// Panics if `index` is out of bounds.
+    pub fn deliver(&mut self, index: usize, machine: &mut HarmonyMachine) {
+        let event = self.pending.remove(index);
+        machine.on_event(event, self);
+    }
+}
+
+impl EventCtx<MachineEvent> for CheckerCtx {
+    fn now(&self) -> SimTime {
+        SimTime::ZERO
+    }
+
+    fn emit(&mut self, _delay: SimTime, event: MachineEvent) {
+        self.pending.push(event);
+    }
+}
+
+/// Exploration bounds.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Maximum schedule depth (delivery choices + fault choices per branch).
+    pub max_depth: usize,
+    /// Safety cap on distinct visited states; exploration truncates (and
+    /// says so in the stats) rather than running away.
+    pub max_states: u64,
+    /// Cap on recorded violating schedules (every violation is *counted*,
+    /// but only this many carry a full replayable trace).
+    pub max_recorded_violations: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            max_depth: 12,
+            max_states: 2_000_000,
+            max_recorded_violations: 16,
+        }
+    }
+}
+
+/// A violation together with the schedule that produced it — serialisable,
+/// so found counterexamples can join the regression corpus.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FoundViolation {
+    /// What broke.
+    pub violation: Violation,
+    /// The replayable schedule that broke it.
+    pub trace: ScheduleTrace,
+}
+
+/// Exploration statistics — the checker's output.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ExploreStats {
+    /// Distinct states visited (fingerprint-deduplicated).
+    pub states_explored: u64,
+    /// Schedules driven to quiesce and invariant-checked.
+    pub schedules_completed: u64,
+    /// Branches pruned because an equal-or-better-explored state was seen.
+    pub dedup_hits: u64,
+    /// Total violations observed (including ones past the recording cap).
+    pub violation_count: u64,
+    /// Recorded violating schedules (up to the configured cap).
+    pub violations: Vec<FoundViolation>,
+    /// True if the state-count safety cap truncated exploration — the
+    /// exhaustiveness claim only holds when this is false.
+    pub truncated: bool,
+}
+
+impl ExploreStats {
+    fn new() -> Self {
+        ExploreStats {
+            states_explored: 0,
+            schedules_completed: 0,
+            dedup_hits: 0,
+            violation_count: 0,
+            violations: Vec::new(),
+            truncated: false,
+        }
+    }
+}
+
+/// Fingerprint of a checker configuration: machine state + pending events +
+/// remaining crash budget. Equal fingerprints ⇒ identical reachable
+/// behaviour (see the RNG/clock discussion in the crate docs).
+///
+/// The pending list is fingerprinted as a sorted multiset: the explorer can
+/// pick any index, so two states whose pending lists differ only in order
+/// reach exactly the same successors — position is labelling, not state.
+fn fingerprint(machine: &HarmonyMachine, ctx: &CheckerCtx, crashes_left: usize) -> u64 {
+    let mut s = machine.state_digest_string();
+    let mut pending: Vec<String> = ctx.pending.iter().map(|ev| format!("{ev:?}")).collect();
+    pending.sort_unstable();
+    let _ = write!(s, "pending={pending:?};crashes_left={crashes_left};");
+    fnv1a(s.as_bytes())
+}
+
+/// Runs the quiesce procedure in place: cancel periodic timers, heal any
+/// partition, restart every crashed member, then drain the pending list in
+/// FIFO order until empty. After this the cluster is stable — nothing is in
+/// flight, nothing is queued — and the quiesced invariants must hold.
+pub fn quiesce(machine: &mut HarmonyMachine, ctx: &mut CheckerCtx) {
+    machine.cancel_all_timers();
+    machine.on_event(MachineEvent::Fault(FaultEvent::HealPartition), ctx);
+    let n = machine.cluster().node_count();
+    for i in 0..n {
+        let node = NodeId(i as u32);
+        let faults = machine.cluster().fault_state();
+        if faults.is_member(node) && !faults.is_alive(node) {
+            machine.on_event(MachineEvent::Fault(FaultEvent::RestartNode { node }), ctx);
+        }
+    }
+    // FIFO drain: deterministic, and terminating because every protocol
+    // event generates a bounded number of followups and all timers are
+    // cancelled. The cap turns a non-termination bug into a loud failure.
+    let mut steps = 0usize;
+    while !ctx.pending.is_empty() {
+        ctx.deliver(0, machine);
+        steps += 1;
+        assert!(
+            steps < 1_000_000,
+            "quiesce drain did not terminate — protocol emits unbounded followups"
+        );
+    }
+}
+
+/// Clones the branch state, quiesces the clone, and checks invariants.
+fn complete_schedule(
+    machine: &HarmonyMachine,
+    ctx: &CheckerCtx,
+    steps: &[TraceStep],
+    scenario: &Scenario,
+    config: &ExploreConfig,
+    stats: &mut ExploreStats,
+) {
+    let mut m = machine.clone();
+    let mut c = ctx.clone();
+    quiesce(&mut m, &mut c);
+    stats.schedules_completed += 1;
+    for violation in invariants::check_quiesced(&m, scenario) {
+        stats.violation_count += 1;
+        if stats.violations.len() < config.max_recorded_violations {
+            stats.violations.push(FoundViolation {
+                violation,
+                trace: ScheduleTrace {
+                    name: format!("violation-{}", stats.violation_count),
+                    description: "explorer-found violating schedule".to_string(),
+                    scenario: scenario.name.clone(),
+                    steps: steps.to_vec(),
+                },
+            });
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    machine: &HarmonyMachine,
+    ctx: &CheckerCtx,
+    crashes_left: usize,
+    depth_left: usize,
+    steps: &mut Vec<TraceStep>,
+    seen: &mut HashMap<u64, usize>,
+    scenario: &Scenario,
+    config: &ExploreConfig,
+    stats: &mut ExploreStats,
+) {
+    if stats.truncated {
+        return;
+    }
+    // A schedule ends when nothing is pending (the protocol ran to
+    // completion under this ordering) or the depth budget is spent (the
+    // remainder is completed deterministically by the quiesce drain).
+    if ctx.pending.is_empty() || depth_left == 0 {
+        complete_schedule(machine, ctx, steps, scenario, config, stats);
+        return;
+    }
+    let fp = fingerprint(machine, ctx, crashes_left);
+    match seen.get(&fp).copied() {
+        // Already explored from here with at least this much budget left —
+        // nothing new can be reached. (Keying the fingerprint map on the
+        // *maximum* remaining budget keeps the pruning sound: a revisit with
+        // MORE budget re-explores.)
+        Some(d) if d >= depth_left => {
+            stats.dedup_hits += 1;
+            return;
+        }
+        Some(_) => {
+            seen.insert(fp, depth_left);
+        }
+        None => {
+            seen.insert(fp, depth_left);
+            stats.states_explored += 1;
+            if stats.states_explored >= config.max_states {
+                stats.truncated = true;
+                return;
+            }
+        }
+    }
+    // Choice 1..n: deliver any pending event next. Identical pending events
+    // are interchangeable (delivering either yields the same successor), so
+    // only the first of each duplicate group branches — a symmetry reduction
+    // on top of the fingerprint dedup.
+    let labels: Vec<String> = ctx.pending.iter().map(|ev| format!("{ev:?}")).collect();
+    for i in 0..ctx.pending.len() {
+        if labels[..i].contains(&labels[i]) {
+            continue;
+        }
+        let mut m = machine.clone();
+        let mut c = ctx.clone();
+        c.deliver(i, &mut m);
+        m.drain_completions();
+        steps.push(TraceStep::Deliver { index: i });
+        dfs(
+            &m,
+            &c,
+            crashes_left,
+            depth_left - 1,
+            steps,
+            seen,
+            scenario,
+            config,
+            stats,
+        );
+        steps.pop();
+    }
+    // Choice n+1..: crash any currently-serving node (if budget remains).
+    if crashes_left > 0 {
+        for i in 0..machine.cluster().node_count() {
+            let node = NodeId(i as u32);
+            if !machine.cluster().fault_state().is_serving(node) {
+                continue;
+            }
+            let mut m = machine.clone();
+            let mut c = ctx.clone();
+            let fault = FaultEvent::CrashNode { node };
+            m.on_event(MachineEvent::Fault(fault.clone()), &mut c);
+            m.drain_completions();
+            steps.push(TraceStep::Fault { fault });
+            dfs(
+                &m,
+                &c,
+                crashes_left - 1,
+                depth_left - 1,
+                steps,
+                seen,
+                scenario,
+                config,
+                stats,
+            );
+            steps.pop();
+        }
+    }
+}
+
+/// Exhaustively explores every delivery order and crash placement of
+/// `scenario` up to `config.max_depth`, checking the quiesced invariants at
+/// the end of every schedule. `mutate` runs once against the freshly built
+/// machine before exploration — the hook the mutation tests use to break
+/// the protocol on purpose (pass `|_| {}` for the real protocol).
+pub fn explore_with(
+    scenario: &Scenario,
+    config: &ExploreConfig,
+    mutate: impl FnOnce(&mut HarmonyMachine),
+) -> ExploreStats {
+    let (mut machine, ctx, _keys) = scenario.build();
+    mutate(&mut machine);
+    let mut stats = ExploreStats::new();
+    let mut seen = HashMap::new();
+    let mut steps = Vec::new();
+    dfs(
+        &machine,
+        &ctx,
+        scenario.max_crashes,
+        config.max_depth,
+        &mut steps,
+        &mut seen,
+        scenario,
+        config,
+        &mut stats,
+    );
+    stats
+}
+
+/// [`explore_with`] on the unmodified protocol.
+pub fn explore(scenario: &Scenario, config: &ExploreConfig) -> ExploreStats {
+    explore_with(scenario, config, |_| {})
+}
+
+/// Seeded random-walk mode: `walks` schedules of up to `depth` uniformly
+/// random choices each (deliveries and, while budget remains, crashes),
+/// every one driven to quiesce and invariant-checked. Reaches depths the
+/// exhaustive bound cannot; same seed ⇒ byte-identical stats. States are
+/// fingerprinted for the `states_explored` count but walks are never pruned.
+pub fn random_walk(
+    scenario: &Scenario,
+    walks: u64,
+    depth: usize,
+    seed: u64,
+    config: &ExploreConfig,
+) -> ExploreStats {
+    let mut stats = ExploreStats::new();
+    let mut seen: HashMap<u64, usize> = HashMap::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..walks {
+        let (mut machine, mut ctx, _keys) = scenario.build();
+        let mut crashes_left = scenario.max_crashes;
+        let mut steps = Vec::new();
+        for _ in 0..depth {
+            if ctx.pending.is_empty() {
+                break;
+            }
+            let crash_choices = if crashes_left > 0 {
+                (0..machine.cluster().node_count())
+                    .filter(|&i| machine.cluster().fault_state().is_serving(NodeId(i as u32)))
+                    .collect::<Vec<_>>()
+            } else {
+                Vec::new()
+            };
+            let total = ctx.pending.len() + crash_choices.len();
+            let choice = rng.gen_range(0..total);
+            if choice < ctx.pending.len() {
+                ctx.deliver(choice, &mut machine);
+                steps.push(TraceStep::Deliver { index: choice });
+            } else {
+                let node = NodeId(crash_choices[choice - ctx.pending.len()] as u32);
+                let fault = FaultEvent::CrashNode { node };
+                machine.on_event(MachineEvent::Fault(fault.clone()), &mut ctx);
+                steps.push(TraceStep::Fault { fault });
+                crashes_left -= 1;
+            }
+            machine.drain_completions();
+            let fp = fingerprint(&machine, &ctx, crashes_left);
+            if seen.insert(fp, 0).is_none() {
+                stats.states_explored += 1;
+            } else {
+                stats.dedup_hits += 1;
+            }
+        }
+        complete_schedule(&machine, &ctx, &steps, scenario, config, &mut stats);
+    }
+    stats
+}

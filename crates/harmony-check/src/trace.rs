@@ -1,0 +1,274 @@
+//! Replayable schedule traces: counterexample-shaped JSON fixtures.
+//!
+//! A [`ScheduleTrace`] is a concrete schedule — a scenario name plus the
+//! exact sequence of delivery choices and fault injections — serialised to
+//! JSON. The explorer records one for every violation it finds, and the
+//! regression corpus in `tests/explored_schedules.rs` replays the committed
+//! fixtures on every CI run so an invariant once threatened stays pinned.
+
+use harmony_chaos::FaultEvent;
+use harmony_sim::topology::NodeId;
+use harmony_store::machine::{HarmonyMachine, MachineEvent, OnEvent};
+use harmony_store::messages::{Message, StoreEvent};
+use serde::{Deserialize, Serialize};
+
+use crate::explorer::{self, CheckerCtx};
+use crate::invariants::{self, Violation};
+use crate::scenario;
+
+/// One step of a concrete schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceStep {
+    /// Deliver the pending event at this index (indices are positions in the
+    /// pending list *at that moment*, so replay is exact).
+    Deliver {
+        /// Index into the pending list.
+        index: usize,
+    },
+    /// Inject a fault.
+    Fault {
+        /// The fault to inject.
+        fault: FaultEvent,
+    },
+}
+
+/// A named, replayable schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleTrace {
+    /// Fixture name.
+    pub name: String,
+    /// What this schedule exercises and why it is worth pinning.
+    pub description: String,
+    /// Scenario registry name ([`crate::scenario::by_name`]).
+    pub scenario: String,
+    /// The schedule itself.
+    pub steps: Vec<TraceStep>,
+}
+
+/// Replays a trace from the scenario's initial state, quiesces, and checks
+/// every invariant. Returns the quiesced machine together with any
+/// violations (empty ⇒ the schedule is safe).
+///
+/// # Errors
+/// Fails if the scenario name is unknown or a `Deliver` index is out of
+/// bounds for the pending list at that step (a stale fixture).
+pub fn replay(trace: &ScheduleTrace) -> Result<(HarmonyMachine, Vec<Violation>), String> {
+    let scenario = scenario::by_name(&trace.scenario).ok_or_else(|| {
+        format!(
+            "trace {:?}: unknown scenario {:?}",
+            trace.name, trace.scenario
+        )
+    })?;
+    let (mut machine, mut ctx, _keys) = scenario.build();
+    for (step_no, step) in trace.steps.iter().enumerate() {
+        match step {
+            TraceStep::Deliver { index } => {
+                if *index >= ctx.pending.len() {
+                    return Err(format!(
+                        "trace {:?} step {step_no}: deliver index {index} out of bounds \
+                         (pending {})",
+                        trace.name,
+                        ctx.pending.len()
+                    ));
+                }
+                ctx.deliver(*index, &mut machine);
+            }
+            TraceStep::Fault { fault } => {
+                machine.on_event(MachineEvent::Fault(fault.clone()), &mut ctx);
+            }
+        }
+    }
+    explorer::quiesce(&mut machine, &mut ctx);
+    let violations = invariants::check_quiesced(&machine, &scenario);
+    Ok((machine, violations))
+}
+
+/// Drives a scenario step by step while recording the schedule — the tool
+/// that authors the seed fixtures. Predicates select events by *shape*
+/// (which message, which destination) so the builders stay readable even
+/// though the recorded trace is concrete indices.
+struct TraceBuilder {
+    machine: HarmonyMachine,
+    ctx: CheckerCtx,
+    steps: Vec<TraceStep>,
+}
+
+impl TraceBuilder {
+    fn new(scenario_name: &str) -> Self {
+        let scenario = scenario::by_name(scenario_name).expect("seed scenario registered");
+        let (machine, ctx, _keys) = scenario.build();
+        TraceBuilder {
+            machine,
+            ctx,
+            steps: Vec::new(),
+        }
+    }
+
+    fn find(&self, pred: impl Fn(&MachineEvent) -> bool) -> Option<usize> {
+        self.ctx.pending.iter().position(pred)
+    }
+
+    fn deliver_at(&mut self, index: usize) {
+        self.ctx.deliver(index, &mut self.machine);
+        self.steps.push(TraceStep::Deliver { index });
+    }
+
+    /// Delivers the first pending event matching `pred`.
+    ///
+    /// # Panics
+    /// Panics if nothing matches — seed builders encode known protocol
+    /// shapes, so a miss means the protocol changed and the fixture needs
+    /// re-authoring.
+    fn deliver_where(&mut self, what: &str, pred: impl Fn(&MachineEvent) -> bool) {
+        let index = self
+            .find(&pred)
+            .unwrap_or_else(|| panic!("no pending event matches {what}: {:?}", self.ctx.pending));
+        self.deliver_at(index);
+    }
+
+    /// Delivers FIFO until an event matching `pred` is pending (does not
+    /// deliver the match itself).
+    fn deliver_until(&mut self, what: &str, pred: impl Fn(&MachineEvent) -> bool) {
+        let mut budget = 10_000;
+        while self.find(&pred).is_none() {
+            assert!(
+                !self.ctx.pending.is_empty(),
+                "pending drained without producing {what}"
+            );
+            self.deliver_at(0);
+            budget -= 1;
+            assert!(budget > 0, "no {what} after 10k deliveries");
+        }
+    }
+
+    fn fault(&mut self, fault: FaultEvent) {
+        self.machine
+            .on_event(MachineEvent::Fault(fault.clone()), &mut self.ctx);
+        self.steps.push(TraceStep::Fault { fault });
+    }
+
+    fn finish(self, name: &str, description: &str, scenario: &str) -> ScheduleTrace {
+        ScheduleTrace {
+            name: name.to_string(),
+            description: description.to_string(),
+            scenario: scenario.to_string(),
+            steps: self.steps,
+        }
+    }
+}
+
+fn is_client_reply(ev: &MachineEvent) -> bool {
+    matches!(ev, MachineEvent::Store(StoreEvent::ClientReply { .. }))
+}
+
+fn is_replica_write_to(ev: &MachineEvent, node: NodeId) -> bool {
+    matches!(
+        ev,
+        MachineEvent::Store(StoreEvent::Deliver {
+            dest,
+            message: Message::ReplicaWrite { .. },
+        }) if *dest == node
+    )
+}
+
+/// The destination of the first pending `ClientWrite` delivery — the
+/// coordinator the submit routed the operation to.
+fn first_write_coordinator(ctx: &CheckerCtx) -> NodeId {
+    ctx.pending
+        .iter()
+        .find_map(|ev| match ev {
+            MachineEvent::Store(StoreEvent::Deliver {
+                dest,
+                message: Message::ClientWrite { .. },
+            }) => Some(*dest),
+            _ => None,
+        })
+        .expect("a ClientWrite delivery is pending at scenario start")
+}
+
+/// The three hand-written seed schedules, built programmatically against the
+/// live protocol (so they track message shapes) and committed as JSON
+/// fixtures under `tests/fixtures/schedules/`.
+pub fn seed_traces() -> Vec<ScheduleTrace> {
+    vec![
+        ack_then_coordinator_crash(),
+        partition_straddling_write(),
+        restart_during_hinted_handoff(),
+    ]
+}
+
+/// Ack-then-coordinator-crash: run the first quorum write to the client ack,
+/// then crash the coordinator that issued it. The acked timestamp must
+/// survive the crash — the coordinator's bookkeeping dies with it, the
+/// replicas' copies must not.
+fn ack_then_coordinator_crash() -> ScheduleTrace {
+    let mut b = TraceBuilder::new("three_node_two_write");
+    let coordinator = first_write_coordinator(&b.ctx);
+    b.deliver_until("a client reply", is_client_reply);
+    b.deliver_where("a client reply", is_client_reply);
+    b.fault(FaultEvent::CrashNode { node: coordinator });
+    b.finish(
+        "ack_then_coordinator_crash",
+        "first quorum write runs to the client ack, then its coordinator crashes; \
+         the acked timestamp must survive on the replicas",
+        "three_node_two_write",
+    )
+}
+
+/// Partition-straddling write: split the coordinator side from a replica
+/// minority before anything is delivered, run both writes to whatever
+/// completion the partition allows, then heal. No acked write may depend on
+/// a message that crossed the cut.
+fn partition_straddling_write() -> ScheduleTrace {
+    let mut b = TraceBuilder::new("three_node_two_write");
+    b.fault(FaultEvent::Partition {
+        groups: vec![vec![NodeId(0), NodeId(1)], vec![NodeId(2)]],
+    });
+    while !b.ctx.pending.is_empty() {
+        b.deliver_at(0);
+    }
+    b.fault(FaultEvent::HealPartition);
+    b.finish(
+        "partition_straddling_write",
+        "a partition separates replica 2 from the quorum side before any delivery; \
+         both writes run under the cut, then it heals; acked writes must not have \
+         depended on messages across the cut",
+        "three_node_two_write",
+    )
+}
+
+/// Restart-during-hinted-handoff: crash a replica before the fan-out reaches
+/// it so the coordinator stores hints, restart it mid-schedule, and
+/// interleave the hint replay with the second write's traffic. The restarted
+/// replica must converge to every acked timestamp.
+fn restart_during_hinted_handoff() -> ScheduleTrace {
+    let mut b = TraceBuilder::new("three_node_two_write");
+    let victim = NodeId(2);
+    b.fault(FaultEvent::CrashNode { node: victim });
+    // Run the first write to its ack with the victim down — its replica
+    // write is hinted at the coordinator instead of delivered.
+    b.deliver_until("a client reply", is_client_reply);
+    b.deliver_where("a client reply", is_client_reply);
+    b.fault(FaultEvent::RestartNode { node: victim });
+    // Interleave: push the second write forward first, then let the replayed
+    // hint (a ReplicaWrite to the victim) land late, then a few LIFO steps
+    // to scramble the remaining order. Quiesce drains the rest on replay.
+    if b.find(|ev| is_replica_write_to(ev, victim)).is_some() {
+        b.deliver_until("a second client reply", is_client_reply);
+        b.deliver_where("the replayed hint", |ev| is_replica_write_to(ev, victim));
+    }
+    for _ in 0..4 {
+        if b.ctx.pending.is_empty() {
+            break;
+        }
+        let last = b.ctx.pending.len() - 1;
+        b.deliver_at(last);
+    }
+    b.finish(
+        "restart_during_hinted_handoff",
+        "replica 2 crashes before the first write's fan-out reaches it, restarts \
+         after the ack, and the replayed hint interleaves with the second write; \
+         the restarted replica must converge to every acked timestamp",
+        "three_node_two_write",
+    )
+}

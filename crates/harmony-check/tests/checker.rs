@@ -1,0 +1,151 @@
+//! Integration tests for the bounded schedule explorer.
+//!
+//! The exhaustive depth here is smaller than the CLI's `--quick` preset
+//! (depth 12, run in release mode by CI's sweep-smoke job) because these
+//! tests run unoptimised; the reductions and invariants exercised are
+//! identical.
+
+use harmony_check::explorer::{self, ExploreConfig};
+use harmony_check::scenario;
+use harmony_check::trace;
+
+fn config(depth: usize) -> ExploreConfig {
+    ExploreConfig {
+        max_depth: depth,
+        ..ExploreConfig::default()
+    }
+}
+
+/// The real protocol survives every delivery order and crash placement of
+/// the acceptance scenario at a debug-friendly bound: no acked write lost,
+/// no accounting drift, staleness within tolerance on every schedule.
+#[test]
+fn exhaustive_exploration_finds_no_violations() {
+    let stats = explorer::explore(&scenario::three_node_two_write(), &config(8));
+    assert!(
+        stats.violations.is_empty(),
+        "explored schedules violated invariants: {:?}",
+        stats.violations
+    );
+    assert_eq!(stats.violation_count, 0);
+    assert!(!stats.truncated, "state cap must not truncate the bound");
+    // Depth 8 visits tens of thousands of distinct states; a collapse in
+    // this floor means exploration silently stopped branching.
+    assert!(
+        stats.states_explored > 10_000,
+        "suspiciously few states: {}",
+        stats.states_explored
+    );
+    assert!(
+        stats.schedules_completed > 50_000,
+        "suspiciously few schedules: {}",
+        stats.schedules_completed
+    );
+    // The sorted-multiset fingerprint must actually merge commuting
+    // interleavings, or the CLI's depth-12 bound stops being reachable.
+    assert!(
+        stats.dedup_hits > 1_000,
+        "dedup is not collapsing interleavings: {}",
+        stats.dedup_hits
+    );
+}
+
+/// An intentionally buggy protocol mutant — hinted handoff silently dropped
+/// — is caught by the checker: some schedule crashes a replica while a write
+/// is in flight, the hint that should cover the gap never replays, and the
+/// restarted replica stays behind the acked timestamp (a convergence
+/// violation).
+#[test]
+fn dropped_hinted_handoff_mutant_is_caught() {
+    let stats = explorer::explore_with(&scenario::three_node_two_write(), &config(6), |machine| {
+        machine.cluster_mut().set_hinted_handoff_enabled(false);
+    });
+    assert!(
+        stats.violation_count > 0,
+        "the dropped-hint mutant must violate some schedule"
+    );
+    assert!(
+        stats
+            .violations
+            .iter()
+            .any(|f| f.violation.rule == "convergence"),
+        "expected a convergence violation, got: {:?}",
+        stats.violations
+    );
+    // Every recorded violation carries a non-empty replayable schedule.
+    for found in &stats.violations {
+        assert!(!found.trace.steps.is_empty());
+        assert_eq!(found.trace.scenario, "three_node_two_write");
+    }
+}
+
+/// The same mutant passes the same bound with zero crashes allowed: hints
+/// only matter once a replica dies, so the checker's crash placement — not
+/// some unrelated schedule quirk — is what exposes the bug.
+#[test]
+fn mutant_is_benign_without_crashes() {
+    let mut scenario = scenario::three_node_two_write();
+    scenario.max_crashes = 0;
+    let stats = explorer::explore_with(&scenario, &config(6), |machine| {
+        machine.cluster_mut().set_hinted_handoff_enabled(false);
+    });
+    assert_eq!(
+        stats.violation_count, 0,
+        "without crashes the dropped-hint mutant should be invisible: {:?}",
+        stats.violations
+    );
+}
+
+/// Random walks are deterministic per seed (byte-identical stats) and cover
+/// schedules deeper than the exhaustive bound.
+#[test]
+fn random_walks_are_deterministic_per_seed() {
+    let scenario = scenario::three_node_write_read();
+    let a = explorer::random_walk(&scenario, 50, 30, 7, &config(8));
+    let b = explorer::random_walk(&scenario, 50, 30, 7, &config(8));
+    assert_eq!(a, b, "same seed must reproduce the same walks");
+    assert_eq!(a.schedules_completed, 50);
+    assert!(
+        a.violations.is_empty(),
+        "walks violated: {:?}",
+        a.violations
+    );
+    let c = explorer::random_walk(&scenario, 50, 30, 8, &config(8));
+    assert_ne!(
+        a.states_explored, c.states_explored,
+        "different seeds should explore different walks"
+    );
+}
+
+/// The committed seed fixtures stay in sync with the programmatic builders:
+/// regenerate with `REGEN_FIXTURES=1 cargo test -p harmony-check`.
+#[test]
+fn seed_fixtures_match_builders() {
+    let dir =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/schedules");
+    let traces = trace::seed_traces();
+    if std::env::var_os("REGEN_FIXTURES").is_some() {
+        std::fs::create_dir_all(&dir).expect("create fixture dir");
+        for t in &traces {
+            let path = dir.join(format!("{}.json", t.name));
+            let json = serde_json::to_string_pretty(t).expect("trace serialises");
+            std::fs::write(&path, json + "\n").expect("write fixture");
+        }
+        return;
+    }
+    for t in &traces {
+        let path = dir.join(format!("{}.json", t.name));
+        let json = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "fixture {path:?} unreadable ({e}); run REGEN_FIXTURES=1 cargo test -p harmony-check"
+            )
+        });
+        let committed: harmony_check::ScheduleTrace =
+            serde_json::from_str(&json).expect("fixture parses");
+        assert_eq!(
+            &committed, t,
+            "fixture {:?} drifted from its builder; regenerate with REGEN_FIXTURES=1",
+            t.name
+        );
+    }
+}

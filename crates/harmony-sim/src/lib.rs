@@ -12,6 +12,10 @@
 //! * a small simulation driver bundling clock, queue and RNG
 //!   ([`engine::Simulation`]),
 //! * seeded, splittable random-number streams ([`rng`]),
+//! * pluggable event-delivery contexts and timers-as-resources
+//!   ([`context::EventCtx`], [`context::TimerTable`]) — the seam that lets
+//!   the same protocol core run under the simulation driver *and* under the
+//!   `harmony-check` schedule explorer,
 //! * parametric network latency models ([`latency::Latency`]) including the
 //!   heavy-tailed, spiky behaviour the paper observes on EC2 (Figure 4b),
 //! * a datacenter / rack / node topology and pairwise latency derivation
@@ -41,6 +45,7 @@
 
 pub mod barrier;
 pub mod clock;
+pub mod context;
 pub mod engine;
 pub mod event;
 pub mod latency;
@@ -50,6 +55,7 @@ pub mod service;
 pub mod topology;
 
 pub use clock::SimTime;
+pub use context::{EventCtx, TimerId, TimerTable};
 pub use engine::Simulation;
 pub use event::EventQueue;
 pub use latency::Latency;

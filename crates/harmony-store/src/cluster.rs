@@ -29,7 +29,7 @@ use crate::placement::{PlacementCache, ReplicaSet, MAX_RF};
 use crate::types::{Mutation, Row, Timestamp};
 use harmony_chaos::{FaultEvent, FaultState};
 use harmony_sim::clock::SimTime;
-use harmony_sim::engine::Simulation;
+use harmony_sim::context::EventCtx;
 use harmony_sim::rng::RngFactory;
 use harmony_sim::service::ServiceModel;
 use harmony_sim::topology::{Location, NetworkModel, NodeId, Topology};
@@ -119,7 +119,7 @@ pub struct ClusterTotals {
 
 /// Replica read responses collected inline (no per-read heap allocation):
 /// at most [`MAX_RF`] `(replica, row)` pairs.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct ResponseSet {
     nodes: [NodeId; MAX_RF],
     rows: [Option<Arc<Row>>; MAX_RF],
@@ -157,7 +157,7 @@ impl ResponseSet {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct PendingRead {
     key: KeyId,
     coordinator: NodeId,
@@ -171,7 +171,7 @@ struct PendingRead {
     replied: bool,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct PendingWrite {
     key: KeyId,
     coordinator: NodeId,
@@ -185,7 +185,13 @@ struct PendingWrite {
 }
 
 /// The simulated replicated key-value store.
-#[derive(Debug)]
+///
+/// `Clone` is load-bearing: the `harmony-check` schedule explorer snapshots
+/// the whole cluster (nodes, queues, pending operations, fault state) to
+/// backtrack over alternative delivery orders and crash placements. Keep
+/// every field cheaply and *independently* cloneable — no shared interior
+/// mutability across clones.
+#[derive(Debug, Clone)]
 pub struct Cluster {
     config: StoreConfig,
     topology: Topology,
@@ -227,6 +233,11 @@ pub struct Cluster {
     /// other side stays stored until the heal, like the coordinator-held
     /// hints it models).
     hints: Vec<Vec<(NodeId, Message)>>,
+    /// `true` is the real protocol. `false` silently drops every mutation
+    /// that should have been stored as a hint — an *intentionally buggy*
+    /// mutant kept as a mutation-testing target for the `harmony-check`
+    /// schedule explorer (see [`Cluster::set_hinted_handoff_enabled`]).
+    hinted_handoff_enabled: bool,
     /// Join + decommission count at the moment the active partition was
     /// installed. The heal re-runs anti-entropy only when churn happened
     /// *during* the cut (streams that could not cross it); churn that
@@ -277,6 +288,7 @@ impl Cluster {
             nodes,
             faults: FaultState::new(node_count),
             hints: vec![Vec::new(); node_count],
+            hinted_handoff_enabled: true,
             partition_churn_baseline: 0,
             read_service,
             write_service,
@@ -636,19 +648,22 @@ impl Cluster {
     /// partitions. Returns true if the message was actually sent (false =
     /// hinted), so callers count live deliveries without re-deriving the
     /// reachability predicate.
-    fn send_replica_work<E: From<StoreEvent>>(
+    fn send_replica_work<C: EventCtx<StoreEvent>>(
         &mut self,
         from: NodeId,
         dest: NodeId,
         message: Message,
-        sim: &mut Simulation<E>,
+        ctx: &mut C,
     ) -> bool {
         if self.faults.reachable(from, dest) {
             let latency = self.link_latency(from, dest);
-            sim.schedule_in(latency, StoreEvent::Deliver { dest, message }.into());
+            ctx.emit(latency, StoreEvent::Deliver { dest, message });
             true
         } else {
-            if let Some(slot) = self.hints.get_mut(dest.index()) {
+            if !self.hinted_handoff_enabled {
+                // Mutant: the hint is silently forgotten. The schedule
+                // explorer must observe the resulting convergence violation.
+            } else if let Some(slot) = self.hints.get_mut(dest.index()) {
                 slot.push((from, message));
             } else {
                 // Destination slot vanished under us (post-decommission
@@ -670,23 +685,23 @@ impl Cluster {
     /// Submits a client read by key name, interning the key if it has never
     /// been seen. The completion is returned by [`Cluster::handle`] when the
     /// corresponding [`StoreEvent::ClientReply`] fires.
-    pub fn submit_read<E: From<StoreEvent>>(
+    pub fn submit_read<C: EventCtx<StoreEvent>>(
         &mut self,
         key: &str,
         consistency: ConsistencyLevel,
-        sim: &mut Simulation<E>,
+        ctx: &mut C,
     ) -> OpId {
         let id = self.intern_key(key);
-        self.submit_read_id(id, consistency, sim)
+        self.submit_read_id(id, consistency, ctx)
     }
 
     /// Submits a client read for an already-interned key — the
     /// allocation-free hot path.
-    pub fn submit_read_id<E: From<StoreEvent>>(
+    pub fn submit_read_id<C: EventCtx<StoreEvent>>(
         &mut self,
         key: KeyId,
         consistency: ConsistencyLevel,
-        sim: &mut Simulation<E>,
+        ctx: &mut C,
     ) -> OpId {
         assert!(
             key.index() < self.key_table.len(),
@@ -705,7 +720,7 @@ impl Cluster {
             PendingRead {
                 key,
                 coordinator,
-                submitted_at: sim.now(),
+                submitted_at: ctx.now(),
                 consistency,
                 required: consistency.required_acks(self.config.replication_factor),
                 contacted: ReplicaSet::EMPTY,
@@ -716,7 +731,7 @@ impl Cluster {
             },
         );
         let delay = self.client_latency();
-        sim.schedule_in(
+        ctx.emit(
             delay,
             StoreEvent::Deliver {
                 dest: coordinator,
@@ -725,8 +740,7 @@ impl Cluster {
                     key,
                     consistency,
                 },
-            }
-            .into(),
+            },
         );
         op
     }
@@ -734,25 +748,25 @@ impl Cluster {
     /// Submits a client write by key name at the given consistency level.
     /// The mutation payload is `Arc`-shared across the replica fan-out;
     /// plain `Mutation` values are accepted and wrapped once.
-    pub fn submit_write<E: From<StoreEvent>>(
+    pub fn submit_write<C: EventCtx<StoreEvent>>(
         &mut self,
         key: &str,
         mutation: impl Into<Arc<Mutation>>,
         consistency: ConsistencyLevel,
-        sim: &mut Simulation<E>,
+        ctx: &mut C,
     ) -> OpId {
         let id = self.intern_key(key);
-        self.submit_write_id(id, mutation.into(), consistency, sim)
+        self.submit_write_id(id, mutation.into(), consistency, ctx)
     }
 
     /// Submits a client write for an already-interned key — the
     /// allocation-free hot path.
-    pub fn submit_write_id<E: From<StoreEvent>>(
+    pub fn submit_write_id<C: EventCtx<StoreEvent>>(
         &mut self,
         key: KeyId,
         mutation: Arc<Mutation>,
         consistency: ConsistencyLevel,
-        sim: &mut Simulation<E>,
+        ctx: &mut C,
     ) -> OpId {
         // Fail fast on a foreign id: the alternative is an out-of-bounds
         // panic at ClientReply time, far from the erroneous call.
@@ -768,7 +782,7 @@ impl Cluster {
             PendingWrite {
                 key,
                 coordinator,
-                submitted_at: sim.now(),
+                submitted_at: ctx.now(),
                 consistency,
                 required: consistency.required_acks(self.config.replication_factor),
                 replica_count: 0,
@@ -778,7 +792,7 @@ impl Cluster {
             },
         );
         let delay = self.client_latency();
-        sim.schedule_in(
+        ctx.emit(
             delay,
             StoreEvent::Deliver {
                 dest: coordinator,
@@ -788,38 +802,32 @@ impl Cluster {
                     mutation,
                     consistency,
                 },
-            }
-            .into(),
+            },
         );
         op
     }
 
-    /// Handles one store event, possibly scheduling follow-up events on `sim`.
+    /// Handles one store event, possibly scheduling follow-up events on `ctx`.
     /// Returns a [`Completion`] when a client operation finishes.
-    pub fn handle<E: From<StoreEvent>>(
+    pub fn handle<C: EventCtx<StoreEvent>>(
         &mut self,
         event: StoreEvent,
-        sim: &mut Simulation<E>,
+        ctx: &mut C,
     ) -> Option<Completion> {
         match event {
             StoreEvent::Deliver { dest, message } => {
-                self.on_deliver(dest, message, sim);
+                self.on_deliver(dest, message, ctx);
                 None
             }
             StoreEvent::Process { node, message } => {
-                self.on_process(node, message, sim);
+                self.on_process(node, message, ctx);
                 None
             }
-            StoreEvent::ClientReply { op } => self.on_client_reply(op, sim.now()),
+            StoreEvent::ClientReply { op } => self.on_client_reply(op, ctx.now()),
         }
     }
 
-    fn on_deliver<E: From<StoreEvent>>(
-        &mut self,
-        dest: NodeId,
-        message: Message,
-        sim: &mut Simulation<E>,
-    ) {
+    fn on_deliver<C: EventCtx<StoreEvent>>(&mut self, dest: NodeId, message: Message, ctx: &mut C) {
         if !self.faults.is_serving(dest) {
             // The destination died (or left) while this message was in
             // flight — the race the schedule-time reachability checks cannot
@@ -841,7 +849,9 @@ impl Cluster {
                     // Direct destructure-and-rebuild: the hint's replay origin
                     // is the coordinator carried inside the mutation itself,
                     // with no fallible re-match on the moved value.
-                    if let Some(slot) = self.hints.get_mut(dest.index()) {
+                    if !self.hinted_handoff_enabled {
+                        // Mutant: the in-flight mutation is silently lost.
+                    } else if let Some(slot) = self.hints.get_mut(dest.index()) {
                         slot.push((
                             coordinator,
                             Message::ReplicaWrite {
@@ -877,7 +887,7 @@ impl Cluster {
                         == self.faults.partition_group(coordinator) =>
                 {
                     let latency = self.link_latency(dest, coordinator);
-                    sim.schedule_in(
+                    ctx.emit(
                         latency,
                         StoreEvent::Deliver {
                             dest: coordinator,
@@ -886,12 +896,11 @@ impl Cluster {
                                 from: dest,
                                 row: None,
                             },
-                        }
-                        .into(),
+                        },
                     );
                 }
                 Message::ClientRead { op, .. } | Message::ClientWrite { op, .. } => {
-                    self.stage_abort(op, sim);
+                    self.stage_abort(op, ctx);
                 }
                 _ => {}
             }
@@ -902,13 +911,12 @@ impl Cluster {
             let start_now = self.nodes[dest.index()].try_start_work(message);
             if let Some(msg) = start_now {
                 let service = self.service_time(dest, &msg);
-                sim.schedule_in(
+                ctx.emit(
                     service,
                     StoreEvent::Process {
                         node: dest,
                         message: msg,
-                    }
-                    .into(),
+                    },
                 );
             }
             return;
@@ -918,17 +926,17 @@ impl Cluster {
                 op,
                 key,
                 consistency,
-            } => self.coordinate_read(dest, op, key, consistency, sim),
+            } => self.coordinate_read(dest, op, key, consistency, ctx),
             Message::ClientWrite {
                 op,
                 key,
                 mutation,
                 consistency,
-            } => self.coordinate_write(dest, op, key, mutation, consistency, sim),
+            } => self.coordinate_write(dest, op, key, mutation, consistency, ctx),
             Message::ReplicaReadResponse { op, from, row } => {
-                self.on_read_response(op, from, row, sim)
+                self.on_read_response(op, from, row, ctx)
             }
-            Message::ReplicaWriteAck { op, from } => self.on_write_ack(op, from, sim),
+            Message::ReplicaWriteAck { op, from } => self.on_write_ack(op, from, ctx),
             // Replica work is dispatched through the service slots above; a
             // replica-work message surfacing here means a routing anomaly
             // (possible only under injected fault/membership races, never on
@@ -942,13 +950,13 @@ impl Cluster {
         }
     }
 
-    fn coordinate_read<E: From<StoreEvent>>(
+    fn coordinate_read<C: EventCtx<StoreEvent>>(
         &mut self,
         coordinator: NodeId,
         op: OpId,
         key: KeyId,
         _consistency: ConsistencyLevel,
-        sim: &mut Simulation<E>,
+        ctx: &mut C,
     ) {
         let replica_set = self.replicas_for_id(key);
         // Fault-aware availability: only replicas the coordinator can reach
@@ -962,7 +970,7 @@ impl Cluster {
             }
         }
         if available.is_empty() {
-            self.stage_abort(op, sim);
+            self.stage_abort(op, ctx);
             return;
         }
         let required = match self.pending_reads.get(&op) {
@@ -1000,7 +1008,7 @@ impl Cluster {
         for i in 0..contacted.len() {
             let replica = contacted.as_slice()[i];
             let latency = self.link_latency(coordinator, replica);
-            sim.schedule_in(
+            ctx.emit(
                 latency,
                 StoreEvent::Deliver {
                     dest: replica,
@@ -1009,23 +1017,22 @@ impl Cluster {
                         key,
                         coordinator,
                     },
-                }
-                .into(),
+                },
             );
         }
     }
 
-    fn coordinate_write<E: From<StoreEvent>>(
+    fn coordinate_write<C: EventCtx<StoreEvent>>(
         &mut self,
         coordinator: NodeId,
         op: OpId,
         key: KeyId,
         mutation: Arc<Mutation>,
         _consistency: ConsistencyLevel,
-        sim: &mut Simulation<E>,
+        ctx: &mut C,
     ) {
         let replica_set = self.replicas_for_id(key);
-        let timestamp = self.alloc_timestamp(sim.now());
+        let timestamp = self.alloc_timestamp(ctx.now());
         {
             // Feed the monitor's heavy-hitter stream: one sample per client
             // write (not per replica copy), so key shares match the client
@@ -1054,7 +1061,7 @@ impl Cluster {
                 timestamp,
                 coordinator,
             };
-            if self.send_replica_work(coordinator, replica, message, sim) {
+            if self.send_replica_work(coordinator, replica, message, ctx) {
                 sent += 1;
             }
         }
@@ -1068,16 +1075,11 @@ impl Cluster {
         if sent == 0 {
             // Every replica is down or cut off: the write is hinted
             // everywhere but the client sees an unavailability failure.
-            self.stage_abort(op, sim);
+            self.stage_abort(op, ctx);
         }
     }
 
-    fn on_process<E: From<StoreEvent>>(
-        &mut self,
-        node: NodeId,
-        message: Message,
-        sim: &mut Simulation<E>,
-    ) {
+    fn on_process<C: EventCtx<StoreEvent>>(&mut self, node: NodeId, message: Message, ctx: &mut C) {
         // Only replica work owns a service stage. Anything else reaching a
         // service slot is a protocol anomaly (a coordination message enqueued
         // into a node's work queue by an injected fault): count it and drop
@@ -1098,7 +1100,7 @@ impl Cluster {
                 // but a dead or cut-off node sends nothing back.
                 if self.faults.reachable(node, coordinator) {
                     let latency = self.link_latency(node, coordinator);
-                    sim.schedule_in(
+                    ctx.emit(
                         latency,
                         StoreEvent::Deliver {
                             dest: coordinator,
@@ -1107,8 +1109,7 @@ impl Cluster {
                                 from: node,
                                 row,
                             },
-                        }
-                        .into(),
+                        },
                     );
                 }
             }
@@ -1122,13 +1123,12 @@ impl Cluster {
                 self.nodes[node.index()].apply_write(key, &mutation, timestamp);
                 if self.faults.reachable(node, coordinator) {
                     let latency = self.link_latency(node, coordinator);
-                    sim.schedule_in(
+                    ctx.emit(
                         latency,
                         StoreEvent::Deliver {
                             dest: coordinator,
                             message: Message::ReplicaWriteAck { op, from: node },
-                        }
-                        .into(),
+                        },
                     );
                 }
             }
@@ -1143,23 +1143,22 @@ impl Cluster {
         // Hand the freed slot to the next queued message of the same stage.
         if let Some(next) = self.nodes[node.index()].finish_work(stage) {
             let service = self.service_time(node, &next);
-            sim.schedule_in(
+            ctx.emit(
                 service,
                 StoreEvent::Process {
                     node,
                     message: next,
-                }
-                .into(),
+                },
             );
         }
     }
 
-    fn on_read_response<E: From<StoreEvent>>(
+    fn on_read_response<C: EventCtx<StoreEvent>>(
         &mut self,
         op: OpId,
         from: NodeId,
         row: Option<Arc<Row>>,
-        sim: &mut Simulation<E>,
+        ctx: &mut C,
     ) {
         let Some(pending) = self.pending_reads.get_mut(&op) else {
             return;
@@ -1239,7 +1238,7 @@ impl Cluster {
             }
             client_delay = client_delay.saturating_add(repair_wait);
         }
-        sim.schedule_in(client_delay, StoreEvent::ClientReply { op }.into());
+        ctx.emit(client_delay, StoreEvent::ClientReply { op });
 
         if returned_ts > Timestamp::ZERO {
             // One shared repair payload for every target of this read.
@@ -1254,7 +1253,7 @@ impl Cluster {
                             key,
                             row: Arc::clone(&repair_row),
                         },
-                        sim,
+                        ctx,
                     );
                 }
                 if !uncontacted.is_empty()
@@ -1271,7 +1270,7 @@ impl Cluster {
                                 key,
                                 row: Arc::clone(&repair_row),
                             },
-                            sim,
+                            ctx,
                         );
                     }
                 }
@@ -1282,12 +1281,7 @@ impl Cluster {
         }
     }
 
-    fn on_write_ack<E: From<StoreEvent>>(
-        &mut self,
-        op: OpId,
-        _from: NodeId,
-        sim: &mut Simulation<E>,
-    ) {
+    fn on_write_ack<C: EventCtx<StoreEvent>>(&mut self, op: OpId, _from: NodeId, ctx: &mut C) {
         let client_delay = self.client_latency();
         let Some(pending) = self.pending_writes.get_mut(&op) else {
             return;
@@ -1310,7 +1304,7 @@ impl Cluster {
                 aborted: false,
             };
             self.staged_completions.insert(op, completion);
-            sim.schedule_in(client_delay, StoreEvent::ClientReply { op }.into());
+            ctx.emit(client_delay, StoreEvent::ClientReply { op });
         }
         if pending.acks >= pending.replica_count {
             self.pending_writes.remove(&op);
@@ -1355,14 +1349,10 @@ impl Cluster {
     /// Applies one fault event at the current virtual time. Aborted
     /// operations (a crashed coordinator's in-flight work) surface as
     /// `aborted` completions through the normal `ClientReply` flow.
-    pub fn apply_fault<E: From<StoreEvent>>(
-        &mut self,
-        fault: &FaultEvent,
-        sim: &mut Simulation<E>,
-    ) {
+    pub fn apply_fault<C: EventCtx<StoreEvent>>(&mut self, fault: &FaultEvent, ctx: &mut C) {
         match fault {
-            FaultEvent::CrashNode { node } => self.crash_node(*node, sim),
-            FaultEvent::RestartNode { node } => self.restart_node(*node, sim),
+            FaultEvent::CrashNode { node } => self.crash_node(*node, ctx),
+            FaultEvent::RestartNode { node } => self.restart_node(*node, ctx),
             FaultEvent::SlowNode {
                 node,
                 service_factor,
@@ -1376,7 +1366,7 @@ impl Cluster {
             }
             FaultEvent::HealPartition => {
                 if self.faults.heal() {
-                    self.drain_hints_after_heal(sim);
+                    self.drain_hints_after_heal(ctx);
                     // Membership changes *during* the cut could not stream
                     // across it (a mid-partition joiner bootstraps nothing,
                     // a leaver cannot reach new owners on the far side);
@@ -1395,7 +1385,7 @@ impl Cluster {
                     rack: *rack,
                 });
             }
-            FaultEvent::DecommissionNode { node } => self.decommission_node(*node, sim),
+            FaultEvent::DecommissionNode { node } => self.decommission_node(*node, ctx),
         }
     }
 
@@ -1404,14 +1394,16 @@ impl Cluster {
     /// failure detector; work already in service completes silently; and the
     /// operations this node was coordinating are aborted so no client session
     /// waits on a reply that can never come.
-    fn crash_node<E: From<StoreEvent>>(&mut self, node: NodeId, sim: &mut Simulation<E>) {
+    fn crash_node<C: EventCtx<StoreEvent>>(&mut self, node: NodeId, ctx: &mut C) {
         if !self.faults.crash(node) {
             return;
         }
         let (writes, reads) = self.nodes[node.index()].drain_queues();
         // Queued mutations were already delivered to this node, so the node
         // itself is their origin: they replay as soon as it serves again.
-        self.hints[node.index()].extend(writes.into_iter().map(|m| (node, m)));
+        if self.hinted_handoff_enabled {
+            self.hints[node.index()].extend(writes.into_iter().map(|m| (node, m)));
+        }
         for message in reads {
             if let Message::ReplicaRead {
                 op, coordinator, ..
@@ -1423,7 +1415,7 @@ impl Cluster {
                     && self.faults.partition_group(node) == self.faults.partition_group(coordinator)
                 {
                     let latency = self.link_latency(node, coordinator);
-                    sim.schedule_in(
+                    ctx.emit(
                         latency,
                         StoreEvent::Deliver {
                             dest: coordinator,
@@ -1432,23 +1424,22 @@ impl Cluster {
                                 from: node,
                                 row: None,
                             },
-                        }
-                        .into(),
+                        },
                     );
                 }
             }
         }
-        self.abort_ops_coordinated_by(node, sim);
+        self.abort_ops_coordinated_by(node, ctx);
     }
 
     /// Recovery: the node rejoins with its data intact and its hinted
     /// mutations replay into the write stage — the backlog spike the
     /// controller has to ride out after every crash.
-    fn restart_node<E: From<StoreEvent>>(&mut self, node: NodeId, sim: &mut Simulation<E>) {
+    fn restart_node<C: EventCtx<StoreEvent>>(&mut self, node: NodeId, ctx: &mut C) {
         if !self.faults.restart(node) {
             return;
         }
-        self.drain_hints_for(node, sim);
+        self.drain_hints_for(node, ctx);
     }
 
     /// Replays the hints stored for `node` into its delivery path. The
@@ -1457,18 +1448,17 @@ impl Cluster {
     /// Hints whose origin sits across an active partition stay stored — a
     /// restart inside a partition window must not smuggle data over the cut;
     /// the heal replays them.
-    fn drain_hints_for<E: From<StoreEvent>>(&mut self, node: NodeId, sim: &mut Simulation<E>) {
+    fn drain_hints_for<C: EventCtx<StoreEvent>>(&mut self, node: NodeId, ctx: &mut C) {
         let hints = std::mem::take(&mut self.hints[node.index()]);
         let mut retained = Vec::new();
         for (origin, message) in hints {
             if self.hint_replayable(origin, node) {
-                sim.schedule_in(
+                ctx.emit(
                     SimTime::ZERO,
                     StoreEvent::Deliver {
                         dest: node,
                         message,
-                    }
-                    .into(),
+                    },
                 );
             } else {
                 retained.push((origin, message));
@@ -1479,11 +1469,11 @@ impl Cluster {
 
     /// After a heal, every serving node's stranded hints replay (they were
     /// stored because the coordinator could not cross the cut).
-    fn drain_hints_after_heal<E: From<StoreEvent>>(&mut self, sim: &mut Simulation<E>) {
+    fn drain_hints_after_heal<C: EventCtx<StoreEvent>>(&mut self, ctx: &mut C) {
         for i in 0..self.hints.len() {
             let node = NodeId(i as u32);
             if self.faults.is_serving(node) && !self.hints[i].is_empty() {
-                self.drain_hints_for(node, sim);
+                self.drain_hints_for(node, ctx);
             }
         }
     }
@@ -1512,11 +1502,11 @@ impl Cluster {
     /// was coordinating are aborted; hints addressed to it are dropped (the
     /// mutations they carried live on the replicas that acknowledged, and
     /// the rebalance below re-spreads the freshest rows).
-    fn decommission_node<E: From<StoreEvent>>(&mut self, node: NodeId, sim: &mut Simulation<E>) {
+    fn decommission_node<C: EventCtx<StoreEvent>>(&mut self, node: NodeId, ctx: &mut C) {
         if !self.faults.is_member(node) || self.faults.members().len() <= 1 {
             return;
         }
-        self.abort_ops_coordinated_by(node, sim);
+        self.abort_ops_coordinated_by(node, ctx);
         self.hints[node.index()].clear();
         self.faults.decommission(node);
         self.rebuild_ring();
@@ -1586,7 +1576,7 @@ impl Cluster {
 
     /// Fails an in-flight operation: the client gets an `aborted` completion
     /// through the normal `ClientReply` flow and the session can move on.
-    fn stage_abort<E: From<StoreEvent>>(&mut self, op: OpId, sim: &mut Simulation<E>) {
+    fn stage_abort<C: EventCtx<StoreEvent>>(&mut self, op: OpId, ctx: &mut C) {
         let client_delay = self.client_latency();
         if let Some(p) = self.pending_reads.get_mut(&op) {
             if p.replied {
@@ -1610,7 +1600,7 @@ impl Cluster {
             // Keep the entry only if straggler responses may still arrive.
             let done = p.contacted.is_empty() || p.responses.len() == p.contacted.len();
             self.staged_completions.insert(op, completion);
-            sim.schedule_in(client_delay, StoreEvent::ClientReply { op }.into());
+            ctx.emit(client_delay, StoreEvent::ClientReply { op });
             if done {
                 self.pending_reads.remove(&op);
             }
@@ -1636,7 +1626,7 @@ impl Cluster {
                 aborted: true,
             };
             self.staged_completions.insert(op, completion);
-            sim.schedule_in(client_delay, StoreEvent::ClientReply { op }.into());
+            ctx.emit(client_delay, StoreEvent::ClientReply { op });
             if p.acks >= p.replica_count {
                 self.pending_writes.remove(&op);
             }
@@ -1645,11 +1635,7 @@ impl Cluster {
 
     /// Aborts every unanswered operation the given (crashed or leaving) node
     /// was coordinating, in deterministic (`OpId`) order.
-    fn abort_ops_coordinated_by<E: From<StoreEvent>>(
-        &mut self,
-        node: NodeId,
-        sim: &mut Simulation<E>,
-    ) {
+    fn abort_ops_coordinated_by<C: EventCtx<StoreEvent>>(&mut self, node: NodeId, ctx: &mut C) {
         let mut stalled: Vec<OpId> = self
             .pending_reads
             .iter()
@@ -1664,7 +1650,7 @@ impl Cluster {
         );
         stalled.sort_unstable();
         for op in stalled {
-            self.stage_abort(op, sim);
+            self.stage_abort(op, ctx);
         }
     }
 
@@ -1675,12 +1661,12 @@ impl Cluster {
     /// of operations aborted. Call it periodically — the experiment runner
     /// does so on its monitoring tick — but only when a fault schedule is
     /// active: a healthy run must not pay (or perturb) anything.
-    pub fn expire_stalled_ops<E: From<StoreEvent>>(
+    pub fn expire_stalled_ops<C: EventCtx<StoreEvent>>(
         &mut self,
         timeout: SimTime,
-        sim: &mut Simulation<E>,
+        ctx: &mut C,
     ) -> usize {
-        let now = sim.now();
+        let now = ctx.now();
         if timeout.is_zero() || now <= timeout {
             return 0;
         }
@@ -1700,7 +1686,7 @@ impl Cluster {
         stalled.sort_unstable();
         let aborted = stalled.len();
         for op in stalled {
-            self.stage_abort(op, sim);
+            self.stage_abort(op, ctx);
         }
         self.pending_reads
             .retain(|_, p| !(p.replied && p.submitted_at <= cutoff));
@@ -1708,11 +1694,165 @@ impl Cluster {
             .retain(|_, p| !(p.replied && p.submitted_at <= cutoff));
         aborted
     }
+
+    // ---- model-checking support -------------------------------------------
+
+    /// Enables or disables hinted handoff. `true` (the default) is the real
+    /// protocol. `false` is an *intentionally buggy* mutant — every mutation
+    /// that should be stored as a hint (unreachable destination, in-flight
+    /// delivery to a dead node, queued writes on a crashing node) is silently
+    /// forgotten instead. It exists solely as a mutation-testing target: the
+    /// `harmony-check` schedule explorer must catch the acked-write
+    /// convergence violation this introduces. Never disable it outside tests.
+    pub fn set_hinted_handoff_enabled(&mut self, enabled: bool) {
+        self.hinted_handoff_enabled = enabled;
+    }
+
+    /// Newest timestamp acknowledged to any client for `key` — the reference
+    /// value of the checker's no-lost-acked-write invariant.
+    pub fn latest_acked_ts(&self, key: KeyId) -> Timestamp {
+        self.latest_acked
+            .get(key.index())
+            .copied()
+            .unwrap_or(Timestamp::ZERO)
+    }
+
+    /// Operations still unresolved from the client's point of view: pending
+    /// reads/writes that have not been answered plus staged completions whose
+    /// `ClientReply` has not fired yet. Zero once a schedule fully quiesces.
+    pub fn unresolved_ops(&self) -> usize {
+        self.pending_reads.values().filter(|p| !p.replied).count()
+            + self.pending_writes.values().filter(|p| !p.replied).count()
+            + self.staged_completions.len()
+    }
+
+    /// A canonical dump of every protocol-relevant piece of cluster state, in
+    /// a deterministic order (hash maps are walked in sorted key order). Two
+    /// clusters with equal digest strings behave identically under any future
+    /// event sequence, *except* through the two deliberately excluded fields:
+    /// the RNG (its draws only label emitted events with latencies and decide
+    /// background read repair, which scenarios pin to probability 0 or 1) and
+    /// the monitoring probe counter (read-path telemetry only). The purity
+    /// property tests compare these strings byte for byte; the schedule
+    /// explorer hashes them for visited-state deduplication.
+    pub fn state_digest_string(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "totals={:?};next_op={};last_ts={};next_coord={};hh={};acked={:?};",
+            self.totals,
+            self.next_op,
+            self.last_timestamp,
+            self.next_coordinator,
+            self.hinted_handoff_enabled,
+            self.latest_acked,
+        );
+        let mut reads: Vec<_> = self.pending_reads.iter().collect();
+        reads.sort_by_key(|(op, _)| **op);
+        for (op, p) in reads {
+            let _ = write!(
+                s,
+                "r{:?}:{:?},{:?},{:?},{:?},{},{:?},{:?},{:?},{}[",
+                op,
+                p.key,
+                p.coordinator,
+                p.submitted_at,
+                p.consistency,
+                p.required,
+                p.contacted.as_slice(),
+                p.replica_set.as_slice(),
+                p.expected_ts,
+                p.replied,
+            );
+            for (n, row) in p.responses.iter() {
+                let _ = write!(s, "{:?}={:?},", n, row.map(|r| r.latest_timestamp()));
+            }
+            s.push_str("];");
+        }
+        let mut writes: Vec<_> = self.pending_writes.iter().collect();
+        writes.sort_by_key(|(op, _)| **op);
+        for (op, p) in writes {
+            let _ = write!(
+                s,
+                "w{:?}:{:?},{:?},{:?},{:?},{},{},{},{:?},{};",
+                op,
+                p.key,
+                p.coordinator,
+                p.submitted_at,
+                p.consistency,
+                p.required,
+                p.replica_count,
+                p.acks,
+                p.timestamp,
+                p.replied,
+            );
+        }
+        let mut staged: Vec<_> = self.staged_completions.iter().collect();
+        staged.sort_by_key(|(op, _)| **op);
+        for (op, c) in staged {
+            let _ = write!(s, "c{:?}={:?};", op, c);
+        }
+        for node in &self.nodes {
+            let _ = write!(
+                s,
+                "n{:?}:cnt={:?};tel={:?};busy={}/{};",
+                node.id,
+                node.counters(),
+                node.write_stage_telemetry(),
+                node.busy_slots(Stage::Read),
+                node.busy_slots(Stage::Write),
+            );
+            for m in node.queued_messages(Stage::Read) {
+                let _ = write!(s, "qr={m:?};");
+            }
+            for m in node.queued_messages(Stage::Write) {
+                let _ = write!(s, "qw={m:?};");
+            }
+            for k in 0..self.key_table.len() {
+                if let Some(ts) = node.digest(KeyId(k as u32)) {
+                    let _ = write!(s, "d{k}={ts:?};");
+                }
+            }
+        }
+        for (i, hints) in self.hints.iter().enumerate() {
+            for (origin, m) in hints {
+                let _ = write!(s, "h{i}:{origin:?}:{m:?};");
+            }
+        }
+        let _ = write!(
+            s,
+            "faults={:?};churn={};samples={:?};",
+            self.faults,
+            self.partition_churn_baseline,
+            self.write_key_samples.borrow(),
+        );
+        s
+    }
+
+    /// FNV-1a hash of [`Cluster::state_digest_string`] — the compact form the
+    /// schedule explorer keys its visited-state set on.
+    pub fn state_digest(&self) -> u64 {
+        fnv1a(self.state_digest_string().as_bytes())
+    }
+}
+
+/// FNV-1a: stable across processes and platforms (unlike `DefaultHasher`,
+/// which documents no cross-version stability), so explored-state counts in
+/// committed reports are reproducible.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use harmony_sim::engine::Simulation;
     use harmony_sim::latency::Latency;
 
     #[test]

@@ -55,6 +55,7 @@ pub mod consistency;
 pub mod engine;
 pub mod hashring;
 pub mod keys;
+pub mod machine;
 pub mod messages;
 pub mod node;
 pub mod placement;
@@ -67,6 +68,7 @@ pub mod prelude {
     pub use crate::config::StoreConfig;
     pub use crate::consistency::ConsistencyLevel;
     pub use crate::keys::{KeyId, KeyTable};
+    pub use crate::machine::{HarmonyMachine, MachineEvent, OnEvent, ProtocolTimer};
     pub use crate::messages::{Message, OpId, OpKind, StoreEvent};
     pub use crate::placement::{PlacementCache, ReplicaSet, ReplicationStrategy, MAX_RF};
     pub use crate::shard::ShardPartition;
@@ -77,5 +79,6 @@ pub use cluster::{Cluster, Completion};
 pub use config::StoreConfig;
 pub use consistency::ConsistencyLevel;
 pub use keys::{KeyId, KeyTable};
+pub use machine::{HarmonyMachine, MachineEvent, OnEvent, ProtocolTimer};
 pub use messages::{OpId, OpKind, StoreEvent};
 pub use types::{Mutation, Row, Timestamp};

@@ -75,14 +75,15 @@ pub struct WriteStageTelemetry {
     pub busy: usize,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct StageQueue {
     queue: VecDeque<Message>,
     busy: usize,
 }
 
-/// A storage node.
-#[derive(Debug)]
+/// A storage node. `Clone` is deliberate: the model checker snapshots whole
+/// nodes (queues, engine, telemetry) to backtrack over alternative schedules.
+#[derive(Debug, Clone)]
 pub struct StorageNode {
     /// This node's identifier.
     pub id: NodeId,
@@ -151,6 +152,16 @@ impl StorageNode {
             Message::ReplicaWrite { key, .. } | Message::RepairWrite { key, .. } => Some(*key),
             _ => None,
         })
+    }
+
+    /// The messages waiting in the given stage's queue, in queue order —
+    /// read-only visibility for state fingerprinting (the model checker hashes
+    /// queued-but-unstarted work as part of a node's state).
+    pub fn queued_messages(&self, stage: Stage) -> impl Iterator<Item = &Message> {
+        match stage {
+            Stage::Read => self.read_stage.queue.iter(),
+            Stage::Write => self.write_stage.queue.iter(),
+        }
     }
 
     /// Number of busy service slots in the given stage.

@@ -1,0 +1,183 @@
+//! Differential test: the extracted event state machine is behaviourally
+//! identical to the old inline driving style.
+//!
+//! Before the event core existed, runners drove `Cluster::handle` directly
+//! off a `Simulation<StoreEvent>` and called `apply_fault` /
+//! `expire_stalled_ops` inline between events. [`HarmonyMachine`] is
+//! supposed to be a pure repackaging of exactly those calls behind one typed
+//! event alphabet — so the same workload, the same fault script, and the
+//! same RNG seed must produce the same [`ClusterTotals`] (including
+//! `protocol_drops`, the counter most sensitive to fault-path routing) and
+//! the same canonical state digest, event for event.
+
+use harmony_chaos::FaultEvent;
+use harmony_sim::engine::Simulation;
+use harmony_sim::latency::Latency;
+use harmony_sim::rng::RngFactory;
+use harmony_sim::topology::{NetworkModel, NodeId, Topology};
+use harmony_store::cluster::{Cluster, ClusterTotals, Completion};
+use harmony_store::config::StoreConfig;
+use harmony_store::machine::{HarmonyMachine, MachineEvent, OnEvent};
+use harmony_store::messages::StoreEvent;
+use harmony_store::prelude::*;
+use std::sync::Arc;
+
+const SEED: u64 = 20120920;
+
+fn build_cluster() -> Cluster {
+    let topology = Topology::single_dc(1, 5);
+    let network = NetworkModel::uniform(Latency::constant_ms(0.4));
+    let config = StoreConfig {
+        replication_factor: 3,
+        // Nonzero so repair traffic (the main protocol_drops source under
+        // faults) actually flows.
+        background_read_repair_chance: 1.0,
+        ..StoreConfig::default()
+    };
+    Cluster::new(config, topology, network, RngFactory::new(SEED))
+}
+
+/// The shared workload: a mixed batch per phase, across enough keys to
+/// spread over the ring.
+fn submit_phase<C: harmony_sim::context::EventCtx<StoreEvent>>(
+    cluster: &mut Cluster,
+    phase: usize,
+    ctx: &mut C,
+) {
+    for i in 0..6 {
+        let key = cluster.intern_key(&format!("key{}", (phase * 7 + i * 3) % 11));
+        if i % 3 == 2 {
+            cluster.submit_read_id(key, ConsistencyLevel::Quorum, ctx);
+        } else {
+            cluster.submit_write_id(
+                key,
+                Arc::new(Mutation::single("f", format!("p{phase}i{i}").into_bytes())),
+                ConsistencyLevel::Quorum,
+                ctx,
+            );
+        }
+    }
+}
+
+/// The shared fault script, applied between phases: crashes and a partition
+/// land while the previous phase's traffic is still in flight, which is
+/// what pushes messages down the dead-destination and hinting paths.
+fn phase_fault(phase: usize) -> Option<FaultEvent> {
+    match phase {
+        1 => Some(FaultEvent::CrashNode { node: NodeId(2) }),
+        2 => Some(FaultEvent::Partition {
+            groups: vec![vec![NodeId(0), NodeId(1)], vec![NodeId(3), NodeId(4)]],
+        }),
+        3 => Some(FaultEvent::HealPartition),
+        4 => Some(FaultEvent::RestartNode { node: NodeId(2) }),
+        5 => Some(FaultEvent::DecommissionNode { node: NodeId(4) }),
+        _ => None,
+    }
+}
+
+const PHASES: usize = 6;
+/// Events processed per phase before the next fault lands — small enough to
+/// leave traffic in flight at every fault boundary.
+const EVENTS_PER_PHASE: usize = 25;
+
+/// Old style: `Cluster` driven straight off a `Simulation<StoreEvent>`,
+/// faults applied inline.
+fn run_inline() -> (ClusterTotals, String, Vec<Completion>) {
+    let mut cluster = build_cluster();
+    let mut sim: Simulation<StoreEvent> = Simulation::new(SEED);
+    let mut completions = Vec::new();
+    for phase in 0..PHASES {
+        if let Some(fault) = phase_fault(phase) {
+            cluster.apply_fault(&fault, &mut sim);
+        }
+        submit_phase(&mut cluster, phase, &mut sim);
+        for _ in 0..EVENTS_PER_PHASE {
+            let Some((_, ev)) = sim.next() else { break };
+            completions.extend(cluster.handle(ev, &mut sim));
+        }
+    }
+    while let Some((_, ev)) = sim.next() {
+        completions.extend(cluster.handle(ev, &mut sim));
+    }
+    (cluster.totals(), cluster.state_digest_string(), completions)
+}
+
+/// New style: the same calls routed through [`HarmonyMachine`]'s single
+/// `on_event` entry point over `Simulation<MachineEvent>`.
+fn run_machine() -> (ClusterTotals, String, Vec<Completion>) {
+    let mut machine = HarmonyMachine::new(build_cluster());
+    let mut sim: Simulation<MachineEvent> = Simulation::new(SEED);
+    for phase in 0..PHASES {
+        if let Some(fault) = phase_fault(phase) {
+            machine.on_event(MachineEvent::Fault(fault), &mut sim);
+        }
+        submit_phase(machine.cluster_mut(), phase, &mut StoreCtxShim(&mut sim));
+        for _ in 0..EVENTS_PER_PHASE {
+            let Some((_, ev)) = sim.next() else { break };
+            machine.on_event(ev, &mut sim);
+        }
+    }
+    while let Some((_, ev)) = sim.next() {
+        machine.on_event(ev, &mut sim);
+    }
+    let completions = machine.drain_completions();
+    (
+        machine.cluster().totals(),
+        machine.cluster().state_digest_string(),
+        completions,
+    )
+}
+
+/// Submissions on the machine side still target the cluster directly (the
+/// phases are workload setup, not protocol), but their emissions must land
+/// in the machine's `MachineEvent` queue — this is the same wrapping
+/// `HarmonyMachine::submit_write` does internally.
+struct StoreCtxShim<'a>(&'a mut Simulation<MachineEvent>);
+
+impl harmony_sim::context::EventCtx<StoreEvent> for StoreCtxShim<'_> {
+    fn now(&self) -> harmony_sim::clock::SimTime {
+        self.0.now()
+    }
+
+    fn emit(&mut self, delay: harmony_sim::clock::SimTime, event: StoreEvent) {
+        self.0.emit(delay, MachineEvent::Store(event));
+    }
+}
+
+/// Same workload, same fault script, same seed ⇒ byte-identical outcome
+/// through both driving styles.
+#[test]
+fn machine_and_inline_drivers_agree_exactly() {
+    let (inline_totals, inline_digest, inline_completions) = run_inline();
+    let (machine_totals, machine_digest, machine_completions) = run_machine();
+    assert_eq!(
+        inline_totals, machine_totals,
+        "ClusterTotals diverged between inline and machine drivers"
+    );
+    assert_eq!(
+        inline_totals.protocol_drops, machine_totals.protocol_drops,
+        "protocol_drops diverged"
+    );
+    assert_eq!(inline_digest, machine_digest, "state digests diverged");
+    // Completions carry identical op ids, verdicts and timings in the same
+    // order (Completion is not PartialEq; its Debug form is total).
+    let inline_log: Vec<String> = inline_completions
+        .iter()
+        .map(|c| format!("{c:?}"))
+        .collect();
+    let machine_log: Vec<String> = machine_completions
+        .iter()
+        .map(|c| format!("{c:?}"))
+        .collect();
+    assert_eq!(inline_log, machine_log, "completion streams diverged");
+    // The script must have actually exercised the fault paths, or the
+    // equality above proves nothing interesting.
+    assert!(
+        inline_totals.ops_aborted > 0,
+        "no op was aborted: {inline_totals:?}"
+    );
+    assert!(
+        inline_totals.writes_completed > 0 && inline_totals.reads_completed > 0,
+        "workload too small: {inline_totals:?}"
+    );
+}

@@ -1,0 +1,134 @@
+//! Timer semantics through the event core, under real simulated time: the
+//! stall reaper (the event-core port of the runners' polling
+//! `expire_stalled_ops` tick) aborts operations stranded by a partition,
+//! and a cancelled reaper — wake-up already in flight — never fires.
+
+use harmony_chaos::FaultEvent;
+use harmony_sim::clock::SimTime;
+use harmony_sim::engine::Simulation;
+use harmony_sim::latency::Latency;
+use harmony_sim::rng::RngFactory;
+use harmony_sim::topology::{NetworkModel, NodeId, Topology};
+use harmony_store::cluster::{Cluster, Completion};
+use harmony_store::config::StoreConfig;
+use harmony_store::machine::{HarmonyMachine, MachineEvent, OnEvent};
+use harmony_store::messages::{Message, StoreEvent};
+use harmony_store::prelude::*;
+use std::sync::Arc;
+
+fn machine(seed: u64) -> (HarmonyMachine, Simulation<MachineEvent>) {
+    let topology = Topology::single_dc(1, 3);
+    let network = NetworkModel::uniform(Latency::constant_ms(0.2));
+    let config = StoreConfig {
+        replication_factor: 3,
+        background_read_repair_chance: 0.0,
+        ..StoreConfig::default()
+    };
+    let cluster = Cluster::new(config, topology, network, RngFactory::new(seed));
+    (HarmonyMachine::new(cluster), Simulation::new(seed))
+}
+
+/// Submits a quorum write and isolates its coordinator behind a partition
+/// installed *after* the replica fan-out is in flight — the mid-flight race
+/// `expire_stalled_ops` exists for. The coordinator picked quorum = 2 while
+/// everything was reachable; the remote replicas apply the write but their
+/// acks are dropped at the cut, so the lone self-ack can never reach quorum
+/// and the operation stalls until something aborts it.
+fn strand_a_quorum_write(m: &mut HarmonyMachine, sim: &mut Simulation<MachineEvent>) -> NodeId {
+    let key = m.cluster_mut().intern_key("stranded");
+    m.submit_write(
+        key,
+        Arc::new(Mutation::single("f", b"v".to_vec())),
+        ConsistencyLevel::Quorum,
+        sim,
+    );
+    // The first queued event is the client write reaching its coordinator;
+    // processing it emits the replica fan-out.
+    let (_, ev) = sim.next().expect("client write delivery queued");
+    let MachineEvent::Store(StoreEvent::Deliver {
+        dest: coordinator,
+        message: Message::ClientWrite { .. },
+    }) = &ev
+    else {
+        panic!("expected the client write delivery first, got {ev:?}");
+    };
+    let coordinator = *coordinator;
+    m.on_event(ev, sim);
+    let others: Vec<NodeId> = (0..3).map(NodeId).filter(|n| *n != coordinator).collect();
+    m.on_event(
+        MachineEvent::Fault(FaultEvent::Partition {
+            groups: vec![vec![coordinator], others],
+        }),
+        sim,
+    );
+    coordinator
+}
+
+fn run_until_completion(
+    m: &mut HarmonyMachine,
+    sim: &mut Simulation<MachineEvent>,
+) -> Option<Completion> {
+    for _ in 0..10_000 {
+        let (_, ev) = sim.next()?;
+        m.on_event(ev, sim);
+        let mut done = m.drain_completions();
+        if let Some(c) = done.pop() {
+            return Some(c);
+        }
+    }
+    panic!("no completion within 10k events — reaper never reaped?");
+}
+
+/// The armed reaper fires on simulated time and aborts the stranded write;
+/// the abort surfaces as a regular (aborted) completion and counts in
+/// `ops_aborted` — the exact behaviour the experiment runners used to get
+/// from polling `expire_stalled_ops` on their monitoring tick.
+#[test]
+fn stall_reaper_aborts_partition_stranded_write() {
+    let (mut m, mut sim) = machine(11);
+    strand_a_quorum_write(&mut m, &mut sim);
+    m.arm_stall_reaper(SimTime::from_millis(50), SimTime::from_millis(20), &mut sim);
+    let completion = run_until_completion(&mut m, &mut sim).expect("simulation stays live");
+    assert!(
+        completion.aborted,
+        "the stranded write must abort, not complete"
+    );
+    let totals = m.cluster().totals();
+    assert_eq!(totals.ops_aborted, 1);
+    assert_eq!(totals.writes_completed, 0);
+    assert_eq!(m.cluster().unresolved_ops(), 0, "the abort resolved the op");
+    assert!(
+        sim.now() >= SimTime::from_millis(50),
+        "the reaper cannot abort before the stall timeout has elapsed"
+    );
+    // The reaper re-armed itself; cancelling it lets the world drain fully.
+    m.cancel_all_timers();
+    while let Some((_, ev)) = sim.next() {
+        m.on_event(ev, &mut sim);
+    }
+    assert!(sim.is_idle());
+}
+
+/// Cancelling the reaper while its wake-up is already queued makes the
+/// wake-up inert: nothing is reaped, nothing re-arms, and the stranded write
+/// stays pending forever — "cancelled timers never fire" holds through the
+/// event core under real time, not just in the timer-table unit tests.
+#[test]
+fn cancelled_reaper_never_reaps() {
+    let (mut m, mut sim) = machine(11);
+    strand_a_quorum_write(&mut m, &mut sim);
+    let id = m.arm_stall_reaper(SimTime::from_millis(50), SimTime::from_millis(20), &mut sim);
+    assert!(m.cancel_timer(id));
+    while let Some((_, ev)) = sim.next() {
+        m.on_event(ev, &mut sim);
+    }
+    // The world drained (no re-arm kept it alive) and nothing was aborted.
+    assert!(sim.is_idle());
+    assert!(m.drain_completions().is_empty());
+    assert_eq!(m.cluster().totals().ops_aborted, 0);
+    assert_eq!(
+        m.cluster().unresolved_ops(),
+        1,
+        "with the reaper cancelled the stranded write stays pending"
+    );
+}
