@@ -48,6 +48,14 @@ pub struct ControllerConfig {
     /// Average write payload size in bytes, fed to the propagation model
     /// (the paper's `avg_w`).
     pub avg_write_size_bytes: f64,
+    /// Anti-entropy repair rate the store is running at, in rounds per
+    /// second (`0.0` = no repair). When positive, the staleness estimate is
+    /// tightened through the effective-window transform
+    /// `Tp / (1 + ρ·Tp)` (see `StalenessEstimate::with_repair`) — a lagging
+    /// replica is healed by the next repair round even if normal
+    /// propagation has not reached it. At `0.0` the controller is
+    /// byte-identical to one without the knob.
+    pub anti_entropy_repair_rate: f64,
 }
 
 impl Default for ControllerConfig {
@@ -59,6 +67,7 @@ impl Default for ControllerConfig {
             per_key: PerKeySplitConfig::default(),
             proactive: ProactiveConfig::default(),
             avg_write_size_bytes: 1024.0,
+            anti_entropy_repair_rate: 0.0,
         }
     }
 }
@@ -71,6 +80,9 @@ impl ControllerConfig {
         }
         if self.avg_write_size_bytes < 0.0 {
             return Err("average write size must be non-negative".into());
+        }
+        if !self.anti_entropy_repair_rate.is_finite() || self.anti_entropy_repair_rate < 0.0 {
+            return Err("anti-entropy repair rate must be finite and non-negative".into());
         }
         self.queueing.validate()?;
         self.per_key.model.validate()?;
@@ -112,6 +124,23 @@ mod tests {
     #[test]
     fn per_key_split_is_off_by_default() {
         assert!(!ControllerConfig::default().per_key.enabled);
+    }
+
+    #[test]
+    fn repair_rate_defaults_to_zero_and_is_validated() {
+        assert_eq!(ControllerConfig::default().anti_entropy_repair_rate, 0.0);
+        for bad in [-1.0, f64::NAN, f64::INFINITY] {
+            let c = ControllerConfig {
+                anti_entropy_repair_rate: bad,
+                ..ControllerConfig::default()
+            };
+            assert!(c.validate().is_err(), "rate {bad} must be rejected");
+        }
+        let c = ControllerConfig {
+            anti_entropy_repair_rate: 0.5,
+            ..ControllerConfig::default()
+        };
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -190,12 +190,18 @@ impl AdaptiveController {
             predicted_wait_ms: sample.predicted_wait_ms,
             predicted_wait_trend_ms_per_s: sample.predicted_wait_trend_ms_per_s,
         };
-        let staleness = self.config.queueing.estimate_with_prediction(
-            &observation,
-            tp_network_secs,
-            self.replication_factor,
-            &self.config.proactive,
-        );
+        let staleness = self
+            .config
+            .queueing
+            .estimate_with_prediction(
+                &observation,
+                tp_network_secs,
+                self.replication_factor,
+                &self.config.proactive,
+            )
+            // Active anti-entropy repair tightens the window (identity at
+            // rate 0, so the disabled controller stays byte-identical).
+            .with_repair(self.config.anti_entropy_repair_rate);
         let tp_secs = staleness.tp_mean_secs();
 
         // Per-key split. The paper's closed form is a single-object race
@@ -689,6 +695,75 @@ mod tests {
             horizon_secs: 9.0,
         });
         assert_eq!(default_run, tuned_but_off);
+    }
+
+    /// The repair term at rate zero is the identity: the decision stream is
+    /// byte-identical to a controller that has never heard of repair.
+    #[test]
+    fn zero_repair_rate_is_byte_identical() {
+        let run = |rate: f64| {
+            let mut c = AdaptiveController::new(
+                ControllerConfig {
+                    anti_entropy_repair_rate: rate,
+                    ..Default::default()
+                },
+                5,
+                Box::new(HarmonyPolicy::new(5, 0.2)),
+            );
+            let mut probe = MockProbe {
+                nodes: 10,
+                latency_ms: 1.0,
+                replica_backlogs: vec![1.0, 2.0, 5.0, 0.5, 3.0, 1.0, 2.0, 4.0, 0.0, 2.5],
+                ..MockProbe::default()
+            };
+            for tick in 1..=8u64 {
+                probe.reads += 4_000;
+                probe.writes += 3_000;
+                c.tick(SimTime::from_secs(tick), &probe);
+            }
+            c.decisions().to_vec()
+        };
+        assert_eq!(run(0.0), run(0.0));
+        // And the default config *is* the rate-zero config.
+        assert_eq!(ControllerConfig::default().anti_entropy_repair_rate, 0.0);
+    }
+
+    /// A fast repair cadence tightens the staleness estimate enough to keep
+    /// reads at ONE under a load that escalates the repair-free controller.
+    #[test]
+    fn repair_progress_relaxes_the_consistency_decision() {
+        let run = |rate: f64| {
+            let mut c = AdaptiveController::new(
+                ControllerConfig {
+                    monitor: harmony_monitor::collector::MonitorConfig {
+                        estimator: harmony_monitor::collector::EstimatorKind::Ewma(1.0),
+                        ..Default::default()
+                    },
+                    anti_entropy_repair_rate: rate,
+                    ..Default::default()
+                },
+                5,
+                Box::new(HarmonyPolicy::new(5, 0.2)),
+            );
+            let mut probe = MockProbe {
+                nodes: 10,
+                latency_ms: 1.0,
+                ..MockProbe::default()
+            };
+            probe.reads = 5_000;
+            probe.writes = 4_000;
+            c.tick(SimTime::from_secs(1), &probe)
+        };
+        let without = run(0.0);
+        assert!(
+            without.required_acks(5) > 1,
+            "the load must escalate without repair: {without}"
+        );
+        let with = run(10_000.0);
+        assert!(
+            with.required_acks(5) < without.required_acks(5),
+            "fast repair must relax the decision: {with} vs {without}"
+        );
     }
 
     #[test]

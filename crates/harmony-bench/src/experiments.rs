@@ -14,7 +14,8 @@ use harmony_model::queueing::ProactiveConfig;
 use harmony_sim::profiles::{self, ClusterProfile};
 use harmony_store::config::StoreConfig;
 use harmony_ycsb::runner::{
-    run_experiment, run_experiment_with_faults, ExperimentResult, ExperimentSpec, Phase,
+    run_experiment, run_experiment_with_faults, run_experiment_with_retry, ExperimentResult,
+    ExperimentSpec, Phase, RetryPolicy,
 };
 use harmony_ycsb::workloads::WorkloadSpec;
 use serde::{Deserialize, Serialize};
@@ -139,6 +140,9 @@ pub fn figure_controller_config() -> ControllerConfig {
         per_key: PerKeySplitConfig::default(),
         proactive: ProactiveConfig::default(),
         avg_write_size_bytes: 100.0,
+        // Repair-blind staleness model by default: sweeps arm this only in
+        // the self-healing comparisons.
+        anti_entropy_repair_rate: 0.0,
     }
 }
 
@@ -383,6 +387,47 @@ pub fn run_workload_point_with_faults(
         policy.build(config.store.replication_factor),
         spec,
         faults,
+    )
+}
+
+/// [`run_workload_point_with_faults`] with a client-side retry/hedging
+/// policy in the loop — the entry point of the `repair_sweep` arms. The
+/// repair knobs themselves are carried by the config (the store's
+/// anti-entropy interval, the controller's repair-aware staleness model); a
+/// default retry policy plus an unarmed config is byte-identical to the
+/// fault-aware form.
+#[allow(clippy::too_many_arguments)]
+pub fn run_workload_point_with_retry(
+    config: &ExperimentConfig,
+    workload: WorkloadSpec,
+    policy: &PolicySpec,
+    threads: usize,
+    hot_key_prefix: u64,
+    split: bool,
+    faults: FaultSchedule,
+    retry: RetryPolicy,
+) -> ExperimentResult {
+    let spec = ExperimentSpec {
+        workload,
+        phases: vec![Phase::new(threads, config.operations_for(threads))],
+        seed: config.seed,
+        dual_read_measurement: false,
+        hot_key_prefix,
+        max_virtual_secs: 3_600.0,
+    };
+    let controller = if split {
+        enable_split(config.controller)
+    } else {
+        config.controller
+    };
+    run_experiment_with_retry(
+        &config.profile,
+        config.store.clone(),
+        controller,
+        policy.build(config.store.replication_factor),
+        spec,
+        faults,
+        retry,
     )
 }
 

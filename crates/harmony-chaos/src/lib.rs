@@ -27,5 +27,5 @@
 pub mod schedule;
 pub mod state;
 
-pub use schedule::{FaultEvent, FaultSchedule, RandomFaultConfig, ScheduledFault};
+pub use schedule::{FaultEvent, FaultSchedule, RandomFaultConfig, ScheduleError, ScheduledFault};
 pub use state::{FaultCounters, FaultState};

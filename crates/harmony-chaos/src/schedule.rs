@@ -93,6 +93,75 @@ impl FaultEvent {
     }
 }
 
+/// Why an event could not be added to a [`FaultSchedule`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ScheduleError {
+    /// Two events at the same tick contradict each other: both claim the
+    /// same node's liveness/membership (e.g. crash + decommission of one
+    /// node), both manipulate the partition state, or both re-speed the same
+    /// node. Equal-time events fire in insertion order, so such a pair would
+    /// silently resolve last-write-wins — rejected instead.
+    ConflictingSameTick {
+        /// The shared tick.
+        at: SimTime,
+        /// The event already scheduled at that tick.
+        existing: FaultEvent,
+        /// The event that was rejected.
+        incoming: FaultEvent,
+    },
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::ConflictingSameTick {
+                at,
+                existing,
+                incoming,
+            } => write!(
+                f,
+                "conflicting events at t={:.6}s: {} vs {}",
+                at.as_secs_f64(),
+                existing.label(),
+                incoming.label()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// True if scheduling `a` and `b` at the same tick is contradictory: the
+/// outcome would depend on insertion order instead of the schedule's meaning.
+fn conflicts(a: &FaultEvent, b: &FaultEvent) -> bool {
+    // Liveness/membership events own their subject node for the tick:
+    // crash + decommission (or crash + restart, or two crashes) of one node
+    // at one instant have no consistent reading.
+    let liveness_subject = |e: &FaultEvent| match e {
+        FaultEvent::CrashNode { node }
+        | FaultEvent::RestartNode { node }
+        | FaultEvent::DecommissionNode { node } => Some(*node),
+        _ => None,
+    };
+    if let (Some(x), Some(y)) = (liveness_subject(a), liveness_subject(b)) {
+        if x == y {
+            return true;
+        }
+    }
+    // At most one partition-state change per tick: cut + heal (either
+    // order) or two cuts at one instant are order-dependent.
+    let partitionish =
+        |e: &FaultEvent| matches!(e, FaultEvent::Partition { .. } | FaultEvent::HealPartition);
+    if partitionish(a) && partitionish(b) {
+        return true;
+    }
+    // Two speed changes of one node at one tick: last-write-wins ambiguity.
+    if let (FaultEvent::SlowNode { node: x, .. }, FaultEvent::SlowNode { node: y, .. }) = (a, b) {
+        return x == y;
+    }
+    false
+}
+
 /// A fault event bound to an absolute simulated timestamp.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScheduledFault {
@@ -176,11 +245,37 @@ impl FaultSchedule {
     }
 
     /// In-place form of [`FaultSchedule::then_at`].
+    ///
+    /// # Panics
+    /// Panics when the event contradicts one already scheduled at the same
+    /// tick (see [`ScheduleError`]); use [`FaultSchedule::try_push`] to
+    /// handle the conflict instead.
     pub fn push(&mut self, at_secs: f64, fault: FaultEvent) {
+        self.try_push(at_secs, fault)
+            .unwrap_or_else(|e| panic!("invalid fault schedule: {e}"));
+    }
+
+    /// Fallible insert: schedules `fault` at `at_secs` unless it contradicts
+    /// an event already at the same tick — e.g. crash + decommission of one
+    /// node, a cut and its heal at one instant, or two speed changes of one
+    /// node. Equal-time events fire in insertion order, so a contradictory
+    /// pair would otherwise resolve silently by last write; the typed error
+    /// surfaces the mistake at build time instead of as a baffling run.
+    pub fn try_push(&mut self, at_secs: f64, fault: FaultEvent) -> Result<(), ScheduleError> {
         let at = SimTime::from_secs_f64(at_secs.max(0.0));
+        for e in self.events.iter().filter(|e| e.at == at) {
+            if conflicts(&e.fault, &fault) {
+                return Err(ScheduleError::ConflictingSameTick {
+                    at,
+                    existing: e.fault.clone(),
+                    incoming: fault,
+                });
+            }
+        }
         // Stable insertion keeps equal-time events in push order.
         let pos = self.events.partition_point(|e| e.at <= at);
         self.events.insert(pos, ScheduledFault { at, fault });
+        Ok(())
     }
 
     /// Crash `node` at `at_secs`.
@@ -251,10 +346,13 @@ impl FaultSchedule {
                 if down_until[candidate] <= t {
                     let downtime = exp(&mut rng, 1.0 / config.mean_downtime_secs.max(1e-6));
                     let up_at = (t + downtime).min(horizon_secs);
-                    down_until[candidate] = up_at;
                     let node = NodeId(candidate as u32);
-                    schedule.push(t, FaultEvent::CrashNode { node });
-                    schedule.push(up_at, FaultEvent::RestartNode { node });
+                    // A measure-zero tie (crash arriving exactly at the
+                    // previous restart's tick) is skipped, not last-write-won.
+                    if schedule.try_push(t, FaultEvent::CrashNode { node }).is_ok() {
+                        down_until[candidate] = up_at;
+                        let _ = schedule.try_push(up_at, FaultEvent::RestartNode { node });
+                    }
                 }
                 t += exp(&mut rng, config.crash_rate_per_sec);
             }
@@ -277,21 +375,23 @@ impl FaultSchedule {
                     let factor = lo + (hi - lo) * rng.gen::<f64>();
                     let hold = exp(&mut rng, 1.0 / config.mean_downtime_secs.max(1e-6));
                     let restore_at = (t + hold).min(horizon_secs);
-                    slowed_until[candidate] = restore_at;
-                    schedule.push(
+                    let degraded = schedule.try_push(
                         t,
                         FaultEvent::SlowNode {
                             node,
                             service_factor: factor,
                         },
                     );
-                    schedule.push(
-                        restore_at,
-                        FaultEvent::SlowNode {
-                            node,
-                            service_factor: 1.0,
-                        },
-                    );
+                    if degraded.is_ok() {
+                        slowed_until[candidate] = restore_at;
+                        let _ = schedule.try_push(
+                            restore_at,
+                            FaultEvent::SlowNode {
+                                node,
+                                service_factor: 1.0,
+                            },
+                        );
+                    }
                 }
                 t += exp(&mut rng, config.slow_rate_per_sec);
             }
@@ -314,14 +414,16 @@ impl FaultSchedule {
                     }
                     let minority = ids.split_off(cut.min(ids.len() - 1).max(1));
                     let duration = exp(&mut rng, 1.0 / config.mean_partition_secs.max(1e-6));
-                    healed_at = (t + duration).min(horizon_secs);
-                    schedule.push(
+                    let cut_ok = schedule.try_push(
                         t,
                         FaultEvent::Partition {
                             groups: vec![ids, minority],
                         },
                     );
-                    schedule.push(healed_at, FaultEvent::HealPartition);
+                    if cut_ok.is_ok() {
+                        healed_at = (t + duration).min(horizon_secs);
+                        let _ = schedule.try_push(healed_at, FaultEvent::HealPartition);
+                    }
                 }
                 t += exp(&mut rng, config.partition_rate_per_sec);
             }
@@ -348,6 +450,103 @@ mod tests {
         assert!(matches!(s.events()[1].fault, FaultEvent::HealPartition));
         assert_eq!(s.len(), 4);
         assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn contradictory_same_tick_events_are_rejected_with_a_typed_error() {
+        // Crash + decommission of one node at one tick: no consistent reading.
+        let mut s = FaultSchedule::empty().crash_at(1.0, NodeId(2));
+        let err = s
+            .try_push(1.0, FaultEvent::DecommissionNode { node: NodeId(2) })
+            .unwrap_err();
+        match &err {
+            ScheduleError::ConflictingSameTick {
+                at,
+                existing,
+                incoming,
+            } => {
+                assert_eq!(*at, SimTime::from_secs_f64(1.0));
+                assert!(matches!(existing, FaultEvent::CrashNode { node } if *node == NodeId(2)));
+                assert!(
+                    matches!(incoming, FaultEvent::DecommissionNode { node } if *node == NodeId(2))
+                );
+            }
+        }
+        assert!(err.to_string().contains("crash(node2)"));
+        assert_eq!(s.len(), 1, "the rejected event was not inserted");
+
+        // Crash + restart, and a double crash, of the same node: rejected.
+        assert!(s
+            .try_push(1.0, FaultEvent::RestartNode { node: NodeId(2) })
+            .is_err());
+        assert!(s
+            .try_push(1.0, FaultEvent::CrashNode { node: NodeId(2) })
+            .is_err());
+        // A different node at the same tick is fine.
+        assert!(s
+            .try_push(1.0, FaultEvent::CrashNode { node: NodeId(3) })
+            .is_ok());
+        // The same node at a different tick is fine.
+        assert!(s
+            .try_push(2.0, FaultEvent::RestartNode { node: NodeId(2) })
+            .is_ok());
+    }
+
+    #[test]
+    fn partition_state_changes_conflict_at_one_tick() {
+        let mut s =
+            FaultSchedule::empty().partition_at(1.0, vec![vec![NodeId(0)], vec![NodeId(1)]]);
+        assert!(s.try_push(1.0, FaultEvent::HealPartition).is_err());
+        assert!(s
+            .try_push(
+                1.0,
+                FaultEvent::Partition {
+                    groups: vec![vec![NodeId(1)], vec![NodeId(0)]],
+                }
+            )
+            .is_err());
+        // Healing later is fine, and a slow-down shares the tick harmlessly.
+        assert!(s.try_push(2.0, FaultEvent::HealPartition).is_ok());
+        assert!(s
+            .try_push(
+                1.0,
+                FaultEvent::SlowNode {
+                    node: NodeId(0),
+                    service_factor: 2.0,
+                }
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn duplicate_slow_downs_of_one_node_conflict_at_one_tick() {
+        let mut s = FaultSchedule::empty().slow_at(1.0, NodeId(0), 4.0);
+        assert!(s
+            .try_push(
+                1.0,
+                FaultEvent::SlowNode {
+                    node: NodeId(0),
+                    service_factor: 2.0,
+                }
+            )
+            .is_err());
+        assert!(s
+            .try_push(
+                1.0,
+                FaultEvent::SlowNode {
+                    node: NodeId(1),
+                    service_factor: 2.0,
+                }
+            )
+            .is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault schedule")]
+    fn infallible_push_panics_on_a_conflict() {
+        let _ = FaultSchedule::empty()
+            .crash_at(1.0, NodeId(0))
+            .decommission_at(1.0, NodeId(0));
     }
 
     #[test]

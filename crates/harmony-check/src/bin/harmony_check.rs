@@ -81,7 +81,11 @@ fn parse_args() -> Result<Option<Args>, String> {
             "--seed" => args.seed = parse_num(&value("--seed")?)?,
             "--out" => args.out = Some(value("--out")?),
             "--list" => {
-                for name in ["three_node_two_write", "three_node_write_read"] {
+                for name in [
+                    "three_node_two_write",
+                    "three_node_write_read",
+                    "three_node_partition_write",
+                ] {
                     println!("{name}");
                 }
                 return Ok(None);
@@ -145,12 +149,13 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
     println!(
-        "scenario {} ({} nodes, RF {}, {} ops, <= {} crash(es)/schedule)",
+        "scenario {} ({} nodes, RF {}, {} ops, <= {} crash(es) and {} partition(s)/schedule)",
         scenario.name,
         scenario.nodes,
         scenario.replication_factor,
         scenario.ops.len(),
-        scenario.max_crashes
+        scenario.max_crashes,
+        scenario.max_partitions
     );
 
     let config = ExploreConfig {

@@ -1,5 +1,6 @@
-//! The bounded schedule explorer: exhaustive DFS over delivery orders and
-//! crash placements, plus a seeded random-walk mode for deeper schedules.
+//! The bounded schedule explorer: exhaustive DFS over delivery orders,
+//! crash placements and partition placements, plus a seeded random-walk
+//! mode for deeper schedules.
 
 use harmony_chaos::FaultEvent;
 use harmony_sim::clock::SimTime;
@@ -123,17 +124,26 @@ impl ExploreStats {
 }
 
 /// Fingerprint of a checker configuration: machine state + pending events +
-/// remaining crash budget. Equal fingerprints ⇒ identical reachable
-/// behaviour (see the RNG/clock discussion in the crate docs).
+/// remaining fault budgets (crashes and partitions). Equal fingerprints ⇒
+/// identical reachable behaviour (see the RNG/clock discussion in the crate
+/// docs).
 ///
 /// The pending list is fingerprinted as a sorted multiset: the explorer can
 /// pick any index, so two states whose pending lists differ only in order
 /// reach exactly the same successors — position is labelling, not state.
-fn fingerprint(machine: &HarmonyMachine, ctx: &CheckerCtx, crashes_left: usize) -> u64 {
+fn fingerprint(
+    machine: &HarmonyMachine,
+    ctx: &CheckerCtx,
+    crashes_left: usize,
+    partitions_left: usize,
+) -> u64 {
     let mut s = machine.state_digest_string();
     let mut pending: Vec<String> = ctx.pending.iter().map(|ev| format!("{ev:?}")).collect();
     pending.sort_unstable();
-    let _ = write!(s, "pending={pending:?};crashes_left={crashes_left};");
+    let _ = write!(
+        s,
+        "pending={pending:?};crashes_left={crashes_left};partitions_left={partitions_left};"
+    );
     fnv1a(s.as_bytes())
 }
 
@@ -200,6 +210,7 @@ fn dfs(
     machine: &HarmonyMachine,
     ctx: &CheckerCtx,
     crashes_left: usize,
+    partitions_left: usize,
     depth_left: usize,
     steps: &mut Vec<TraceStep>,
     seen: &mut HashMap<u64, usize>,
@@ -217,7 +228,7 @@ fn dfs(
         complete_schedule(machine, ctx, steps, scenario, config, stats);
         return;
     }
-    let fp = fingerprint(machine, ctx, crashes_left);
+    let fp = fingerprint(machine, ctx, crashes_left, partitions_left);
     match seen.get(&fp).copied() {
         // Already explored from here with at least this much budget left —
         // nothing new can be reached. (Keying the fingerprint map on the
@@ -257,6 +268,7 @@ fn dfs(
             &m,
             &c,
             crashes_left,
+            partitions_left,
             depth_left - 1,
             steps,
             seen,
@@ -283,6 +295,41 @@ fn dfs(
                 &m,
                 &c,
                 crashes_left - 1,
+                partitions_left,
+                depth_left - 1,
+                steps,
+                seen,
+                scenario,
+                config,
+                stats,
+            );
+            steps.pop();
+        }
+    }
+    // Choice ..: isolate any currently-serving node behind a partition (if
+    // budget remains and no partition is already active — the fault state
+    // holds one partition at a time, so stacking placements would just
+    // overwrite). Unlisted nodes form the implicit other side of the cut;
+    // the quiesce procedure heals before invariants run.
+    if partitions_left > 0 && !machine.cluster().fault_state().partitioned() {
+        for i in 0..machine.cluster().node_count() {
+            let node = NodeId(i as u32);
+            if !machine.cluster().fault_state().is_serving(node) {
+                continue;
+            }
+            let mut m = machine.clone();
+            let mut c = ctx.clone();
+            let fault = FaultEvent::Partition {
+                groups: vec![vec![node]],
+            };
+            m.on_event(MachineEvent::Fault(fault.clone()), &mut c);
+            m.drain_completions();
+            steps.push(TraceStep::Fault { fault });
+            dfs(
+                &m,
+                &c,
+                crashes_left,
+                partitions_left - 1,
                 depth_left - 1,
                 steps,
                 seen,
@@ -295,9 +342,9 @@ fn dfs(
     }
 }
 
-/// Exhaustively explores every delivery order and crash placement of
-/// `scenario` up to `config.max_depth`, checking the quiesced invariants at
-/// the end of every schedule. `mutate` runs once against the freshly built
+/// Exhaustively explores every delivery order, crash placement and
+/// partition placement of `scenario` up to `config.max_depth`, checking the
+/// quiesced invariants at the end of every schedule. `mutate` runs once against the freshly built
 /// machine before exploration — the hook the mutation tests use to break
 /// the protocol on purpose (pass `|_| {}` for the real protocol).
 pub fn explore_with(
@@ -314,6 +361,7 @@ pub fn explore_with(
         &machine,
         &ctx,
         scenario.max_crashes,
+        scenario.max_partitions,
         config.max_depth,
         &mut steps,
         &mut seen,
@@ -330,8 +378,9 @@ pub fn explore(scenario: &Scenario, config: &ExploreConfig) -> ExploreStats {
 }
 
 /// Seeded random-walk mode: `walks` schedules of up to `depth` uniformly
-/// random choices each (deliveries and, while budget remains, crashes),
-/// every one driven to quiesce and invariant-checked. Reaches depths the
+/// random choices each (deliveries and, while the respective budgets
+/// remain, crashes and partition placements), every one driven to quiesce
+/// and invariant-checked. Reaches depths the
 /// exhaustive bound cannot; same seed ⇒ byte-identical stats. States are
 /// fingerprinted for the `states_explored` count but walks are never pruned.
 pub fn random_walk(
@@ -347,32 +396,51 @@ pub fn random_walk(
     for _ in 0..walks {
         let (mut machine, mut ctx, _keys) = scenario.build();
         let mut crashes_left = scenario.max_crashes;
+        let mut partitions_left = scenario.max_partitions;
         let mut steps = Vec::new();
         for _ in 0..depth {
             if ctx.pending.is_empty() {
                 break;
             }
-            let crash_choices = if crashes_left > 0 {
+            let serving = || {
                 (0..machine.cluster().node_count())
                     .filter(|&i| machine.cluster().fault_state().is_serving(NodeId(i as u32)))
                     .collect::<Vec<_>>()
+            };
+            let crash_choices = if crashes_left > 0 {
+                serving()
             } else {
                 Vec::new()
             };
-            let total = ctx.pending.len() + crash_choices.len();
+            let partition_choices =
+                if partitions_left > 0 && !machine.cluster().fault_state().partitioned() {
+                    serving()
+                } else {
+                    Vec::new()
+                };
+            let total = ctx.pending.len() + crash_choices.len() + partition_choices.len();
             let choice = rng.gen_range(0..total);
             if choice < ctx.pending.len() {
                 ctx.deliver(choice, &mut machine);
                 steps.push(TraceStep::Deliver { index: choice });
-            } else {
+            } else if choice < ctx.pending.len() + crash_choices.len() {
                 let node = NodeId(crash_choices[choice - ctx.pending.len()] as u32);
                 let fault = FaultEvent::CrashNode { node };
                 machine.on_event(MachineEvent::Fault(fault.clone()), &mut ctx);
                 steps.push(TraceStep::Fault { fault });
                 crashes_left -= 1;
+            } else {
+                let i = choice - ctx.pending.len() - crash_choices.len();
+                let node = NodeId(partition_choices[i] as u32);
+                let fault = FaultEvent::Partition {
+                    groups: vec![vec![node]],
+                };
+                machine.on_event(MachineEvent::Fault(fault.clone()), &mut ctx);
+                steps.push(TraceStep::Fault { fault });
+                partitions_left -= 1;
             }
             machine.drain_completions();
-            let fp = fingerprint(&machine, &ctx, crashes_left);
+            let fp = fingerprint(&machine, &ctx, crashes_left, partitions_left);
             if seen.insert(fp, 0).is_none() {
                 stats.states_explored += 1;
             } else {

@@ -6,7 +6,8 @@
 //! schedules preserve the paper's safety promises. This crate upgrades that
 //! to a bounded correctness claim: it drives the typed-event protocol core
 //! ([`harmony_store::machine::HarmonyMachine`]) through **every** message
-//! delivery order and crash placement up to a configurable depth (DFS with
+//! delivery order, crash placement and partition placement up to a
+//! configurable depth (DFS with
 //! visited-state deduplication), plus a seeded random-walk mode for schedules
 //! deeper than the exhaustive bound, and asserts after every explored
 //! schedule that

@@ -52,6 +52,12 @@ pub struct Scenario {
     pub ops: Vec<ScenarioOp>,
     /// How many crash placements a single schedule may contain.
     pub max_crashes: usize,
+    /// How many partition placements a single schedule may contain. Each
+    /// placement isolates one serving node from the rest of the cluster;
+    /// the quiesce procedure heals before invariants are checked, so a
+    /// partition tests whether in-flight state stranded behind the cut is
+    /// recovered, not whether the cut itself is survivable.
+    pub max_partitions: usize,
     /// Stale-read tolerance the quiesced staleness estimate must respect.
     pub stale_tolerance: f64,
 }
@@ -142,6 +148,7 @@ pub fn three_node_two_write() -> Scenario {
             },
         ],
         max_crashes: 1,
+        max_partitions: 0,
         stale_tolerance: 0.05,
     }
 }
@@ -169,6 +176,34 @@ pub fn three_node_write_read() -> Scenario {
             },
         ],
         max_crashes: 1,
+        max_partitions: 0,
+        stale_tolerance: 0.05,
+    }
+}
+
+/// Two writes at ONE racing a network partition: the explorer may cut one
+/// node off at any point of the schedule, so a write acked by the isolated
+/// side must survive the heal. With hints intact this always converges; the
+/// scenario exists to let the checker *construct* partition-induced
+/// divergence for protocol mutants (and for the anti-entropy healing proof).
+pub fn three_node_partition_write() -> Scenario {
+    Scenario {
+        name: "three_node_partition_write".to_string(),
+        seed: 20120920,
+        nodes: 3,
+        replication_factor: 3,
+        ops: vec![
+            ScenarioOp::Write {
+                key: "k".to_string(),
+                consistency: ConsistencyLevel::One,
+            },
+            ScenarioOp::Write {
+                key: "k".to_string(),
+                consistency: ConsistencyLevel::One,
+            },
+        ],
+        max_crashes: 0,
+        max_partitions: 1,
         stale_tolerance: 0.05,
     }
 }
@@ -179,6 +214,7 @@ pub fn by_name(name: &str) -> Option<Scenario> {
     match name {
         "three_node_two_write" => Some(three_node_two_write()),
         "three_node_write_read" => Some(three_node_write_read()),
+        "three_node_partition_write" => Some(three_node_partition_write()),
         _ => None,
     }
 }

@@ -5,9 +5,13 @@
 //! tests run unoptimised; the reductions and invariants exercised are
 //! identical.
 
+use harmony_chaos::FaultEvent;
 use harmony_check::explorer::{self, ExploreConfig};
-use harmony_check::scenario;
-use harmony_check::trace;
+use harmony_check::trace::TraceStep;
+use harmony_check::{invariants, scenario, trace};
+use harmony_sim::clock::SimTime;
+use harmony_sim::topology::NodeId;
+use harmony_store::machine::{MachineEvent, OnEvent};
 
 fn config(depth: usize) -> ExploreConfig {
     ExploreConfig {
@@ -114,6 +118,162 @@ fn random_walks_are_deterministic_per_seed() {
     assert_ne!(
         a.states_explored, c.states_explored,
         "different seeds should explore different walks"
+    );
+}
+
+/// Partition placements are first-class explorer choices: the real protocol
+/// survives every delivery order and partition placement of the partition
+/// scenario, and granting the budget genuinely branches the search (more
+/// distinct states than the same scenario with the budget zeroed).
+#[test]
+fn partition_placements_survive_exhaustive_exploration() {
+    let with = explorer::explore(&scenario::three_node_partition_write(), &config(6));
+    assert_eq!(
+        with.violation_count, 0,
+        "partition schedules violated invariants: {:?}",
+        with.violations
+    );
+    assert!(!with.truncated);
+    let mut zeroed = scenario::three_node_partition_write();
+    zeroed.max_partitions = 0;
+    let base = explorer::explore(&zeroed, &config(6));
+    assert!(
+        with.states_explored > base.states_explored,
+        "partition budget must add branches: {} with vs {} without",
+        with.states_explored,
+        base.states_explored
+    );
+}
+
+/// With hinted handoff disabled, the checker *constructs* partition-induced
+/// divergence: some schedule cuts a replica off mid-write, the covering hint
+/// is never stored, and the healed replica stays behind the acked timestamp.
+/// The recorded trace must contain the partition fault (it is the exposing
+/// choice), and zeroing the partition budget makes the same mutant invisible
+/// — the scenario allows no crashes, so partitions are the only fault.
+#[test]
+fn partition_placement_exposes_dropped_hint_divergence() {
+    let stats = explorer::explore_with(
+        &scenario::three_node_partition_write(),
+        &config(6),
+        |machine| {
+            machine.cluster_mut().set_hinted_handoff_enabled(false);
+        },
+    );
+    assert!(
+        stats.violation_count > 0,
+        "the dropped-hint mutant must diverge under some partition schedule"
+    );
+    assert!(
+        stats
+            .violations
+            .iter()
+            .any(|f| f.violation.rule == "convergence"),
+        "expected a convergence violation, got: {:?}",
+        stats.violations
+    );
+    assert!(
+        stats
+            .violations
+            .iter()
+            .any(|f| f.trace.steps.iter().any(|s| matches!(
+                s,
+                TraceStep::Fault {
+                    fault: FaultEvent::Partition { .. }
+                }
+            ))),
+        "a recorded trace must carry the partition placement that exposed it"
+    );
+    let mut zeroed = scenario::three_node_partition_write();
+    zeroed.max_partitions = 0;
+    let base = explorer::explore_with(&zeroed, &config(6), |machine| {
+        machine.cluster_mut().set_hinted_handoff_enabled(false);
+    });
+    assert_eq!(
+        base.violation_count, 0,
+        "without partition placements the mutant should be invisible: {:?}",
+        base.violations
+    );
+}
+
+/// Anti-entropy heals a partition-induced divergence the checker constructs:
+/// cut a replica off, run the scenario's writes with hinted handoff disabled
+/// so the divergence survives the heal, then drive the anti-entropy timer
+/// through the checker context. One digest round per node converges every
+/// serving replica — with **zero** read traffic — and the quiesced
+/// invariants (including convergence) pass afterwards.
+#[test]
+fn anti_entropy_heals_checker_constructed_partition_divergence() {
+    let scenario = scenario::three_node_partition_write();
+    let (mut machine, mut ctx, _keys) = scenario.build();
+    machine.cluster_mut().set_hinted_handoff_enabled(false);
+
+    // The checker's partition choice: isolate one replica, then run the
+    // whole schedule (FIFO is one of the orders the explorer enumerates).
+    machine.on_event(
+        MachineEvent::Fault(FaultEvent::Partition {
+            groups: vec![vec![NodeId(2)]],
+        }),
+        &mut ctx,
+    );
+    while !ctx.pending.is_empty() {
+        ctx.deliver(0, &mut machine);
+    }
+    machine.drain_completions();
+
+    // Heal. With hints disabled nothing replays: the divergence persists.
+    machine.on_event(MachineEvent::Fault(FaultEvent::HealPartition), &mut ctx);
+    while !ctx.pending.is_empty() {
+        ctx.deliver(0, &mut machine);
+    }
+    assert!(
+        !machine.cluster_mut().all_replicas_converged(),
+        "the partition must have produced divergence for anti-entropy to heal"
+    );
+
+    let before = machine.cluster().totals();
+
+    // Drive the anti-entropy timer: each wake-up runs one repair round and
+    // re-arms; deliver the round's message traffic before the next wake-up.
+    machine.arm_anti_entropy(SimTime::from_secs_f64(10.0), &mut ctx);
+    for _ in 0..=machine.cluster().node_count() {
+        let timer = ctx
+            .pending
+            .iter()
+            .position(|e| matches!(e, MachineEvent::Timer(_)))
+            .expect("anti-entropy timer stays armed");
+        ctx.deliver(timer, &mut machine);
+        while let Some(i) = ctx
+            .pending
+            .iter()
+            .position(|e| !matches!(e, MachineEvent::Timer(_)))
+        {
+            ctx.deliver(i, &mut machine);
+        }
+    }
+    machine.cancel_all_timers();
+    while !ctx.pending.is_empty() {
+        ctx.deliver(0, &mut machine);
+    }
+    machine.drain_completions();
+
+    assert!(
+        machine.cluster_mut().all_replicas_converged(),
+        "anti-entropy must converge every serving replica"
+    );
+    let after = machine.cluster().totals();
+    assert!(
+        after.ae_rows_streamed >= 1,
+        "repair must have streamed rows"
+    );
+    // Zero read traffic: repair went through digests and the write stage,
+    // never through the read path.
+    assert_eq!(after.reads_submitted, before.reads_submitted);
+    assert_eq!(after.repairs_issued, before.repairs_issued);
+    assert_eq!(
+        invariants::check_quiesced(&machine, &scenario),
+        vec![],
+        "quiesced invariants must pass after the anti-entropy heal"
     );
 }
 

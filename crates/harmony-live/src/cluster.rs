@@ -10,9 +10,11 @@
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use harmony_chaos::{FaultEvent, FaultState};
+use harmony_sim::clock::SimTime;
 use harmony_sim::topology::NodeId;
 use harmony_store::cluster::WRITE_KEY_SAMPLE_CAP;
 use harmony_store::consistency::ConsistencyLevel;
+use harmony_store::detector::HeartbeatHistory;
 use harmony_store::keys::{KeyId, KeyTable};
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
@@ -21,7 +23,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Configuration of a [`LiveCluster`].
 #[derive(Debug, Clone)]
@@ -37,6 +39,12 @@ pub struct LiveConfig {
     pub jitter: f64,
     /// Seed for the jitter randomness.
     pub seed: u64,
+    /// Accrual-detector convict threshold (φ): a replica whose silence
+    /// reaches this suspicion level is steered around by partial reads as
+    /// long as enough unsuspected replicas remain. Cassandra's conventional
+    /// default is 8 (the observed silence had a 10⁻⁸ chance under the
+    /// replica's own heartbeat cadence).
+    pub suspicion_threshold: f64,
 }
 
 impl Default for LiveConfig {
@@ -47,9 +55,26 @@ impl Default for LiveConfig {
             propagation_delay: Duration::from_micros(300),
             jitter: 0.2,
             seed: 1,
+            suspicion_threshold: 8.0,
         }
     }
 }
+
+/// Error of [`LiveCluster::try_read`] / [`LiveCluster::try_write`]: the
+/// client handle could not reach a single replica of the key (all crashed,
+/// or all across an active partition). The operation did not complete — a
+/// failed write leaves only hints — so callers may retry it; a later
+/// attempt can succeed once a replica restarts or the cut heals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Unavailable;
+
+impl std::fmt::Display for Unavailable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "no reachable replica")
+    }
+}
+
+impl std::error::Error for Unavailable {}
 
 /// Cumulative client-visible operation counters.
 #[derive(Debug, Default)]
@@ -70,11 +95,15 @@ enum NodeMsg {
         /// not a payload clone.
         value: Arc<Vec<u8>>,
         version: u64,
-        ack: Sender<()>,
+        /// Acknowledged with the responding node's index, so the coordinator
+        /// can credit the right replica's failure-detector heartbeat.
+        ack: Sender<usize>,
     },
     Read {
         key: KeyId,
-        reply: Sender<Option<VersionedValue>>,
+        /// Answered with the responding node's index plus the value, for the
+        /// same heartbeat crediting.
+        reply: Sender<(usize, Option<VersionedValue>)>,
     },
     Shutdown,
 }
@@ -103,7 +132,7 @@ struct NodeState {
 /// thousands of writes are truly pending.
 const APPLY_COST_MS: f64 = 0.001;
 
-fn node_loop(state: Arc<NodeState>, rx: Receiver<NodeMsg>) {
+fn node_loop(index: usize, state: Arc<NodeState>, rx: Receiver<NodeMsg>) {
     while let Ok(msg) = rx.recv() {
         match msg {
             NodeMsg::Shutdown => break,
@@ -122,11 +151,11 @@ fn node_loop(state: Arc<NodeState>, rx: Receiver<NodeMsg>) {
                 }
                 state.pending_writes.fetch_sub(1, Ordering::Relaxed);
                 state.applied_writes.fetch_add(1, Ordering::Relaxed);
-                let _ = ack.send(());
+                let _ = ack.send(index);
             }
             NodeMsg::Read { key, reply } => {
                 let result = state.data.lock().get(&key).cloned();
-                let _ = reply.send(result);
+                let _ = reply.send((index, result));
             }
         }
     }
@@ -191,6 +220,15 @@ pub struct LiveCluster {
     /// Join + decommission count when the active partition was installed;
     /// the heal re-streams only churn that happened during the cut.
     partition_churn_baseline: AtomicU64,
+    /// Per-node φ accrual failure detectors (same construction as the
+    /// simulated cluster's), fed by replica acknowledgements and read
+    /// replies the coordinator actually observes. A replica whose acks stop
+    /// arriving — crashed before the liveness bookkeeping notices, or slowed
+    /// so far that quorums always close without it — accrues suspicion, and
+    /// partial reads steer around it.
+    detectors: Mutex<Vec<HeartbeatHistory>>,
+    /// Wall-clock epoch for detector timestamps.
+    started: Instant,
 }
 
 impl LiveCluster {
@@ -219,7 +257,7 @@ impl LiveCluster {
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("harmony-live-node-{i}"))
-                    .spawn(move || node_loop(state, rx))
+                    .spawn(move || node_loop(i, state, rx))
                     .expect("spawn node thread"),
             );
             senders.push(tx);
@@ -240,7 +278,30 @@ impl LiveCluster {
             faults: Mutex::new(FaultState::new(nodes)),
             hints: Mutex::new(vec![Vec::new(); nodes]),
             partition_churn_baseline: AtomicU64::new(0),
+            detectors: Mutex::new((0..nodes).map(|_| HeartbeatHistory::new()).collect()),
+            started: Instant::now(),
         }
+    }
+
+    /// Records an observed response from `node` as a failure-detector
+    /// heartbeat.
+    fn note_heartbeat(&self, node: usize) {
+        let now = SimTime::from_duration(self.started.elapsed());
+        if let Some(history) = self.detectors.lock().get_mut(node) {
+            history.record(now);
+        }
+    }
+
+    /// The current φ suspicion level of `node`: how implausible its present
+    /// silence is under its own observed response cadence. Zero until the
+    /// node has produced at least two observed responses.
+    pub fn suspicion(&self, node: usize) -> f64 {
+        let now = SimTime::from_duration(self.started.elapsed());
+        self.detectors
+            .lock()
+            .get(node)
+            .map(|h| h.suspicion(now))
+            .unwrap_or(0.0)
     }
 
     /// Current number of node slots (including crashed and decommissioned).
@@ -391,6 +452,7 @@ impl LiveCluster {
         });
         self.hints.lock().push(Vec::new());
         self.write_key_samples.write().push(Mutex::new(Vec::new()));
+        self.detectors.lock().push(HeartbeatHistory::new());
         let id = self.faults.lock().add_node();
         let index = {
             let mut states = self.states.write();
@@ -403,7 +465,7 @@ impl LiveCluster {
         self.handles.lock().push(
             std::thread::Builder::new()
                 .name(format!("harmony-live-node-{index}"))
-                .spawn(move || node_loop(state, rx))
+                .spawn(move || node_loop(index, state, rx))
                 .expect("spawn node thread"),
         );
         self.rebalance();
@@ -645,6 +707,27 @@ impl LiveCluster {
     /// is where partial-quorum reads can observe stale data, exactly the
     /// situation of the paper's Figure 2.
     pub fn write(&self, key: &str, value: Vec<u8>, level: ConsistencyLevel) -> u64 {
+        self.write_inner(key, value, level).0
+    }
+
+    /// Like [`LiveCluster::write`], but reports unavailability instead of
+    /// silently degrading: `Err(Unavailable)` when no reachable replica could
+    /// receive the mutation (it survives only as hints and did not advance
+    /// the acknowledged ground truth). Retryable — see
+    /// [`crate::harmony::LiveHarmony::write_with_retry`].
+    pub fn try_write(
+        &self,
+        key: &str,
+        value: Vec<u8>,
+        level: ConsistencyLevel,
+    ) -> Result<u64, Unavailable> {
+        match self.write_inner(key, value, level) {
+            (version, true) => Ok(version),
+            (_, false) => Err(Unavailable),
+        }
+    }
+
+    fn write_inner(&self, key: &str, value: Vec<u8>, level: ConsistencyLevel) -> (u64, bool) {
         let version = self.next_version.fetch_add(1, Ordering::SeqCst);
         let id = self.intern_key(key);
         let replicas = self.replicas_for(key);
@@ -715,7 +798,9 @@ impl LiveCluster {
         }
         drop(ack_tx);
         for _ in 0..required {
-            let _ = ack_rx.recv();
+            if let Ok(node) = ack_rx.recv() {
+                self.note_heartbeat(node);
+            }
         }
         // A write no reachable replica received is a failure, not a success:
         // it must not advance the acked ground truth (later reads would be
@@ -732,7 +817,7 @@ impl LiveCluster {
             }
             self.counters.writes.fetch_add(1, Ordering::Relaxed);
         }
-        version
+        (version, !sendable.is_empty())
     }
 
     /// Reads `key` from as many replicas as `level` requires and returns the
@@ -741,8 +826,70 @@ impl LiveCluster {
     ///
     /// Partial reads rotate which replica they start from (a stand-in for a
     /// dynamic snitch), so consecutive reads of the same key do not always
-    /// hit the same — possibly freshest — replica.
+    /// hit the same — possibly freshest — replica. The rotation runs over
+    /// the *unsuspected* reachable replicas first: a replica whose φ
+    /// suspicion has crossed the configured threshold is only contacted when
+    /// the read cannot be satisfied without it.
     pub fn read(&self, key: &str, level: ConsistencyLevel) -> Option<(Vec<u8>, u64)> {
+        self.read_inner(key, level).0
+    }
+
+    /// Like [`LiveCluster::read`], but reports unavailability instead of
+    /// silently missing: `Err(Unavailable)` when the key exists but no
+    /// replica is reachable. A miss on a never-written key is still
+    /// `Ok(None)`. Retryable — see
+    /// [`crate::harmony::LiveHarmony::read_with_retry`].
+    pub fn try_read(
+        &self,
+        key: &str,
+        level: ConsistencyLevel,
+    ) -> Result<Option<(Vec<u8>, u64)>, Unavailable> {
+        match self.read_inner(key, level) {
+            (_, true) => Err(Unavailable),
+            (best, false) => Ok(best),
+        }
+    }
+
+    /// Read-target selection: `required` replicas out of `reachable`, least
+    /// suspected first. While every reachable replica is below the convict
+    /// threshold this is exactly the historical rotation; once some cross
+    /// it, the rotation narrows to the unsuspected ones, falling back to
+    /// suspected replicas only when the level demands more than remain.
+    fn select_read_targets(
+        &self,
+        reachable: &[usize],
+        required: usize,
+        offset: usize,
+    ) -> Vec<usize> {
+        if required == 0 || reachable.is_empty() {
+            return Vec::new();
+        }
+        let now = SimTime::from_duration(self.started.elapsed());
+        let threshold = self.config.suspicion_threshold;
+        let detectors = self.detectors.lock();
+        let (fresh, suspected): (Vec<usize>, Vec<usize>) = reachable.iter().partition(|&&r| {
+            detectors
+                .get(r)
+                .map(|h| h.suspicion(now) < threshold)
+                .unwrap_or(true)
+        });
+        drop(detectors);
+        if fresh.len() >= required {
+            (0..required)
+                .map(|i| fresh[(offset + i) % fresh.len()])
+                .collect()
+        } else {
+            // The level needs more replicas than are unsuspected: contact
+            // every fresh one and fill the remainder from the suspected pool.
+            let mut targets = fresh;
+            targets.extend(
+                (0..required - targets.len()).map(|i| suspected[(offset + i) % suspected.len()]),
+            );
+            targets
+        }
+    }
+
+    fn read_inner(&self, key: &str, level: ConsistencyLevel) -> (Option<(Vec<u8>, u64)>, bool) {
         // A never-written key has no id; no replica can hold it either.
         let id = self.key_id(key);
         let expected = id
@@ -765,9 +912,9 @@ impl LiveCluster {
         // An unknown key exists on no replica: contact none, expect nothing.
         let expected_replies = if id.is_some() { required } else { 0 };
         if let Some(id) = id {
+            let targets = self.select_read_targets(&reachable, expected_replies, offset);
             let senders = self.senders.read();
-            for i in 0..expected_replies {
-                let r = reachable[(offset + i) % reachable.len()];
+            for r in targets {
                 let _ = senders[r].send(NodeMsg::Read {
                     key: id,
                     reply: reply_tx.clone(),
@@ -777,9 +924,12 @@ impl LiveCluster {
         drop(reply_tx);
         let mut best: Option<VersionedValue> = None;
         for _ in 0..expected_replies {
-            if let Ok(Some((value, version))) = reply_rx.recv() {
-                if best.as_ref().map(|(_, v)| version > *v).unwrap_or(true) {
-                    best = Some((value, version));
+            if let Ok((node, result)) = reply_rx.recv() {
+                self.note_heartbeat(node);
+                if let Some((value, version)) = result {
+                    if best.as_ref().map(|(_, v)| version > *v).unwrap_or(true) {
+                        best = Some((value, version));
+                    }
                 }
             }
         }
@@ -795,7 +945,10 @@ impl LiveCluster {
         if expected_replies > 0 && returned_version < expected {
             self.counters.stale_reads.fetch_add(1, Ordering::Relaxed);
         }
-        best.map(|(value, version)| (value.as_ref().clone(), version))
+        (
+            best.map(|(value, version)| (value.as_ref().clone(), version)),
+            unavailable,
+        )
     }
 
     /// Stops every node thread and waits for them to exit.
@@ -839,6 +992,7 @@ mod tests {
             propagation_delay: Duration::from_micros(50),
             jitter: 0.1,
             seed: 11,
+            suspicion_threshold: 8.0,
         }
     }
 
@@ -992,6 +1146,7 @@ mod tests {
             propagation_delay: Duration::from_micros(400),
             jitter: 0.5,
             seed: 5,
+            suspicion_threshold: 8.0,
         });
         for i in 0..200u64 {
             cluster.write("hot", format!("v{i}").into_bytes(), ConsistencyLevel::One);
@@ -1185,6 +1340,123 @@ mod tests {
             let (value, _) = cluster.read(&name, ConsistencyLevel::Quorum).unwrap();
             assert_eq!(value, vec![i as u8]);
         }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn observed_acks_feed_the_failure_detector() {
+        let cluster = LiveCluster::start(quick_config());
+        // ALL-level writes observe an ack from every replica: each builds a
+        // heartbeat history with a sub-millisecond cadence.
+        for i in 0..40u64 {
+            cluster.write("k", format!("v{i}").into_bytes(), ConsistencyLevel::All);
+        }
+        let replicas = cluster.replicas_for("k");
+        let before: Vec<f64> = replicas.iter().map(|r| cluster.suspicion(*r)).collect();
+        // Total silence: suspicion must grow for every replica, far past the
+        // convict threshold (80 ms of silence against a sub-ms cadence).
+        std::thread::sleep(Duration::from_millis(80));
+        for (i, r) in replicas.iter().enumerate() {
+            let after = cluster.suspicion(*r);
+            assert!(
+                after > before[i] && after > 8.0,
+                "node {r}: suspicion {after} (was {})",
+                before[i]
+            );
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn partial_reads_steer_around_a_suspected_replica() {
+        // Build heartbeat history for every replica, then slow one so hard
+        // that quorums always close without it: its acks stop being
+        // observed, suspicion accrues, and partial reads avoid it — staying
+        // fresh even though the slowed replica lags far behind.
+        let cluster = LiveCluster::start(LiveConfig {
+            nodes: 4,
+            replication_factor: 3,
+            propagation_delay: Duration::from_micros(200),
+            jitter: 0.1,
+            seed: 7,
+            suspicion_threshold: 8.0,
+        });
+        for i in 0..30u64 {
+            cluster.write("k", format!("w{i}").into_bytes(), ConsistencyLevel::All);
+        }
+        let slow = cluster.replicas_for("k")[2];
+        cluster.apply_fault(&FaultEvent::SlowNode {
+            node: NodeId(slow as u32),
+            service_factor: 400.0,
+        });
+        // Quorum writes close on the two healthy replicas (the slowed one's
+        // acks arrive ~80 ms late, after the coordinator stopped
+        // listening), so the healthy pair keeps heartbeating while the
+        // slowed detector goes silent.
+        for _ in 0..40 {
+            cluster.write("k", b"w".to_vec(), ConsistencyLevel::Quorum);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(
+            cluster.suspicion(slow) > 8.0,
+            "slowed replica not suspected: {}",
+            cluster.suspicion(slow)
+        );
+        for r in cluster.replicas_for("k") {
+            if r != slow {
+                assert!(
+                    cluster.suspicion(r) < 8.0,
+                    "healthy replica {r} wrongly suspected: {}",
+                    cluster.suspicion(r)
+                );
+            }
+        }
+        // Every quorum write was applied by both healthy replicas before it
+        // was acknowledged, so a ONE-level read that avoids the suspect can
+        // never observe staleness; one that hit the slowed replica would.
+        let stale_before = cluster.counters().stale_reads.load(Ordering::Relaxed);
+        for _ in 0..30 {
+            let (_, version) = cluster.read("k", ConsistencyLevel::One).unwrap();
+            assert!(version > 0);
+        }
+        assert_eq!(
+            cluster.counters().stale_reads.load(Ordering::Relaxed),
+            stale_before,
+            "a read contacted the lagging suspect"
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn try_ops_report_unavailability_and_recover() {
+        let cluster = LiveCluster::start(quick_config());
+        cluster.write("k", b"v0".to_vec(), ConsistencyLevel::All);
+        assert!(cluster.try_read("k", ConsistencyLevel::Quorum).is_ok());
+        // A never-written key is a miss, not an unavailability.
+        assert_eq!(cluster.try_read("nope", ConsistencyLevel::One), Ok(None));
+        let replicas = cluster.replicas_for("k");
+        for r in &replicas {
+            cluster.apply_fault(&FaultEvent::CrashNode {
+                node: NodeId(*r as u32),
+            });
+        }
+        assert_eq!(
+            cluster.try_read("k", ConsistencyLevel::One),
+            Err(Unavailable)
+        );
+        assert_eq!(
+            cluster.try_write("k", b"v1".to_vec(), ConsistencyLevel::One),
+            Err(Unavailable)
+        );
+        for r in &replicas {
+            cluster.apply_fault(&FaultEvent::RestartNode {
+                node: NodeId(*r as u32),
+            });
+        }
+        assert!(cluster
+            .try_write("k", b"v2".to_vec(), ConsistencyLevel::One)
+            .is_ok());
+        assert!(cluster.try_read("k", ConsistencyLevel::All).is_ok());
         cluster.shutdown();
     }
 

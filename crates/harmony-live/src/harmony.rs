@@ -6,7 +6,7 @@
 //! one control iteration (the caller decides the cadence — a background
 //! thread, a timer, or explicit calls as in the tests).
 
-use crate::cluster::LiveCluster;
+use crate::cluster::{LiveCluster, Unavailable};
 use harmony_adaptive::config::ControllerConfig;
 use harmony_adaptive::controller::AdaptiveController;
 use harmony_adaptive::policy::ConsistencyPolicy;
@@ -15,7 +15,7 @@ use harmony_sim::clock::SimTime;
 use harmony_store::consistency::ConsistencyLevel;
 use parking_lot::Mutex;
 use std::sync::atomic::Ordering;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 struct LiveProbe<'a> {
     cluster: &'a LiveCluster,
@@ -54,6 +54,43 @@ impl ClusterProbe for LiveProbe<'_> {
     }
     fn fault_epoch(&self) -> u64 {
         self.cluster.fault_state().counters().total()
+    }
+}
+
+/// Bounded-exponential-backoff retry policy for the live client path: how
+/// many attempts an unavailable operation gets, and how long to back off
+/// between them. The wall-clock sibling of the YCSB runner's deterministic
+/// `RetryPolicy` — an operation that finds no reachable replica sleeps and
+/// tries again, because a replica restart or a partition heal can land
+/// between attempts. Disabled by default (one attempt, no retries).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LiveRetryPolicy {
+    /// Total attempts including the first; `1` disables retries.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles on each subsequent one.
+    pub base_backoff: Duration,
+    /// Ceiling the doubling backoff clamps to.
+    pub max_backoff: Duration,
+}
+
+impl Default for LiveRetryPolicy {
+    fn default() -> Self {
+        LiveRetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(64),
+        }
+    }
+}
+
+impl LiveRetryPolicy {
+    /// The backoff before retry number `retry` (1-based): base doubled per
+    /// step, clamped to the ceiling.
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let doubled = self
+            .base_backoff
+            .saturating_mul(1u32 << retry.saturating_sub(1).min(20));
+        doubled.min(self.max_backoff)
     }
 }
 
@@ -141,6 +178,65 @@ impl LiveHarmony {
         self.cluster.write(key, value, level)
     }
 
+    /// [`LiveHarmony::read`] with bounded-backoff retries: an unavailable
+    /// read (the key exists but no replica is reachable) sleeps and tries
+    /// again up to the policy's attempt budget — a restart or heal between
+    /// attempts turns the failure into a success. The adaptive level is
+    /// re-resolved per attempt, so a retry benefits from any controller
+    /// decision made in the meantime.
+    pub fn read_with_retry(
+        &self,
+        key: &str,
+        retry: LiveRetryPolicy,
+    ) -> Result<Option<(Vec<u8>, u64)>, Unavailable> {
+        let mut attempt = 1;
+        loop {
+            let level = {
+                let controller = self.controller.lock();
+                match self.cluster.key_id(key) {
+                    Some(id) => controller.read_level_for(id),
+                    None => controller.current_read_level(),
+                }
+            };
+            match self.cluster.try_read(key, level) {
+                Ok(result) => return Ok(result),
+                Err(err) => {
+                    if attempt >= retry.max_attempts.max(1) {
+                        return Err(err);
+                    }
+                    std::thread::sleep(retry.backoff(attempt));
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// [`LiveHarmony::write`] with bounded-backoff retries: a write that no
+    /// reachable replica could receive (it survives only as hints) sleeps
+    /// and re-issues up to the policy's attempt budget. Returns the version
+    /// of the attempt that reached a replica.
+    pub fn write_with_retry(
+        &self,
+        key: &str,
+        value: Vec<u8>,
+        retry: LiveRetryPolicy,
+    ) -> Result<u64, Unavailable> {
+        let mut attempt = 1;
+        loop {
+            let level = self.controller.lock().current_write_level();
+            match self.cluster.try_write(key, value.clone(), level) {
+                Ok(version) => return Ok(version),
+                Err(err) => {
+                    if attempt >= retry.max_attempts.max(1) {
+                        return Err(err);
+                    }
+                    std::thread::sleep(retry.backoff(attempt));
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
     /// Shuts the cluster down.
     pub fn shutdown(self) {
         self.cluster.shutdown();
@@ -161,6 +257,7 @@ mod tests {
             propagation_delay: Duration::from_micros(100),
             jitter: 0.1,
             seed: 3,
+            suspicion_threshold: 8.0,
         })
     }
 
@@ -226,6 +323,71 @@ mod tests {
         let cold_level = h.controller.lock().read_level_for(cold_id);
         assert_eq!(cold_level, default_level);
         h.shutdown();
+    }
+
+    #[test]
+    fn retry_backoff_doubles_and_clamps() {
+        let p = LiveRetryPolicy {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(10),
+        };
+        assert_eq!(p.backoff(1), Duration::from_millis(2));
+        assert_eq!(p.backoff(2), Duration::from_millis(4));
+        assert_eq!(p.backoff(3), Duration::from_millis(8));
+        assert_eq!(p.backoff(4), Duration::from_millis(10));
+        assert_eq!(p.backoff(40), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn retry_converts_unavailability_once_replicas_return() {
+        use harmony_chaos::FaultEvent;
+        use harmony_sim::topology::NodeId;
+        use std::sync::Arc;
+
+        let h = Arc::new(LiveHarmony::new(
+            live_cluster(),
+            ControllerConfig::default(),
+            Box::new(StaticPolicy::Strong),
+        ));
+        h.write("k", b"v".to_vec());
+        let victims = h.cluster().replicas_for("k");
+        for r in &victims {
+            h.apply_fault(&FaultEvent::CrashNode {
+                node: NodeId(*r as u32),
+            });
+        }
+        // Retries disabled (the default): the unavailability surfaces
+        // immediately instead of blocking.
+        assert!(h.read_with_retry("k", LiveRetryPolicy::default()).is_err());
+        assert!(h
+            .write_with_retry("k", b"w".to_vec(), LiveRetryPolicy::default())
+            .is_err());
+        // Revive the replicas mid-retry: a later attempt finds them back
+        // and the operation completes instead of failing.
+        let reviver = {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(15));
+                for r in &victims {
+                    h.apply_fault(&FaultEvent::RestartNode {
+                        node: NodeId(*r as u32),
+                    });
+                }
+            })
+        };
+        let retry = LiveRetryPolicy {
+            max_attempts: 40,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(10),
+        };
+        assert!(h.write_with_retry("k", b"w".to_vec(), retry).is_ok());
+        assert!(h.read_with_retry("k", retry).is_ok());
+        reviver.join().unwrap();
+        match Arc::try_unwrap(h) {
+            Ok(h) => h.shutdown(),
+            Err(_) => panic!("cluster still referenced"),
+        }
     }
 
     #[test]

@@ -36,5 +36,5 @@
 pub mod cluster;
 pub mod harmony;
 
-pub use cluster::{LiveCluster, LiveConfig, LiveCounters};
-pub use harmony::LiveHarmony;
+pub use cluster::{LiveCluster, LiveConfig, LiveCounters, Unavailable};
+pub use harmony::{LiveHarmony, LiveRetryPolicy};

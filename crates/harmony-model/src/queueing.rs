@@ -505,6 +505,37 @@ impl StalenessEstimate {
         self.tp_network_secs + self.spread_mean_secs
     }
 
+    /// Tightens the estimate for active anti-entropy repair running at
+    /// `rate_per_sec` rounds per second: a lagging replica is healed by
+    /// whichever comes first, normal propagation (window `Tp`) or the next
+    /// repair round (mean gap `1/ρ`), so the effective mean window is
+    /// `Tp / (1 + ρ·Tp)` — the same transform as
+    /// `StaleReadModel::stale_probability_with_repair`. Every `Tp` component
+    /// is scaled by the common factor (variance by its square), so a
+    /// zero-spread estimate reduces exactly to the scalar formula.
+    ///
+    /// A non-positive rate returns the estimate **unchanged** (same bits) —
+    /// repair disabled is provably free. A diverging estimate is also
+    /// returned unchanged: periodic repair bounds the *mean* lag, but the
+    /// policy's go-strong reaction to an unbounded queue must not be
+    /// softened by a background repair promise.
+    pub fn with_repair(self, rate_per_sec: f64) -> Self {
+        if rate_per_sec <= 0.0 || self.diverging {
+            return self;
+        }
+        let tp = self.tp_mean_secs();
+        if tp <= 0.0 {
+            return self;
+        }
+        let factor = 1.0 / (1.0 + rate_per_sec * tp);
+        StalenessEstimate {
+            tp_network_secs: self.tp_network_secs * factor,
+            spread_mean_secs: self.spread_mean_secs * factor,
+            spread_variance_secs2: self.spread_variance_secs2 * factor * factor,
+            ..self
+        }
+    }
+
     /// The Laplace transform `E[e^{-s·Tp}]` of the propagation-time
     /// distribution, exact for the deterministic + Gamma decomposition:
     ///
@@ -538,6 +569,42 @@ mod tests {
 
     fn close(a: f64, b: f64, tol: f64) -> bool {
         (a - b).abs() <= tol
+    }
+
+    /// `with_repair` at a non-positive rate is the identity (same bits), and
+    /// on a deterministic estimate it reproduces the scalar
+    /// `Tp / (1 + ρ·Tp)` transform exactly.
+    #[test]
+    fn with_repair_identity_and_scalar_equivalence() {
+        let est = StalenessEstimate {
+            tp_network_secs: 0.002,
+            spread_mean_secs: 0.001,
+            spread_variance_secs2: 5e-7,
+            ..StalenessEstimate::default()
+        };
+        assert_eq!(est.with_repair(0.0), est);
+        assert_eq!(est.with_repair(-1.0), est);
+
+        let det = StalenessEstimate::deterministic(0.004);
+        let repaired = det.with_repair(50.0);
+        let expected = 0.004 / (1.0 + 50.0 * 0.004);
+        assert!(close(repaired.tp_mean_secs(), expected, 1e-15));
+
+        // The mean of the full distribution contracts by the same factor.
+        let r = est.with_repair(100.0);
+        let tp = est.tp_mean_secs();
+        assert!(close(r.tp_mean_secs(), tp / (1.0 + 100.0 * tp), 1e-15));
+        assert!(r.spread_variance_secs2 < est.spread_variance_secs2);
+    }
+
+    /// Repair must not soften the go-strong reaction to a diverging queue.
+    #[test]
+    fn with_repair_leaves_diverging_estimates_alone() {
+        let est = StalenessEstimate {
+            diverging: true,
+            ..StalenessEstimate::deterministic(0.01)
+        };
+        assert_eq!(est.with_repair(1000.0), est);
     }
 
     #[test]

@@ -179,6 +179,56 @@ impl StaleReadModel {
         (((n - 1.0) / n) * a).clamp(0.0, 1.0)
     }
 
+    /// [`StaleReadModel::stale_probability`] under active anti-entropy
+    /// repair running at `repair_rate` rounds per second.
+    ///
+    /// A lagging replica is healed by whichever comes first: normal update
+    /// propagation (window `Tp`) or the next anti-entropy round (mean
+    /// inter-round gap `1/ρ`). Combining the two healing rates
+    /// `1/Tp_eff = 1/Tp + ρ` gives the effective window
+    ///
+    /// `Tp_eff = Tp / (1 + ρ·Tp)`
+    ///
+    /// which is what the closed form sees. A non-positive `repair_rate`
+    /// delegates to [`StaleReadModel::stale_probability_saturating`]
+    /// **exactly** (same code path, bit-identical result) — repair disabled
+    /// is provably free. As `ρ → ∞` the window, and with it the stale
+    /// probability, collapses to zero.
+    pub fn stale_probability_with_repair(
+        &self,
+        read_rate: f64,
+        write_rate: f64,
+        tp_secs: f64,
+        repair_rate: f64,
+    ) -> f64 {
+        if repair_rate <= 0.0 {
+            return self.stale_probability_saturating(read_rate, write_rate, tp_secs);
+        }
+        let tp = tp_secs.max(0.0);
+        let tp_eff = tp / (1.0 + repair_rate * tp);
+        self.stale_probability_saturating(read_rate, write_rate, tp_eff)
+    }
+
+    /// [`StaleReadModel::required_replicas`] under active anti-entropy
+    /// repair (see [`StaleReadModel::stale_probability_with_repair`] for the
+    /// effective-window derivation). A non-positive `repair_rate` delegates
+    /// exactly; repair can only shrink the replica count, never grow it.
+    pub fn required_replicas_with_repair(
+        &self,
+        app_stale_rate: f64,
+        read_rate: f64,
+        write_rate: f64,
+        tp_secs: f64,
+        repair_rate: f64,
+    ) -> usize {
+        if repair_rate <= 0.0 {
+            return self.required_replicas(app_stale_rate, read_rate, write_rate, tp_secs);
+        }
+        let tp = tp_secs.max(0.0);
+        let tp_eff = tp / (1.0 + repair_rate * tp);
+        self.required_replicas(app_stale_rate, read_rate, write_rate, tp_eff)
+    }
+
     /// The generalisation of Eq. (6) to a read touching `replicas_in_read`
     /// replicas (the `X` of Eq. 7). With `X = N` the probability is zero —
     /// reading all replicas always observes the latest committed write.
@@ -638,6 +688,71 @@ mod tests {
         );
         // An idle system is never stale even if flagged diverging.
         assert_eq!(m.stale_probability_estimate(0.0, 600.0, &diverging), 0.0);
+    }
+
+    /// Disabled repair (rate ≤ 0) must be *bit-identical* to the plain
+    /// closed form — the free-when-disabled contract the controller's
+    /// golden pins rely on.
+    #[test]
+    fn zero_repair_rate_is_bit_identical_to_plain_model() {
+        let m = StaleReadModel::new(5);
+        for &(r, w, tp) in &[
+            (1000.0, 800.0, 0.001),
+            (200.0, 50.0, 0.0004),
+            (5000.0, 5000.0, 0.01),
+            (0.0, 0.0, 0.0),
+        ] {
+            assert_eq!(
+                m.stale_probability_with_repair(r, w, tp, 0.0).to_bits(),
+                m.stale_probability_saturating(r, w, tp).to_bits()
+            );
+            assert_eq!(
+                m.stale_probability_with_repair(r, w, tp, -3.0).to_bits(),
+                m.stale_probability_saturating(r, w, tp).to_bits()
+            );
+            for asr in [0.0, 0.2, 0.6] {
+                assert_eq!(
+                    m.required_replicas_with_repair(asr, r, w, tp, 0.0),
+                    m.required_replicas(asr, r, w, tp)
+                );
+            }
+        }
+    }
+
+    /// Faster repair rounds tighten the staleness estimate monotonically and
+    /// collapse it entirely in the limit.
+    #[test]
+    fn repair_rate_tightens_the_estimate_monotonically() {
+        let m = StaleReadModel::new(5);
+        // An operating point where the closed form does not clamp at 1, so
+        // strict monotonicity is observable.
+        let (r, w, tp) = (1000.0, 800.0, 0.001);
+        let mut prev = m.stale_probability_with_repair(r, w, tp, 0.0);
+        assert!(prev > 0.0 && prev < 1.0);
+        for rate in [100.0, 1000.0, 10_000.0, 100_000.0] {
+            let p = m.stale_probability_with_repair(r, w, tp, rate);
+            assert!(p < prev, "rate={rate} p={p} prev={prev}");
+            prev = p;
+        }
+        // ρ → ∞: the effective window vanishes.
+        assert!(m.stale_probability_with_repair(r, w, tp, 1e12) < 1e-6);
+    }
+
+    /// Repair progress can only relax the replica requirement, and under
+    /// heavy repair a single replica suffices at any nonzero tolerance.
+    #[test]
+    fn repair_never_raises_the_replica_requirement() {
+        let m = StaleReadModel::new(5);
+        for &(r, w, tp) in &[(1000.0, 800.0, 0.001), (5000.0, 4000.0, 0.003)] {
+            for asr in [0.05, 0.2, 0.6] {
+                let plain = m.required_replicas(asr, r, w, tp);
+                for rate in [1.0, 50.0, 5000.0] {
+                    let repaired = m.required_replicas_with_repair(asr, r, w, tp, rate);
+                    assert!(repaired <= plain, "asr={asr} rate={rate}");
+                }
+                assert_eq!(m.required_replicas_with_repair(asr, r, w, tp, 1e12), 1);
+            }
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! [`ClusterProbe::key_name`] resolves an id back to its human-readable name
 //! only where a report needs one (hot-set decisions, sweep tables).
 
+use harmony_sim::clock::SimTime;
 use harmony_store::cluster::Cluster;
 use harmony_store::keys::KeyId;
 use harmony_store::node::WriteStageTelemetry;
@@ -108,6 +109,16 @@ pub trait ClusterProbe {
     fn fault_epoch(&self) -> u64 {
         0
     }
+    /// Accrual failure-detector suspicion (φ) per node, one entry per node
+    /// in node-id order, evaluated at virtual time `now`. φ rises the longer
+    /// a node has gone silent relative to its observed heartbeat cadence;
+    /// the monitor can discount telemetry from highly suspected nodes so a
+    /// failing replica's frozen counters do not dilute the cluster estimate.
+    /// Backends without a detector report an empty vector and no discount is
+    /// ever applied.
+    fn node_suspicions(&self, _now: SimTime) -> Vec<f64> {
+        Vec::new()
+    }
 }
 
 impl ClusterProbe for Cluster {
@@ -166,6 +177,10 @@ impl ClusterProbe for Cluster {
     fn fault_epoch(&self) -> u64 {
         self.fault_state().counters().total()
     }
+
+    fn node_suspicions(&self, now: SimTime) -> Vec<f64> {
+        Cluster::node_suspicions(self, now)
+    }
 }
 
 /// A scripted probe for unit tests and offline model exploration. Carries
@@ -197,6 +212,8 @@ pub struct MockProbe {
     pub key_backlogs: std::collections::HashMap<String, f64>,
     /// Scripted fault epoch; bump it to simulate a topology change.
     pub epoch: u64,
+    /// Scripted per-node accrual suspicions; empty = no failure detector.
+    pub suspicions: Vec<f64>,
     /// Scripted per-shard cumulative sketches; `Some` switches the monitor
     /// onto the sharded sketch-merge path instead of the sample drain.
     pub sketches: Option<Vec<crate::heavy_hitters::SpaceSavingSketch>>,
@@ -271,6 +288,9 @@ impl ClusterProbe for MockProbe {
     }
     fn fault_epoch(&self) -> u64 {
         self.epoch
+    }
+    fn node_suspicions(&self, _now: SimTime) -> Vec<f64> {
+        self.suspicions.clone()
     }
 }
 

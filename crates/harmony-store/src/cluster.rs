@@ -21,6 +21,7 @@
 
 use crate::config::StoreConfig;
 use crate::consistency::ConsistencyLevel;
+use crate::detector::HeartbeatHistory;
 use crate::hashring::HashRing;
 use crate::keys::{KeyId, KeyTable};
 use crate::messages::{Message, OpId, OpKind, StoreEvent};
@@ -115,6 +116,15 @@ pub struct ClusterTotals {
     /// schedules they now degrade into a counted drop. Zero on a healthy
     /// cluster.
     pub protocol_drops: u64,
+    /// Hinted mutations evicted by the per-origin hint cap
+    /// ([`StoreConfig::hint_cap_per_origin`]). Zero while the cap is
+    /// disabled or never exceeded.
+    pub hints_evicted: u64,
+    /// Anti-entropy rounds whose digest exchange was actually initiated
+    /// (rounds skipped for lack of a reachable partner do not count).
+    pub ae_rounds: u64,
+    /// Rows streamed by anti-entropy repair (push and pull directions).
+    pub ae_rows_streamed: u64,
 }
 
 /// Replica read responses collected inline (no per-read heap allocation):
@@ -245,6 +255,15 @@ pub struct Cluster {
     /// re-streamed at heal time — that would erase the post-heal staleness
     /// dynamics the partition scenarios measure.
     partition_churn_baseline: u64,
+    /// Round-robin cursor of the periodic anti-entropy rounds: index of the
+    /// node that initiates the next round, so every serving node takes turns
+    /// offering its tables for repair. Never advances while the subsystem is
+    /// idle (disabled runs stay byte-identical).
+    ae_cursor: usize,
+    /// Accrual failure detector: one heartbeat history per node slot. Empty
+    /// histories cost nothing; they only accumulate state while
+    /// [`StoreConfig::failure_detector_enabled`] is set.
+    detectors: Vec<HeartbeatHistory>,
 }
 
 /// Upper bound on buffered write-key samples between monitoring sweeps.
@@ -290,6 +309,8 @@ impl Cluster {
             hints: vec![Vec::new(); node_count],
             hinted_handoff_enabled: true,
             partition_churn_baseline: 0,
+            ae_cursor: 0,
+            detectors: vec![HeartbeatHistory::new(); node_count],
             read_service,
             write_service,
             next_op: 0,
@@ -582,6 +603,35 @@ impl Cluster {
         self.last_timestamp = self.last_timestamp.max(timestamp.0);
     }
 
+    /// Applies a mutation directly to one node's engine, bypassing the
+    /// message layer — divergence-injection scaffolding for repair scenarios
+    /// (tests and the checker build a known-stale replica with it, then
+    /// prove anti-entropy closes the gap). Never part of the protocol.
+    pub fn node_engine_apply(
+        &mut self,
+        node: NodeId,
+        key: KeyId,
+        mutation: &Mutation,
+        timestamp: Timestamp,
+    ) {
+        self.nodes[node.index()]
+            .engine_mut()
+            .apply(key, mutation, timestamp);
+        self.last_timestamp = self.last_timestamp.max(timestamp.0);
+    }
+
+    /// Raises the recorded client-acknowledged timestamp of `key` — the
+    /// companion of [`Cluster::node_engine_apply`] for scenarios that
+    /// declare an injected row "acknowledged" so the convergence predicates
+    /// ([`Cluster::all_replicas_converged`], the checker's durability
+    /// invariant) hold it against every replica.
+    pub fn force_acked_ts(&mut self, key: KeyId, timestamp: Timestamp) {
+        let entry = &mut self.latest_acked[key.index()];
+        if timestamp > *entry {
+            *entry = timestamp;
+        }
+    }
+
     fn alloc_op(&mut self) -> OpId {
         let id = OpId(self.next_op);
         self.next_op += 1;
@@ -660,18 +710,39 @@ impl Cluster {
             ctx.emit(latency, StoreEvent::Deliver { dest, message });
             true
         } else {
-            if !self.hinted_handoff_enabled {
-                // Mutant: the hint is silently forgotten. The schedule
-                // explorer must observe the resulting convergence violation.
-            } else if let Some(slot) = self.hints.get_mut(dest.index()) {
-                slot.push((from, message));
-            } else {
-                // Destination slot vanished under us (post-decommission
-                // index): best-effort hinting degrades to a counted drop.
-                self.totals.protocol_drops += 1;
-            }
+            self.store_hint(dest, from, message);
             false
         }
+    }
+
+    /// Stores `message` as a hint for `dest` attributed to `origin` — the
+    /// single hint sink shared by the unreachable-send, in-flight-death and
+    /// crash-drain paths. Honours the mutant switch and the per-origin cap
+    /// ([`StoreConfig::hint_cap_per_origin`]): at the cap, the *oldest* hint
+    /// of the same origin is evicted to make room (last-write-wins row
+    /// semantics make the newest mutation the one worth keeping) and counted
+    /// in [`ClusterTotals::hints_evicted`] — the divergence that eviction can
+    /// leave behind is exactly what anti-entropy exists to close.
+    fn store_hint(&mut self, dest: NodeId, origin: NodeId, message: Message) {
+        if !self.hinted_handoff_enabled {
+            // Mutant: the hint is silently forgotten. The schedule
+            // explorer must observe the resulting convergence violation.
+            return;
+        }
+        let cap = self.config.hint_cap_per_origin;
+        let Some(slot) = self.hints.get_mut(dest.index()) else {
+            // Destination slot vanished under us (post-decommission
+            // index): best-effort hinting degrades to a counted drop.
+            self.totals.protocol_drops += 1;
+            return;
+        };
+        if cap > 0 && slot.iter().filter(|(o, _)| *o == origin).count() >= cap {
+            if let Some(oldest) = slot.iter().position(|(o, _)| *o == origin) {
+                slot.remove(oldest);
+                self.totals.hints_evicted += 1;
+            }
+        }
+        slot.push((origin, message));
     }
 
     /// True if a hint stored by `origin` may replay to `dest` right now:
@@ -849,25 +920,17 @@ impl Cluster {
                     // Direct destructure-and-rebuild: the hint's replay origin
                     // is the coordinator carried inside the mutation itself,
                     // with no fallible re-match on the moved value.
-                    if !self.hinted_handoff_enabled {
-                        // Mutant: the in-flight mutation is silently lost.
-                    } else if let Some(slot) = self.hints.get_mut(dest.index()) {
-                        slot.push((
+                    self.store_hint(
+                        dest,
+                        coordinator,
+                        Message::ReplicaWrite {
+                            op,
+                            key,
+                            mutation,
+                            timestamp,
                             coordinator,
-                            Message::ReplicaWrite {
-                                op,
-                                key,
-                                mutation,
-                                timestamp,
-                                coordinator,
-                            },
-                        ));
-                    } else {
-                        // A hint for a node slot that no longer exists (e.g.
-                        // raced against an elastic topology change): counted,
-                        // not fatal — hinted handoff is best-effort by design.
-                        self.totals.protocol_drops += 1;
-                    }
+                        },
+                    );
                 }
                 // An in-flight repair row to a node that just died is simply
                 // lost: repair traffic is redundant by construction (the
@@ -934,9 +997,20 @@ impl Cluster {
                 consistency,
             } => self.coordinate_write(dest, op, key, mutation, consistency, ctx),
             Message::ReplicaReadResponse { op, from, row } => {
+                self.note_heartbeat(from, ctx.now());
                 self.on_read_response(op, from, row, ctx)
             }
-            Message::ReplicaWriteAck { op, from } => self.on_write_ack(op, from, ctx),
+            Message::ReplicaWriteAck { op, from } => {
+                self.note_heartbeat(from, ctx.now());
+                self.on_write_ack(op, from, ctx)
+            }
+            Message::AeDigest { from, buckets } => self.on_ae_digest(dest, from, &buckets, ctx),
+            Message::AeKeys {
+                from,
+                buckets,
+                entries,
+            } => self.on_ae_keys(dest, from, &buckets, &entries, ctx),
+            Message::AePull { from, keys } => self.on_ae_pull(dest, from, &keys, ctx),
             // Replica work is dispatched through the service slots above; a
             // replica-work message surfacing here means a routing anomaly
             // (possible only under injected fault/membership races, never on
@@ -998,6 +1072,27 @@ impl Cluster {
                     break;
                 }
             }
+        }
+        // With the accrual detector on, deprioritise suspected replicas: a
+        // stable partition of the distance-sorted slice, so an unsuspected
+        // farther replica is preferred over a suspected closer one while
+        // ties keep the snitch order. Without heartbeat history (or with the
+        // detector off) nothing moves.
+        if self.config.failure_detector_enabled {
+            let now = ctx.now();
+            let threshold = self.config.suspicion_threshold;
+            let mut reordered = [NodeId(0); MAX_RF];
+            let mut len = 0usize;
+            for pass in 0..2 {
+                for &r in slice.iter() {
+                    let suspected = self.suspicion_of(r, now) >= threshold;
+                    if suspected == (pass == 1) {
+                        reordered[len] = r;
+                        len += 1;
+                    }
+                }
+            }
+            slice.copy_from_slice(&reordered[..slice.len()]);
         }
         let contacted = ReplicaSet::from_slice(&by_distance[..required.min(available.len())]);
         if let Some(p) = self.pending_reads.get_mut(&op) {
@@ -1401,8 +1496,8 @@ impl Cluster {
         let (writes, reads) = self.nodes[node.index()].drain_queues();
         // Queued mutations were already delivered to this node, so the node
         // itself is their origin: they replay as soon as it serves again.
-        if self.hinted_handoff_enabled {
-            self.hints[node.index()].extend(writes.into_iter().map(|m| (node, m)));
+        for message in writes {
+            self.store_hint(node, node, message);
         }
         for message in reads {
             if let Message::ReplicaRead {
@@ -1478,6 +1573,315 @@ impl Cluster {
         }
     }
 
+    // ---- anti-entropy repair ----------------------------------------------
+    //
+    // A Merkle-style digest exchange run between serving nodes on a protocol
+    // timer: the initiator offers per-bucket digests of its tables, peers
+    // answer with the mismatched buckets and their own (key, timestamp)
+    // entries inside them, and rows flow — as ordinary `RepairWrite` replica
+    // work, through the write stage like any other mutation — in whichever
+    // direction is behind. Crucially the exchange never touches the read
+    // path (`digest`/`get`, not `serve_read`), so a cluster can converge
+    // after a partition with *zero* read traffic. Nothing here runs unless a
+    // round is explicitly driven, which keeps disabled runs byte-identical.
+
+    /// Merkle-style range digests of `node`'s tables: an order-independent
+    /// XOR fold of `mix(key, timestamp)` into `key % buckets`. Equal tables
+    /// give equal digests; a single divergent row flips exactly one bucket.
+    fn ae_bucket_digests(&self, node: NodeId) -> Vec<u64> {
+        let buckets = self.config.anti_entropy_buckets.max(1);
+        let mut out = vec![0u64; buckets];
+        for index in 0..self.key_table.len() {
+            let key = KeyId(index as u32);
+            if let Some(ts) = self.nodes[node.index()].digest(key) {
+                out[index % buckets] ^= harmony_sim::rng::mix(index as u64, ts.0);
+            }
+        }
+        out
+    }
+
+    /// Runs one anti-entropy round at the current virtual time: the next
+    /// serving node after the round-robin cursor initiates, offering its
+    /// bucket digests to every serving peer it can reach (the exchange is
+    /// partition-gated like all node-to-node traffic — anti-entropy works
+    /// within each side of an active cut and across it only after the heal).
+    /// A round with no reachable peer is skipped silently and uncounted.
+    /// Runners drive this from [`StoreConfig::anti_entropy_interval_secs`];
+    /// the protocol machine arms a [`crate::machine::ProtocolTimer`] for it.
+    pub fn run_anti_entropy_round<C: EventCtx<StoreEvent>>(&mut self, ctx: &mut C) {
+        let n = self.nodes.len();
+        if n < 2 {
+            return;
+        }
+        let mut initiator = None;
+        for offset in 0..n {
+            let id = NodeId(((self.ae_cursor + offset) % n) as u32);
+            if self.faults.is_serving(id) {
+                initiator = Some(id);
+                self.ae_cursor = (id.index() + 1) % n;
+                break;
+            }
+        }
+        let Some(initiator) = initiator else { return };
+        let digests = Arc::new(self.ae_bucket_digests(initiator));
+        let mut offered = false;
+        for offset in 1..n {
+            let peer = NodeId(((initiator.index() + offset) % n) as u32);
+            if !self.faults.is_serving(peer) || !self.faults.reachable(initiator, peer) {
+                continue;
+            }
+            offered = true;
+            let latency = self.link_latency(initiator, peer);
+            ctx.emit(
+                latency,
+                StoreEvent::Deliver {
+                    dest: peer,
+                    message: Message::AeDigest {
+                        from: initiator,
+                        buckets: Arc::clone(&digests),
+                    },
+                },
+            );
+        }
+        if offered {
+            self.totals.ae_rounds += 1;
+        }
+    }
+
+    /// Peer side of the digest exchange: diffs the initiator's bucket
+    /// digests against its own tables and answers with the mismatched
+    /// buckets plus its own `(key, timestamp)` entries inside them. No reply
+    /// when the tables agree — a converged pair costs one message per peer.
+    fn on_ae_digest<C: EventCtx<StoreEvent>>(
+        &mut self,
+        dest: NodeId,
+        from: NodeId,
+        theirs: &[u64],
+        ctx: &mut C,
+    ) {
+        if !self.faults.reachable(dest, from) {
+            return;
+        }
+        let mine = self.ae_bucket_digests(dest);
+        let mut mismatched: Vec<u32> = Vec::new();
+        for b in 0..mine.len().max(theirs.len()) {
+            if mine.get(b).copied().unwrap_or(0) != theirs.get(b).copied().unwrap_or(0) {
+                mismatched.push(b as u32);
+            }
+        }
+        if mismatched.is_empty() {
+            return;
+        }
+        let buckets = self.config.anti_entropy_buckets.max(1);
+        let mut entries = Vec::new();
+        for index in 0..self.key_table.len() {
+            if !mismatched.contains(&((index % buckets) as u32)) {
+                continue;
+            }
+            let key = KeyId(index as u32);
+            if let Some(ts) = self.nodes[dest.index()].digest(key) {
+                entries.push((key, ts));
+            }
+        }
+        let latency = self.link_latency(dest, from);
+        ctx.emit(
+            latency,
+            StoreEvent::Deliver {
+                dest: from,
+                message: Message::AeKeys {
+                    from: dest,
+                    buckets: Arc::new(mismatched),
+                    entries: Arc::new(entries),
+                },
+            },
+        );
+    }
+
+    /// Initiator side of the diff: within the mismatched buckets, push rows
+    /// the peer lacks (or holds stale copies of) and pull the keys whose
+    /// peer copy is newer. Only ranges *both* nodes own are repaired —
+    /// streaming a row to a non-replica would fight the placement, not heal
+    /// it.
+    fn on_ae_keys<C: EventCtx<StoreEvent>>(
+        &mut self,
+        dest: NodeId,
+        from: NodeId,
+        mismatched: &[u32],
+        entries: &[(KeyId, Timestamp)],
+        ctx: &mut C,
+    ) {
+        if !self.faults.reachable(dest, from) {
+            return;
+        }
+        let buckets = self.config.anti_entropy_buckets.max(1);
+        for index in 0..self.key_table.len() {
+            if !mismatched.contains(&((index % buckets) as u32)) {
+                continue;
+            }
+            let key = KeyId(index as u32);
+            let Some(mine) = self.nodes[dest.index()].digest(key) else {
+                continue;
+            };
+            if !self.replicas_for_id(key).as_slice().contains(&from) {
+                continue;
+            }
+            let theirs = entries.iter().find(|(k, _)| *k == key).map(|(_, ts)| *ts);
+            if theirs.is_none_or(|t| mine > t) {
+                self.ae_stream_row(dest, from, key, ctx);
+            }
+        }
+        let mut pull = Vec::new();
+        for &(key, theirs) in entries {
+            if !self.replicas_for_id(key).as_slice().contains(&dest) {
+                continue;
+            }
+            let behind = self.nodes[dest.index()]
+                .digest(key)
+                .is_none_or(|mine| mine < theirs);
+            if behind {
+                pull.push(key);
+            }
+        }
+        if !pull.is_empty() {
+            let latency = self.link_latency(dest, from);
+            ctx.emit(
+                latency,
+                StoreEvent::Deliver {
+                    dest: from,
+                    message: Message::AePull {
+                        from: dest,
+                        keys: Arc::new(pull),
+                    },
+                },
+            );
+        }
+    }
+
+    /// Peer answering a pull: streams the requested rows back. Each row
+    /// travels as an ordinary repair write through the requester's write
+    /// stage.
+    fn on_ae_pull<C: EventCtx<StoreEvent>>(
+        &mut self,
+        dest: NodeId,
+        from: NodeId,
+        keys: &[KeyId],
+        ctx: &mut C,
+    ) {
+        for &key in keys {
+            self.ae_stream_row(dest, from, key, ctx);
+        }
+    }
+
+    /// Streams one row from `source` to `target` as a counted repair write.
+    /// Skips silently when the target became unreachable mid-exchange (the
+    /// next round retries) or the row vanished between digest and stream.
+    fn ae_stream_row<C: EventCtx<StoreEvent>>(
+        &mut self,
+        source: NodeId,
+        target: NodeId,
+        key: KeyId,
+        ctx: &mut C,
+    ) {
+        if !self.faults.reachable(source, target) {
+            return;
+        }
+        let Some(row) = self.nodes[source.index()].engine_mut().get(key) else {
+            return;
+        };
+        self.totals.ae_rows_streamed += 1;
+        self.send_replica_work(source, target, Message::RepairWrite { key, row }, ctx);
+    }
+
+    /// True when every serving replica of every client-acknowledged key
+    /// holds a row at least as new as the newest acknowledged timestamp —
+    /// the convergence predicate of the self-healing experiments. `&mut`
+    /// because replica sets are memoised on first use.
+    /// The number of client-acknowledged keys on which at least one serving
+    /// replica still lags the newest acknowledged timestamp — the graded
+    /// form of [`Cluster::all_replicas_converged`]. The self-healing sweeps
+    /// sample this on monitoring ticks to measure how fast a healed
+    /// partition's divergence drains.
+    pub fn divergent_keys(&mut self) -> usize {
+        let mut divergent = 0;
+        for index in 0..self.latest_acked.len() {
+            let acked = self.latest_acked[index];
+            if acked == Timestamp::ZERO {
+                continue;
+            }
+            let key = KeyId(index as u32);
+            let set = self.replicas_for_id(key);
+            for &replica in set.as_slice() {
+                if !self.faults.is_serving(replica) {
+                    continue;
+                }
+                let held = self.nodes[replica.index()]
+                    .digest(key)
+                    .unwrap_or(Timestamp::ZERO);
+                if held < acked {
+                    divergent += 1;
+                    break;
+                }
+            }
+        }
+        divergent
+    }
+
+    pub fn all_replicas_converged(&mut self) -> bool {
+        for index in 0..self.latest_acked.len() {
+            let acked = self.latest_acked[index];
+            if acked == Timestamp::ZERO {
+                continue;
+            }
+            let key = KeyId(index as u32);
+            let set = self.replicas_for_id(key);
+            for &replica in set.as_slice() {
+                if !self.faults.is_serving(replica) {
+                    continue;
+                }
+                let held = self.nodes[replica.index()]
+                    .digest(key)
+                    .unwrap_or(Timestamp::ZERO);
+                if held < acked {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    // ---- accrual failure detection ----------------------------------------
+
+    /// Records a replica response as a failure-detector heartbeat. A no-op
+    /// while the detector is disabled, so a detector-less run accumulates no
+    /// extra state (and stays byte-identical in the state digest).
+    fn note_heartbeat(&mut self, from: NodeId, now: SimTime) {
+        if !self.config.failure_detector_enabled {
+            return;
+        }
+        if let Some(history) = self.detectors.get_mut(from.index()) {
+            history.record(now);
+        }
+    }
+
+    /// φ suspicion of one node at `now`; zero without history.
+    fn suspicion_of(&self, node: NodeId, now: SimTime) -> f64 {
+        self.detectors
+            .get(node.index())
+            .map(|h| h.suspicion(now))
+            .unwrap_or(0.0)
+    }
+
+    /// Per-node φ suspicion levels at `now`, indexed by node id — the
+    /// telemetry the monitoring module exposes so the controller can
+    /// discount readings from suspected nodes. All zeros while the detector
+    /// is disabled.
+    pub fn node_suspicions(&self, now: SimTime) -> Vec<f64> {
+        if !self.config.failure_detector_enabled {
+            return vec![0.0; self.nodes.len()];
+        }
+        self.detectors.iter().map(|h| h.suspicion(now)).collect()
+    }
+
     /// Elastic scale-out: a new node joins at `location`, takes its tokens on
     /// the ring, and is bootstrapped with the freshest copy of every key it
     /// now owns before serving reads (Cassandra's bootstrap-then-serve).
@@ -1492,6 +1896,7 @@ impl Cluster {
             self.config.node_concurrency,
         ));
         self.hints.push(Vec::new());
+        self.detectors.push(HeartbeatHistory::new());
         self.rebuild_ring();
         self.rebalance_all_keys();
         id
@@ -1822,11 +2227,21 @@ impl Cluster {
         }
         let _ = write!(
             s,
-            "faults={:?};churn={};samples={:?};",
+            "faults={:?};churn={};samples={:?};ae_cursor={};",
             self.faults,
             self.partition_churn_baseline,
             self.write_key_samples.borrow(),
+            self.ae_cursor,
         );
+        if self.config.failure_detector_enabled {
+            // Heartbeat histories steer replica selection, so they are
+            // protocol state — but only when the detector can observe them.
+            // Disabled they stay default-empty and are omitted, keeping the
+            // digest stable across the flag for otherwise-identical state.
+            for (i, h) in self.detectors.iter().enumerate() {
+                let _ = write!(s, "fd{i}:{};", h.digest_fragment());
+            }
+        }
         s
     }
 
@@ -2932,5 +3347,232 @@ mod tests {
         let totals = cluster.totals();
         assert!(totals.writes_completed + totals.ops_aborted >= 55);
         assert_eq!(totals.protocol_drops, 0);
+    }
+
+    #[test]
+    fn hint_cap_evicts_oldest_hints_and_restart_still_converges() {
+        // A crashed replica accumulates hints while writes hammer its key at
+        // ONE. With a per-origin cap of 1, each of the five rotating
+        // coordinators keeps only its newest hint: 15 writes -> 5 kept, 10
+        // evicted. The retained newest-per-origin set still converges the
+        // node on restart (last-write-wins keeps the newest overall).
+        let topology = Topology::single_dc(2, 3);
+        let network = NetworkModel::uniform(Latency::constant_ms(0.2));
+        let config = StoreConfig {
+            replication_factor: 3,
+            hint_cap_per_origin: 1,
+            background_read_repair_chance: 0.0,
+            ..StoreConfig::default()
+        };
+        let mut cluster = Cluster::new(config, topology, network, RngFactory::new(7));
+        let mut sim: Simulation<StoreEvent> = Simulation::new(7);
+        cluster.load_direct("k", &Mutation::single("f", b"v0".to_vec()), Timestamp(1));
+        let key = cluster.key_id("k").unwrap();
+        let dead = cluster.replicas_for_id(key).as_slice()[0];
+        cluster.apply_fault(&FaultEvent::CrashNode { node: dead }, &mut sim);
+        let _ = drain(&mut cluster, &mut sim);
+        for i in 0..15u64 {
+            cluster.submit_write(
+                "k",
+                Mutation::single("f", format!("v{i}").into_bytes()),
+                ConsistencyLevel::One,
+                &mut sim,
+            );
+            let _ = drain(&mut cluster, &mut sim);
+        }
+        assert_eq!(cluster.hinted_mutations(dead), 5);
+        assert_eq!(cluster.totals().hints_evicted, 10);
+        cluster.apply_fault(&FaultEvent::RestartNode { node: dead }, &mut sim);
+        let _ = drain(&mut cluster, &mut sim);
+        assert!(cluster.all_replicas_converged());
+    }
+
+    #[test]
+    fn unbounded_hints_never_evict() {
+        // Same scenario with the cap disabled (the default): every hint is
+        // retained, byte-for-byte the pre-cap behaviour.
+        let topology = Topology::single_dc(2, 3);
+        let network = NetworkModel::uniform(Latency::constant_ms(0.2));
+        let config = StoreConfig {
+            replication_factor: 3,
+            background_read_repair_chance: 0.0,
+            ..StoreConfig::default()
+        };
+        let mut cluster = Cluster::new(config, topology, network, RngFactory::new(7));
+        let mut sim: Simulation<StoreEvent> = Simulation::new(7);
+        cluster.load_direct("k", &Mutation::single("f", b"v0".to_vec()), Timestamp(1));
+        let key = cluster.key_id("k").unwrap();
+        let dead = cluster.replicas_for_id(key).as_slice()[0];
+        cluster.apply_fault(&FaultEvent::CrashNode { node: dead }, &mut sim);
+        let _ = drain(&mut cluster, &mut sim);
+        for i in 0..15u64 {
+            cluster.submit_write(
+                "k",
+                Mutation::single("f", format!("v{i}").into_bytes()),
+                ConsistencyLevel::One,
+                &mut sim,
+            );
+            let _ = drain(&mut cluster, &mut sim);
+        }
+        assert_eq!(cluster.hinted_mutations(dead), 15);
+        assert_eq!(cluster.totals().hints_evicted, 0);
+    }
+
+    #[test]
+    fn anti_entropy_heals_divergence_with_zero_read_traffic() {
+        // Manufacture engine-level divergence (one replica behind), then
+        // drive anti-entropy rounds only. The cluster must converge without
+        // a single read being served or submitted — repair is digest+stream,
+        // not read-repair.
+        let (mut cluster, mut sim) = test_cluster(0.2);
+        for i in 0..8u64 {
+            cluster.load_direct(
+                &format!("k{i}"),
+                &Mutation::single("f", b"v0".to_vec()),
+                Timestamp(1),
+            );
+        }
+        let key = cluster.key_id("k3").unwrap();
+        let replicas = cluster.replicas_for_id(key);
+        let laggard = replicas.as_slice()[0];
+        let newer = Mutation::single("f", b"v1".to_vec());
+        for &r in replicas.as_slice() {
+            if r != laggard {
+                cluster.nodes[r.index()]
+                    .engine_mut()
+                    .apply(key, &newer, Timestamp(9));
+            }
+        }
+        cluster.latest_acked[key.index()] = Timestamp(9);
+        assert!(!cluster.all_replicas_converged());
+        let reads_before: u64 = cluster.node_counters().iter().map(|c| c.reads).sum();
+
+        // One full cursor cycle: every serving node initiates once.
+        for _ in 0..cluster.node_count() {
+            cluster.run_anti_entropy_round(&mut sim);
+            let _ = drain(&mut cluster, &mut sim);
+        }
+
+        assert!(cluster.all_replicas_converged());
+        assert_eq!(
+            cluster.node(laggard).digest(key),
+            Some(Timestamp(9)),
+            "laggard must hold the newest row"
+        );
+        let reads_after: u64 = cluster.node_counters().iter().map(|c| c.reads).sum();
+        assert_eq!(reads_before, reads_after, "repair must not serve reads");
+        assert_eq!(cluster.totals().reads_submitted, 0);
+        let totals = cluster.totals();
+        assert!(totals.ae_rounds >= 1);
+        assert!(totals.ae_rows_streamed >= 1, "{totals:?}");
+    }
+
+    #[test]
+    fn anti_entropy_on_converged_tables_streams_nothing() {
+        let (mut cluster, mut sim) = test_cluster(0.2);
+        for i in 0..8u64 {
+            cluster.load_direct(
+                &format!("k{i}"),
+                &Mutation::single("f", b"v0".to_vec()),
+                Timestamp(1),
+            );
+        }
+        for _ in 0..cluster.node_count() {
+            cluster.run_anti_entropy_round(&mut sim);
+            let _ = drain(&mut cluster, &mut sim);
+        }
+        let totals = cluster.totals();
+        assert!(totals.ae_rounds >= 1);
+        assert_eq!(totals.ae_rows_streamed, 0, "{totals:?}");
+    }
+
+    #[test]
+    fn anti_entropy_respects_an_active_partition() {
+        // A cut isolating one fresh replica: rounds run on both sides but no
+        // row crosses the partition; the far laggard stays behind until the
+        // heal, after which a round closes the gap.
+        let (mut cluster, mut sim) = test_cluster(0.2);
+        cluster.load_direct("k", &Mutation::single("f", b"v0".to_vec()), Timestamp(1));
+        let key = cluster.key_id("k").unwrap();
+        let replicas = cluster.replicas_for_id(key);
+        let fresh = replicas.as_slice()[0];
+        let newer = Mutation::single("f", b"v1".to_vec());
+        cluster.nodes[fresh.index()]
+            .engine_mut()
+            .apply(key, &newer, Timestamp(9));
+        cluster.latest_acked[key.index()] = Timestamp(9);
+        let rest: Vec<NodeId> = (0..cluster.node_count() as u32)
+            .map(NodeId)
+            .filter(|n| *n != fresh)
+            .collect();
+        cluster.apply_fault(
+            &FaultEvent::Partition {
+                groups: vec![vec![fresh], rest],
+            },
+            &mut sim,
+        );
+        for _ in 0..cluster.node_count() {
+            cluster.run_anti_entropy_round(&mut sim);
+            let _ = drain(&mut cluster, &mut sim);
+        }
+        assert!(
+            !cluster.all_replicas_converged(),
+            "no row may cross an active cut"
+        );
+        cluster.apply_fault(&FaultEvent::HealPartition, &mut sim);
+        let _ = drain(&mut cluster, &mut sim);
+        for _ in 0..cluster.node_count() {
+            cluster.run_anti_entropy_round(&mut sim);
+            let _ = drain(&mut cluster, &mut sim);
+        }
+        assert!(cluster.all_replicas_converged());
+    }
+
+    #[test]
+    fn failure_detector_records_heartbeats_and_steers_reads() {
+        // With the detector on, replica responses build per-node histories;
+        // after a replica goes silent long enough its suspicion crosses the
+        // threshold and `node_suspicions` exposes it.
+        let topology = Topology::single_dc(2, 3);
+        let network = NetworkModel::uniform(Latency::constant_ms(0.2));
+        let config = StoreConfig {
+            replication_factor: 3,
+            failure_detector_enabled: true,
+            background_read_repair_chance: 0.0,
+            ..StoreConfig::default()
+        };
+        let mut cluster = Cluster::new(config, topology, network, RngFactory::new(7));
+        let mut sim: Simulation<StoreEvent> = Simulation::new(7);
+        cluster.load_direct("k", &Mutation::single("f", b"v0".to_vec()), Timestamp(1));
+        for _ in 0..30 {
+            cluster.submit_read("k", ConsistencyLevel::All, &mut sim);
+            let _ = drain(&mut cluster, &mut sim);
+        }
+        let key = cluster.key_id("k").unwrap();
+        let replica = cluster.replicas_for_id(key).as_slice()[0];
+        // Immediately after the last response the silence is at most a few
+        // network round-trips — far below any convict threshold.
+        let now = sim.now();
+        assert!(cluster.suspicion_of(replica, now) < 8.0);
+        // A long silence (vs. the observed per-read cadence) turns into
+        // suspicion well past the convict threshold.
+        let later = now.saturating_add(SimTime::from_secs(60));
+        let suspicions = cluster.node_suspicions(later);
+        assert!(
+            suspicions[replica.index()] > 8.0,
+            "suspicions={suspicions:?}"
+        );
+    }
+
+    #[test]
+    fn disabled_failure_detector_reports_zero_suspicion() {
+        let (mut cluster, mut sim) = test_cluster(0.2);
+        cluster.load_direct("k", &Mutation::single("f", b"v0".to_vec()), Timestamp(1));
+        for _ in 0..10 {
+            cluster.submit_read("k", ConsistencyLevel::All, &mut sim);
+            let _ = drain(&mut cluster, &mut sim);
+        }
+        let later = sim.now().saturating_add(SimTime::from_secs(3600));
+        assert!(cluster.node_suspicions(later).iter().all(|s| *s == 0.0));
     }
 }

@@ -38,6 +38,32 @@ pub struct StoreConfig {
     /// Extra one-way latency between the client and the coordinator, in
     /// milliseconds (clients run on separate machines/VMs in both testbeds).
     pub client_latency_ms: f64,
+    /// Period of the background anti-entropy repair rounds, in seconds.
+    /// `0.0` (the default) disables the subsystem entirely: no timer is
+    /// armed, no digest is computed, no event or RNG draw happens — a
+    /// disabled cluster is byte-identical to one built before the subsystem
+    /// existed. Runners arm the protocol timer from this knob.
+    pub anti_entropy_interval_secs: f64,
+    /// Number of Merkle-style range buckets an anti-entropy digest folds the
+    /// key space into. More buckets mean finer diffs (fewer key-level entries
+    /// exchanged per mismatch) at the cost of a longer digest message.
+    pub anti_entropy_buckets: usize,
+    /// Maximum hinted mutations retained per (origin, destination) pair.
+    /// When an origin exceeds the cap for one destination its *oldest* hint
+    /// is evicted (counted in [`crate::cluster::ClusterTotals::hints_evicted`])
+    /// — last-write-wins row semantics make the newest mutation the one worth
+    /// keeping, and anti-entropy closes whatever the eviction lost. `0` (the
+    /// default) means unbounded, the pre-cap behaviour.
+    pub hint_cap_per_origin: usize,
+    /// Enables the accrual (φ) failure detector: replica responses count as
+    /// heartbeats and the coordinator deprioritises suspected replicas when
+    /// choosing which to contact. Off by default; a disabled detector records
+    /// nothing and changes nothing.
+    pub failure_detector_enabled: bool,
+    /// φ level at which a node counts as suspected (Cassandra's convention
+    /// is 8 ≙ a 10⁻⁸-probability silence). Only consulted when the detector
+    /// is enabled.
+    pub suspicion_threshold: f64,
 }
 
 impl Default for StoreConfig {
@@ -54,6 +80,11 @@ impl Default for StoreConfig {
             write_service_shape: 1,
             node_service_factors: Vec::new(),
             client_latency_ms: 0.25,
+            anti_entropy_interval_secs: 0.0,
+            anti_entropy_buckets: 16,
+            hint_cap_per_origin: 0,
+            failure_detector_enabled: false,
+            suspicion_threshold: 8.0,
         }
     }
 }
@@ -96,6 +127,15 @@ impl StoreConfig {
         }
         if self.client_latency_ms < 0.0 {
             return Err("client_latency_ms must be non-negative".into());
+        }
+        if !self.anti_entropy_interval_secs.is_finite() || self.anti_entropy_interval_secs < 0.0 {
+            return Err("anti_entropy_interval_secs must be finite and non-negative".into());
+        }
+        if self.anti_entropy_buckets == 0 {
+            return Err("anti_entropy_buckets must be at least 1".into());
+        }
+        if !self.suspicion_threshold.is_finite() || self.suspicion_threshold <= 0.0 {
+            return Err("suspicion_threshold must be finite and positive".into());
         }
         Ok(())
     }
@@ -163,6 +203,38 @@ mod tests {
             ..StoreConfig::default()
         };
         assert!(c.validate().is_err());
+
+        let c = StoreConfig {
+            anti_entropy_interval_secs: -1.0,
+            ..StoreConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = StoreConfig {
+            anti_entropy_interval_secs: f64::NAN,
+            ..StoreConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = StoreConfig {
+            anti_entropy_buckets: 0,
+            ..StoreConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = StoreConfig {
+            suspicion_threshold: 0.0,
+            ..StoreConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn self_healing_knobs_default_to_disabled() {
+        let c = StoreConfig::default();
+        assert_eq!(c.anti_entropy_interval_secs, 0.0);
+        assert_eq!(c.hint_cap_per_origin, 0);
+        assert!(!c.failure_detector_enabled);
     }
 
     #[test]

@@ -46,6 +46,16 @@ pub enum ProtocolTimer {
         /// Re-arm interval.
         period: SimTime,
     },
+    /// Periodic anti-entropy repair: each firing runs one
+    /// [`Cluster::run_anti_entropy_round`] (the next serving node offers its
+    /// Merkle-style digests to every reachable peer) and re-arms `period`
+    /// later. Because the wake-ups travel the same [`MachineEvent`] alphabet
+    /// as deliveries and faults, the schedule explorer can interleave repair
+    /// rounds against crashes and partitions like any other protocol step.
+    AntiEntropy {
+        /// Re-arm interval.
+        period: SimTime,
+    },
 }
 
 /// The protocol core's complete event alphabet: everything that can happen
@@ -175,6 +185,19 @@ impl HarmonyMachine {
         id
     }
 
+    /// Arms the periodic anti-entropy timer and emits its first wake-up
+    /// `period` from now. Returns the timer id; cancelling it stops the
+    /// repair rounds (the in-flight wake-up becomes inert).
+    pub fn arm_anti_entropy<C: EventCtx<MachineEvent>>(
+        &mut self,
+        period: SimTime,
+        ctx: &mut C,
+    ) -> TimerId {
+        let id = self.timers.arm(ProtocolTimer::AntiEntropy { period });
+        ctx.emit(period, MachineEvent::Timer(id));
+        id
+    }
+
     /// Cancels an armed timer; its in-flight wake-up will do nothing.
     pub fn cancel_timer(&mut self, id: TimerId) -> bool {
         self.timers.cancel(id)
@@ -260,6 +283,11 @@ impl OnEvent<MachineEvent> for HarmonyMachine {
                             .arm(ProtocolTimer::StallReaper { timeout, period });
                         ctx.emit(period, MachineEvent::Timer(next));
                     }
+                    ProtocolTimer::AntiEntropy { period } => {
+                        self.cluster.run_anti_entropy_round(&mut StoreCtx::new(ctx));
+                        let next = self.timers.arm(ProtocolTimer::AntiEntropy { period });
+                        ctx.emit(period, MachineEvent::Timer(next));
+                    }
                 }
             }
         }
@@ -270,6 +298,7 @@ impl OnEvent<MachineEvent> for HarmonyMachine {
 mod tests {
     use super::*;
     use crate::config::StoreConfig;
+    use crate::types::Timestamp;
     use harmony_sim::engine::Simulation;
     use harmony_sim::latency::Latency;
     use harmony_sim::rng::RngFactory;
@@ -323,6 +352,46 @@ mod tests {
         run_to_idle(&mut m, &mut sim);
         assert_eq!(m.state_digest_string(), digest);
         assert!(sim.is_idle(), "no re-armed wake-up may remain");
+    }
+
+    #[test]
+    fn anti_entropy_timer_drives_repair_rounds_and_re_arms() {
+        let (mut m, mut sim) = machine();
+        let key = m.cluster_mut().intern_key("k");
+        m.cluster_mut()
+            .load_direct("k", &Mutation::single("f", b"v0".to_vec()), Timestamp(1));
+        // Manufacture divergence behind the protocol's back, then let the
+        // timer-driven rounds close it without any client traffic.
+        let replicas = m.cluster_mut().replicas_for_id(key);
+        let laggard = replicas.as_slice()[0];
+        for &r in replicas.as_slice() {
+            if r != laggard {
+                m.cluster_mut().node_engine_apply(
+                    r,
+                    key,
+                    &Mutation::single("f", b"v1".to_vec()),
+                    Timestamp(9),
+                );
+            }
+        }
+        m.cluster_mut().force_acked_ts(key, Timestamp(9));
+        assert!(!m.cluster_mut().all_replicas_converged());
+        let id = m.arm_anti_entropy(SimTime::from_millis(100), &mut sim);
+        // Drive until convergence, then cancel so the sim can go idle.
+        let mut fired = 0;
+        while let Some((_, ev)) = sim.next() {
+            m.on_event(ev, &mut sim);
+            if m.cluster_mut().all_replicas_converged() {
+                break;
+            }
+            fired += 1;
+            assert!(fired < 1_000, "anti-entropy failed to converge");
+        }
+        m.cancel_all_timers();
+        run_to_idle(&mut m, &mut sim);
+        assert!(m.cluster_mut().all_replicas_converged());
+        assert!(m.cluster().totals().ae_rounds >= 1);
+        assert!(!m.timer_armed(id), "original id was consumed by the firing");
     }
 
     #[test]

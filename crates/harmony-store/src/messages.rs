@@ -102,6 +102,36 @@ pub enum Message {
         /// repair target of the same read.
         row: Arc<Row>,
     },
+    /// Anti-entropy round opener: the initiator's Merkle-style range digests
+    /// (one XOR-folded hash per key-space bucket), inviting the partner to
+    /// diff them against its own tables.
+    AeDigest {
+        /// The initiating node (the partner answers to it).
+        from: NodeId,
+        /// Per-bucket digests over the initiator's engine tables, shared so
+        /// queue snapshots clone a refcount, not the vector.
+        buckets: Arc<Vec<u64>>,
+    },
+    /// Anti-entropy diff: the partner's reply listing the mismatched buckets
+    /// and its own `(key, timestamp)` entries inside them, from which the
+    /// initiator decides what to push and what to pull.
+    AeKeys {
+        /// The partner node that diffed the digests.
+        from: NodeId,
+        /// Indices of the buckets whose digests disagreed.
+        buckets: Arc<Vec<u32>>,
+        /// The partner's `(key, newest timestamp)` pairs within those buckets.
+        entries: Arc<Vec<(KeyId, Timestamp)>>,
+    },
+    /// Anti-entropy pull: the initiator asks the partner to stream the rows
+    /// it holds newer copies of (the rows travel as [`Message::RepairWrite`],
+    /// through the ordinary replica write stage).
+    AePull {
+        /// The requesting node (stream destination).
+        from: NodeId,
+        /// Keys whose partner copy is newer than the requester's.
+        keys: Arc<Vec<KeyId>>,
+    },
 }
 
 impl Message {
@@ -116,8 +146,8 @@ impl Message {
         )
     }
 
-    /// The operation this message belongs to, if any (repair traffic is
-    /// detached from its originating operation).
+    /// The operation this message belongs to, if any (repair and
+    /// anti-entropy traffic is detached from any client operation).
     pub fn op_id(&self) -> Option<OpId> {
         match self {
             Message::ClientRead { op, .. }
@@ -126,7 +156,10 @@ impl Message {
             | Message::ReplicaReadResponse { op, .. }
             | Message::ReplicaWrite { op, .. }
             | Message::ReplicaWriteAck { op, .. } => Some(*op),
-            Message::RepairWrite { .. } => None,
+            Message::RepairWrite { .. }
+            | Message::AeDigest { .. }
+            | Message::AeKeys { .. }
+            | Message::AePull { .. } => None,
         }
     }
 }
@@ -201,5 +234,28 @@ mod tests {
     #[test]
     fn op_ids_order() {
         assert!(OpId(2) > OpId(1));
+    }
+
+    #[test]
+    fn anti_entropy_messages_are_coordination_traffic() {
+        // Digest exchange is bookkeeping (no engine service slot); only the
+        // row streams — which travel as RepairWrite — cost replica work.
+        let digest = Message::AeDigest {
+            from: NodeId(0),
+            buckets: Arc::new(vec![1, 2, 3]),
+        };
+        let keys = Message::AeKeys {
+            from: NodeId(1),
+            buckets: Arc::new(vec![0]),
+            entries: Arc::new(vec![(KeyId(4), Timestamp(9))]),
+        };
+        let pull = Message::AePull {
+            from: NodeId(0),
+            keys: Arc::new(vec![KeyId(4)]),
+        };
+        for m in [digest, keys, pull] {
+            assert!(!m.is_replica_work());
+            assert_eq!(m.op_id(), None);
+        }
     }
 }

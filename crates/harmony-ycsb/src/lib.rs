@@ -48,8 +48,8 @@ pub mod workloads;
 pub mod prelude {
     pub use crate::distributions::{record_key, KeyChooser};
     pub use crate::runner::{
-        run_experiment, run_experiment_with_faults, ExperimentResult, ExperimentSpec, Phase,
-        PhaseResult, Runner, RunnerEvent, CHAOS_OP_TIMEOUT,
+        run_experiment, run_experiment_with_faults, run_experiment_with_retry, ExperimentResult,
+        ExperimentSpec, Phase, PhaseResult, RetryPolicy, Runner, RunnerEvent, CHAOS_OP_TIMEOUT,
     };
     pub use crate::sharded::run_sharded_experiment;
     pub use crate::stats::{LatencyHistogram, LatencySummary, RunStats};

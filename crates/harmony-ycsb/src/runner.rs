@@ -41,6 +41,15 @@ pub enum RunnerEvent {
     /// A scheduled fault fires (chaos mode only: an empty fault schedule
     /// never enqueues one of these, keeping fault-free runs byte-identical).
     Fault(FaultEvent),
+    /// A pending client retry's backoff expires (retry policy only: a
+    /// disabled policy never enqueues one, keeping plain runs byte-identical).
+    Retry(u64),
+    /// A hedging deadline: if the referenced read is still unanswered, race a
+    /// duplicate against it (hedging only; never enqueued when disabled).
+    HedgeCheck(u64),
+    /// A periodic anti-entropy repair round (only scheduled when the store
+    /// config arms `anti_entropy_interval_secs`).
+    AntiEntropyTick,
 }
 
 /// How long an operation may stay unanswered under an active fault schedule
@@ -55,6 +64,95 @@ impl From<StoreEvent> for RunnerEvent {
     fn from(e: StoreEvent) -> Self {
         RunnerEvent::Store(e)
     }
+}
+
+/// Client-side retry and hedging policy: what a session does when the store
+/// aborts its operation (fault-stranded work) or a read dawdles. Retries back
+/// off exponentially from `base_backoff_ms`, doubling per attempt and
+/// clamping at `max_backoff_ms`, so a persistent outage cannot turn the
+/// closed loop into a retry storm. The default policy is fully disabled and
+/// provably free: no event is ever enqueued, and runs are byte-identical to
+/// a runner without the feature.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempts per logical operation, the original included
+    /// (`1` = never retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry (milliseconds).
+    pub base_backoff_ms: f64,
+    /// Backoff ceiling (milliseconds); the exponential doubling clamps here.
+    pub max_backoff_ms: f64,
+    /// Hedge reads: when a read is still unanswered after this long, race a
+    /// duplicate at the same level and take whichever answers first
+    /// (`0.0` disables hedging).
+    pub hedge_after_ms: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff_ms: 1.0,
+            max_backoff_ms: 64.0,
+            hedge_after_ms: 0.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Whether any part of the policy is active.
+    pub fn enabled(&self) -> bool {
+        self.max_attempts > 1 || self.hedge_after_ms > 0.0
+    }
+
+    /// The backoff before retry number `attempt` (1-based): exponential
+    /// doubling from the base, clamped to the ceiling.
+    pub fn backoff(&self, attempt: u32) -> SimTime {
+        let exp = 2f64.powi(attempt.saturating_sub(1).min(30) as i32);
+        SimTime::from_millis_f64((self.base_backoff_ms * exp).min(self.max_backoff_ms))
+    }
+
+    /// Validates the policy.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_attempts == 0 {
+            return Err("retry policy needs at least one attempt".into());
+        }
+        if self.base_backoff_ms <= 0.0 || !self.base_backoff_ms.is_finite() {
+            return Err("retry base backoff must be positive and finite".into());
+        }
+        if self.max_backoff_ms < self.base_backoff_ms || !self.max_backoff_ms.is_finite() {
+            return Err("retry backoff ceiling must be finite and >= the base".into());
+        }
+        if !self.hedge_after_ms.is_finite() || self.hedge_after_ms < 0.0 {
+            return Err("hedge delay must be finite and non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+/// What a retry re-issues: enough to rebuild the exact operation without
+/// touching the workload RNG stream (a retried write reuses its recorded
+/// field index, so enabling retries never perturbs the op sequence drawn by
+/// other sessions).
+#[derive(Debug, Clone, Copy)]
+enum RetryAction {
+    Read {
+        key: KeyId,
+        level: ConsistencyLevel,
+    },
+    Write {
+        key: KeyId,
+        field: usize,
+        level: ConsistencyLevel,
+    },
+}
+
+/// Per-operation retry context, tracked only while the policy is enabled.
+#[derive(Debug, Clone, Copy)]
+struct RetryCtx {
+    /// Which attempt this in-flight operation is (1 = the original).
+    attempt: u32,
+    action: RetryAction,
 }
 
 /// One phase of an experiment: a number of concurrent client sessions and the
@@ -174,6 +272,24 @@ pub struct ExperimentResult {
     /// How many faults of each kind the run actually applied (all zero for
     /// an empty fault schedule).
     pub fault_counters: FaultCounters,
+    /// Replica divergence sampled once per monitoring tick, in chaos mode
+    /// only (empty when no fault schedule was armed — the query is skipped
+    /// entirely on fault-free runs). Each sample counts the acknowledged
+    /// keys on which at least one serving replica still lags the newest
+    /// acknowledged write. The self-healing sweeps read the post-heal relax
+    /// time off this: when the post-heal count drops back under the pre-cut
+    /// steady-state ceiling, the cut's divergence has drained.
+    pub divergence_timeline: Vec<DivergenceSample>,
+}
+
+/// One chaos-tick divergence sample (see
+/// [`ExperimentResult::divergence_timeline`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DivergenceSample {
+    /// Virtual time of the monitoring tick, in seconds.
+    pub at_secs: f64,
+    /// Acknowledged keys with at least one lagging serving replica.
+    pub divergent_keys: u64,
 }
 
 impl ExperimentResult {
@@ -294,6 +410,19 @@ pub struct Runner {
     insert_counter: u64,
     /// Sharded-mode stripe + directive state (`None` = classic single loop).
     pub(crate) shard: Option<ShardContext>,
+    /// Client retry/hedging policy (default: fully disabled).
+    retry: RetryPolicy,
+    /// Retry context per in-flight op; only populated while the policy is
+    /// enabled, so the disabled path never touches these maps.
+    retry_ctx: HashMap<OpId, RetryCtx>,
+    /// Backoff-pending retries, keyed by the token in the scheduled event.
+    pending_retries: HashMap<u64, (OpMeta, RetryCtx)>,
+    /// Armed hedge deadlines: token -> the primary read they watch.
+    hedge_checks: HashMap<u64, OpId>,
+    /// Both directions of a racing hedged pair; the bool marks the duplicate.
+    hedge_partner: HashMap<OpId, (OpId, bool)>,
+    /// Monotonic token source for retry/hedge events.
+    retry_token: u64,
     // Accumulated output.
     pub(crate) stats: RunStats,
     pub(crate) phase_results: Vec<PhaseResult>,
@@ -360,6 +489,12 @@ impl Runner {
             phase_completed_ops: 0,
             insert_counter: 0,
             shard: None,
+            retry: RetryPolicy::default(),
+            retry_ctx: HashMap::new(),
+            pending_retries: HashMap::new(),
+            hedge_checks: HashMap::new(),
+            hedge_partner: HashMap::new(),
+            retry_token: 0,
             stats: RunStats::default(),
             phase_results: Vec::new(),
             phase_stats: RunStats::default(),
@@ -442,6 +577,12 @@ impl Runner {
                 write: ConsistencyLevel::One,
                 hot: HashMap::new(),
             }),
+            retry: RetryPolicy::default(),
+            retry_ctx: HashMap::new(),
+            pending_retries: HashMap::new(),
+            hedge_checks: HashMap::new(),
+            hedge_partner: HashMap::new(),
+            retry_token: 0,
             stats: RunStats::default(),
             phase_results: Vec::new(),
             phase_stats: RunStats::default(),
@@ -455,6 +596,19 @@ impl Runner {
     /// and no chaos-mode machinery (reaper, masks) perturbs the run.
     pub fn with_faults(mut self, faults: FaultSchedule) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Attaches a client retry/hedging policy. The default (disabled) policy
+    /// is exactly equivalent to never calling this.
+    ///
+    /// # Panics
+    /// Panics if the policy is invalid.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        retry
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid retry policy: {e}"));
+        self.retry = retry;
         self
     }
 
@@ -493,6 +647,7 @@ impl Runner {
                         purpose: Purpose::Normal,
                     },
                 );
+                self.track_issued(op, RetryAction::Read { key, level });
             }
             Operation::Update => {
                 let key = self.chosen_key();
@@ -524,6 +679,7 @@ impl Runner {
                         purpose: Purpose::RmwRead,
                     },
                 );
+                self.track_issued(op, RetryAction::Read { key, level });
             }
         }
     }
@@ -564,18 +720,84 @@ impl Runner {
             .cluster
             .submit_write_id(key, mutation, level, &mut self.sim);
         self.in_flight.insert(op, OpMeta { session, purpose });
+        self.track_issued(op, RetryAction::Write { key, field, level });
+    }
+
+    /// Registers retry context for a freshly issued operation and arms its
+    /// hedge deadline. A no-op while the policy is disabled, so plain runs
+    /// never touch the retry maps or enqueue an event.
+    fn track_issued(&mut self, op: OpId, action: RetryAction) {
+        if !self.retry.enabled() {
+            return;
+        }
+        self.retry_ctx.insert(op, RetryCtx { attempt: 1, action });
+        self.arm_hedge(op, action);
+    }
+
+    fn arm_hedge(&mut self, op: OpId, action: RetryAction) {
+        if self.retry.hedge_after_ms <= 0.0 {
+            return;
+        }
+        // Only reads are hedged: a racing duplicate write would double-apply.
+        let RetryAction::Read { .. } = action else {
+            return;
+        };
+        self.retry_token += 1;
+        let token = self.retry_token;
+        self.hedge_checks.insert(token, op);
+        self.sim.schedule_in(
+            SimTime::from_millis_f64(self.retry.hedge_after_ms),
+            RunnerEvent::HedgeCheck(token),
+        );
+    }
+
+    /// A hedge deadline fired: if the watched read is still unanswered and
+    /// not already racing a twin, issue the duplicate at the same level.
+    fn maybe_hedge(&mut self, primary: OpId) {
+        if self.hedge_partner.contains_key(&primary) {
+            return;
+        }
+        let Some(&meta) = self.in_flight.get(&primary) else {
+            return;
+        };
+        let Some(&ctx) = self.retry_ctx.get(&primary) else {
+            return;
+        };
+        let RetryAction::Read { key, level } = ctx.action else {
+            return;
+        };
+        let dup = self.cluster.submit_read_id(key, level, &mut self.sim);
+        self.in_flight.insert(dup, meta);
+        self.retry_ctx.insert(dup, ctx);
+        self.hedge_partner.insert(primary, (dup, false));
+        self.hedge_partner.insert(dup, (primary, true));
+        self.stats.hedged_reads += 1;
+        self.phase_stats.hedged_reads += 1;
+    }
+
+    /// A retry backoff expired: re-issue the recorded operation. The write
+    /// path reuses the recorded field index, so retries never consume the
+    /// workload RNG and cannot perturb what other sessions draw.
+    fn reissue(&mut self, meta: OpMeta, ctx: RetryCtx) {
+        let op = match ctx.action {
+            RetryAction::Read { key, level } => {
+                self.cluster.submit_read_id(key, level, &mut self.sim)
+            }
+            RetryAction::Write { key, field, level } => {
+                let mutation = Arc::clone(&self.field_mutations[field]);
+                self.cluster
+                    .submit_write_id(key, mutation, level, &mut self.sim)
+            }
+        };
+        self.in_flight.insert(op, meta);
+        self.retry_ctx.insert(op, ctx);
+        self.arm_hedge(op, ctx.action);
     }
 
     fn record_completion(&mut self, completion: &Completion, meta: OpMeta) -> bool {
         // Returns true if this completion counts towards the phase's target.
-        if completion.aborted {
-            // A fault killed the operation: it is neither a read nor a write
-            // and does not advance the phase — the session simply retries
-            // with its next operation, like a client driver timing out.
-            self.stats.aborted_ops += 1;
-            self.phase_stats.aborted_ops += 1;
-            return false;
-        }
+        // Aborted completions never reach this point — `on_completion` routes
+        // them to the retry policy (or the abort tally) first.
         match meta.purpose {
             Purpose::Verification(original_ts) => {
                 if completion.returned_timestamp != original_ts {
@@ -625,23 +847,79 @@ impl Runner {
 
     pub(crate) fn on_completion(&mut self, completion: Completion) {
         let Some(meta) = self.in_flight.remove(&completion.op) else {
+            // The losing leg of a settled hedged pair: already accounted.
             return;
         };
+        let ctx = self.retry_ctx.remove(&completion.op);
+
+        if completion.aborted {
+            // One leg of a live hedged pair died (e.g. the reaper expired
+            // it): the twin is still racing and settles the logical op.
+            if let Some((partner, _)) = self.hedge_partner.remove(&completion.op) {
+                self.hedge_partner.remove(&partner);
+                if self.in_flight.contains_key(&partner) {
+                    return;
+                }
+            }
+            // Retry policy: convert the abort into a backed-off re-issue
+            // while attempts remain; the session sleeps through the backoff.
+            if let Some(c) = ctx {
+                if c.attempt < self.retry.max_attempts {
+                    self.stats.retries += 1;
+                    self.phase_stats.retries += 1;
+                    self.retry_token += 1;
+                    let token = self.retry_token;
+                    self.pending_retries.insert(
+                        token,
+                        (
+                            meta,
+                            RetryCtx {
+                                attempt: c.attempt + 1,
+                                action: c.action,
+                            },
+                        ),
+                    );
+                    self.sim
+                        .schedule_in(self.retry.backoff(c.attempt), RunnerEvent::Retry(token));
+                    return;
+                }
+            }
+            // A fault killed the operation (and any attempts are exhausted):
+            // it is neither a read nor a write and does not advance the
+            // phase — the session simply moves on with its next operation,
+            // like a client driver timing out.
+            self.stats.aborted_ops += 1;
+            self.phase_stats.aborted_ops += 1;
+            self.advance_phase_if_needed();
+            self.issue_next_op(meta.session);
+            return;
+        }
+
+        // First answer of a hedged pair wins: forget the twin — its eventual
+        // completion drops at the in-flight lookup above.
+        if let Some((partner, is_dup)) = self.hedge_partner.remove(&completion.op) {
+            self.hedge_partner.remove(&partner);
+            if self.in_flight.remove(&partner).is_some() {
+                self.retry_ctx.remove(&partner);
+                if is_dup {
+                    self.stats.hedge_wins += 1;
+                    self.phase_stats.hedge_wins += 1;
+                }
+            }
+        }
+
         let counted = self.record_completion(&completion, meta);
         if counted {
             self.phase_completed_ops += 1;
         }
-        // Decide what the session does next. An aborted operation never
-        // chains follow-up work (no write-back, no verification read).
+        // Decide what the session does next.
         match meta.purpose {
-            Purpose::RmwRead if !completion.aborted => {
+            Purpose::RmwRead => {
                 // Write back the same key (`KeyId` is `Copy` — no clone).
                 self.issue_write(meta.session, completion.key, Purpose::Normal);
             }
             Purpose::Normal
-                if !completion.aborted
-                    && completion.kind == OpKind::Read
-                    && self.spec.dual_read_measurement =>
+                if completion.kind == OpKind::Read && self.spec.dual_read_measurement =>
             {
                 // Paper §V.F: verify with a second read at the strongest level.
                 let op = self.cluster.submit_read_id(
@@ -706,6 +984,15 @@ impl Runner {
         let interval = self.controller.interval();
         self.sim.schedule_in(interval, RunnerEvent::MonitorTick);
 
+        // Anti-entropy: when the store config arms an interval, schedule the
+        // periodic repair round. The default interval of 0.0 schedules
+        // nothing, so repair-free runs are byte-identical.
+        let ae_interval = SimTime::from_secs_f64(self.cluster.config().anti_entropy_interval_secs);
+        if ae_interval > SimTime::ZERO {
+            self.sim
+                .schedule_in(ae_interval, RunnerEvent::AntiEntropyTick);
+        }
+
         // Chaos mode: enqueue the fault schedule as first-class events. An
         // empty schedule enqueues nothing and disarms the reaper, so the
         // event sequence of a fault-free run is untouched.
@@ -723,6 +1010,12 @@ impl Runner {
             self.issue_next_op(s);
         }
 
+        // Divergence timeline, sampled on chaos monitor ticks: how many
+        // acknowledged keys still have a lagging serving replica. A
+        // read-only digest query — it enqueues nothing and draws no
+        // randomness, so tracking it cannot perturb the run.
+        let mut divergence_timeline: Vec<DivergenceSample> = Vec::new();
+
         while self.current_phase < self.spec.phases.len() && self.sim.now() < deadline {
             let Some((_, event)) = self.sim.next() else {
                 break;
@@ -737,10 +1030,29 @@ impl Runner {
                         // replies were in flight); their sessions move on.
                         self.cluster
                             .expire_stalled_ops(CHAOS_OP_TIMEOUT, &mut self.sim);
+                        divergence_timeline.push(DivergenceSample {
+                            at_secs: self.sim.now().as_secs_f64(),
+                            divergent_keys: self.cluster.divergent_keys() as u64,
+                        });
                     }
                 }
                 RunnerEvent::Fault(fault) => {
                     self.cluster.apply_fault(&fault, &mut self.sim);
+                }
+                RunnerEvent::Retry(token) => {
+                    if let Some((meta, ctx)) = self.pending_retries.remove(&token) {
+                        self.reissue(meta, ctx);
+                    }
+                }
+                RunnerEvent::HedgeCheck(token) => {
+                    if let Some(primary) = self.hedge_checks.remove(&token) {
+                        self.maybe_hedge(primary);
+                    }
+                }
+                RunnerEvent::AntiEntropyTick => {
+                    self.cluster.run_anti_entropy_round(&mut self.sim);
+                    self.sim
+                        .schedule_in(ae_interval, RunnerEvent::AntiEntropyTick);
                 }
                 RunnerEvent::Store(store_event) => {
                     if let Some(completion) = self.cluster.handle(store_event, &mut self.sim) {
@@ -762,6 +1074,7 @@ impl Runner {
             cluster_totals: self.cluster.totals(),
             hot_set: self.controller.hot_set().to_vec(),
             fault_counters: self.cluster.fault_state().counters(),
+            divergence_timeline,
         }
     }
 }
@@ -799,6 +1112,27 @@ pub fn run_experiment_with_faults(
         AdaptiveController::new(controller_config, store_config.replication_factor, policy);
     Runner::new(profile, store_config, controller, spec)
         .with_faults(faults)
+        .run()
+}
+
+/// [`run_experiment_with_faults`] with a client retry/hedging policy. The
+/// default (disabled) policy is byte-identical to
+/// [`run_experiment_with_faults`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_experiment_with_retry(
+    profile: &ClusterProfile,
+    store_config: StoreConfig,
+    controller_config: harmony_adaptive::config::ControllerConfig,
+    policy: Box<dyn ConsistencyPolicy>,
+    spec: ExperimentSpec,
+    faults: FaultSchedule,
+    retry: RetryPolicy,
+) -> ExperimentResult {
+    let controller =
+        AdaptiveController::new(controller_config, store_config.replication_factor, policy);
+    Runner::new(profile, store_config, controller, spec)
+        .with_faults(faults)
+        .with_retry(retry)
         .run()
 }
 
@@ -1061,6 +1395,187 @@ mod tests {
         assert_eq!(plain.cluster_totals, chaos_empty.cluster_totals);
         assert_eq!(chaos_empty.fault_counters.total(), 0);
         assert_eq!(chaos_empty.stats.aborted_ops, 0);
+    }
+
+    #[test]
+    fn retry_backoff_doubles_and_clamps() {
+        let p = RetryPolicy {
+            max_attempts: 6,
+            base_backoff_ms: 2.0,
+            max_backoff_ms: 10.0,
+            hedge_after_ms: 0.0,
+        };
+        assert!(p.validate().is_ok());
+        assert_eq!(p.backoff(1), SimTime::from_millis_f64(2.0));
+        assert_eq!(p.backoff(2), SimTime::from_millis_f64(4.0));
+        assert_eq!(p.backoff(3), SimTime::from_millis_f64(8.0));
+        assert_eq!(p.backoff(4), SimTime::from_millis_f64(10.0), "clamped");
+        assert_eq!(p.backoff(40), SimTime::from_millis_f64(10.0));
+        assert!(!RetryPolicy::default().enabled());
+        for bad in [
+            RetryPolicy {
+                max_attempts: 0,
+                ..RetryPolicy::default()
+            },
+            RetryPolicy {
+                base_backoff_ms: 0.0,
+                ..RetryPolicy::default()
+            },
+            RetryPolicy {
+                max_backoff_ms: 0.5,
+                ..RetryPolicy::default()
+            },
+            RetryPolicy {
+                hedge_after_ms: f64::NAN,
+                ..RetryPolicy::default()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn disabled_retry_policy_is_byte_identical() {
+        let spec = small_spec(8, 2_000);
+        let profile = profiles::grid5000_with_nodes(6);
+        let plain = run_experiment(
+            &profile,
+            small_store_config(),
+            ControllerConfig::default(),
+            Box::new(HarmonyPolicy::new(3, 0.2)),
+            spec.clone(),
+        );
+        let with_knob = run_experiment_with_retry(
+            &profile,
+            small_store_config(),
+            ControllerConfig::default(),
+            Box::new(HarmonyPolicy::new(3, 0.2)),
+            spec,
+            FaultSchedule::empty(),
+            RetryPolicy::default(),
+        );
+        assert_eq!(plain.decisions, with_knob.decisions);
+        assert_eq!(plain.read_level_histogram, with_knob.read_level_histogram);
+        assert_eq!(plain.stats.operations, with_knob.stats.operations);
+        assert_eq!(plain.cluster_totals, with_knob.cluster_totals);
+        assert_eq!(with_knob.stats.retries, 0);
+        assert_eq!(with_knob.stats.hedged_reads, 0);
+        assert_eq!(with_knob.stats.hedge_wins, 0);
+    }
+
+    /// The partition-then-heal chaos schedule strands operations (the reaper
+    /// aborts them); retries convert those aborts into eventual successes
+    /// without double-counting any operation, and the whole retrying run is
+    /// deterministic per seed.
+    #[test]
+    fn retries_convert_aborts_without_double_counting() {
+        use harmony_sim::topology::NodeId;
+        let profile = profiles::grid5000_with_nodes(6);
+        // Isolating a minority pair makes coordinators 0/1 unable to reach
+        // *any* replica of the ~20% of keys placed entirely in the majority:
+        // those operations abort as unavailable. A retried attempt picks the
+        // next round-robin coordinator — usually on the majority side — so
+        // client-side retries genuinely convert these aborts mid-partition.
+        let schedule = || {
+            FaultSchedule::empty()
+                .partition_at(0.05, vec![vec![NodeId(0), NodeId(1)]])
+                .heal_at(0.6)
+        };
+        let retry = RetryPolicy {
+            max_attempts: 6,
+            base_backoff_ms: 0.5,
+            max_backoff_ms: 8.0,
+            hedge_after_ms: 0.0,
+        };
+        let run_once = |retry_policy: RetryPolicy| {
+            run_experiment_with_retry(
+                &profile,
+                small_store_config(),
+                ControllerConfig::default(),
+                Box::new(StaticPolicy::Strong),
+                small_spec(8, 4_000),
+                schedule(),
+                retry_policy,
+            )
+        };
+        let baseline = run_once(RetryPolicy::default());
+        assert!(
+            baseline.stats.aborted_ops > 0,
+            "the partition schedule must strand operations for this test to bite \
+             (duration {:.3}s, counters {:?}, ops {})",
+            baseline.stats.duration_secs(),
+            baseline.fault_counters,
+            baseline.stats.operations,
+        );
+        let retried = run_once(retry);
+        assert!(retried.stats.retries > 0, "retries must actually fire");
+        assert!(
+            retried.stats.aborted_ops < baseline.stats.aborted_ops,
+            "retries must convert aborts: {} with vs {} without",
+            retried.stats.aborted_ops,
+            baseline.stats.aborted_ops
+        );
+        // No double counting: the retrying run completes exactly the same
+        // number of workload operations, and every counted operation is a
+        // read or a write exactly once.
+        assert_eq!(retried.stats.operations, baseline.stats.operations);
+        assert_eq!(
+            retried.stats.reads + retried.stats.writes,
+            retried.stats.operations
+        );
+        // Determinism: the same seed reproduces the retrying run exactly.
+        let again = run_once(retry);
+        assert_eq!(again.stats.operations, retried.stats.operations);
+        assert_eq!(again.stats.retries, retried.stats.retries);
+        assert_eq!(again.stats.aborted_ops, retried.stats.aborted_ops);
+        assert_eq!(again.stats.stale_reads, retried.stats.stale_reads);
+        assert_eq!(again.cluster_totals, retried.cluster_totals);
+        assert_eq!(again.read_level_histogram, retried.read_level_histogram);
+        assert_eq!(
+            again.stats.read_latency.summary(),
+            retried.stats.read_latency.summary()
+        );
+    }
+
+    /// Hedged reads race a duplicate against slow primaries: duplicates are
+    /// issued, first answer wins, nothing is counted twice, and the hedging
+    /// run is deterministic per seed.
+    #[test]
+    fn hedged_reads_race_duplicates_without_double_counting() {
+        let profile = profiles::grid5000_with_nodes(6);
+        let hedging = RetryPolicy {
+            max_attempts: 1,
+            base_backoff_ms: 1.0,
+            max_backoff_ms: 64.0,
+            hedge_after_ms: 0.3,
+        };
+        let run_once = || {
+            run_experiment_with_retry(
+                &profile,
+                small_store_config(),
+                ControllerConfig::default(),
+                Box::new(StaticPolicy::Eventual),
+                small_spec(8, 2_000),
+                FaultSchedule::empty(),
+                hedging,
+            )
+        };
+        let hedged = run_once();
+        assert!(hedged.stats.hedged_reads > 0, "hedges must actually fire");
+        assert!(hedged.stats.hedge_wins <= hedged.stats.hedged_reads);
+        assert_eq!(
+            hedged.stats.reads + hedged.stats.writes,
+            hedged.stats.operations
+        );
+        // The hedged run completes the same workload as the plain one.
+        let plain = run_with(Box::new(StaticPolicy::Eventual), small_spec(8, 2_000));
+        assert_eq!(hedged.stats.operations, plain.stats.operations);
+        // Determinism per seed.
+        let again = run_once();
+        assert_eq!(again.stats.hedged_reads, hedged.stats.hedged_reads);
+        assert_eq!(again.stats.hedge_wins, hedged.stats.hedge_wins);
+        assert_eq!(again.stats.operations, hedged.stats.operations);
+        assert_eq!(again.cluster_totals, hedged.cluster_totals);
     }
 
     #[test]

@@ -323,6 +323,12 @@ impl Runner {
                 RunnerEvent::Fault(fault) => {
                     self.cluster.apply_fault(&fault, &mut self.sim);
                 }
+                // The sharded loop does not drive client retries, hedging or
+                // anti-entropy yet (the classic runner does); these events
+                // are never scheduled here.
+                RunnerEvent::Retry(_)
+                | RunnerEvent::HedgeCheck(_)
+                | RunnerEvent::AntiEntropyTick => {}
                 RunnerEvent::Store(store_event) => {
                     if let Some(completion) = self.cluster.handle(store_event, &mut self.sim) {
                         self.on_completion(completion);
@@ -572,6 +578,9 @@ pub fn run_sharded_experiment(
             .first()
             .map(|o| o.fault_counters)
             .unwrap_or_default(),
+        // Cross-shard divergence is not sampled (each shard only sees its
+        // own stripe); the classic runner carries the self-healing metric.
+        divergence_timeline: Vec::new(),
     }
 }
 

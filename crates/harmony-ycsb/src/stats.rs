@@ -187,8 +187,18 @@ pub struct RunStats {
     /// Stale reads among the hot-key reads (ground truth).
     pub hot_stale_reads: u64,
     /// Operations aborted by injected faults (unavailable replica sets,
-    /// coordinator crashes, stall timeouts). Zero on fault-free runs.
+    /// coordinator crashes, stall timeouts). Zero on fault-free runs. With a
+    /// retry policy active, only operations abandoned after exhausting their
+    /// attempts are counted here — converted aborts land in `retries`.
     pub aborted_ops: u64,
+    /// Client retry attempts issued after aborted operations (always zero
+    /// without an active retry policy).
+    pub retries: u64,
+    /// Hedged duplicate reads raced against slow primaries (always zero
+    /// without an active hedging policy).
+    pub hedged_reads: u64,
+    /// Hedged reads where the duplicate answered before the primary.
+    pub hedge_wins: u64,
     /// Virtual time at which the measured phase started.
     pub started_at: SimTime,
     /// Virtual time at which the measured phase ended.
@@ -246,6 +256,9 @@ impl RunStats {
         self.hot_reads += other.hot_reads;
         self.hot_stale_reads += other.hot_stale_reads;
         self.aborted_ops += other.aborted_ops;
+        self.retries += other.retries;
+        self.hedged_reads += other.hedged_reads;
+        self.hedge_wins += other.hedge_wins;
         self.started_at = self.started_at.min(other.started_at);
         self.ended_at = self.ended_at.max(other.ended_at);
     }

@@ -23,6 +23,7 @@ fn main() {
         propagation_delay: Duration::from_micros(400),
         jitter: 0.4,
         seed: 2012,
+        ..LiveConfig::default()
     });
     let harmony = Arc::new(LiveHarmony::new(
         cluster,

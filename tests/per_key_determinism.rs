@@ -55,6 +55,41 @@ fn run_split_with_controller(
     )
 }
 
+/// The same run as [`run_split`], but routed through the retry-aware entry
+/// point with every self-healing knob present and disabled — the
+/// degeneration arm of the golden pin.
+fn run_split_through_retry_entry_point(seed: u64) -> ExperimentResult {
+    let mut workload = WorkloadSpec::workload_a(1_000);
+    workload.field_count = 2;
+    workload.field_size = 16;
+    let spec = ExperimentSpec {
+        workload,
+        phases: vec![Phase::new(24, 12_000)],
+        seed,
+        dual_read_measurement: false,
+        hot_key_prefix: 8,
+        max_virtual_secs: 600.0,
+    };
+    let store = StoreConfig {
+        replication_factor: 5,
+        node_concurrency: 2,
+        read_service_ms: 0.25,
+        write_service_ms: 0.5,
+        client_latency_ms: 0.15,
+        anti_entropy_interval_secs: 0.0,
+        ..StoreConfig::default()
+    };
+    run_experiment_with_retry(
+        &harmony::profiles::grid5000_with_nodes(8),
+        store,
+        harmony_bench::experiments::split_figure_controller_config(),
+        Box::new(HarmonyPolicy::new(5, 0.05)),
+        spec,
+        FaultSchedule::empty(),
+        RetryPolicy::default(),
+    )
+}
+
 #[test]
 fn same_seed_reproduces_hot_sets_backlogs_and_decisions() {
     let a = run_split(20120920);
@@ -192,6 +227,22 @@ fn golden_stats_pin_for_seed_20120920() {
     assert_eq!(off.read_level_histogram, r.read_level_histogram);
     assert_eq!(off.stats.stale_reads, r.stats.stale_reads);
     assert_eq!(off.cluster_totals, r.cluster_totals);
+
+    // And the self-healing-degeneration guard: the same run routed through
+    // the retry-aware entry point, with every repair knob present but
+    // disabled (default retry/hedge policy, anti-entropy interval at zero,
+    // suspicion discounting at zero, repair-blind staleness model), must
+    // reproduce the exact same timeline and outcome. The knobs are free
+    // until armed.
+    let healed_off = run_split_through_retry_entry_point(20120920);
+    assert_eq!(healed_off.decisions, r.decisions);
+    assert_eq!(healed_off.hot_set, r.hot_set);
+    assert_eq!(healed_off.read_level_histogram, r.read_level_histogram);
+    assert_eq!(healed_off.stats.stale_reads, r.stats.stale_reads);
+    assert_eq!(healed_off.cluster_totals, r.cluster_totals);
+    assert_eq!(healed_off.stats.retries, 0);
+    assert_eq!(healed_off.stats.hedged_reads, 0);
+    assert_eq!(healed_off.cluster_totals.ae_rounds, 0);
 }
 
 #[test]
