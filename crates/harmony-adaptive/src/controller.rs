@@ -13,6 +13,7 @@ use harmony_model::queueing::WriteStageObservation;
 use harmony_model::staleness::StaleReadModel;
 use harmony_monitor::collector::Monitor;
 use harmony_monitor::probe::ClusterProbe;
+use harmony_obs::audit::DecisionAudit;
 use harmony_sim::clock::SimTime;
 use harmony_store::consistency::ConsistencyLevel;
 use harmony_store::keys::KeyId;
@@ -86,6 +87,11 @@ pub struct AdaptiveController {
     /// The same escalations in stable (key-sorted) order, for reporting.
     hot_decisions: Vec<HotKeyDecision>,
     decisions: Vec<DecisionRecord>,
+    /// Opt-in decision audit trail ([`DecisionAudit`] per tick): `None` (the
+    /// default) records nothing, keeping the pinned decision timelines
+    /// byte-identical. Kept separate from `decisions` on purpose — the
+    /// determinism suite serialises `DecisionRecord` strictly.
+    audit: Option<Vec<DecisionAudit>>,
 }
 
 impl AdaptiveController {
@@ -112,7 +118,63 @@ impl AdaptiveController {
             hot_set: HashMap::new(),
             hot_decisions: Vec::new(),
             decisions: Vec::new(),
+            audit: None,
         }
+    }
+
+    /// Enables the decision audit trail: every subsequent tick records a
+    /// [`DecisionAudit`] with the estimate inputs that produced the decision.
+    pub fn enable_decision_audit(&mut self) {
+        if self.audit.is_none() {
+            self.audit = Some(Vec::new());
+        }
+    }
+
+    /// The audit trail recorded so far (empty unless
+    /// [`AdaptiveController::enable_decision_audit`] was called).
+    pub fn audit_log(&self) -> &[DecisionAudit] {
+        self.audit.as_deref().unwrap_or(&[])
+    }
+
+    /// Exports the controller's decision outcomes into a metrics registry:
+    /// one counter per chosen replica count, escalation/relaxation tallies,
+    /// and the current default level as a gauge. Collect-on-scrape.
+    pub fn export_metrics(&self, registry: &harmony_obs::MetricsRegistry) {
+        registry
+            .counter("harmony_decisions_total")
+            .add(self.decisions.len() as u64);
+        let mut escalations = 0u64;
+        let mut relaxations = 0u64;
+        for pair in self.decisions.windows(2) {
+            if pair[1].replicas_in_read > pair[0].replicas_in_read {
+                escalations += 1;
+            } else if pair[1].replicas_in_read < pair[0].replicas_in_read {
+                relaxations += 1;
+            }
+        }
+        registry
+            .counter("harmony_decision_escalations_total")
+            .add(escalations);
+        registry
+            .counter("harmony_decision_relaxations_total")
+            .add(relaxations);
+        for d in &self.decisions {
+            registry
+                .counter(&harmony_obs::series_name(
+                    "harmony_decision_level_total",
+                    &[("replicas", &d.replicas_in_read.to_string())],
+                ))
+                .inc();
+        }
+        if let Some(last) = self.decisions.last() {
+            registry
+                .gauge("harmony_current_read_replicas")
+                .set(last.replicas_in_read as f64);
+            registry
+                .gauge("harmony_hot_keys_escalated")
+                .set(last.hot_keys as f64);
+        }
+        self.monitor.export_metrics(registry);
     }
 
     /// The monitoring interval (how often [`AdaptiveController::tick`] should
@@ -288,6 +350,39 @@ impl AdaptiveController {
             self.hot_decisions.sort_by(|a, b| a.key.cmp(&b.key));
         }
 
+        if self.audit.is_some() {
+            let previous_replicas = self
+                .decisions
+                .last()
+                .map(|d| d.replicas_in_read as u64)
+                .unwrap_or(0);
+            let record = DecisionAudit {
+                at_secs: now.as_secs_f64(),
+                read_rate: sample.read_rate,
+                write_rate: sample.write_rate,
+                latency_ms: sample.latency_ms,
+                measured_backlog_ms: sample.backlog_ms,
+                backlog_spread_ms: sample.backlog_spread_ms,
+                predicted_wait_ms: sample.predicted_wait_ms,
+                utilization: staleness.utilization,
+                diverging: staleness.diverging,
+                tp_secs,
+                repair_rate: self.config.anti_entropy_repair_rate,
+                fault_epoch: probe.fault_epoch(),
+                live_nodes: probe.live_node_count() as u64,
+                estimate: self.policy.last_estimate().unwrap_or(-1.0),
+                tolerance: tolerance.unwrap_or(-1.0),
+                replicas_in_read: self
+                    .current_read_level
+                    .required_acks(self.replication_factor)
+                    as u64,
+                previous_replicas,
+                hot_keys: self.hot_set.len() as u64,
+            };
+            if let Some(audit) = self.audit.as_mut() {
+                audit.push(record);
+            }
+        }
         self.decisions.push(DecisionRecord {
             at: now,
             read_rate: sample.read_rate,

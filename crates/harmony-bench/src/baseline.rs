@@ -139,6 +139,74 @@ impl BenchBaseline {
     }
 }
 
+/// One line of `BENCH_history.json` — the wall-clock headline of one
+/// baseline regeneration (or a value recovered from a PR's notes for runs
+/// that predate the history file).
+///
+/// The history exists because `BENCH_e2e.json` is overwritten on every
+/// regeneration: without it, cross-PR comparisons live only in prose.
+/// Numbers are comparable **only within one machine**; the `source` field
+/// says where each came from.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HistoryEntry {
+    /// What produced the number (e.g. `PR 4: allocation-free hot path`).
+    pub label: String,
+    /// Seconds since the Unix epoch at measurement time (0 when recovered
+    /// from notes rather than measured by this binary).
+    pub unix_time_secs: u64,
+    /// Overall simulated operations per wall-clock second across the
+    /// headline + fig5 sweeps — the number the CI regression gate compares.
+    pub total_ops_per_sec_wall: f64,
+    /// Allocator calls per simulated operation across the sweeps (0 when
+    /// the source did not record it).
+    pub allocations_per_op: f64,
+    /// Aggregate ops/s of the scaling sweep in shard-count order
+    /// (empty when the source predates the scaling section).
+    pub scaling_ops_per_sec_wall: Vec<f64>,
+    /// `measured` (written by `bench_baseline`) or `recovered` (seeded from
+    /// a PR's recorded numbers).
+    pub source: String,
+}
+
+/// Reads `BENCH_history.json` (an array of [`HistoryEntry`]); a missing
+/// file is an empty history, a corrupt one is an error.
+pub fn load_history(path: &std::path::Path) -> Result<Vec<HistoryEntry>, String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => serde_json::from_str(&text).map_err(|e| format!("corrupt {path:?}: {e:?}")),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(e) => Err(format!("cannot read {path:?}: {e}")),
+    }
+}
+
+/// Appends one entry built from a fresh [`BenchBaseline`] and rewrites the
+/// history file.
+pub fn append_history(
+    path: &std::path::Path,
+    report: &BenchBaseline,
+    label: &str,
+) -> Result<usize, String> {
+    let mut history = load_history(path)?;
+    let allocations_per_op = {
+        let ops: u64 = report.sweeps.iter().map(|s| s.operations).sum();
+        let allocs: u64 = report.sweeps.iter().map(|s| s.allocations).sum();
+        allocs as f64 / ops.max(1) as f64
+    };
+    history.push(HistoryEntry {
+        label: label.to_string(),
+        unix_time_secs: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        total_ops_per_sec_wall: report.total_ops_per_sec_wall,
+        allocations_per_op,
+        scaling_ops_per_sec_wall: report.scaling.iter().map(|p| p.ops_per_sec_wall).collect(),
+        source: "measured".to_string(),
+    });
+    let json = serde_json::to_string_pretty(&history).map_err(|e| format!("{e:?}"))?;
+    std::fs::write(path, json + "\n").map_err(|e| format!("cannot write {path:?}: {e}"))?;
+    Ok(history.len())
+}
+
 /// Builds a [`ScalingPoint`] from a timed run.
 pub fn scaling_point(shards: usize, operations: u64, wall_secs: f64) -> ScalingPoint {
     let ops_per_sec_wall = operations as f64 / wall_secs.max(1e-9);

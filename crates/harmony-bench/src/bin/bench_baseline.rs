@@ -28,13 +28,25 @@
 //!                        regressed by more than the tolerance
 //!   `--tolerance <f>`    allowed fractional regression for `--check`
 //!                        (default 0.2, i.e. 20%)
+//!   `--history <path>`   append this run's headline to the wall-clock
+//!                        history file (default `BENCH_history.json`; pass
+//!                        `--history none` to skip)
+//!   `--obs-overhead-check`  run ONLY the observability overhead gate: time
+//!                        the headline sweep observed (default `ObsConfig::
+//!                        enabled()` sampling) vs unobserved, best-of-3
+//!                        alternating rounds, and exit non-zero if the
+//!                        observed arm is more than `--obs-tolerance`
+//!                        (default 0.03, i.e. 3%) slower
 
 use harmony_bench::baseline::{
-    allocation_calls, measure_scaling_point, BenchBaseline, ScalingPoint, SweepBaseline,
-    TrackingAllocator,
+    allocation_calls, append_history, measure_scaling_point, BenchBaseline, ScalingPoint,
+    SweepBaseline, TrackingAllocator,
 };
-use harmony_bench::experiments::{config_by_name, run_point, ExperimentConfig, PolicySpec};
+use harmony_bench::experiments::{
+    config_by_name, run_point, run_point_with_obs, ExperimentConfig, PolicySpec,
+};
 use harmony_bench::report::has_flag;
+use harmony_ycsb::ObsConfig;
 use std::time::Instant;
 
 // The shared tracking allocator: identical accounting overhead to
@@ -117,11 +129,72 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.windows(2).find(|w| w[0] == flag).map(|w| w[1].clone())
 }
 
+/// The observability overhead gate: the headline sweep timed with the obs
+/// layer fully on (default sampling) against the plain form, best-of-N
+/// alternating rounds so machine noise hits both arms symmetrically.
+/// Returns the measured fractional overhead (negative = observed was
+/// faster, i.e. pure noise).
+fn measure_obs_overhead(rounds: usize) -> f64 {
+    let points = headline_points();
+    let mut best_plain_ops_per_sec = 0f64;
+    let mut best_obs_ops_per_sec = 0f64;
+    for round in 1..=rounds {
+        let started = Instant::now();
+        let mut operations = 0u64;
+        for (config, policy, threads) in &points {
+            operations += run_point(config, policy, *threads, false).stats.operations;
+        }
+        let plain = operations as f64 / started.elapsed().as_secs_f64().max(1e-9);
+
+        let started = Instant::now();
+        let mut obs_operations = 0u64;
+        for (config, policy, threads) in &points {
+            let (result, report) =
+                run_point_with_obs(config, policy, *threads, false, ObsConfig::enabled());
+            obs_operations += result.stats.operations;
+            // Touch the report so the exporter work cannot be optimised out.
+            assert!(!report.prometheus_text().is_empty());
+        }
+        let observed = obs_operations as f64 / started.elapsed().as_secs_f64().max(1e-9);
+
+        assert_eq!(
+            operations, obs_operations,
+            "the observed arm must simulate the identical run"
+        );
+        best_plain_ops_per_sec = best_plain_ops_per_sec.max(plain);
+        best_obs_ops_per_sec = best_obs_ops_per_sec.max(observed);
+        println!("round {round}/{rounds}: plain {plain:.0} ops/s, observed {observed:.0} ops/s");
+    }
+    1.0 - best_obs_ops_per_sec / best_plain_ops_per_sec
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // The sweeps *are* the quick variants; the flag exists so CI can invoke
     // this binary uniformly with the other sweep smokes.
     let _ = has_flag(&args, "--quick");
+
+    if has_flag(&args, "--obs-overhead-check") {
+        let tolerance: f64 = flag_value(&args, "--obs-tolerance")
+            .map(|t| t.parse().expect("--obs-tolerance takes a fraction"))
+            .unwrap_or(0.03);
+        println!(
+            "Observability overhead gate — headline sweep, observed (default sampling) vs plain\n"
+        );
+        let overhead = measure_obs_overhead(3);
+        println!(
+            "\nBest-of-3 overhead: {:.2}% (tolerance {:.0}%)",
+            overhead * 100.0,
+            tolerance * 100.0
+        );
+        if overhead > tolerance {
+            eprintln!("FAIL: enabled observability costs more than the tolerated throughput");
+            std::process::exit(1);
+        }
+        println!("OK: enabled observability is within the overhead budget");
+        return;
+    }
+
     let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_e2e.json".to_string());
     let check = flag_value(&args, "--check");
     let tolerance: f64 = flag_value(&args, "--tolerance")
@@ -198,6 +271,22 @@ fn main() {
 
     harmony_bench::report::write_json(std::path::Path::new(&out), &report).expect("write json");
     println!("JSON written to {out}");
+
+    // Every regeneration of the committed baseline also appends one line to
+    // the wall-clock history, so cross-PR throughput comparisons survive the
+    // overwrite of BENCH_e2e.json.
+    let history =
+        flag_value(&args, "--history").unwrap_or_else(|| "BENCH_history.json".to_string());
+    if history != "none" {
+        match append_history(
+            std::path::Path::new(&history),
+            &report,
+            "bench_baseline regeneration",
+        ) {
+            Ok(entries) => println!("history appended to {history} ({entries} entries)"),
+            Err(err) => eprintln!("warning: history not updated: {err}"),
+        }
+    }
 
     if let Some(baseline_path) = check {
         let text = std::fs::read_to_string(&baseline_path)

@@ -25,10 +25,14 @@
 //! Usage:
 //!   cargo run --release -p harmony-bench --bin fault_sweep
 //!   cargo run --release -p harmony-bench --bin fault_sweep -- --profile ec2
-//! Flags: `--quick`, `--json <path>`, `--profile <grid5000|ec2|multi-dc>`.
+//! Flags: `--quick`, `--json <path>`, `--profile <grid5000|ec2|multi-dc>`,
+//! `--obs` (rerun the crash scenario with tracing/metrics/audit on and dump
+//! the Prometheus snapshot, a fault-spanning per-op trace, and the decision
+//! audit records around the crash).
 
 use harmony_bench::experiments::{
-    config_by_name, run_workload_point_with_faults, ExperimentConfig, PolicySpec,
+    config_by_name, run_workload_point_with_faults, run_workload_point_with_obs, ExperimentConfig,
+    PolicySpec,
 };
 use harmony_bench::report::{has_flag, json_arg, profile_arg, Table};
 use harmony_chaos::FaultSchedule;
@@ -231,8 +235,77 @@ fn main() {
          and the empty-schedule baseline is byte-identical to a run without the chaos layer."
     );
 
+    if has_flag(&args, "--obs") {
+        dump_observed_crash(&config, &harmony, threads, duration);
+    }
+
     if let Some(path) = json_arg(&args) {
         harmony_bench::report::write_json(&path, &rows).expect("write json");
         println!("JSON written to {}", path.display());
+    }
+}
+
+/// `--obs`: the crash-hot scenario once more with the observability layer
+/// on — every 4th op traced so the recorder catches ops in flight across
+/// the crash — then the three exports: the Prometheus metrics snapshot, a
+/// per-op trace that spans the fault epoch, and the decision audit records
+/// that explain the controller's escalations around the crash.
+fn dump_observed_crash(
+    config: &ExperimentConfig,
+    policy: &PolicySpec,
+    threads: usize,
+    duration: f64,
+) {
+    let faults = FaultSchedule::empty()
+        .crash_at(duration * 0.25, NodeId(1))
+        .restart_at(duration * 0.6, NodeId(1));
+    let obs = harmony_ycsb::ObsConfig {
+        trace_sample_every: 4,
+        ..harmony_ycsb::ObsConfig::enabled()
+    };
+    let (result, report) = run_workload_point_with_obs(
+        config,
+        zipfian_workload(config),
+        policy,
+        threads,
+        HOT_PREFIX,
+        true,
+        faults,
+        obs,
+    );
+    println!();
+    println!(
+        "=== observed crash-hot rerun ({} ops, {} fault event(s) applied) ===",
+        result.stats.operations,
+        result.fault_counters.total()
+    );
+    println!();
+    println!("--- Prometheus metrics snapshot ---");
+    print!("{}", report.prometheus_text());
+    println!();
+    let spanning = report.fault_spanning_traces();
+    println!(
+        "--- per-op traces spanning the crash epoch ({} of {} retained) ---",
+        spanning.len(),
+        report.recorder.len()
+    );
+    for trace in spanning.iter().take(2) {
+        println!("{}", trace.render());
+    }
+    let escalations = report.escalations();
+    println!(
+        "--- decision audit: {} record(s), {} escalation(s) ---",
+        report.audit.len(),
+        escalations.len()
+    );
+    for record in escalations.iter().take(4) {
+        println!("  {}", record.explain());
+    }
+    if escalations.is_empty() {
+        // A quick run can ride out the crash without raising the level; the
+        // audit still links every held decision to its inputs.
+        for record in report.audit.iter().take(4) {
+            println!("  {}", record.explain());
+        }
     }
 }

@@ -14,10 +14,11 @@ use harmony_model::queueing::ProactiveConfig;
 use harmony_sim::profiles::{self, ClusterProfile};
 use harmony_store::config::StoreConfig;
 use harmony_ycsb::runner::{
-    run_experiment, run_experiment_with_faults, run_experiment_with_retry, ExperimentResult,
-    ExperimentSpec, Phase, RetryPolicy,
+    run_experiment, run_experiment_with_faults, run_experiment_with_obs, run_experiment_with_retry,
+    ExperimentResult, ExperimentSpec, Phase, RetryPolicy,
 };
 use harmony_ycsb::workloads::WorkloadSpec;
+use harmony_ycsb::{ObsConfig, ObsReport};
 use serde::{Deserialize, Serialize};
 
 /// The client thread counts swept in Figures 5 and 6.
@@ -390,6 +391,46 @@ pub fn run_workload_point_with_faults(
     )
 }
 
+/// [`run_workload_point_with_faults`] with the observability layer switched
+/// on: sampled per-op traces, the flight recorder, the metrics registry and
+/// the controller decision audit ride along and come back as an
+/// [`ObsReport`]. `ObsConfig::off()` reproduces the fault-aware form byte
+/// for byte.
+#[allow(clippy::too_many_arguments)]
+pub fn run_workload_point_with_obs(
+    config: &ExperimentConfig,
+    workload: WorkloadSpec,
+    policy: &PolicySpec,
+    threads: usize,
+    hot_key_prefix: u64,
+    split: bool,
+    faults: FaultSchedule,
+    obs: ObsConfig,
+) -> (ExperimentResult, ObsReport) {
+    let spec = ExperimentSpec {
+        workload,
+        phases: vec![Phase::new(threads, config.operations_for(threads))],
+        seed: config.seed,
+        dual_read_measurement: false,
+        hot_key_prefix,
+        max_virtual_secs: 3_600.0,
+    };
+    let controller = if split {
+        enable_split(config.controller)
+    } else {
+        config.controller
+    };
+    run_experiment_with_obs(
+        &config.profile,
+        config.store.clone(),
+        controller,
+        policy.build(config.store.replication_factor),
+        spec,
+        faults,
+        obs,
+    )
+}
+
 /// [`run_workload_point_with_faults`] with a client-side retry/hedging
 /// policy in the loop — the entry point of the `repair_sweep` arms. The
 /// repair knobs themselves are carried by the config (the store's
@@ -480,6 +521,35 @@ pub fn run_point(
         config.controller,
         policy.build(config.store.replication_factor),
         spec,
+    )
+}
+
+/// [`run_point`] with the observability layer on — the arm the
+/// obs-overhead gate times against the plain form.
+pub fn run_point_with_obs(
+    config: &ExperimentConfig,
+    policy: &PolicySpec,
+    threads: usize,
+    dual_read: bool,
+    obs: ObsConfig,
+) -> (ExperimentResult, ObsReport) {
+    let workload = scaled_workload_a(config.records);
+    let spec = ExperimentSpec {
+        workload,
+        phases: vec![Phase::new(threads, config.operations_for(threads))],
+        seed: config.seed,
+        dual_read_measurement: dual_read,
+        hot_key_prefix: 0,
+        max_virtual_secs: 3_600.0,
+    };
+    run_experiment_with_obs(
+        &config.profile,
+        config.store.clone(),
+        config.controller,
+        policy.build(config.store.replication_factor),
+        spec,
+        FaultSchedule::empty(),
+        obs,
     )
 }
 

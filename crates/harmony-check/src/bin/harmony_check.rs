@@ -128,6 +128,16 @@ fn report_pass(label: &str, stats: &ExploreStats, secs: f64) {
             "[{label}] VIOLATION {}: {}",
             found.violation.rule, found.violation.detail
         );
+        // Human-readable timeline first (one line per event: logical time,
+        // node, event kind), then the raw replayable JSON for the corpus.
+        match harmony_check::pretty_print(&found.trace) {
+            Ok(timeline) => {
+                for line in timeline.lines() {
+                    println!("[{label}]   {line}");
+                }
+            }
+            Err(err) => println!("[{label}]   (cannot pretty-print: {err})"),
+        }
         println!(
             "[{label}]   schedule: {}",
             serde_json::to_string(&found.trace).expect("trace serialises")

@@ -48,4 +48,4 @@ pub mod trace;
 pub use explorer::{CheckerCtx, ExploreConfig, ExploreStats, FoundViolation};
 pub use invariants::Violation;
 pub use scenario::Scenario;
-pub use trace::{ScheduleTrace, TraceStep};
+pub use trace::{pretty_print, ScheduleTrace, TraceStep};

@@ -83,6 +83,143 @@ pub fn replay(trace: &ScheduleTrace) -> Result<(HarmonyMachine, Vec<Violation>),
     Ok((machine, violations))
 }
 
+/// Renders a counterexample schedule as a human-readable timeline: one line
+/// per step — step number (the checker's logical time), the node the event
+/// lands on, and the event kind with its protocol detail. The trace is
+/// re-replayed to resolve each `Deliver` index into the concrete pending
+/// event at that moment, which the raw JSON (`{"Deliver":{"index":3}}`)
+/// cannot show.
+///
+/// # Errors
+/// Fails like [`replay`]: unknown scenario or a stale deliver index.
+pub fn pretty_print(trace: &ScheduleTrace) -> Result<String, String> {
+    use std::fmt::Write as _;
+
+    let scenario = scenario::by_name(&trace.scenario).ok_or_else(|| {
+        format!(
+            "trace {:?}: unknown scenario {:?}",
+            trace.name, trace.scenario
+        )
+    })?;
+    let (mut machine, mut ctx, _keys) = scenario.build();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "schedule {:?} on scenario {:?}:",
+        trace.name, trace.scenario
+    );
+    for (step_no, step) in trace.steps.iter().enumerate() {
+        let line = match step {
+            TraceStep::Deliver { index } => {
+                if *index >= ctx.pending.len() {
+                    return Err(format!(
+                        "trace {:?} step {step_no}: deliver index {index} out of bounds \
+                         (pending {})",
+                        trace.name,
+                        ctx.pending.len()
+                    ));
+                }
+                let event = ctx.pending[*index].clone();
+                let rendered = describe_event(&event);
+                ctx.deliver(*index, &mut machine);
+                rendered
+            }
+            TraceStep::Fault { fault } => {
+                machine.on_event(MachineEvent::Fault(fault.clone()), &mut ctx);
+                format!("{:12} {}", "fault", describe_fault(fault))
+            }
+        };
+        let _ = writeln!(out, "  t={step_no:<3} {line}");
+    }
+    Ok(out)
+}
+
+/// One-line rendering of a machine event: destination node then kind+detail.
+fn describe_event(event: &MachineEvent) -> String {
+    match event {
+        MachineEvent::Store(StoreEvent::Deliver { dest, message }) => {
+            format!("node{:<3} deliver  {}", dest.0, describe_message(message))
+        }
+        MachineEvent::Store(StoreEvent::Process { node, message }) => {
+            format!("node{:<3} process  {}", node.0, describe_message(message))
+        }
+        MachineEvent::Store(StoreEvent::ClientReply { op }) => {
+            format!("client  reply    op{}", op.0)
+        }
+        MachineEvent::Fault(fault) => format!("{:7} fault    {}", "", describe_fault(fault)),
+        MachineEvent::Timer(id) => format!("{:7} timer    id {id:?}", ""),
+    }
+}
+
+fn describe_message(message: &Message) -> String {
+    match message {
+        Message::ClientRead {
+            op,
+            key,
+            consistency,
+        } => format!("ClientRead op{} key{} @{consistency}", op.0, key.0),
+        Message::ClientWrite {
+            op,
+            key,
+            consistency,
+            ..
+        } => format!("ClientWrite op{} key{} @{consistency}", op.0, key.0),
+        Message::ReplicaRead {
+            op,
+            key,
+            coordinator,
+        } => format!(
+            "ReplicaRead op{} key{} (answer to node{})",
+            op.0, key.0, coordinator.0
+        ),
+        Message::ReplicaReadResponse { op, from, row } => format!(
+            "ReplicaReadResponse op{} from node{} ({})",
+            op.0,
+            from.0,
+            match row {
+                Some(r) => format!("ts {}", r.latest_timestamp().0),
+                None => "no copy".to_string(),
+            }
+        ),
+        Message::ReplicaWrite { op, key, .. } => {
+            format!("ReplicaWrite op{} key{}", op.0, key.0)
+        }
+        Message::ReplicaWriteAck { op, from } => {
+            format!("ReplicaWriteAck op{} from node{}", op.0, from.0)
+        }
+        Message::RepairWrite { key, row } => {
+            format!("RepairWrite key{} ts {}", key.0, row.latest_timestamp().0)
+        }
+        Message::AeDigest { from, buckets } => {
+            format!("AeDigest from node{} ({} buckets)", from.0, buckets.len())
+        }
+        Message::AeKeys { from, entries, .. } => format!(
+            "AeKeys from node{} ({} stale entries)",
+            from.0,
+            entries.len()
+        ),
+        Message::AePull { from, keys } => {
+            format!("AePull from node{} ({} keys)", from.0, keys.len())
+        }
+    }
+}
+
+fn describe_fault(fault: &FaultEvent) -> String {
+    match fault {
+        FaultEvent::CrashNode { node } => format!("crash node{}", node.0),
+        FaultEvent::RestartNode { node } => format!("restart node{}", node.0),
+        FaultEvent::Partition { groups } => format!(
+            "partition {:?}",
+            groups
+                .iter()
+                .map(|g| g.iter().map(|n| n.0).collect::<Vec<_>>())
+                .collect::<Vec<_>>()
+        ),
+        FaultEvent::HealPartition => "heal partition".to_string(),
+        other => format!("{other:?}"),
+    }
+}
+
 /// Drives a scenario step by step while recording the schedule — the tool
 /// that authors the seed fixtures. Predicates select events by *shape*
 /// (which message, which destination) so the builders stay readable even

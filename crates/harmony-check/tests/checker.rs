@@ -277,6 +277,39 @@ fn anti_entropy_heals_checker_constructed_partition_divergence() {
     );
 }
 
+/// The pretty-printer resolves a schedule's opaque deliver indices into a
+/// readable timeline: one line per step with logical time, node, and event
+/// kind — the form the CLI prints under a violation.
+#[test]
+fn pretty_print_renders_one_line_per_step() {
+    for t in trace::seed_traces() {
+        let rendered = trace::pretty_print(&t).expect("seed traces replay");
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(
+            lines.len(),
+            t.steps.len() + 1,
+            "header plus one line per step:\n{rendered}"
+        );
+        assert!(lines[0].contains(&t.name));
+        for (i, line) in lines[1..].iter().enumerate() {
+            assert!(
+                line.trim_start().starts_with(&format!("t={i}")),
+                "step lines carry their logical time:\n{rendered}"
+            );
+        }
+    }
+    // The crash seed names its fault and its protocol events.
+    let crash = &trace::seed_traces()[0];
+    let rendered = trace::pretty_print(crash).expect("replays");
+    assert!(rendered.contains("crash node"), "{rendered}");
+    assert!(rendered.contains("ClientWrite"), "{rendered}");
+    assert!(rendered.contains("reply"), "{rendered}");
+    // Unknown scenarios fail like replay(), not panic.
+    let mut broken = crash.clone();
+    broken.scenario = "no_such_scenario".into();
+    assert!(trace::pretty_print(&broken).is_err());
+}
+
 /// The committed seed fixtures stay in sync with the programmatic builders:
 /// regenerate with `REGEN_FIXTURES=1 cargo test -p harmony-check`.
 #[test]

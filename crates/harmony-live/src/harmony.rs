@@ -237,6 +237,61 @@ impl LiveHarmony {
         }
     }
 
+    /// Arms the controller's decision audit log: every subsequent `adapt()`
+    /// records a [`harmony_obs::DecisionAudit`] with the estimate inputs.
+    pub fn enable_decision_audit(&self) {
+        self.controller.lock().enable_decision_audit();
+    }
+
+    /// Scrapes the live cluster and controller into `registry` (collect-on-
+    /// scrape, like the simulated stack): client counters, membership and
+    /// backlog gauges, plus the controller's decision series.
+    pub fn export_metrics(&self, registry: &harmony_obs::MetricsRegistry) {
+        let counters = self.cluster.counters();
+        for (name, value) in [
+            (
+                "harmony_live_reads_total",
+                counters.reads.load(Ordering::Relaxed),
+            ),
+            (
+                "harmony_live_writes_total",
+                counters.writes.load(Ordering::Relaxed),
+            ),
+            (
+                "harmony_live_stale_reads_total",
+                counters.stale_reads.load(Ordering::Relaxed),
+            ),
+            (
+                "harmony_live_fault_epoch",
+                self.cluster.fault_state().counters().total(),
+            ),
+        ] {
+            registry.counter(name).set_total(value);
+        }
+        registry
+            .gauge("harmony_live_nodes")
+            .set(self.cluster.live_node_count() as f64);
+        registry
+            .gauge("harmony_live_mutation_backlog_ms")
+            .set(self.cluster.mutation_backlog_ms());
+        self.controller.lock().export_metrics(registry);
+    }
+
+    /// Dumps the current observability state as an [`harmony_obs::ObsReport`]:
+    /// a fresh metrics scrape and the decision audit log accumulated since
+    /// [`LiveHarmony::enable_decision_audit`]. The live client path has no
+    /// per-op tracer (ops are synchronous calls, not simulated events), so
+    /// the report's flight recorder is empty.
+    pub fn obs_report(&self) -> harmony_obs::ObsReport {
+        let registry = harmony_obs::MetricsRegistry::new();
+        self.export_metrics(&registry);
+        harmony_obs::ObsReport {
+            registry,
+            recorder: harmony_obs::FlightRecorder::new(0, 0),
+            audit: self.controller.lock().audit_log().to_vec(),
+        }
+    }
+
     /// Shuts the cluster down.
     pub fn shutdown(self) {
         self.cluster.shutdown();
@@ -388,6 +443,40 @@ mod tests {
             Ok(h) => h.shutdown(),
             Err(_) => panic!("cluster still referenced"),
         }
+    }
+
+    #[test]
+    fn obs_report_scrapes_the_live_cluster_and_audits_decisions() {
+        let h = LiveHarmony::new(
+            live_cluster(),
+            ControllerConfig::default(),
+            Box::new(HarmonyPolicy::new(3, 0.2)),
+        );
+        h.enable_decision_audit();
+        h.adapt();
+        for i in 0..100u64 {
+            h.write(&format!("k{}", i % 5), vec![7]);
+            let _ = h.read(&format!("k{}", i % 5));
+        }
+        h.adapt();
+        let report = h.obs_report();
+        let snap = report.registry.snapshot();
+        let reads = snap
+            .counters
+            .iter()
+            .find(|c| c.name == "harmony_live_reads_total")
+            .expect("live read counter")
+            .value;
+        assert_eq!(reads, 100);
+        assert!(snap
+            .gauges
+            .iter()
+            .any(|g| g.name == "harmony_live_nodes" && g.value == 4.0));
+        assert!(!report.audit.is_empty(), "both adapts were audited");
+        assert!(report
+            .prometheus_text()
+            .contains("harmony_live_reads_total 100"));
+        h.shutdown();
     }
 
     #[test]

@@ -570,6 +570,54 @@ impl Monitor {
     pub fn cold_share_bound(&self) -> f64 {
         self.hot_tracker.cold_share_bound()
     }
+
+    /// Exports the monitor's latest sweep (gauges) and its full sweep history
+    /// (histograms over the per-sweep signals) into a metrics registry.
+    /// Collect-on-scrape: nothing here runs during the simulation.
+    pub fn export_metrics(&self, registry: &harmony_obs::MetricsRegistry) {
+        let Some(last) = self.history.last() else {
+            return;
+        };
+        for (name, value) in [
+            ("harmony_monitor_read_rate", last.read_rate),
+            ("harmony_monitor_write_rate", last.write_rate),
+            ("harmony_monitor_latency_ms", last.latency_ms),
+            ("harmony_monitor_backlog_ms", last.backlog_ms),
+            ("harmony_monitor_backlog_spread_ms", last.backlog_spread_ms),
+            (
+                "harmony_monitor_backlog_trend_ms_per_s",
+                last.backlog_trend_ms_per_s,
+            ),
+            ("harmony_monitor_predicted_wait_ms", last.predicted_wait_ms),
+            ("harmony_monitor_phi_max", last.max_suspicion),
+            (
+                "harmony_monitor_suspected_nodes",
+                last.suspected_nodes as f64,
+            ),
+        ] {
+            registry.gauge(name).set(value);
+        }
+        registry
+            .counter("harmony_monitor_sweeps_total")
+            .add(self.history.len() as u64);
+        // Distribution of the signals over the whole run, one sample per
+        // sweep: histograms answer "how bad did the backlog get and how
+        // often" where the gauges only show the final state.
+        let backlog = registry.histogram("harmony_monitor_backlog_us");
+        let predicted = registry.histogram("harmony_monitor_predicted_wait_us");
+        for s in &self.history {
+            backlog.record_us(s.backlog_ms.max(0.0) * 1e3);
+            predicted.record_us(s.predicted_wait_ms.max(0.0) * 1e3);
+        }
+        for stat in &self.hot_stats {
+            registry
+                .gauge(&harmony_obs::series_name(
+                    "harmony_monitor_hot_key_backlog_ms",
+                    &[("key", &stat.name)],
+                ))
+                .set(stat.backlog_ms);
+        }
+    }
 }
 
 #[cfg(test)]

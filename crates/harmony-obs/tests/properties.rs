@@ -1,0 +1,165 @@
+//! Property tests for the observability layer.
+//!
+//! * **Merge is concatenation:** a histogram assembled by merging arbitrary
+//!   partitions of a sample stream is bucket-identical to one built from the
+//!   whole stream, so every percentile agrees exactly — the guarantee the
+//!   sharded runtime leans on when it folds per-shard series.
+//! * **Registry merges fold like sketches:** counters add, gauges take the
+//!   max, across any partition of the reports.
+//! * **Concurrent shard reports are never lost:** counters and gauges absorb
+//!   reports from many threads without dropping an increment.
+//! * **Empty summaries carry no NaN:** an empty histogram summarises and
+//!   renders to finite numbers, never NaN.
+//!
+//! Sampling is deterministic per property (the mini-proptest shim derives
+//! its seed from the property name), so a failure reproduces exactly.
+
+use harmony_obs::{LatencyHistogram, MetricsRegistry};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn merged_partitions_match_concatenated_percentiles(
+        samples in prop::collection::vec(0u64..2_000_000, 1..600),
+        cuts in prop::collection::vec(0usize..600, 0..6),
+    ) {
+        // Build the ground truth from the whole stream...
+        let mut concat = LatencyHistogram::new();
+        for &us in &samples {
+            concat.record_us(us as f64);
+        }
+        // ...and the same stream split at arbitrary cut points, each part
+        // recorded into its own histogram (a "shard") and merged back.
+        let mut bounds: Vec<usize> = cuts.iter().map(|c| c % samples.len().max(1)).collect();
+        bounds.push(0);
+        bounds.push(samples.len());
+        bounds.sort_unstable();
+        let mut merged = LatencyHistogram::new();
+        for pair in bounds.windows(2) {
+            let mut part = LatencyHistogram::new();
+            for &us in &samples[pair[0]..pair[1]] {
+                part.record_us(us as f64);
+            }
+            merged.merge(&part);
+        }
+        // Bucket-identical, so every percentile agrees exactly — not just
+        // within tolerance.
+        prop_assert_eq!(&merged, &concat);
+        prop_assert_eq!(merged.count(), samples.len() as u64);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(merged.percentile_ms(q), concat.percentile_ms(q));
+        }
+        prop_assert_eq!(merged.summary(), concat.summary());
+    }
+
+    #[test]
+    fn registry_merge_adds_counters_and_maxes_gauges(
+        counts in prop::collection::vec(0u64..10_000, 1..8),
+        gauges in prop::collection::vec(0u64..1_000_000, 1..8),
+    ) {
+        // One registry per "shard", folded into a coordinator registry the
+        // way run_sharded_experiment_with_obs does.
+        let coordinator = MetricsRegistry::new();
+        for (i, &n) in counts.iter().enumerate() {
+            let shard = MetricsRegistry::new();
+            shard.counter("ops_total").add(n);
+            let g = gauges.get(i).copied().unwrap_or(0) as f64 / 1e3;
+            shard.gauge("backlog_ms").set(g);
+            coordinator.merge_from(&shard);
+        }
+        let expected_total: u64 = counts.iter().sum();
+        prop_assert_eq!(coordinator.counter("ops_total").get(), expected_total);
+        let expected_max = counts
+            .iter()
+            .enumerate()
+            .map(|(i, _)| gauges.get(i).copied().unwrap_or(0))
+            .max()
+            .unwrap_or(0) as f64
+            / 1e3;
+        prop_assert_eq!(coordinator.gauge("backlog_ms").get(), expected_max);
+    }
+
+    #[test]
+    fn concurrent_shard_reports_lose_nothing(
+        per_thread in prop::collection::vec(1u64..500, 2..6),
+    ) {
+        // Shards share one registry's handles and report concurrently; the
+        // snapshot must account for every increment and the gauge must land
+        // on a value some shard actually set.
+        let registry = MetricsRegistry::new();
+        let handles: Vec<_> = per_thread
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let counter = registry.counter("harmony_shard_reports_total");
+                let gauge = registry.gauge("harmony_shard_phi");
+                let hist = registry.histogram("harmony_shard_latency_us");
+                std::thread::spawn(move || {
+                    for k in 0..n {
+                        counter.inc();
+                        gauge.set(i as f64);
+                        hist.record_us((k % 1000) as f64);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("shard thread reports cleanly");
+        }
+        let expected: u64 = per_thread.iter().sum();
+        let snap = registry.snapshot();
+        let counter = snap
+            .counters
+            .iter()
+            .find(|c| c.name == "harmony_shard_reports_total")
+            .expect("counter registered");
+        prop_assert_eq!(counter.value, expected);
+        let gauge = snap
+            .gauges
+            .iter()
+            .find(|g| g.name == "harmony_shard_phi")
+            .expect("gauge registered");
+        prop_assert!(
+            gauge.value >= 0.0 && gauge.value < per_thread.len() as f64,
+            "gauge {} was never set by any shard",
+            gauge.value
+        );
+        let hist = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "harmony_shard_latency_us")
+            .expect("histogram registered");
+        prop_assert_eq!(hist.summary.count, expected);
+    }
+
+    #[test]
+    fn empty_and_tiny_summaries_are_nan_free(
+        samples in prop::collection::vec(0u64..100, 0..3),
+    ) {
+        let mut h = LatencyHistogram::new();
+        for &us in &samples {
+            h.record_us(us as f64);
+        }
+        let s = h.summary();
+        for (label, v) in [
+            ("mean", s.mean_ms),
+            ("min", s.min_ms),
+            ("max", s.max_ms),
+            ("p50", s.p50_ms),
+            ("p95", s.p95_ms),
+            ("p99", s.p99_ms),
+        ] {
+            prop_assert!(v.is_finite(), "{} is not finite: {}", label, v);
+        }
+        // The registry's rendered forms stay NaN-free too, even for series
+        // that were registered but never recorded.
+        let registry = MetricsRegistry::new();
+        registry.histogram("untouched_us");
+        registry.gauge("untouched_gauge");
+        let text = registry.render_prometheus();
+        prop_assert!(!text.contains("NaN"), "{}", text);
+        let json = serde_json::to_string(&registry.snapshot()).expect("snapshot serialises");
+        prop_assert!(!json.contains("NaN") && !json.contains("null"), "{}", json);
+    }
+}

@@ -29,6 +29,8 @@ use crate::node::{NodeCounters, Stage, StorageNode, WriteStageTelemetry};
 use crate::placement::{PlacementCache, ReplicaSet, MAX_RF};
 use crate::types::{Mutation, Row, Timestamp};
 use harmony_chaos::{FaultEvent, FaultState};
+use harmony_obs::registry::{series_name, MetricsRegistry};
+use harmony_obs::{FlightRecorder, OpTracer, SpanKind};
 use harmony_sim::clock::SimTime;
 use harmony_sim::context::EventCtx;
 use harmony_sim::rng::RngFactory;
@@ -264,6 +266,21 @@ pub struct Cluster {
     /// histories cost nothing; they only accumulate state while
     /// [`StoreConfig::failure_detector_enabled`] is set.
     detectors: Vec<HeartbeatHistory>,
+    /// Per-op tracing + flight recorder ([`harmony-obs`]). `None` (the
+    /// default) reduces every hook to one branch, and the golden pins stay
+    /// byte-identical. Boxed plain data, no `Arc` — a cloned cluster gets an
+    /// independent copy, so checker backtracking stays sound.
+    obs: Option<Box<ClusterObs>>,
+}
+
+/// The cluster-side tracing state: the live tracer plus the flight recorder
+/// finished traces land in.
+#[derive(Debug, Clone)]
+pub struct ClusterObs {
+    /// The sampled per-op tracer.
+    pub tracer: OpTracer,
+    /// Retained slowest/aborted traces.
+    pub recorder: FlightRecorder,
 }
 
 /// Upper bound on buffered write-key samples between monitoring sweeps.
@@ -326,6 +343,103 @@ impl Cluster {
             probe_seed: harmony_sim::rng::mix(rng_factory.seed(), 0x70726f6265), // "probe"
             probe_count: std::cell::Cell::new(0),
             write_key_samples: std::cell::RefCell::new(Vec::new()),
+            obs: None,
+        }
+    }
+
+    // ---- observability ----------------------------------------------------
+
+    /// Enables sampled per-op tracing: every `sample_every`-th op gets a full
+    /// causal timeline, and the flight recorder retains the `keep_slowest`
+    /// slowest completed plus up to `abort_cap` aborted traces. Sampling is
+    /// a deterministic op-id modulo — no RNG draw — so an enabled tracer
+    /// never perturbs the simulation's random streams.
+    pub fn enable_tracing(&mut self, sample_every: u64, keep_slowest: usize, abort_cap: usize) {
+        self.obs = Some(Box::new(ClusterObs {
+            tracer: OpTracer::new(sample_every),
+            recorder: FlightRecorder::new(keep_slowest, abort_cap),
+        }));
+    }
+
+    /// The tracing state, if tracing is enabled.
+    pub fn obs(&self) -> Option<&ClusterObs> {
+        self.obs.as_deref()
+    }
+
+    /// Detaches and returns the tracing state (tracing stops).
+    pub fn take_obs(&mut self) -> Option<Box<ClusterObs>> {
+        self.obs.take()
+    }
+
+    /// The current fault epoch: how many fault events have been applied.
+    pub fn fault_epoch(&self) -> u64 {
+        self.faults.counters().total()
+    }
+
+    /// Appends a client-side annotation (retry/hedge branch) to an op's
+    /// trace. No-op unless tracing is enabled and the op is sampled — the
+    /// experiment runner calls this for the protocol branches it drives.
+    pub fn trace_note(
+        &mut self,
+        op: OpId,
+        now: SimTime,
+        kind: SpanKind,
+        detail: impl FnOnce() -> String,
+    ) {
+        if let Some(obs) = self.obs.as_mut() {
+            if obs.tracer.samples(op.0) {
+                obs.tracer.event(
+                    op.0,
+                    now.0 / 1_000,
+                    harmony_obs::CLIENT_NODE,
+                    kind,
+                    detail(),
+                );
+            }
+        }
+    }
+
+    /// Exports the cluster's protocol counters into a metrics registry
+    /// (collect-on-scrape: nothing here runs during the simulation).
+    pub fn export_metrics(&self, registry: &MetricsRegistry) {
+        let t = &self.totals;
+        for (name, value) in [
+            ("harmony_reads_submitted_total", t.reads_submitted),
+            ("harmony_reads_completed_total", t.reads_completed),
+            ("harmony_writes_submitted_total", t.writes_submitted),
+            ("harmony_writes_completed_total", t.writes_completed),
+            ("harmony_stale_reads_total", t.stale_reads),
+            ("harmony_repairs_issued_total", t.repairs_issued),
+            ("harmony_ops_aborted_total", t.ops_aborted),
+            ("harmony_protocol_drops_total", t.protocol_drops),
+            ("harmony_hints_evicted_total", t.hints_evicted),
+            ("harmony_ae_rounds_total", t.ae_rounds),
+            ("harmony_ae_rows_streamed_total", t.ae_rows_streamed),
+        ] {
+            registry.counter(name).add(value);
+        }
+        registry
+            .counter("harmony_fault_epoch")
+            .add(self.fault_epoch());
+        registry
+            .gauge("harmony_live_nodes")
+            .set(self.live_node_count() as f64);
+        let hinted: usize = self.hints.iter().map(Vec::len).sum();
+        registry
+            .gauge("harmony_hinted_mutations_pending")
+            .set(hinted as f64);
+        for (node, counters) in self.node_counters().into_iter().enumerate() {
+            let label = node.to_string();
+            for (name, value) in [
+                ("harmony_node_reads_served_total", counters.reads),
+                ("harmony_node_writes_applied_total", counters.writes),
+                ("harmony_node_repairs_applied_total", counters.repairs),
+                ("harmony_node_messages_queued_total", counters.queued),
+            ] {
+                registry
+                    .counter(&series_name(name, &[("node", &label)]))
+                    .add(value);
+            }
         }
     }
 
@@ -786,6 +900,11 @@ impl Cluster {
             .copied()
             .unwrap_or(Timestamp::ZERO);
         self.totals.reads_submitted += 1;
+        if let Some(obs) = self.obs.as_mut() {
+            let epoch = self.faults.counters().total();
+            obs.tracer
+                .start(op.0, "read", key.index() as u64, ctx.now().0 / 1_000, epoch);
+        }
         self.pending_reads.insert(
             op,
             PendingRead {
@@ -848,6 +967,16 @@ impl Cluster {
         let op = self.alloc_op();
         let coordinator = self.pick_coordinator();
         self.totals.writes_submitted += 1;
+        if let Some(obs) = self.obs.as_mut() {
+            let epoch = self.faults.counters().total();
+            obs.tracer.start(
+                op.0,
+                "write",
+                key.index() as u64,
+                ctx.now().0 / 1_000,
+                epoch,
+            );
+        }
         self.pending_writes.insert(
             op,
             PendingWrite {
@@ -1100,6 +1229,31 @@ impl Cluster {
             p.contacted = contacted;
             p.required = required;
         }
+        if let Some(obs) = self.obs.as_mut() {
+            if obs.tracer.samples(op.0) {
+                let now_us = ctx.now().0 / 1_000;
+                obs.tracer.event(
+                    op.0,
+                    now_us,
+                    coordinator.0 as i64,
+                    SpanKind::CoordinatorReceipt,
+                    format!(
+                        "contacting {:?} of {:?}",
+                        contacted.as_slice(),
+                        replica_set.as_slice()
+                    ),
+                );
+                for &replica in contacted.as_slice() {
+                    obs.tracer.event(
+                        op.0,
+                        now_us,
+                        coordinator.0 as i64,
+                        SpanKind::ReplicaSend,
+                        format!("read request to node{}", replica.0),
+                    );
+                }
+            }
+        }
         for i in 0..contacted.len() {
             let replica = contacted.as_slice()[i];
             let latency = self.link_latency(coordinator, replica);
@@ -1146,6 +1300,18 @@ impl Cluster {
         // the coordinator cannot reach get a durable hint instead — the
         // hinted-handoff mutation replays into their write stage on
         // restart/heal, so a crash never loses queued propagation.
+        let traced = self.obs.as_ref().is_some_and(|o| o.tracer.samples(op.0));
+        if traced {
+            if let Some(obs) = self.obs.as_mut() {
+                obs.tracer.event(
+                    op.0,
+                    ctx.now().0 / 1_000,
+                    coordinator.0 as i64,
+                    SpanKind::CoordinatorReceipt,
+                    format!("fan-out to {:?} ts={timestamp:?}", replica_set.as_slice()),
+                );
+            }
+        }
         let mut sent = 0usize;
         for i in 0..replica_set.len() {
             let replica = replica_set.as_slice()[i];
@@ -1156,8 +1322,24 @@ impl Cluster {
                 timestamp,
                 coordinator,
             };
-            if self.send_replica_work(coordinator, replica, message, ctx) {
+            let delivered = self.send_replica_work(coordinator, replica, message, ctx);
+            if delivered {
                 sent += 1;
+            }
+            if traced {
+                if let Some(obs) = self.obs.as_mut() {
+                    obs.tracer.event(
+                        op.0,
+                        ctx.now().0 / 1_000,
+                        coordinator.0 as i64,
+                        if delivered {
+                            SpanKind::ReplicaSend
+                        } else {
+                            SpanKind::HintStashed
+                        },
+                        format!("write to node{}", replica.0),
+                    );
+                }
             }
         }
         if let Some(p) = self.pending_writes.get_mut(&op) {
@@ -1190,6 +1372,20 @@ impl Cluster {
                 coordinator,
             } => {
                 let row = self.nodes[node.index()].serve_read(key);
+                if let Some(obs) = self.obs.as_mut() {
+                    if obs.tracer.samples(op.0) {
+                        obs.tracer.event(
+                            op.0,
+                            ctx.now().0 / 1_000,
+                            node.0 as i64,
+                            SpanKind::ReplicaApply,
+                            format!(
+                                "served read, local ts={:?}",
+                                row.as_ref().map(|r| r.latest_timestamp())
+                            ),
+                        );
+                    }
+                }
                 // Work in service when a node crashes still completes (the
                 // power fails after the in-flight operation, not during it)
                 // but a dead or cut-off node sends nothing back.
@@ -1216,6 +1412,17 @@ impl Cluster {
                 coordinator,
             } => {
                 self.nodes[node.index()].apply_write(key, &mutation, timestamp);
+                if let Some(obs) = self.obs.as_mut() {
+                    if obs.tracer.samples(op.0) {
+                        obs.tracer.event(
+                            op.0,
+                            ctx.now().0 / 1_000,
+                            node.0 as i64,
+                            SpanKind::ReplicaApply,
+                            format!("applied write ts={timestamp:?}"),
+                        );
+                    }
+                }
                 if self.faults.reachable(node, coordinator) {
                     let latency = self.link_latency(node, coordinator);
                     ctx.emit(
@@ -1259,6 +1466,22 @@ impl Cluster {
             return;
         };
         pending.responses.push(from, row);
+        if let Some(obs) = self.obs.as_mut() {
+            if obs.tracer.samples(op.0) {
+                obs.tracer.event(
+                    op.0,
+                    ctx.now().0 / 1_000,
+                    pending.coordinator.0 as i64,
+                    SpanKind::ResponseReceived,
+                    format!(
+                        "from node{} ({}/{} required)",
+                        from.0,
+                        pending.responses.len(),
+                        pending.required
+                    ),
+                );
+            }
+        }
         if pending.replied || pending.responses.len() < pending.required {
             // Either still waiting, or this was a straggler; nothing to do
             // until all contacted replicas answered (handled below).
@@ -1315,6 +1538,30 @@ impl Cluster {
         let fully_answered = pending.responses.len() == pending.contacted.len();
         let reads_all_replicas = pending.required >= pending.replica_set.len();
 
+        if let Some(obs) = self.obs.as_mut() {
+            if obs.tracer.samples(op.0) {
+                let now_us = ctx.now().0 / 1_000;
+                obs.tracer.event(
+                    op.0,
+                    now_us,
+                    coordinator.0 as i64,
+                    SpanKind::QuorumClose,
+                    format!("quorum met, winner ts={returned_ts:?}"),
+                );
+                if !stale_responders.is_empty() {
+                    obs.tracer.event(
+                        op.0,
+                        now_us,
+                        coordinator.0 as i64,
+                        SpanKind::Reconcile,
+                        format!(
+                            "divergent replicas {:?} behind ts={returned_ts:?}",
+                            stale_responders.as_slice()
+                        ),
+                    );
+                }
+            }
+        }
         self.staged_completions.insert(op, completion);
         let mut client_delay = self.client_latency();
         // Strong consistency (level ALL) in the paper's Figure 1: if the
@@ -1350,6 +1597,17 @@ impl Cluster {
                         },
                         ctx,
                     );
+                    if let Some(obs) = self.obs.as_mut() {
+                        if obs.tracer.samples(op.0) {
+                            obs.tracer.event(
+                                op.0,
+                                ctx.now().0 / 1_000,
+                                coordinator.0 as i64,
+                                SpanKind::ReadRepairSend,
+                                format!("repair to node{}", target.0),
+                            );
+                        }
+                    }
                 }
                 if !uncontacted.is_empty()
                     && self
@@ -1376,12 +1634,26 @@ impl Cluster {
         }
     }
 
-    fn on_write_ack<C: EventCtx<StoreEvent>>(&mut self, op: OpId, _from: NodeId, ctx: &mut C) {
+    fn on_write_ack<C: EventCtx<StoreEvent>>(&mut self, op: OpId, from: NodeId, ctx: &mut C) {
         let client_delay = self.client_latency();
         let Some(pending) = self.pending_writes.get_mut(&op) else {
             return;
         };
         pending.acks += 1;
+        if let Some(obs) = self.obs.as_mut() {
+            if obs.tracer.samples(op.0) {
+                obs.tracer.event(
+                    op.0,
+                    ctx.now().0 / 1_000,
+                    pending.coordinator.0 as i64,
+                    SpanKind::ResponseReceived,
+                    format!(
+                        "ack from node{} ({}/{} required)",
+                        from.0, pending.acks, pending.required
+                    ),
+                );
+            }
+        }
         if !pending.replied && pending.acks >= pending.required {
             pending.replied = true;
             let completion = Completion {
@@ -1400,6 +1672,17 @@ impl Cluster {
             };
             self.staged_completions.insert(op, completion);
             ctx.emit(client_delay, StoreEvent::ClientReply { op });
+            if let Some(obs) = self.obs.as_mut() {
+                if obs.tracer.samples(op.0) {
+                    obs.tracer.event(
+                        op.0,
+                        ctx.now().0 / 1_000,
+                        pending.coordinator.0 as i64,
+                        SpanKind::QuorumClose,
+                        format!("{} acks", pending.acks),
+                    );
+                }
+            }
         }
         if pending.acks >= pending.replica_count {
             self.pending_writes.remove(&op);
@@ -1409,6 +1692,18 @@ impl Cluster {
     fn on_client_reply(&mut self, op: OpId, now: SimTime) -> Option<Completion> {
         let mut completion = self.staged_completions.remove(&op)?;
         completion.completed_at = now;
+        if let Some(obs) = self.obs.as_mut() {
+            if obs.tracer.samples(op.0) {
+                let epoch = self.faults.counters().total();
+                let level = completion.consistency.to_string();
+                if let Some(trace) =
+                    obs.tracer
+                        .finish(op.0, now.0 / 1_000, &level, completion.aborted, epoch)
+                {
+                    obs.recorder.offer(trace);
+                }
+            }
+        }
         if completion.aborted {
             // A failed operation is neither a completed read nor a completed
             // write; it only bumps the abort tally.

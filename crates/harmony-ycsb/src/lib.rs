@@ -48,15 +48,17 @@ pub mod workloads;
 pub mod prelude {
     pub use crate::distributions::{record_key, KeyChooser};
     pub use crate::runner::{
-        run_experiment, run_experiment_with_faults, run_experiment_with_retry, ExperimentResult,
-        ExperimentSpec, Phase, PhaseResult, RetryPolicy, Runner, RunnerEvent, CHAOS_OP_TIMEOUT,
+        run_experiment, run_experiment_with_faults, run_experiment_with_obs,
+        run_experiment_with_retry, ExperimentResult, ExperimentSpec, Phase, PhaseResult,
+        RetryPolicy, Runner, RunnerEvent, CHAOS_OP_TIMEOUT,
     };
-    pub use crate::sharded::run_sharded_experiment;
+    pub use crate::sharded::{run_sharded_experiment, run_sharded_experiment_with_obs};
     pub use crate::stats::{LatencyHistogram, LatencySummary, RunStats};
     pub use crate::workloads::{Operation, RequestDistribution, WorkloadSpec};
     pub use harmony_chaos::{
         FaultCounters, FaultEvent, FaultSchedule, FaultState, RandomFaultConfig, ScheduledFault,
     };
+    pub use harmony_obs::{MetricsRegistry, ObsConfig, ObsReport};
 }
 
 pub use prelude::*;

@@ -14,6 +14,7 @@ use crate::workloads::{Operation, WorkloadSpec};
 use harmony_adaptive::controller::{AdaptiveController, DecisionRecord, HotKeyDecision};
 use harmony_adaptive::policy::ConsistencyPolicy;
 use harmony_chaos::{FaultCounters, FaultEvent, FaultSchedule};
+use harmony_obs::{MetricsRegistry, ObsConfig, ObsReport, SpanKind};
 use harmony_sim::clock::SimTime;
 use harmony_sim::engine::Simulation;
 use harmony_sim::profiles::ClusterProfile;
@@ -423,6 +424,8 @@ pub struct Runner {
     hedge_partner: HashMap<OpId, (OpId, bool)>,
     /// Monotonic token source for retry/hedge events.
     retry_token: u64,
+    /// Observability knobs (default: all off — byte-identical runs).
+    pub(crate) obs: ObsConfig,
     // Accumulated output.
     pub(crate) stats: RunStats,
     pub(crate) phase_results: Vec<PhaseResult>,
@@ -495,6 +498,7 @@ impl Runner {
             hedge_checks: HashMap::new(),
             hedge_partner: HashMap::new(),
             retry_token: 0,
+            obs: ObsConfig::off(),
             stats: RunStats::default(),
             phase_results: Vec::new(),
             phase_stats: RunStats::default(),
@@ -583,6 +587,7 @@ impl Runner {
             hedge_checks: HashMap::new(),
             hedge_partner: HashMap::new(),
             retry_token: 0,
+            obs: ObsConfig::off(),
             stats: RunStats::default(),
             phase_results: Vec::new(),
             phase_stats: RunStats::default(),
@@ -609,6 +614,27 @@ impl Runner {
             .validate()
             .unwrap_or_else(|e| panic!("invalid retry policy: {e}"));
         self.retry = retry;
+        self
+    }
+
+    /// Attaches observability knobs: sampled per-op tracing with the flight
+    /// recorder, the controller's decision audit log, and end-of-run metrics
+    /// export. The default (all-off) config is exactly equivalent to never
+    /// calling this — no trace state is allocated and no decision is audited,
+    /// so plain runs stay byte-identical. Collect the output by running the
+    /// experiment with [`Runner::run_with_obs`].
+    pub fn with_obs(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
+        if obs.tracing_enabled() {
+            self.cluster.enable_tracing(
+                obs.trace_sample_every,
+                obs.keep_slowest as usize,
+                obs.abort_cap as usize,
+            );
+        }
+        if obs.decision_audit {
+            self.controller.enable_decision_audit();
+        }
         self
     }
 
@@ -767,6 +793,10 @@ impl Runner {
             return;
         };
         let dup = self.cluster.submit_read_id(key, level, &mut self.sim);
+        let now = self.sim.now();
+        self.cluster.trace_note(dup, now, SpanKind::Hedge, || {
+            format!("hedge duplicate of op{}", primary.0)
+        });
         self.in_flight.insert(dup, meta);
         self.retry_ctx.insert(dup, ctx);
         self.hedge_partner.insert(primary, (dup, false));
@@ -789,6 +819,10 @@ impl Runner {
                     .submit_write_id(key, mutation, level, &mut self.sim)
             }
         };
+        let now = self.sim.now();
+        self.cluster.trace_note(op, now, SpanKind::Retry, || {
+            format!("retry attempt {} after backoff", ctx.attempt)
+        });
         self.in_flight.insert(op, meta);
         self.retry_ctx.insert(op, ctx);
         self.arm_hedge(op, ctx.action);
@@ -974,6 +1008,64 @@ impl Runner {
 
     /// Runs the experiment to completion and returns its result.
     pub fn run(mut self) -> ExperimentResult {
+        self.execute()
+    }
+
+    /// Runs the experiment and additionally returns the observability
+    /// report: the metrics registry (populated collect-on-scrape at the end
+    /// of the run), the flight recorder's retained traces, and the decision
+    /// audit log. With an all-off [`ObsConfig`] the result is identical to
+    /// [`Runner::run`] and the report is empty.
+    pub fn run_with_obs(mut self) -> (ExperimentResult, ObsReport) {
+        let result = self.execute();
+        let report = self.obs_report(&result);
+        (result, report)
+    }
+
+    /// Assembles the observability report after a finished run: scrapes the
+    /// cluster, controller and client-side stats into a fresh registry and
+    /// detaches the flight recorder.
+    fn obs_report(&mut self, result: &ExperimentResult) -> ObsReport {
+        let registry = MetricsRegistry::new();
+        if self.obs.metrics {
+            self.cluster.export_metrics(&registry);
+            self.controller.export_metrics(&registry);
+            registry
+                .histogram("harmony_client_read_latency_us")
+                .merge_from(&result.stats.read_latency);
+            registry
+                .histogram("harmony_client_write_latency_us")
+                .merge_from(&result.stats.write_latency);
+            for (name, value) in [
+                ("harmony_client_operations_total", result.stats.operations),
+                ("harmony_client_stale_reads_total", result.stats.stale_reads),
+                ("harmony_client_aborted_ops_total", result.stats.aborted_ops),
+                ("harmony_client_retries_total", result.stats.retries),
+                (
+                    "harmony_client_hedged_reads_total",
+                    result.stats.hedged_reads,
+                ),
+                ("harmony_client_hedge_wins_total", result.stats.hedge_wins),
+            ] {
+                registry.counter(name).set_total(value);
+            }
+            registry
+                .gauge("harmony_client_throughput_ops_per_sec")
+                .set(result.stats.throughput_ops_per_sec());
+        }
+        let recorder = self
+            .cluster
+            .take_obs()
+            .map(|o| o.recorder)
+            .unwrap_or_default();
+        ObsReport {
+            registry,
+            recorder,
+            audit: self.controller.audit_log().to_vec(),
+        }
+    }
+
+    fn execute(&mut self) -> ExperimentResult {
         let deadline = SimTime::from_secs_f64(self.spec.max_virtual_secs);
         self.stats.started_at = self.sim.now();
         self.phase_stats.started_at = self.sim.now();
@@ -1066,11 +1158,11 @@ impl Runner {
         ExperimentResult {
             policy: self.controller.policy_name(),
             workload: self.spec.workload.name.clone(),
-            profile: self.profile_name,
-            stats: self.stats,
-            phase_results: self.phase_results,
+            profile: self.profile_name.clone(),
+            stats: std::mem::take(&mut self.stats),
+            phase_results: std::mem::take(&mut self.phase_results),
             decisions: self.controller.decisions().to_vec(),
-            read_level_histogram: self.read_level_histogram,
+            read_level_histogram: std::mem::take(&mut self.read_level_histogram),
             cluster_totals: self.cluster.totals(),
             hot_set: self.controller.hot_set().to_vec(),
             fault_counters: self.cluster.fault_state().counters(),
@@ -1134,6 +1226,29 @@ pub fn run_experiment_with_retry(
         .with_faults(faults)
         .with_retry(retry)
         .run()
+}
+
+/// [`run_experiment_with_faults`] with observability attached: returns the
+/// usual result plus the run's [`ObsReport`] (metrics snapshot, flight
+/// recorder traces, decision audit log). An all-off [`ObsConfig`] yields a
+/// result byte-identical to [`run_experiment_with_faults`] and an empty
+/// report.
+#[allow(clippy::too_many_arguments)]
+pub fn run_experiment_with_obs(
+    profile: &ClusterProfile,
+    store_config: StoreConfig,
+    controller_config: harmony_adaptive::config::ControllerConfig,
+    policy: Box<dyn ConsistencyPolicy>,
+    spec: ExperimentSpec,
+    faults: FaultSchedule,
+    obs: ObsConfig,
+) -> (ExperimentResult, ObsReport) {
+    let controller =
+        AdaptiveController::new(controller_config, store_config.replication_factor, policy);
+    Runner::new(profile, store_config, controller, spec)
+        .with_faults(faults)
+        .with_obs(obs)
+        .run_with_obs()
 }
 
 #[cfg(test)]
@@ -1592,5 +1707,122 @@ mod tests {
         let a_write_share = a.stats.writes as f64 / a.stats.operations as f64;
         let b_write_share = b.stats.writes as f64 / b.stats.operations as f64;
         assert!(b_write_share < a_write_share / 3.0);
+    }
+
+    fn run_obs(obs: ObsConfig) -> (ExperimentResult, ObsReport) {
+        run_experiment_with_obs(
+            &profiles::grid5000_with_nodes(6),
+            small_store_config(),
+            ControllerConfig::default(),
+            Box::new(HarmonyPolicy::new(3, 0.2)),
+            small_spec(8, 2_000),
+            FaultSchedule::empty(),
+            obs,
+        )
+    }
+
+    #[test]
+    fn obs_off_is_byte_identical_to_plain_run_with_empty_report() {
+        let plain = run_with(Box::new(HarmonyPolicy::new(3, 0.2)), small_spec(8, 2_000));
+        let (result, report) = run_obs(ObsConfig::off());
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&result).unwrap(),
+            "an all-off obs config must not change the run at all"
+        );
+        assert_eq!(report.prometheus_text(), "");
+        assert_eq!(report.traces_json(), "[]");
+        assert!(report.audit.is_empty());
+    }
+
+    #[test]
+    fn obs_enabled_observes_without_perturbing_the_run() {
+        let plain = run_with(Box::new(HarmonyPolicy::new(3, 0.2)), small_spec(8, 2_000));
+        let (result, report) = run_obs(ObsConfig::enabled());
+        // Tracing samples by op-id modulo and metrics collect on scrape, so
+        // even a fully enabled run is byte-identical to the plain one.
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&result).unwrap(),
+            "enabled observability must not perturb the simulation"
+        );
+        // The registry carries protocol, controller and client series.
+        let snap = report.registry.snapshot();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|c| c.name == name)
+                .unwrap_or_else(|| panic!("missing counter {name}"))
+                .value
+        };
+        assert_eq!(
+            counter("harmony_reads_completed_total"),
+            result.cluster_totals.reads_completed
+        );
+        assert_eq!(
+            counter("harmony_client_operations_total"),
+            result.stats.operations
+        );
+        assert_eq!(
+            counter("harmony_decisions_total"),
+            result.decisions.len() as u64
+        );
+        assert!(snap
+            .histograms
+            .iter()
+            .any(|h| h.name == "harmony_client_read_latency_us" && h.summary.count > 0));
+        let text = report.prometheus_text();
+        assert!(text.contains("# TYPE harmony_reads_completed_total counter"));
+        // The flight recorder retained sampled traces with causal timelines.
+        let traces: Vec<_> = report.recorder.traces().collect();
+        assert!(
+            !traces.is_empty(),
+            "sampling 1/64 of 2000+ ops retains traces"
+        );
+        for t in &traces {
+            assert!(t.events.len() >= 3, "trace has a causal timeline: {t:?}");
+            assert!(!t.render().is_empty());
+        }
+        // Every decision is audited, and the audit aligns with the decisions.
+        assert_eq!(report.audit.len(), result.decisions.len());
+        assert!(report
+            .audit
+            .iter()
+            .zip(result.decisions.iter())
+            .all(|(a, d)| a.replicas_in_read == d.replicas_in_read as u64));
+    }
+
+    #[test]
+    fn obs_traces_span_fault_epochs_and_audit_links_escalations() {
+        let profile = profiles::grid5000_with_nodes(6);
+        use harmony_sim::topology::NodeId;
+        let faults = FaultSchedule::empty()
+            .crash_at(0.05, NodeId(1))
+            .restart_at(0.4, NodeId(1));
+        let (result, report) = run_experiment_with_obs(
+            &profile,
+            small_store_config(),
+            ControllerConfig::default(),
+            Box::new(HarmonyPolicy::new(3, 0.2)),
+            small_spec(16, 20_000),
+            faults,
+            ObsConfig {
+                trace_sample_every: 4,
+                ..ObsConfig::enabled()
+            },
+        );
+        assert!(result.fault_counters.crashes > 0);
+        // At least one retained trace observed the fault epoch advancing
+        // between submit and completion.
+        assert!(
+            !report.fault_spanning_traces().is_empty(),
+            "a crash mid-run must be visible in some sampled trace"
+        );
+        // The audit can explain every decision with its inputs.
+        assert!(!report.audit.is_empty());
+        for a in &report.audit {
+            assert!(!a.explain().is_empty());
+            assert!(a.live_nodes <= 6);
+        }
     }
 }

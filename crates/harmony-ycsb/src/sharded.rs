@@ -30,8 +30,8 @@
 
 use crate::distributions::record_key;
 use crate::runner::{
-    run_experiment_with_faults, ExperimentResult, ExperimentSpec, Phase, PhaseResult, Runner,
-    RunnerEvent, CHAOS_OP_TIMEOUT,
+    run_experiment_with_faults, run_experiment_with_obs, ExperimentResult, ExperimentSpec, Phase,
+    PhaseResult, Runner, RunnerEvent, CHAOS_OP_TIMEOUT,
 };
 use crate::stats::RunStats;
 use harmony_adaptive::config::ControllerConfig;
@@ -40,6 +40,8 @@ use harmony_adaptive::policy::{ConsistencyPolicy, StaticPolicy};
 use harmony_chaos::{FaultCounters, FaultSchedule};
 use harmony_monitor::heavy_hitters::SpaceSavingSketch;
 use harmony_monitor::probe::ClusterProbe;
+use harmony_obs::registry::series_name;
+use harmony_obs::{FlightRecorder, MetricsRegistry, ObsConfig, ObsReport};
 use harmony_sim::barrier::{ShardBarrier, ShardWorker};
 use harmony_sim::clock::SimTime;
 use harmony_sim::profiles::ClusterProfile;
@@ -102,6 +104,12 @@ pub(crate) struct ShardOutcome {
     read_level_histogram: BTreeMap<usize, u64>,
     totals: ClusterTotals,
     fault_counters: FaultCounters,
+    /// This shard's metrics series (empty when metrics are off); the
+    /// coordinator folds them like sketches — counters add, gauges max,
+    /// histograms merge bucket-wise.
+    registry: MetricsRegistry,
+    /// This shard's flight recorder (empty when tracing is off).
+    recorder: FlightRecorder,
 }
 
 /// The merged cluster view the coordinator's controller ticks against: the
@@ -395,13 +403,33 @@ impl Runner {
         }
     }
 
-    fn shard_outcome(self) -> ShardOutcome {
+    fn shard_outcome(mut self) -> ShardOutcome {
+        let registry = MetricsRegistry::new();
+        if self.obs.metrics {
+            self.cluster.export_metrics(&registry);
+            registry
+                .histogram("harmony_client_read_latency_us")
+                .merge_from(&self.stats.read_latency);
+            registry
+                .histogram("harmony_client_write_latency_us")
+                .merge_from(&self.stats.write_latency);
+            registry
+                .counter("harmony_client_operations_total")
+                .set_total(self.stats.operations);
+        }
+        let recorder = self
+            .cluster
+            .take_obs()
+            .map(|o| o.recorder)
+            .unwrap_or_default();
         ShardOutcome {
             totals: self.cluster.totals(),
             fault_counters: self.cluster.fault_state().counters(),
             stats: self.stats,
             phase_results: self.phase_results,
             read_level_histogram: self.read_level_histogram,
+            registry,
+            recorder,
         }
     }
 }
@@ -433,6 +461,48 @@ pub fn run_sharded_experiment(
             faults,
         );
     }
+    run_sharded_experiment_with_obs(
+        profile,
+        store_config,
+        controller_config,
+        policy,
+        spec,
+        faults,
+        shards,
+        ObsConfig::off(),
+    )
+    .0
+}
+
+/// [`run_sharded_experiment`] with observability attached: every shard runs
+/// its own tracer/flight recorder and exports a per-shard metrics registry;
+/// the coordinator merges them the way shard sketches merge (counters add,
+/// gauges take the worst shard, histograms fold bucket-wise) and owns the
+/// decision audit log — the single real controller lives there. An all-off
+/// config yields a result byte-identical to [`run_sharded_experiment`] and
+/// an empty report.
+#[allow(clippy::too_many_arguments)]
+pub fn run_sharded_experiment_with_obs(
+    profile: &ClusterProfile,
+    store_config: StoreConfig,
+    controller_config: ControllerConfig,
+    policy: Box<dyn ConsistencyPolicy>,
+    spec: ExperimentSpec,
+    faults: FaultSchedule,
+    shards: usize,
+    obs: ObsConfig,
+) -> (ExperimentResult, ObsReport) {
+    if shards <= 1 {
+        return run_experiment_with_obs(
+            profile,
+            store_config,
+            controller_config,
+            policy,
+            spec,
+            faults,
+            obs,
+        );
+    }
     spec.validate()
         .unwrap_or_else(|e| panic!("invalid experiment spec: {e}"));
 
@@ -440,6 +510,16 @@ pub fn run_sharded_experiment(
     let sketch_capacity = controller_config.monitor.hot_key_capacity;
     let node_concurrency = store_config.node_concurrency;
     let mut controller = AdaptiveController::new(controller_config, rf, policy);
+    if obs.decision_audit {
+        controller.enable_decision_audit();
+    }
+    // Shards trace and export metrics locally; the decision audit belongs to
+    // the coordinator (per-shard controllers are cadence placeholders that
+    // never decide a level, so a shard-side audit would record nothing).
+    let shard_obs = ObsConfig {
+        decision_audit: false,
+        ..obs
+    };
 
     // Build every shard runner up front (deterministic, single-threaded).
     let mut runners = Vec::with_capacity(shards);
@@ -458,7 +538,8 @@ pub fn run_sharded_experiment(
                 shard_spec,
                 partition,
             )
-            .with_faults(faults.clone()),
+            .with_faults(faults.clone())
+            .with_obs(shard_obs),
         );
     }
 
@@ -539,6 +620,27 @@ pub fn run_sharded_experiment(
             },
         })
         .collect();
+    // Fold the per-shard observability output like the stats: registries
+    // merge (counters add, gauges max, histograms bucket-wise), recorders
+    // keep the globally slowest K and the aborted pool, shard-labelled
+    // per-shard op counters record the split.
+    let registry = MetricsRegistry::new();
+    let mut recorder = FlightRecorder::new(obs.keep_slowest as usize, obs.abort_cap as usize);
+    for (i, outcome) in outcomes.iter().enumerate() {
+        if obs.metrics {
+            registry.merge_from(&outcome.registry);
+            registry
+                .counter(&series_name(
+                    "harmony_shard_operations_total",
+                    &[("shard", &i.to_string())],
+                ))
+                .set_total(outcome.stats.operations);
+        }
+        if obs.tracing_enabled() {
+            recorder.merge_from(&outcome.recorder);
+        }
+    }
+
     for outcome in &outcomes {
         stats.absorb(&outcome.stats);
         for (level, count) in &outcome.read_level_histogram {
@@ -562,7 +664,18 @@ pub fn run_sharded_experiment(
     // phases nobody completed so the result mirrors the classic runner.
     phase_results.retain(|pr| pr.stats.operations > 0);
 
-    ExperimentResult {
+    if obs.metrics {
+        // Coordinator-side series: the single real controller's decision
+        // outcomes and the merged monitor view.
+        controller.export_metrics(&registry);
+    }
+    let report = ObsReport {
+        registry,
+        recorder,
+        audit: controller.audit_log().to_vec(),
+    };
+
+    let result = ExperimentResult {
         policy: controller.policy_name(),
         workload: spec.workload.name.clone(),
         profile: profile.name.clone(),
@@ -581,7 +694,8 @@ pub fn run_sharded_experiment(
         // Cross-shard divergence is not sampled (each shard only sees its
         // own stripe); the classic runner carries the self-healing metric.
         divergence_timeline: Vec::new(),
-    }
+    };
+    (result, report)
 }
 
 #[cfg(test)]
@@ -656,6 +770,66 @@ mod tests {
             assert_eq!(ops, 12_000);
             assert!(split.iter().all(|s| s.phases[0].threads >= 1));
         }
+    }
+
+    #[test]
+    fn sharded_obs_merges_per_shard_series_without_perturbing_the_run() {
+        let run_obs = |obs: ObsConfig| {
+            run_sharded_experiment_with_obs(
+                &profiles::grid5000_with_nodes(6),
+                StoreConfig {
+                    replication_factor: 3,
+                    ..StoreConfig::default()
+                },
+                ControllerConfig::default(),
+                Box::new(HarmonyPolicy::new(3, 0.2)),
+                spec(8, 12_000, 500),
+                FaultSchedule::empty(),
+                3,
+                obs,
+            )
+        };
+        let plain = run(3);
+        let (result, report) = run_obs(ObsConfig::enabled());
+        // Per-shard tracing and end-of-run scrapes leave the run untouched.
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&result).unwrap(),
+            "enabled observability must not perturb the sharded run"
+        );
+        let snap = report.registry.snapshot();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|c| c.name == name)
+                .unwrap_or_else(|| panic!("missing counter {name}"))
+                .value
+        };
+        // Counters fold across shards exactly like the stats merge.
+        assert_eq!(
+            counter("harmony_reads_completed_total"),
+            result.cluster_totals.reads_completed
+        );
+        assert_eq!(
+            counter("harmony_client_operations_total"),
+            result.stats.operations
+        );
+        // The per-shard split is visible as labelled series and re-sums.
+        let shard_sum: u64 = (0..3)
+            .map(|i| counter(&format!("harmony_shard_operations_total{{shard=\"{i}\"}}")))
+            .sum();
+        assert_eq!(shard_sum, result.stats.operations);
+        // Client latency histograms folded bucket-wise across shards.
+        let read_hist = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "harmony_client_read_latency_us")
+            .expect("merged read-latency histogram");
+        assert_eq!(read_hist.summary.count, result.stats.reads);
+        // The merged recorder re-ranked the per-shard slowest traces, and
+        // the coordinator-side audit covers the real controller's decisions.
+        assert!(!report.recorder.is_empty());
+        assert_eq!(report.audit.len(), result.decisions.len());
     }
 
     #[test]

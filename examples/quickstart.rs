@@ -6,6 +6,10 @@
 //! Harmony with 20% / 40% tolerated stale reads.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//!
+//! Pass `--obs` to re-run the Harmony-40% arm with the observability layer
+//! on: the example then dumps the Prometheus metrics snapshot, the flight
+//! recorder's slowest per-op traces, and the controller's decision audit.
 
 use harmony::prelude::*;
 
@@ -13,6 +17,7 @@ fn main() {
     // `--quick` (used by the smoke tests) shrinks the run so it finishes in
     // well under a second even in debug builds.
     let quick = std::env::args().any(|a| a == "--quick");
+    let obs = std::env::args().any(|a| a == "--obs");
     let (records, ops) = if quick { (500, 2_000) } else { (5_000, 30_000) };
 
     let profile = harmony::profiles::grid5000();
@@ -66,5 +71,51 @@ fn main() {
         "Expected shape (paper §V): eventual is fastest but stalest, strong is slowest with zero\n\
          staleness, and Harmony sits next to eventual in latency/throughput while cutting stale\n\
          reads sharply — the stricter the tolerance, the fewer stale reads."
+    );
+
+    if obs {
+        dump_observability(&profile, &store, &spec);
+    }
+}
+
+/// `--obs`: one more Harmony-40% run with tracing, metrics and the decision
+/// audit switched on, followed by the three exports.
+fn dump_observability(profile: &ClusterProfile, store: &StoreConfig, spec: &ExperimentSpec) {
+    let (result, report) = run_experiment_with_obs(
+        profile,
+        store.clone(),
+        ControllerConfig::default(),
+        Box::new(HarmonyPolicy::new(profile.replication_factor, 0.40)),
+        spec.clone(),
+        FaultSchedule::empty(),
+        ObsConfig::enabled(),
+    );
+    println!();
+    println!(
+        "=== observability (harmony-40, {} ops) ===",
+        result.stats.operations
+    );
+    println!();
+    println!("--- Prometheus metrics snapshot ---");
+    print!("{}", report.prometheus_text());
+    println!();
+    println!(
+        "--- flight recorder: {} retained trace(s), slowest first ---",
+        report.recorder.len()
+    );
+    for trace in report.recorder.traces().take(3) {
+        println!("{}", trace.render());
+    }
+    println!("--- decision audit: {} record(s) ---", report.audit.len());
+    for record in report.audit.iter().take(5) {
+        println!("  {}", record.explain());
+    }
+    if report.audit.len() > 5 {
+        println!("  ... ({} more)", report.audit.len() - 5);
+    }
+    println!();
+    println!(
+        "Full JSON exports are available via ObsReport::traces_json() / audit_json();\n\
+         the same switches work on run_sharded_experiment_with_obs and the bench binaries."
     );
 }

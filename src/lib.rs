@@ -59,6 +59,7 @@ pub use harmony_chaos as chaos;
 pub use harmony_live as live;
 pub use harmony_model as model;
 pub use harmony_monitor as monitor;
+pub use harmony_obs as obs;
 pub use harmony_sim as sim;
 pub use harmony_store as store;
 pub use harmony_ycsb as ycsb;
